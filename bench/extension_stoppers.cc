@@ -1,0 +1,60 @@
+// Extension bench: alternative early-stopping rules and samplers around the
+// successive-halving core —
+//   * median stopping rule (Vizier's performance-curve option, paper
+//     footnote 2),
+//   * learning-curve extrapolation stopping (Domhan et al., related work),
+//   * quasi-random (Halton) sampling for random search and for ASHA's
+//     bottom rung.
+#include <iostream>
+
+#include "bench_util.h"
+#include "registry/registry.h"
+
+using namespace hypertune;
+using namespace hypertune::bench;
+
+namespace {
+
+SchedulerFactory Registered(const std::string& name) {
+  return [name](const SyntheticBenchmark& bench, std::uint64_t seed) {
+    TunerParams params;
+    params.seed = seed;
+    params.step_divisor = 30;
+    return MakeTunerByName(name, bench, params);
+  };
+}
+
+}  // namespace
+
+int main() {
+  ExperimentOptions options;
+  options.num_trials = 5;
+  options.num_workers = 25;
+  options.time_limit = 150;
+  options.grid_points = 10;
+
+  Banner("Extension: early-stopping rules vs ASHA (cuda-convnet task, 25 "
+         "workers, 150 min)",
+         {"median_rule and lc_stop prune against cohort statistics / "
+          "extrapolated curves;",
+          "ASHA prunes by rank within rungs"});
+  RunAndPrint(
+      [](std::uint64_t seed) { return benchmarks::CifarConvnet(seed); },
+      {{"ASHA", Registered("asha")},
+       {"MedianRule", Registered("median_rule")},
+       {"LCStop", Registered("lc_stop")},
+       {"Random", Registered("random")}},
+      options, "minutes", "test error");
+
+  Banner("Extension: quasi-random (Halton) sampling",
+         {"same budgets; Halton spreads the bottom rung more evenly"});
+  RunAndPrint(
+      [](std::uint64_t seed) { return benchmarks::CifarConvnet(seed); },
+      {{"Random search", Registered("random")},
+       {"Halton search", Registered("halton")},
+       {"ASHA", Registered("asha")},
+       {"ASHA+Halton", Registered("asha_halton")}},
+      options, "minutes", "test error");
+
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Regenerates Figure 7 (Appendix A.1): the average number of configurations
+// trained to the maximum resource R within 2000 time units, for ASHA vs
+// synchronous SHA under combinations of straggler standard deviation and
+// per-time-unit drop probability. Settings: eta=4, r=1, R=256, n=256;
+// expected job time equals the allocated resource; 25 simulations per cell.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "sim/driver.h"
+
+using namespace hypertune;
+using namespace hypertune::bench;
+
+namespace {
+
+constexpr int kWorkers = 25;
+constexpr double kHorizon = 2000;
+constexpr int kSims = 25;
+
+double MeanFullCompletions(bool asha, double straggler_std,
+                           double drop_probability) {
+  std::vector<double> counts;
+  for (int sim = 0; sim < kSims; ++sim) {
+    const auto seed = static_cast<std::uint64_t>(sim) * 101 + 7;
+    auto bench = benchmarks::UnitTime(seed);
+    std::unique_ptr<Scheduler> scheduler;
+    if (asha) {
+      scheduler = AshaFactory(4, 256)(*bench, seed);
+    } else {
+      scheduler = ShaFactory(256, 4, 256)(*bench, seed);
+    }
+    DriverOptions options;
+    options.num_workers = kWorkers;
+    options.time_limit = kHorizon;
+    options.hazards.straggler_std = straggler_std;
+    options.hazards.drop_probability = drop_probability;
+    options.seed = seed ^ 0xf00d;
+    SimulationDriver driver(*scheduler, *bench, options);
+    const auto result = driver.Run();
+    double full = 0;
+    for (const auto& completion : result.completions) {
+      full += !completion.dropped && completion.to_resource >= 256.0;
+    }
+    counts.push_back(full);
+  }
+  return Mean(counts);
+}
+
+}  // namespace
+
+int main() {
+  Banner("Figure 7: configurations trained to R within 2000 time units",
+         {"eta=4, r=1, R=256, n=256; 25 workers; 25 simulations per cell",
+          "rows: straggler std; columns: drop probability"});
+
+  const std::vector<double> stds{0.10, 0.24, 0.56, 1.33};
+  const std::vector<double> drops{0.0, 0.0025, 0.005, 0.0075, 0.01};
+
+  for (const char* method : {"ASHA", "SHA"}) {
+    const bool asha = std::string(method) == "ASHA";
+    std::vector<std::string> header{"std \\ drop p"};
+    for (double p : drops) header.push_back(FormatDouble(p, 4));
+    TextTable table(header);
+    for (double std_dev : stds) {
+      std::vector<std::string> row{FormatDouble(std_dev, 2)};
+      for (double p : drops) {
+        row.push_back(FormatDouble(MeanFullCompletions(asha, std_dev, p), 1));
+      }
+      table.AddRow(std::move(row));
+      std::cerr << "  " << method << " std=" << std_dev << " done\n";
+    }
+    std::cout << method << ":\n" << table.ToMarkdown() << "\n";
+  }
+
+  std::cout << "Paper check: ASHA trains more configurations to completion "
+               "than synchronous SHA,\nwith the gap widening as straggler "
+               "variance and drop rates grow.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Regenerates Tables 1-3 of the paper (and the other search spaces used in
+// the evaluation) from the in-code definitions.
+#include <iostream>
+
+#include "common/table.h"
+#include "searchspace/spaces.h"
+
+using namespace hypertune;
+
+namespace {
+
+std::string ScaleName(const Domain& domain) {
+  if (domain.kind() == ParamKind::kChoice) {
+    return domain.ordered() ? "choice (ordered)" : "choice";
+  }
+  const std::string base =
+      domain.kind() == ParamKind::kInteger ? "discrete" : "continuous";
+  return domain.scale() == Scale::kLog ? base + " log" : base;
+}
+
+std::string ValuesColumn(const Domain& domain) {
+  if (domain.kind() == ParamKind::kChoice) {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& option : domain.options()) {
+      if (!first) out += ", ";
+      first = false;
+      out += ToString(option);
+    }
+    return out + "}";
+  }
+  const int precision = domain.lo() < 0.01 ? 7 : 3;
+  return "[" + FormatDouble(domain.lo(), precision) + ", " +
+         FormatDouble(domain.hi(), precision) + "]";
+}
+
+void PrintSpace(const std::string& title, const SearchSpace& space) {
+  std::cout << title << "\n";
+  TextTable table({"hyperparameter", "type", "values"});
+  for (std::size_t i = 0; i < space.NumParams(); ++i) {
+    table.AddRow({space.name(i), ScaleName(space.domain(i)),
+                  ValuesColumn(space.domain(i))});
+  }
+  std::cout << table.ToMarkdown() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "==== Paper search-space tables ====\n\n";
+  PrintSpace("Table 1: small CNN architecture tuning task",
+             spaces::SmallCnnArchSpace());
+  PrintSpace("Table 2: PTB LSTM task (500-worker experiment)",
+             spaces::PtbLstmSpace());
+  PrintSpace("Table 3: 16-GPU near state-of-the-art LSTM task",
+             spaces::AwdLstmSpace());
+  PrintSpace("cuda-convnet space (benchmark 1, Li et al. 2017)",
+             spaces::CudaConvnetSpace());
+  PrintSpace("SVM space (Fabolas comparison, Appendix A.2)",
+             spaces::SvmSpace());
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Distributed tuning scenario: the paper's Section 4.2 workload in
+// miniature. Compare ASHA against synchronous SHA and PBT on the small-CNN
+// architecture benchmark with 25 workers and a tight wall-clock budget, and
+// inspect how the incumbent evolves.
+//
+// Build and run:  ./build/examples/distributed_cifar
+#include <iostream>
+
+#include "analysis/trajectory.h"
+#include "baselines/pbt.h"
+#include "common/table.h"
+#include "core/asha.h"
+#include "core/sha.h"
+#include "searchspace/spaces.h"
+#include "sim/driver.h"
+#include "surrogate/benchmarks.h"
+
+using namespace hypertune;
+
+namespace {
+
+Trajectory RunOne(Scheduler& scheduler, SyntheticBenchmark& bench,
+                  double minutes, int workers) {
+  DriverOptions options;
+  options.num_workers = workers;
+  options.time_limit = minutes;
+  SimulationDriver driver(scheduler, bench, options);
+  const auto result = driver.Run();
+  std::cout << "  " << scheduler.name() << ": "
+            << scheduler.trials().size() << " configurations, "
+            << result.jobs_completed << " jobs, utilization "
+            << FormatDouble(result.busy_time / (workers * result.end_time), 3)
+            << "\n";
+  return TestMetricTrajectory(result, scheduler.trials(), bench);
+}
+
+}  // namespace
+
+int main() {
+  constexpr double kMinutes = 150;
+  constexpr int kWorkers = 25;
+  std::cout << "Tuning the Table-1 CNN architecture space: " << kWorkers
+            << " workers, " << kMinutes << " minutes\n\n";
+
+  auto bench = benchmarks::CifarArch(/*trial_seed=*/7);
+  const double r = bench->R() / 256;
+
+  AshaOptions asha_options;
+  asha_options.r = r;
+  asha_options.R = bench->R();
+  asha_options.eta = 4;
+  AshaScheduler asha(MakeRandomSampler(bench->space()), asha_options);
+  const auto asha_curve = RunOne(asha, *bench, kMinutes, kWorkers);
+
+  ShaOptions sha_options;
+  sha_options.n = 256;
+  sha_options.r = r;
+  sha_options.R = bench->R();
+  sha_options.eta = 4;
+  sha_options.incumbent_policy = IncumbentPolicy::kByRung;
+  SyncShaScheduler sha(MakeRandomSampler(bench->space()), sha_options);
+  const auto sha_curve = RunOne(sha, *bench, kMinutes, kWorkers);
+
+  PbtOptions pbt_options;
+  pbt_options.population_size = 25;
+  pbt_options.step_resource = bench->R() / 30;
+  pbt_options.max_resource = bench->R();
+  pbt_options.sync_window = 2 * pbt_options.step_resource;
+  pbt_options.random_guess_loss = 0.88;
+  pbt_options.explore.frozen = spaces::IsSmallCnnArchParam;
+  PbtScheduler pbt(bench->space(), pbt_options);
+  const auto pbt_curve = RunOne(pbt, *bench, kMinutes, kWorkers);
+
+  std::cout << "\nIncumbent test error over time:\n";
+  TextTable table({"minutes", "ASHA", "SHA", "PBT"});
+  for (double t = 25; t <= kMinutes; t += 25) {
+    table.AddRow({FormatDouble(t, 0), FormatDouble(asha_curve.At(t), 4),
+                  FormatDouble(sha_curve.At(t), 4),
+                  FormatDouble(pbt_curve.At(t), 4)});
+  }
+  std::cout << table.ToMarkdown();
+  return 0;
+}

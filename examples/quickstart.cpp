@@ -1,0 +1,80 @@
+// Quickstart: tune a custom objective with ASHA on a simulated worker pool.
+//
+// This shows the three pieces a user supplies:
+//   1. a SearchSpace describing the hyperparameters,
+//   2. a JobEnvironment that trains a configuration for a resource slice
+//      and reports the validation loss (here: a synthetic objective),
+//   3. a Scheduler (ASHA) plus the SimulationDriver that connects them.
+//
+// Build and run:  ./build/examples/quickstart
+#include <cmath>
+#include <iostream>
+
+#include "core/asha.h"
+#include "sim/driver.h"
+
+using namespace hypertune;
+
+namespace {
+
+// A made-up "model": validation loss depends on learning rate and width,
+// improves with training, and is noisy. Replace this with real training in
+// a production deployment (Loss blocks until the slice finishes).
+class ToyTraining final : public JobEnvironment {
+ public:
+  double Loss(const Configuration& config, Resource resource) override {
+    const double lr = config.GetDouble("learning_rate");
+    const double width = static_cast<double>(config.GetInt("width"));
+    // Best around lr = 1e-2, width = 192.
+    const double lr_term = std::pow(std::log10(lr) + 2.0, 2.0) * 0.05;
+    const double width_term = std::pow((width - 192.0) / 256.0, 2.0);
+    const double floor = 0.08 + lr_term + width_term;
+    const double curve = 0.4 * std::pow(resource / 256.0, -0.5);
+    return floor + curve - 0.4;
+  }
+
+  double Duration(const Configuration& config, Resource from,
+                  Resource to) override {
+    // Wider networks train slower.
+    const double width = static_cast<double>(config.GetInt("width"));
+    return (to - from) * (0.5 + width / 256.0);
+  }
+};
+
+}  // namespace
+
+int main() {
+  // 1. The search space.
+  SearchSpace space;
+  space.Add("learning_rate", Domain::Continuous(1e-4, 1.0, Scale::kLog))
+      .Add("width", Domain::Integer(16, 256));
+
+  // 2. ASHA: train each new configuration for 4 epochs first (r), promote
+  //    the best 1/eta to 4x the budget, up to R = 256 epochs.
+  AshaOptions options;
+  options.r = 4;
+  options.R = 256;
+  options.eta = 4;
+  options.seed = 42;
+  AshaScheduler asha(MakeRandomSampler(space), options);
+
+  // 3. Run on 8 simulated workers for 5000 virtual time units.
+  ToyTraining environment;
+  DriverOptions driver_options;
+  driver_options.num_workers = 8;
+  driver_options.time_limit = 5000;
+  SimulationDriver driver(asha, environment, driver_options);
+  const DriverResult result = driver.Run();
+
+  std::cout << "jobs completed:        " << result.jobs_completed << "\n"
+            << "configurations tried:  " << asha.trials().size() << "\n";
+  const auto best = asha.Current();
+  if (best) {
+    const Trial& trial = asha.trials().Get(best->trial_id);
+    std::cout << "best validation loss:  " << best->loss << " (at resource "
+              << best->resource << ")\n"
+              << "best configuration:    {" << trial.config.ToString()
+              << "}\n";
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "analysis/aggregate.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace hypertune {
+
+std::vector<double> UniformGrid(double hi, std::size_t n) {
+  HT_CHECK(hi > 0 && n > 0);
+  std::vector<double> grid(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    grid[i] = hi * static_cast<double>(i + 1) / static_cast<double>(n);
+  }
+  return grid;
+}
+
+AggregateSeries Aggregate(const std::vector<Trajectory>& trajectories,
+                          std::vector<double> grid) {
+  AggregateSeries series;
+  series.times = std::move(grid);
+  const auto n = series.times.size();
+  series.mean.resize(n);
+  series.q25.resize(n);
+  series.q75.resize(n);
+  series.min.resize(n);
+  series.max.resize(n);
+  series.count.resize(n);
+
+  std::vector<double> values;
+  for (std::size_t i = 0; i < n; ++i) {
+    values.clear();
+    for (const auto& trajectory : trajectories) {
+      const double v = trajectory.At(series.times[i]);
+      if (!std::isnan(v)) values.push_back(v);
+    }
+    series.count[i] = values.size();
+    if (values.empty()) {
+      const double nan = std::numeric_limits<double>::quiet_NaN();
+      series.mean[i] = series.q25[i] = series.q75[i] = series.min[i] =
+          series.max[i] = nan;
+      continue;
+    }
+    series.mean[i] = Mean(values);
+    series.q25[i] = Quantile(values, 0.25);
+    series.q75[i] = Quantile(values, 0.75);
+    series.min[i] = Quantile(values, 0.0);
+    series.max[i] = Quantile(values, 1.0);
+  }
+  return series;
+}
+
+double MeanTimeToReach(const std::vector<Trajectory>& trajectories,
+                       double target) {
+  std::vector<double> times;
+  for (const auto& trajectory : trajectories) {
+    const double t = trajectory.TimeToReach(target);
+    if (std::isnan(t)) return std::numeric_limits<double>::quiet_NaN();
+    times.push_back(t);
+  }
+  return Mean(times);
+}
+
+}  // namespace hypertune

@@ -1,0 +1,37 @@
+// Aggregation of per-trial trajectories onto a common time grid — the
+// mean / quartile / min-max bands the paper's figures draw.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/trajectory.h"
+
+namespace hypertune {
+
+struct AggregateSeries {
+  std::vector<double> times;
+  std::vector<double> mean;
+  std::vector<double> q25;
+  std::vector<double> q75;
+  std::vector<double> min;
+  std::vector<double> max;
+  /// How many trials had a defined value at each grid point.
+  std::vector<std::size_t> count;
+};
+
+/// Uniform grid of `n` points over (0, hi] (excludes 0 where trajectories
+/// are undefined).
+std::vector<double> UniformGrid(double hi, std::size_t n);
+
+/// Evaluates every trajectory at each grid time; NaN values (before a
+/// trial's first recommendation) are excluded from the statistics.
+AggregateSeries Aggregate(const std::vector<Trajectory>& trajectories,
+                          std::vector<double> grid);
+
+/// Mean over trials of TimeToReach(target); NaN when any trial never
+/// reaches it (the paper's "time until X" summaries).
+double MeanTimeToReach(const std::vector<Trajectory>& trajectories,
+                       double target);
+
+}  // namespace hypertune

@@ -1,0 +1,54 @@
+#include "analysis/experiment.h"
+
+#include "common/check.h"
+
+namespace hypertune {
+
+MethodResult RunExperiment(const std::string& method_name,
+                           const BenchmarkFactory& make_benchmark,
+                           const SchedulerFactory& make_scheduler,
+                           const ExperimentOptions& options) {
+  HT_CHECK(options.num_trials > 0);
+  MethodResult result;
+  result.method = method_name;
+
+  for (int trial = 0; trial < options.num_trials; ++trial) {
+    const std::uint64_t seed =
+        options.base_seed + static_cast<std::uint64_t>(trial) * 7919;
+    auto benchmark = make_benchmark(seed);
+    auto scheduler = make_scheduler(*benchmark, seed);
+
+    DriverOptions driver_options;
+    driver_options.num_workers = options.num_workers;
+    driver_options.time_limit = options.time_limit;
+    driver_options.hazards = options.hazards;
+    driver_options.seed = seed ^ 0x5eedULL;
+
+    SimulationDriver driver(*scheduler, *benchmark, driver_options);
+    const DriverResult run = driver.Run();
+
+    result.trajectories.push_back(
+        TestMetricTrajectory(run, scheduler->trials(), *benchmark));
+    result.mean_trials_evaluated +=
+        static_cast<double>(scheduler->trials().size());
+    result.mean_jobs_completed += static_cast<double>(run.jobs_completed);
+    result.mean_jobs_dropped += static_cast<double>(run.jobs_dropped);
+    if (run.end_time > 0) {
+      result.mean_worker_utilization +=
+          run.busy_time /
+          (static_cast<double>(options.num_workers) * run.end_time);
+    }
+  }
+
+  const auto n = static_cast<double>(options.num_trials);
+  result.mean_trials_evaluated /= n;
+  result.mean_jobs_completed /= n;
+  result.mean_jobs_dropped /= n;
+  result.mean_worker_utilization /= n;
+
+  result.series = Aggregate(result.trajectories,
+                            UniformGrid(options.time_limit, options.grid_points));
+  return result;
+}
+
+}  // namespace hypertune

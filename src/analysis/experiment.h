@@ -1,0 +1,53 @@
+// The experiment runner behind every bench binary: runs a tuner on a
+// surrogate benchmark for several trials, returns aggregated trajectories
+// plus bookkeeping statistics.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/aggregate.h"
+#include "core/scheduler.h"
+#include "sim/driver.h"
+#include "surrogate/benchmark.h"
+
+namespace hypertune {
+
+/// Builds the benchmark instance for one experiment trial.
+using BenchmarkFactory =
+    std::function<std::unique_ptr<SyntheticBenchmark>(std::uint64_t trial_seed)>;
+
+/// Builds the tuner for one trial; `benchmark` supplies the space and R.
+using SchedulerFactory = std::function<std::unique_ptr<Scheduler>(
+    const SyntheticBenchmark& benchmark, std::uint64_t trial_seed)>;
+
+struct ExperimentOptions {
+  int num_trials = 5;
+  int num_workers = 1;
+  double time_limit = 1000;
+  HazardOptions hazards;
+  /// Time-grid resolution of the aggregated series.
+  std::size_t grid_points = 24;
+  std::uint64_t base_seed = 1000;
+};
+
+struct MethodResult {
+  std::string method;
+  AggregateSeries series;
+  std::vector<Trajectory> trajectories;
+  /// Per-trial bookkeeping, averaged.
+  double mean_trials_evaluated = 0;
+  double mean_jobs_completed = 0;
+  double mean_jobs_dropped = 0;
+  double mean_worker_utilization = 0;  // busy time / (workers * end time)
+};
+
+/// Runs `num_trials` independent tuning runs and aggregates them.
+MethodResult RunExperiment(const std::string& method_name,
+                           const BenchmarkFactory& make_benchmark,
+                           const SchedulerFactory& make_scheduler,
+                           const ExperimentOptions& options);
+
+}  // namespace hypertune

@@ -1,0 +1,34 @@
+// JSON export/import of tuning artifacts: configurations, trials, driver
+// runs, and aggregated experiment results. The "ML glue" layer — results
+// can be archived, diffed, and re-loaded for offline analysis without
+// rerunning simulations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "common/json.h"
+#include "core/trial_json.h"
+#include "searchspace/config_json.h"
+#include "sim/driver.h"
+
+namespace hypertune {
+
+// Configuration / Trial / TrialBank JSON conversions come from
+// searchspace/config_json.h and core/trial_json.h (re-exported here for
+// convenience).
+
+/// Driver run -> JSON (completions + recommendation history + totals).
+Json ToJson(const DriverResult& result);
+DriverResult DriverResultFromJson(const Json& json);
+
+/// Aggregated method result -> JSON (series arrays + bookkeeping).
+Json ToJson(const MethodResult& result);
+
+/// Writes an experiment document {"name":..., "methods":[...]} to `path`
+/// (pretty-printed). Returns false on I/O failure.
+bool ExportExperiment(const std::string& path, const std::string& name,
+                      const std::vector<MethodResult>& methods);
+
+}  // namespace hypertune

@@ -1,0 +1,67 @@
+#include "analysis/report.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hypertune {
+
+std::string FormatMetric(double value, int precision) {
+  if (std::isnan(value)) return "-";
+  return FormatDouble(value, precision);
+}
+
+TextTable SeriesTable(const std::vector<MethodResult>& methods,
+                      const std::string& time_label,
+                      const std::string& metric_label, int precision) {
+  HT_CHECK(!methods.empty());
+  std::vector<std::string> header{time_label};
+  for (const auto& method : methods) {
+    header.push_back(method.method + " (" + metric_label + ")");
+  }
+  TextTable table(std::move(header));
+  const auto& times = methods.front().series.times;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    std::vector<std::string> row{FormatDouble(times[i], 1)};
+    for (const auto& method : methods) {
+      HT_CHECK(method.series.times.size() == times.size());
+      row.push_back(FormatMetric(method.series.mean[i], precision));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+TextTable SummaryTable(const std::vector<MethodResult>& methods,
+                       const std::string& metric_label, int precision) {
+  TextTable table({"method", "final " + metric_label, "min", "max",
+                   "configs evaluated", "jobs completed", "utilization"});
+  for (const auto& method : methods) {
+    const auto& s = method.series;
+    HT_CHECK(!s.times.empty());
+    const auto last = s.times.size() - 1;
+    table.AddRow({method.method, FormatMetric(s.mean[last], precision),
+                  FormatMetric(s.min[last], precision),
+                  FormatMetric(s.max[last], precision),
+                  FormatDouble(method.mean_trials_evaluated, 1),
+                  FormatDouble(method.mean_jobs_completed, 1),
+                  FormatDouble(method.mean_worker_utilization, 3)});
+  }
+  return table;
+}
+
+TextTable TimeToTargetTable(const std::vector<MethodResult>& methods,
+                            double target, const std::string& time_label,
+                            int precision) {
+  TextTable table({"method", "mean " + time_label + " to reach " +
+                                 FormatDouble(target, 4)});
+  for (const auto& method : methods) {
+    const double t = MeanTimeToReach(method.trajectories, target);
+    table.AddRow({method.method,
+                  std::isnan(t) ? std::string("never") :
+                                  FormatDouble(t, precision)});
+  }
+  return table;
+}
+
+}  // namespace hypertune

@@ -1,0 +1,32 @@
+// Rendering of experiment results as the tables the bench binaries print.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "common/table.h"
+
+namespace hypertune {
+
+/// One row per grid time, one column per method (mean metric); "-" where a
+/// method had no recommendation yet.
+TextTable SeriesTable(const std::vector<MethodResult>& methods,
+                      const std::string& time_label,
+                      const std::string& metric_label, int precision = 4);
+
+/// Mean with [min, max] band per method at the final grid point, plus
+/// bookkeeping columns — the "who wins" summary for each figure.
+TextTable SummaryTable(const std::vector<MethodResult>& methods,
+                       const std::string& metric_label, int precision = 4);
+
+/// Time each method first reaches `target` (mean over trials); "never" when
+/// some trial misses it.
+TextTable TimeToTargetTable(const std::vector<MethodResult>& methods,
+                            double target, const std::string& time_label,
+                            int precision = 1);
+
+/// Renders NaN-safe fixed-precision numbers ("-" for NaN).
+std::string FormatMetric(double value, int precision);
+
+}  // namespace hypertune

@@ -1,0 +1,21 @@
+#include "baselines/bohb.h"
+
+#include "core/asha.h"
+
+namespace hypertune {
+
+std::unique_ptr<SyncShaScheduler> MakeBohb(SearchSpace space,
+                                           BohbOptions options) {
+  auto sampler = std::make_shared<TpeSampler>(std::move(space), options.tpe);
+  options.sha.display_name = "BOHB";
+  return std::make_unique<SyncShaScheduler>(std::move(sampler), options.sha);
+}
+
+std::unique_ptr<AshaScheduler> MakeAshaTpe(SearchSpace space, AshaOptions asha,
+                                           TpeOptions tpe) {
+  auto sampler = std::make_shared<TpeSampler>(std::move(space), tpe);
+  asha.display_name = "ASHA+TPE";
+  return std::make_unique<AshaScheduler>(std::move(sampler), asha);
+}
+
+}  // namespace hypertune

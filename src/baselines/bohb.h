@@ -1,0 +1,30 @@
+// BOHB (Falkner et al. 2018) = synchronous SHA promotions + TPE-style
+// model-based sampling. As the paper notes (Section 4.1), BOHB "uses SHA to
+// perform early-stopping and differs only in how configurations are
+// sampled", so it composes directly from SyncShaScheduler and TpeSampler.
+// It inherits synchronous SHA's straggler/drop sensitivity (Appendix A.1).
+#pragma once
+
+#include <memory>
+
+#include "bo/tpe.h"
+#include "core/asha.h"
+#include "core/sha.h"
+
+namespace hypertune {
+
+struct BohbOptions {
+  ShaOptions sha;   // display_name is overridden to "BOHB"
+  TpeOptions tpe;
+};
+
+/// Builds a BOHB tuner over `space`.
+std::unique_ptr<SyncShaScheduler> MakeBohb(SearchSpace space,
+                                           BohbOptions options);
+
+/// The "ASHA + adaptive sampling" extension sketched in the paper's
+/// conclusion: ASHA promotions with the same TPE sampler.
+std::unique_ptr<AshaScheduler> MakeAshaTpe(SearchSpace space,
+                                           AshaOptions asha, TpeOptions tpe);
+
+}  // namespace hypertune

@@ -1,0 +1,111 @@
+#include "baselines/lc_stop.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hypertune {
+
+LcStopScheduler::LcStopScheduler(std::shared_ptr<ConfigSampler> sampler,
+                                 LcStopOptions options)
+    : sampler_(std::move(sampler)),
+      options_(options),
+      bank_(std::make_shared<TrialBank>()),
+      rng_(options.seed) {
+  HT_CHECK(sampler_ != nullptr);
+  HT_CHECK(options_.R > 0);
+  HT_CHECK(options_.step_resource > 0 && options_.step_resource <= options_.R);
+  HT_CHECK(options_.min_observations >= 3);
+  HT_CHECK(options_.margin >= 0);
+}
+
+std::optional<Job> LcStopScheduler::GetJob() {
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    ActiveTrial& state = active_[i];
+    if (state.running || state.done) continue;
+    Trial& trial = bank_->Get(state.id);
+    Job job;
+    job.trial_id = state.id;
+    job.config = trial.config;
+    job.from_resource = trial.resource_trained;
+    job.to_resource =
+        std::min(trial.resource_trained + options_.step_resource, options_.R);
+    job.rung = static_cast<int>(state.curve.size());
+    job.tag = i;
+    state.running = true;
+    trial.status = TrialStatus::kRunning;
+    return job;
+  }
+  if (options_.max_trials >= 0 && trials_created_ >= options_.max_trials) {
+    return std::nullopt;
+  }
+  const TrialId id = bank_->Create(sampler_->Sample(rng_), /*bracket=*/0);
+  ++trials_created_;
+  ActiveTrial state;
+  state.id = id;
+  state.running = true;
+  active_.push_back(state);
+  Trial& trial = bank_->Get(id);
+  trial.status = TrialStatus::kRunning;
+  Job job;
+  job.trial_id = id;
+  job.config = trial.config;
+  job.from_resource = 0;
+  job.to_resource = std::min(options_.step_resource, options_.R);
+  job.rung = 0;
+  job.tag = active_.size() - 1;
+  return job;
+}
+
+void LcStopScheduler::ReportResult(const Job& job, double loss) {
+  auto& state = active_.at(job.tag);
+  HT_CHECK(state.running && state.id == job.trial_id);
+  state.running = false;
+  Trial& trial = bank_->Get(job.trial_id);
+  bank_->RecordObservation(job.trial_id, job.to_resource, loss);
+  state.curve.emplace_back(job.to_resource, loss);
+  sampler_->Observe(trial.config, job.to_resource, loss);
+
+  if (job.to_resource >= options_.R) {
+    state.done = true;
+    trial.status = TrialStatus::kCompleted;
+    best_final_ = std::min(best_final_, loss);
+    incumbent_.Offer(job.trial_id, loss, job.to_resource);
+    return;
+  }
+  trial.status = TrialStatus::kPaused;
+
+  // Extrapolate and prune once a completed reference exists.
+  if (std::isfinite(best_final_) &&
+      static_cast<int>(state.curve.size()) >= options_.min_observations) {
+    const auto fit = FitPowerLaw(state.curve);
+    const double predicted = PredictPowerLaw(fit, options_.R);
+    if (predicted > best_final_ * (1.0 + options_.margin)) {
+      state.done = true;
+      trial.status = TrialStatus::kStopped;
+      ++num_stopped_;
+    }
+  }
+}
+
+void LcStopScheduler::ReportLost(const Job& job) {
+  auto& state = active_.at(job.tag);
+  HT_CHECK(state.running && state.id == job.trial_id);
+  state.running = false;
+  state.done = true;
+  bank_->Get(job.trial_id).status = TrialStatus::kLost;
+}
+
+bool LcStopScheduler::Finished() const {
+  if (options_.max_trials < 0) return false;
+  if (trials_created_ < options_.max_trials) return false;
+  return std::all_of(active_.begin(), active_.end(),
+                     [](const ActiveTrial& state) { return state.done; });
+}
+
+std::optional<Recommendation> LcStopScheduler::Current() const {
+  return incumbent_.Current();
+}
+
+}  // namespace hypertune

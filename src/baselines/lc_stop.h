@@ -1,0 +1,66 @@
+// Learning-curve extrapolation early stopping (after Domhan et al. 2015,
+// cited in the paper's related work): trials train in steps; once a trial
+// has enough observations, a power-law curve is fit to them and the trial
+// is stopped if its *extrapolated* final loss is worse than the best final
+// loss seen so far (with a safety margin). A "meta-learning informed
+// early-stopping" extension in the spirit of the paper's conclusion.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bo/curve_fit.h"
+#include "common/rng.h"
+#include "core/incumbent.h"
+#include "core/sampler.h"
+#include "core/scheduler.h"
+
+namespace hypertune {
+
+struct LcStopOptions {
+  double R = 256;
+  double step_resource = 16;
+  /// Minimum observations before extrapolation is trusted.
+  int min_observations = 3;
+  /// Stop when predicted_final > best_final * (1 + margin).
+  double margin = 0.05;
+  std::int64_t max_trials = -1;
+  std::uint64_t seed = 1;
+};
+
+class LcStopScheduler final : public Scheduler {
+ public:
+  LcStopScheduler(std::shared_ptr<ConfigSampler> sampler,
+                  LcStopOptions options);
+
+  std::optional<Job> GetJob() override;
+  void ReportResult(const Job& job, double loss) override;
+  void ReportLost(const Job& job) override;
+  bool Finished() const override;
+  std::optional<Recommendation> Current() const override;
+  const TrialBank& trials() const override { return *bank_; }
+  std::string name() const override { return "LCStop"; }
+
+  std::size_t NumStopped() const { return num_stopped_; }
+
+ private:
+  struct ActiveTrial {
+    TrialId id = -1;
+    bool running = false;
+    bool done = false;
+    std::vector<std::pair<double, double>> curve;  // (resource, loss)
+  };
+
+  std::shared_ptr<ConfigSampler> sampler_;
+  LcStopOptions options_;
+  std::shared_ptr<TrialBank> bank_;
+  std::vector<ActiveTrial> active_;
+  IncumbentTracker incumbent_;
+  Rng rng_;
+  std::int64_t trials_created_ = 0;
+  std::size_t num_stopped_ = 0;
+  double best_final_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace hypertune

@@ -1,0 +1,133 @@
+#include "baselines/median_rule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace hypertune {
+
+MedianRuleScheduler::MedianRuleScheduler(std::shared_ptr<ConfigSampler> sampler,
+                                         MedianRuleOptions options)
+    : sampler_(std::move(sampler)),
+      options_(options),
+      bank_(std::make_shared<TrialBank>()),
+      rng_(options.seed) {
+  HT_CHECK(sampler_ != nullptr);
+  HT_CHECK(options_.R > 0);
+  HT_CHECK(options_.step_resource > 0 && options_.step_resource <= options_.R);
+  HT_CHECK(options_.grace_steps >= 1);
+  HT_CHECK(options_.min_cohort >= 2);
+}
+
+std::optional<Job> MedianRuleScheduler::GetJob() {
+  // Resume a paused active trial first (cheapest way to finish good ones).
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    ActiveTrial& state = active_[i];
+    if (state.running || state.done) continue;
+    Trial& trial = bank_->Get(state.id);
+    Job job;
+    job.trial_id = state.id;
+    job.config = trial.config;
+    job.from_resource = trial.resource_trained;
+    job.to_resource =
+        std::min(trial.resource_trained + options_.step_resource, options_.R);
+    job.rung = state.steps;
+    job.tag = i;
+    state.running = true;
+    trial.status = TrialStatus::kRunning;
+    return job;
+  }
+  if (options_.max_trials >= 0 && trials_created_ >= options_.max_trials) {
+    return std::nullopt;
+  }
+  const TrialId id = bank_->Create(sampler_->Sample(rng_), /*bracket=*/0);
+  ++trials_created_;
+  ActiveTrial state;
+  state.id = id;
+  state.running = true;
+  active_.push_back(state);
+  avg_history_.emplace_back();
+  Trial& trial = bank_->Get(id);
+  trial.status = TrialStatus::kRunning;
+  Job job;
+  job.trial_id = id;
+  job.config = trial.config;
+  job.from_resource = 0;
+  job.to_resource = std::min(options_.step_resource, options_.R);
+  job.rung = 0;
+  job.tag = active_.size() - 1;
+  return job;
+}
+
+double MedianRuleScheduler::CohortMedian(std::size_t self_index,
+                                         int step) const {
+  std::vector<double> averages;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    if (i == self_index) continue;
+    const auto& history = avg_history_[i];
+    if (static_cast<int>(history.size()) >= step) {
+      averages.push_back(history[static_cast<std::size_t>(step - 1)]);
+    }
+  }
+  if (averages.size() < options_.min_cohort) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return Median(averages);
+}
+
+void MedianRuleScheduler::ReportResult(const Job& job, double loss) {
+  auto& state = active_.at(job.tag);
+  HT_CHECK(state.running && state.id == job.trial_id);
+  state.running = false;
+  Trial& trial = bank_->Get(job.trial_id);
+  bank_->RecordObservation(job.trial_id, job.to_resource, loss);
+
+  ++state.steps;
+  state.loss_sum += loss;
+  state.best_loss = std::min(state.best_loss, loss);
+  avg_history_[job.tag].push_back(state.loss_sum /
+                                  static_cast<double>(state.steps));
+  sampler_->Observe(trial.config, job.to_resource, loss);
+
+  if (job.to_resource >= options_.R) {
+    state.done = true;
+    trial.status = TrialStatus::kCompleted;
+    incumbent_.Offer(job.trial_id, loss, job.to_resource);
+    return;
+  }
+  trial.status = TrialStatus::kPaused;
+
+  // The rule: stop when the best loss so far is worse than the cohort's
+  // median running average at this step.
+  if (state.steps >= options_.grace_steps) {
+    const double median = CohortMedian(job.tag, state.steps);
+    if (!std::isnan(median) && state.best_loss > median) {
+      state.done = true;
+      trial.status = TrialStatus::kStopped;
+      ++num_stopped_;
+    }
+  }
+}
+
+void MedianRuleScheduler::ReportLost(const Job& job) {
+  auto& state = active_.at(job.tag);
+  HT_CHECK(state.running && state.id == job.trial_id);
+  state.running = false;
+  state.done = true;
+  bank_->Get(job.trial_id).status = TrialStatus::kLost;
+}
+
+bool MedianRuleScheduler::Finished() const {
+  if (options_.max_trials < 0) return false;
+  if (trials_created_ < options_.max_trials) return false;
+  return std::all_of(active_.begin(), active_.end(),
+                     [](const ActiveTrial& state) { return state.done; });
+}
+
+std::optional<Recommendation> MedianRuleScheduler::Current() const {
+  return incumbent_.Current();
+}
+
+}  // namespace hypertune

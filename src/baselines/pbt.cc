@@ -1,0 +1,218 @@
+#include "baselines/pbt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace hypertune {
+
+PbtScheduler::PbtScheduler(SearchSpace space, PbtOptions options)
+    : space_(std::move(space)),
+      options_(options),
+      bank_(std::make_shared<TrialBank>()),
+      rng_(options.seed) {
+  HT_CHECK(options_.population_size >= 2);
+  HT_CHECK(options_.step_resource > 0);
+  HT_CHECK(options_.max_resource >= options_.step_resource);
+  HT_CHECK(options_.sync_window >= options_.step_resource);
+  HT_CHECK(options_.truncation_fraction > 0 &&
+           options_.truncation_fraction <= 0.5);
+}
+
+std::uint64_t PbtScheduler::Encode(std::size_t pop, std::size_t member) {
+  return (pop << 32) | member;
+}
+
+std::pair<std::size_t, std::size_t> PbtScheduler::Decode(std::uint64_t tag) {
+  return {tag >> 32, tag & 0xffffffffULL};
+}
+
+PbtScheduler::Population PbtScheduler::MakePopulation() {
+  Population population;
+  population.members.resize(options_.population_size);
+  for (auto& member : population.members) {
+    member.trial = bank_->Create(space_.Sample(rng_),
+                                 static_cast<int>(populations_.size()));
+  }
+  return population;
+}
+
+bool PbtScheduler::Eligible(const Population& population,
+                            const Member& member) const {
+  if (member.running || member.finished) return false;
+  // Sync restriction: do not run ahead of the slowest active member.
+  double min_resource = std::numeric_limits<double>::infinity();
+  for (const auto& other : population.members) {
+    if (other.finished) continue;
+    min_resource = std::min(min_resource, other.resource);
+  }
+  return member.resource - min_resource < options_.sync_window;
+}
+
+std::optional<Job> PbtScheduler::JobForMember(std::size_t pop,
+                                              std::size_t member_idx) {
+  Member& member = populations_[pop].members[member_idx];
+  Trial& trial = bank_->Get(member.trial);
+  Job job;
+  job.trial_id = member.trial;
+  job.config = trial.config;
+  job.from_resource = member.resource;
+  job.to_resource =
+      std::min(member.resource + options_.step_resource, options_.max_resource);
+  job.rung = member.steps_completed;
+  job.bracket = static_cast<int>(pop);
+  job.tag = Encode(pop, member_idx);
+  member.running = true;
+  trial.status = TrialStatus::kRunning;
+  return job;
+}
+
+std::optional<Job> PbtScheduler::GetJob() {
+  for (std::size_t p = 0; p < populations_.size(); ++p) {
+    for (std::size_t m = 0; m < populations_[p].members.size(); ++m) {
+      if (Eligible(populations_[p], populations_[p].members[m])) {
+        return JobForMember(p, m);
+      }
+    }
+  }
+  if (populations_.empty() || options_.spawn_new_populations) {
+    populations_.push_back(MakePopulation());
+    return JobForMember(populations_.size() - 1, 0);
+  }
+  return std::nullopt;
+}
+
+void PbtScheduler::MaybeExploitExplore(std::size_t pop_idx,
+                                       std::size_t member_idx) {
+  Population& population = populations_[pop_idx];
+  Member& member = population.members[member_idx];
+
+  // Rank members that have at least one evaluation.
+  std::vector<double> losses;
+  for (const auto& other : population.members) {
+    if (other.has_loss) losses.push_back(other.latest_loss);
+  }
+  const auto evaluated = losses.size();
+  if (evaluated < 2) return;
+  const auto cutoff = static_cast<std::size_t>(std::ceil(
+      options_.truncation_fraction * static_cast<double>(evaluated)));
+  std::sort(losses.begin(), losses.end());
+  const double bottom_threshold = losses[evaluated - cutoff];
+  if (member.latest_loss < bottom_threshold) return;  // not in the bottom
+
+  // Uniform donor from the top fraction. A donor must be *strictly* better:
+  // copying equal-quality weights would only reset this member's progress
+  // (and with all-equal losses would livelock the population).
+  const double top_threshold = losses[cutoff - 1];
+  std::vector<std::size_t> top;
+  for (std::size_t i = 0; i < population.members.size(); ++i) {
+    const Member& other = population.members[i];
+    if (other.has_loss && other.latest_loss <= top_threshold &&
+        other.latest_loss < member.latest_loss && i != member_idx) {
+      top.push_back(i);
+    }
+  }
+  if (top.empty()) return;
+  const Member& donor = population.members[top[rng_.Index(top.size())]];
+
+  // Exploit: copy weights (resource position + current fitness) and
+  // hyperparameters; explore: perturb/resample the inherited configuration.
+  bank_->Get(member.trial).status = TrialStatus::kStopped;
+  const Configuration explored = PbtExplore(
+      space_, bank_->Get(donor.trial).config, options_.explore, rng_);
+  member.trial = bank_->Create(explored, static_cast<int>(pop_idx));
+  Trial& new_trial = bank_->Get(member.trial);
+  new_trial.resource_trained = donor.resource;
+  member.resource = donor.resource;
+  member.latest_loss = donor.latest_loss;
+  member.has_loss = donor.has_loss;
+  member.finished = donor.resource >= options_.max_resource;
+}
+
+void PbtScheduler::ReportResult(const Job& job, double loss) {
+  const auto [pop_idx, member_idx] = Decode(job.tag);
+  Population& population = populations_.at(pop_idx);
+  Member& member = population.members.at(member_idx);
+  member.running = false;
+
+  // The member may have been exploited while this job ran (possible when a
+  // drop respawned it); only accept results for the trial we dispatched.
+  if (member.trial != job.trial_id) return;
+
+  bank_->RecordObservation(job.trial_id, job.to_resource, loss);
+  member.resource = job.to_resource;
+  member.latest_loss = loss;
+  member.has_loss = true;
+  ++member.steps_completed;
+  incumbent_.Offer(job.trial_id, loss, job.to_resource);
+
+  Trial& trial = bank_->Get(job.trial_id);
+  if (member.resource >= options_.max_resource) {
+    member.finished = true;
+    trial.status = TrialStatus::kCompleted;
+  } else {
+    trial.status = TrialStatus::kPaused;
+  }
+
+  // Appendix A.3: resample bad initial draws until half the population
+  // performs above random guessing.
+  if (options_.random_guess_loss > 0 && member.steps_completed == 1 &&
+      loss >= options_.random_guess_loss) {
+    std::size_t first_done = 0;
+    std::size_t above_guessing = 0;
+    for (const auto& other : population.members) {
+      if (other.steps_completed >= 1) {
+        ++first_done;
+        if (other.latest_loss < options_.random_guess_loss) ++above_guessing;
+      }
+    }
+    if (first_done > 0 &&
+        static_cast<double>(above_guessing) <
+            0.5 * static_cast<double>(first_done)) {
+      trial.status = TrialStatus::kStopped;
+      member.trial =
+          bank_->Create(space_.Sample(rng_), static_cast<int>(pop_idx));
+      member.resource = 0;
+      member.has_loss = false;
+      member.steps_completed = 0;
+      return;
+    }
+  }
+
+  if (!member.finished) MaybeExploitExplore(pop_idx, member_idx);
+}
+
+void PbtScheduler::ReportLost(const Job& job) {
+  const auto [pop_idx, member_idx] = Decode(job.tag);
+  Member& member = populations_.at(pop_idx).members.at(member_idx);
+  member.running = false;
+  // The worker (and the member's weights) are gone: restart the slot with a
+  // fresh configuration from scratch.
+  if (member.trial == job.trial_id) {
+    bank_->Get(member.trial).status = TrialStatus::kLost;
+    member.trial =
+        bank_->Create(space_.Sample(rng_), static_cast<int>(pop_idx));
+    member.resource = 0;
+    member.has_loss = false;
+    member.steps_completed = 0;
+  }
+}
+
+bool PbtScheduler::Finished() const {
+  if (options_.spawn_new_populations) return false;
+  if (populations_.empty()) return false;
+  for (const auto& population : populations_) {
+    for (const auto& member : population.members) {
+      if (!member.finished) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Recommendation> PbtScheduler::Current() const {
+  return incumbent_.Current();
+}
+
+}  // namespace hypertune

@@ -1,0 +1,100 @@
+// Population Based Training (Jaderberg et al. 2017), implemented as the
+// paper configures it (Appendix A.3):
+//   * truncation selection — when a member finishes a step and sits in the
+//     bottom `truncation_fraction` of its population, it copies weights and
+//     hyperparameters from a uniformly drawn member of the top fraction;
+//   * explore — inherited hyperparameters are perturbed by 1.2/0.8 (3/4 of
+//     the time) or resampled (1/4), with architecture parameters frozen;
+//   * members must stay within `sync_window` resource of the slowest member
+//     of their population, so losses being compared are comparable;
+//   * in distributed settings a fresh population is spawned whenever no job
+//     is available from existing populations (100% worker efficiency);
+//   * initial configurations are resampled until at least half the
+//     population performs above random guessing.
+//
+// Weight inheritance maps onto the surrogate as: the exploited member's new
+// trial continues from the donor's effective resource, so its future losses
+// follow the new configuration's learning curve from that point.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/incumbent.h"
+#include "core/sampler.h"
+#include "core/scheduler.h"
+#include "searchspace/perturb.h"
+
+namespace hypertune {
+
+struct PbtOptions {
+  std::size_t population_size = 25;
+  /// Resource trained per step between exploit/explore rounds.
+  double step_resource = 1000;
+  /// Members finishing this resource are done.
+  double max_resource = 30000;
+  /// Members may not run ahead of the slowest active member of their
+  /// population by more than this (paper: 2000 iterations).
+  double sync_window = 2000;
+  /// Bottom/top fraction for truncation selection.
+  double truncation_fraction = 0.2;
+  PbtExploreOptions explore;
+  /// Spawn a new population when no member can take a job.
+  bool spawn_new_populations = true;
+  /// Members whose first-step loss is not below this are resampled while
+  /// fewer than half the population beats it; <= 0 disables.
+  double random_guess_loss = 0.0;
+  std::uint64_t seed = 1;
+};
+
+class PbtScheduler final : public Scheduler {
+ public:
+  PbtScheduler(SearchSpace space, PbtOptions options);
+
+  std::optional<Job> GetJob() override;
+  void ReportResult(const Job& job, double loss) override;
+  void ReportLost(const Job& job) override;
+  bool Finished() const override;
+  std::optional<Recommendation> Current() const override;
+  const TrialBank& trials() const override { return *bank_; }
+  std::string name() const override { return "PBT"; }
+
+  std::size_t NumPopulations() const { return populations_.size(); }
+
+ private:
+  struct Member {
+    TrialId trial = -1;
+    /// Resource the member's *weights* have been trained for (inherited on
+    /// exploit).
+    double resource = 0;
+    double latest_loss = 0;
+    bool has_loss = false;
+    bool running = false;
+    bool finished = false;
+    int steps_completed = 0;
+  };
+
+  struct Population {
+    std::vector<Member> members;
+  };
+
+  /// (population index, member index) encoded in the job tag.
+  static std::uint64_t Encode(std::size_t pop, std::size_t member);
+  static std::pair<std::size_t, std::size_t> Decode(std::uint64_t tag);
+
+  Population MakePopulation();
+  std::optional<Job> JobForMember(std::size_t pop, std::size_t member);
+  bool Eligible(const Population& population, const Member& member) const;
+  void MaybeExploitExplore(std::size_t pop_idx, std::size_t member_idx);
+
+  SearchSpace space_;
+  PbtOptions options_;
+  std::shared_ptr<TrialBank> bank_;
+  std::vector<Population> populations_;
+  IncumbentTracker incumbent_;
+  Rng rng_;
+};
+
+}  // namespace hypertune

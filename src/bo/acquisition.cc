@@ -1,0 +1,44 @@
+#include "bo/acquisition.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace hypertune {
+
+double NormalPdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::numbers::sqrt2); }
+
+double ExpectedImprovement(double mean, double variance, double best) {
+  HT_CHECK(variance >= 0);
+  const double sigma = std::sqrt(variance);
+  if (sigma < 1e-12) return std::max(best - mean, 0.0);
+  const double z = (best - mean) / sigma;
+  return (best - mean) * NormalCdf(z) + sigma * NormalPdf(z);
+}
+
+std::vector<double> SuggestByEi(const GaussianProcess& gp, std::size_t dim,
+                                double best_observed,
+                                std::size_t num_candidates, Rng& rng) {
+  HT_CHECK(dim > 0 && num_candidates > 0);
+  std::vector<double> best_point(dim);
+  double best_ei = -1;
+  std::vector<double> candidate(dim);
+  for (std::size_t c = 0; c < num_candidates; ++c) {
+    for (auto& u : candidate) u = rng.Uniform();
+    const auto pred = gp.Predict(candidate);
+    const double ei = ExpectedImprovement(pred.mean, pred.variance,
+                                          best_observed);
+    if (ei > best_ei) {
+      best_ei = ei;
+      best_point = candidate;
+    }
+  }
+  return best_point;
+}
+
+}  // namespace hypertune

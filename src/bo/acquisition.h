@@ -1,0 +1,28 @@
+// Acquisition functions and candidate-search helpers for GP-based tuners.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bo/gp.h"
+#include "common/rng.h"
+
+namespace hypertune {
+
+/// Standard normal pdf / cdf (Abramowitz–Stegun-quality erf-based cdf).
+double NormalPdf(double z);
+double NormalCdf(double z);
+
+/// Expected improvement of a *minimization* objective below `best` for a
+/// Gaussian posterior N(mean, variance). Zero variance yields
+/// max(best - mean, 0).
+double ExpectedImprovement(double mean, double variance, double best);
+
+/// Maximizes EI over `num_candidates` uniform random points in [0,1]^dim
+/// (random-search acquisition optimization, as production GP services do at
+/// scale). Returns the best candidate point.
+std::vector<double> SuggestByEi(const GaussianProcess& gp, std::size_t dim,
+                                double best_observed,
+                                std::size_t num_candidates, Rng& rng);
+
+}  // namespace hypertune

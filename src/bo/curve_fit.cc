@@ -1,0 +1,74 @@
+#include "bo/curve_fit.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace hypertune {
+
+namespace {
+
+/// Least squares for y = a + b * x with x = r^(-c); returns (a, b, rss).
+void LinearFit(std::span<const std::pair<double, double>> points, double c,
+               double* a, double* b, double* rss) {
+  const auto n = static_cast<double>(points.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (const auto& [r, y] : points) {
+    const double x = std::pow(r, -c);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-14) {
+    // Degenerate design (e.g. all resources equal): flat fit.
+    *b = 0;
+    *a = sy / n;
+  } else {
+    *b = (n * sxy - sx * sy) / denom;
+    *a = (sy - *b * sx) / n;
+  }
+  double acc = 0;
+  for (const auto& [r, y] : points) {
+    const double e = y - (*a + *b * std::pow(r, -c));
+    acc += e * e;
+  }
+  *rss = acc;
+}
+
+}  // namespace
+
+PowerLawFit FitPowerLaw(
+    std::span<const std::pair<double, double>> resource_loss_points) {
+  HT_CHECK_MSG(resource_loss_points.size() >= 3,
+               "power-law fit needs at least 3 points, got "
+                   << resource_loss_points.size());
+  for (const auto& [r, y] : resource_loss_points) {
+    HT_CHECK_MSG(r > 0, "resources must be positive, got " << r);
+  }
+  PowerLawFit best;
+  best.rss = std::numeric_limits<double>::infinity();
+  for (double c = 0.05; c <= 2.0 + 1e-9; c += 0.05) {
+    double a = 0, b = 0, rss = 0;
+    LinearFit(resource_loss_points, c, &a, &b, &rss);
+    if (b < 0) continue;  // learning curves decrease toward the asymptote
+    if (rss < best.rss) best = {a, b, c, rss};
+  }
+  if (!std::isfinite(best.rss)) {
+    // Every decreasing-curve candidate was rejected (rising losses): fall
+    // back to the flat fit so callers still get a sane extrapolation.
+    double a = 0, b = 0, rss = 0;
+    LinearFit(resource_loss_points, 1.0, &a, &b, &rss);
+    best = {a + b, 0, 1.0, rss};
+  }
+  return best;
+}
+
+double PredictPowerLaw(const PowerLawFit& fit, double r) {
+  HT_CHECK(r > 0);
+  return fit.a + fit.b * std::pow(r, -fit.c);
+}
+
+}  // namespace hypertune

@@ -1,0 +1,27 @@
+// Power-law learning-curve fitting: loss(r) ~= a + b * r^(-c).
+// The extrapolation primitive behind learning-curve-based early stopping
+// (Domhan et al. 2015, discussed in the paper's related work) — and the
+// same family the surrogate benchmarks generate, so fits are well-posed.
+#pragma once
+
+#include <span>
+#include <utility>
+
+namespace hypertune {
+
+struct PowerLawFit {
+  double a = 0;  // asymptotic loss
+  double b = 0;  // amplitude
+  double c = 0;  // decay exponent
+  double rss = 0;  // residual sum of squares at the optimum
+};
+
+/// Fits (a, b) in closed form for each candidate exponent c on a grid and
+/// returns the best. Requires >= 3 points with distinct positive resources.
+PowerLawFit FitPowerLaw(
+    std::span<const std::pair<double, double>> resource_loss_points);
+
+/// Curve value at resource r (> 0).
+double PredictPowerLaw(const PowerLawFit& fit, double r);
+
+}  // namespace hypertune

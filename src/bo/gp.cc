@@ -1,0 +1,99 @@
+#include "bo/gp.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace hypertune {
+
+GaussianProcess::GaussianProcess(GpOptions options)
+    : options_(std::move(options)) {
+  HT_CHECK(options_.noise_variance > 0);
+  HT_CHECK(!options_.lengthscale_grid.empty());
+}
+
+namespace {
+
+std::unique_ptr<Kernel> MakeKernel(bool matern, double lengthscale) {
+  if (matern) return std::make_unique<Matern52Kernel>(lengthscale);
+  return std::make_unique<RbfKernel>(lengthscale);
+}
+
+}  // namespace
+
+double GaussianProcess::FitWithLengthscale(double lengthscale) {
+  kernel_ = MakeKernel(options_.matern, lengthscale);
+  const std::size_t n = x_.size();
+  Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = (*kernel_)(x_[i], x_[j]);
+      k.at(i, j) = v;
+      k.at(j, i) = v;
+    }
+    k.at(i, i) += options_.noise_variance;
+  }
+  chol_ = CholeskyFactor(k, /*jitter=*/1e-8);
+  const auto tmp = SolveLower(chol_, y_standardized_);
+  alpha_ = SolveLowerTranspose(chol_, tmp);
+
+  // log p(y) = -1/2 y^T alpha - sum log L_ii - n/2 log(2 pi)
+  double fit_term = 0;
+  for (std::size_t i = 0; i < n; ++i) fit_term += y_standardized_[i] * alpha_[i];
+  double log_det_half = 0;
+  for (std::size_t i = 0; i < n; ++i) log_det_half += std::log(chol_.at(i, i));
+  return -0.5 * fit_term - log_det_half -
+         0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
+}
+
+void GaussianProcess::Fit(std::vector<std::vector<double>> x,
+                          std::vector<double> y) {
+  HT_CHECK_MSG(!x.empty() && x.size() == y.size(),
+               "GP fit needs matching non-empty inputs, got " << x.size()
+                                                              << " points");
+  const std::size_t d = x.front().size();
+  for (const auto& point : x) HT_CHECK(point.size() == d);
+
+  x_ = std::move(x);
+  y_mean_ = Mean(y);
+  y_std_ = Stddev(y);
+  if (y_std_ < 1e-12) y_std_ = 1.0;  // constant targets
+  y_standardized_.resize(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y_standardized_[i] = (y[i] - y_mean_) / y_std_;
+  }
+
+  double best_lml = -std::numeric_limits<double>::infinity();
+  double best_lengthscale = options_.lengthscale_grid.front();
+  for (double lengthscale : options_.lengthscale_grid) {
+    const double lml = FitWithLengthscale(lengthscale);
+    if (lml > best_lml) {
+      best_lml = lml;
+      best_lengthscale = lengthscale;
+    }
+  }
+  lengthscale_ = best_lengthscale;
+  lml_ = FitWithLengthscale(best_lengthscale);
+}
+
+GpPrediction GaussianProcess::Predict(std::span<const double> x) const {
+  HT_CHECK_MSG(IsFit(), "Predict called before Fit");
+  const std::size_t n = x_.size();
+  std::vector<double> k_star(n);
+  for (std::size_t i = 0; i < n; ++i) k_star[i] = (*kernel_)(x_[i], x);
+
+  double mean_std = 0;
+  for (std::size_t i = 0; i < n; ++i) mean_std += k_star[i] * alpha_[i];
+
+  const auto v = SolveLower(chol_, k_star);
+  double reduction = 0;
+  for (double vi : v) reduction += vi * vi;
+  const double prior_var = (*kernel_)(x, x);
+  const double var_std = std::max(1e-12, prior_var - reduction);
+
+  return {y_mean_ + y_std_ * mean_std, y_std_ * y_std_ * var_std};
+}
+
+}  // namespace hypertune

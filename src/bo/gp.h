@@ -1,0 +1,63 @@
+// Gaussian-process regression with internal target standardization and a
+// small lengthscale grid search by marginal likelihood — the workhorse of
+// the Vizier-like and Fabolas-like baselines.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bo/kernel.h"
+#include "bo/matrix.h"
+
+namespace hypertune {
+
+struct GpPrediction {
+  double mean = 0;
+  double variance = 0;
+};
+
+struct GpOptions {
+  /// Observation noise variance (on standardized targets).
+  double noise_variance = 1e-4;
+  /// Lengthscale candidates tried by marginal likelihood when fitting.
+  std::vector<double> lengthscale_grid = {0.1, 0.2, 0.35, 0.6, 1.0};
+  /// Kernel family: true = Matern 5/2, false = RBF.
+  bool matern = true;
+};
+
+class GaussianProcess {
+ public:
+  explicit GaussianProcess(GpOptions options = {});
+
+  /// Fits to inputs X (points in [0,1]^d) and targets y. Targets are
+  /// standardized internally; predictions are de-standardized. Refits from
+  /// scratch (O(n^3)); callers throttle refit frequency.
+  void Fit(std::vector<std::vector<double>> x, std::vector<double> y);
+
+  bool IsFit() const { return !x_.empty(); }
+  std::size_t NumPoints() const { return x_.size(); }
+
+  GpPrediction Predict(std::span<const double> x) const;
+
+  /// Log marginal likelihood of the standardized data under the current fit.
+  double LogMarginalLikelihood() const { return lml_; }
+
+  double FittedLengthscale() const { return lengthscale_; }
+
+ private:
+  double FitWithLengthscale(double lengthscale);
+
+  GpOptions options_;
+  std::vector<std::vector<double>> x_;
+  std::vector<double> y_standardized_;
+  double y_mean_ = 0;
+  double y_std_ = 1;
+  double lengthscale_ = 0.35;
+  std::unique_ptr<Kernel> kernel_;
+  Matrix chol_;                 // L with K + sigma^2 I = L L^T
+  std::vector<double> alpha_;   // (K + sigma^2 I)^-1 y
+  double lml_ = 0;
+};
+
+}  // namespace hypertune

@@ -1,0 +1,44 @@
+// Covariance kernels for GP regression over the unit hypercube.
+#pragma once
+
+#include <memory>
+#include <span>
+
+namespace hypertune {
+
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+  virtual double operator()(std::span<const double> a,
+                            std::span<const double> b) const = 0;
+};
+
+/// Squared-exponential: sigma_f^2 * exp(-|a-b|^2 / (2 l^2)).
+class RbfKernel final : public Kernel {
+ public:
+  RbfKernel(double lengthscale, double signal_variance = 1.0);
+  double operator()(std::span<const double> a,
+                    std::span<const double> b) const override;
+  double lengthscale() const { return lengthscale_; }
+
+ private:
+  double lengthscale_;
+  double signal_variance_;
+};
+
+/// Matern 5/2 — the standard choice for hyperparameter response surfaces
+/// (twice differentiable but less smooth than RBF); used by Vizier-style
+/// GP bandits.
+class Matern52Kernel final : public Kernel {
+ public:
+  Matern52Kernel(double lengthscale, double signal_variance = 1.0);
+  double operator()(std::span<const double> a,
+                    std::span<const double> b) const override;
+  double lengthscale() const { return lengthscale_; }
+
+ private:
+  double lengthscale_;
+  double signal_variance_;
+};
+
+}  // namespace hypertune

@@ -1,0 +1,76 @@
+#include "bo/matrix.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hypertune {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+std::vector<double> Matrix::MatVec(std::span<const double> x) const {
+  HT_CHECK(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += at(i, j) * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+Matrix CholeskyFactor(const Matrix& a, double jitter) {
+  HT_CHECK_MSG(a.rows() == a.cols(), "Cholesky needs a square matrix");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a.at(j, j) + jitter;
+    for (std::size_t k = 0; k < j; ++k) diag -= l.at(j, k) * l.at(j, k);
+    HT_CHECK_MSG(diag > 0, "matrix not positive definite at pivot " << j);
+    l.at(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double off = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) off -= l.at(i, k) * l.at(j, k);
+      l.at(i, j) = off / l.at(j, j);
+    }
+  }
+  return l;
+}
+
+std::vector<double> SolveLower(const Matrix& l, std::span<const double> b) {
+  HT_CHECK(l.rows() == l.cols() && b.size() == l.rows());
+  const std::size_t n = l.rows();
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l.at(i, j) * x[j];
+    x[i] = acc / l.at(i, i);
+  }
+  return x;
+}
+
+std::vector<double> SolveLowerTranspose(const Matrix& l,
+                                        std::span<const double> b) {
+  HT_CHECK(l.rows() == l.cols() && b.size() == l.rows());
+  const std::size_t n = l.rows();
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= l.at(j, i) * x[j];
+    x[i] = acc / l.at(i, i);
+  }
+  return x;
+}
+
+double SquaredDistance(std::span<const double> a, std::span<const double> b) {
+  HT_CHECK(a.size() == b.size());
+  double acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace hypertune

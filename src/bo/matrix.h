@@ -1,0 +1,47 @@
+// Minimal dense linear algebra for the Gaussian-process substrate.
+// Column counts stay small (hundreds of BO observations), so a simple
+// row-major dense representation with O(n^3) Cholesky is the right tool.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hypertune {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t i, std::size_t j) { return data_[i * cols_ + j]; }
+  double at(std::size_t i, std::size_t j) const { return data_[i * cols_ + j]; }
+
+  /// y = A x. Requires x.size() == cols().
+  std::vector<double> MatVec(std::span<const double> x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Cholesky factor L (lower triangular, A = L L^T) of a symmetric
+/// positive-definite matrix. Adds `jitter` to the diagonal before
+/// factorizing; throws CheckError if the matrix is still not PD.
+Matrix CholeskyFactor(const Matrix& a, double jitter = 1e-10);
+
+/// Solves L x = b for lower-triangular L.
+std::vector<double> SolveLower(const Matrix& l, std::span<const double> b);
+
+/// Solves L^T x = b for lower-triangular L (i.e. an upper-triangular solve).
+std::vector<double> SolveLowerTranspose(const Matrix& l,
+                                        std::span<const double> b);
+
+/// Squared Euclidean distance between two points of equal dimension.
+double SquaredDistance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace hypertune

@@ -1,0 +1,51 @@
+// Lightweight runtime-check utilities used across the library.
+//
+// We prefer throwing a descriptive exception over aborting: tuners are often
+// embedded in long-running services, and callers should be able to recover
+// from a misconfigured search space or scheduler without losing the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hypertune {
+
+/// Error thrown when a precondition or invariant is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace hypertune
+
+/// Validates `cond`; throws hypertune::CheckError with location info if false.
+#define HT_CHECK(cond)                                                       \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::hypertune::detail::CheckFail(__FILE__, __LINE__, #cond, "");         \
+  } while (0)
+
+/// Like HT_CHECK but appends a formatted message built from `msg_expr`
+/// (anything streamable into an ostream).
+#define HT_CHECK_MSG(cond, msg_expr)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream ht_check_os_;                                       \
+      ht_check_os_ << msg_expr;                                              \
+      ::hypertune::detail::CheckFail(__FILE__, __LINE__, #cond,              \
+                                     ht_check_os_.str());                    \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,123 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace hypertune {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(sm);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::Split(std::uint64_t salt) {
+  // Mix fresh output with the salt through splitmix64 for a decorrelated
+  // stream; consuming one draw here also advances this generator so repeated
+  // Split(0) calls yield distinct children.
+  std::uint64_t seed = (*this)() ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return Rng(SplitMix64(seed));
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  HT_CHECK_MSG(lo <= hi, "Uniform bounds inverted: [" << lo << ", " << hi << ")");
+  return lo + (hi - lo) * Uniform();
+}
+
+double Rng::LogUniform(double lo, double hi) {
+  HT_CHECK_MSG(lo > 0.0 && lo <= hi,
+               "LogUniform requires 0 < lo <= hi, got [" << lo << ", " << hi << ")");
+  return std::exp(Uniform(std::log(lo), std::log(hi)));
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  HT_CHECK_MSG(lo <= hi, "UniformInt bounds inverted: [" << lo << ", " << hi << "]");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range.
+    return static_cast<std::int64_t>((*this)());
+  }
+  // Debiased modulo via rejection (Lemire-style threshold).
+  const std::uint64_t threshold = (0 - span) % span;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return lo + static_cast<std::int64_t>(r % span);
+  }
+}
+
+std::size_t Rng::Index(std::size_t n) {
+  HT_CHECK(n > 0);
+  return static_cast<std::size_t>(UniformInt(0, static_cast<std::int64_t>(n) - 1));
+}
+
+double Rng::Normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  // Box–Muller; u1 is bounded away from 0 so log() is finite.
+  double u1 = 0.0;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 0.0);
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  spare_normal_ = radius * std::sin(angle);
+  has_spare_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  HT_CHECK(stddev >= 0.0);
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) {
+  HT_CHECK_MSG(p >= 0.0 && p <= 1.0, "Bernoulli p out of range: " << p);
+  return Uniform() < p;
+}
+
+double Rng::Exponential(double rate) {
+  HT_CHECK(rate > 0.0);
+  double u = 0.0;
+  do {
+    u = Uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+}  // namespace hypertune

@@ -1,0 +1,233 @@
+#include "core/asha.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "core/trial_json.h"
+
+namespace hypertune {
+
+AshaScheduler::AshaScheduler(std::shared_ptr<ConfigSampler> sampler,
+                             AshaOptions options,
+                             std::shared_ptr<TrialBank> bank)
+    : sampler_(std::move(sampler)),
+      options_(options),
+      bank_(bank ? std::move(bank) : std::make_shared<TrialBank>()),
+      geometry_(BracketGeometry::Make(options.r, options.R, options.eta,
+                                      options.s)),
+      rng_(options.seed) {
+  HT_CHECK(sampler_ != nullptr);
+  if (options_.infinite_horizon) {
+    rungs_.resize(1);  // grows on demand
+  } else {
+    rungs_.resize(static_cast<std::size_t>(geometry_.NumRungs()));
+  }
+}
+
+const Rung& AshaScheduler::rung(std::size_t k) const {
+  HT_CHECK_MSG(k < rungs_.size(), "rung " << k << " not instantiated");
+  return rungs_[k];
+}
+
+Resource AshaScheduler::RungResource(int k) const {
+  if (options_.infinite_horizon) {
+    return options_.r * std::pow(options_.eta, options_.s + k);
+  }
+  return geometry_.RungResource(k);
+}
+
+bool AshaScheduler::IsTopRung(int k) const {
+  if (options_.infinite_horizon) return false;  // no top rung
+  return k == geometry_.NumRungs() - 1;
+}
+
+Job AshaScheduler::MakeJob(TrialId id, int rung) {
+  Trial& trial = bank_->Get(id);
+  Job job;
+  job.trial_id = id;
+  job.config = trial.config;
+  job.from_resource =
+      options_.resume_from_checkpoint ? trial.resource_trained : 0.0;
+  job.to_resource = RungResource(rung);
+  job.rung = rung;
+  job.bracket = options_.s;
+  trial.status = TrialStatus::kRunning;
+  ++jobs_in_flight_;
+  resource_dispatched_ += job.to_resource - job.from_resource;
+  return job;
+}
+
+std::optional<Job> AshaScheduler::FindPromotion() {
+  // Algorithm 2, get_job lines 13-19: scan from the highest promotable rung
+  // down, promoting the best not-yet-promoted configuration among the top
+  // floor(|rung|/eta).
+  for (int k = static_cast<int>(rungs_.size()) - 1; k >= 0; --k) {
+    if (IsTopRung(k)) continue;  // never promote out of the top rung
+    const auto promotable =
+        rungs_[static_cast<std::size_t>(k)].FirstPromotable(options_.eta);
+    if (!promotable) continue;
+    const TrialId id = *promotable;
+    rungs_[static_cast<std::size_t>(k)].MarkPromoted(id);
+    if (options_.infinite_horizon &&
+        static_cast<std::size_t>(k) + 1 == rungs_.size()) {
+      rungs_.emplace_back();  // grow the bracket upward (Section 3.3)
+    }
+    return MakeJob(id, k + 1);
+  }
+  return std::nullopt;
+}
+
+std::optional<Job> AshaScheduler::GetJob() {
+  if (auto promotion = FindPromotion()) return promotion;
+  // Algorithm 2 line 20: no promotion possible — grow the bottom rung.
+  if (options_.max_trials >= 0 && trials_created_ >= options_.max_trials) {
+    return std::nullopt;
+  }
+  Configuration config = sampler_->Sample(rng_);
+  const TrialId id = bank_->Create(std::move(config), options_.s);
+  ++trials_created_;
+  return MakeJob(id, 0);
+}
+
+void AshaScheduler::ReportResult(const Job& job, double loss) {
+  HT_CHECK(jobs_in_flight_ > 0);
+  --jobs_in_flight_;
+  Trial& trial = bank_->Get(job.trial_id);
+  bank_->RecordObservation(job.trial_id, job.to_resource, loss);
+  rungs_.at(static_cast<std::size_t>(job.rung)).Record(job.trial_id, loss);
+  trial.status = IsTopRung(job.rung) ? TrialStatus::kCompleted
+                                     : TrialStatus::kPaused;
+  // Section 3.3: ASHA uses intermediate losses for its recommendation.
+  incumbent_.Offer(job.trial_id, loss, job.to_resource);
+  sampler_->Observe(trial.config, job.to_resource, loss);
+}
+
+void AshaScheduler::ReportLost(const Job& job) {
+  HT_CHECK(jobs_in_flight_ > 0);
+  --jobs_in_flight_;
+  // The configuration's work is gone; ASHA simply moves on (the robustness
+  // property evaluated in Appendix A.1). If the trial had been promoted its
+  // promotion mark stays — the slot is lost, not recycled.
+  bank_->Get(job.trial_id).status = TrialStatus::kLost;
+}
+
+bool AshaScheduler::Finished() const {
+  if (options_.max_trials < 0) return false;  // can always grow rung 0
+  if (trials_created_ < options_.max_trials) return false;
+  if (jobs_in_flight_ > 0) return false;  // completions may unlock promotions
+  for (int k = 0; k < static_cast<int>(rungs_.size()); ++k) {
+    if (IsTopRung(k)) continue;
+    if (!rungs_[static_cast<std::size_t>(k)]
+             .PromotableTrials(options_.eta)
+             .empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Recommendation> AshaScheduler::Current() const {
+  return incumbent_.Current();
+}
+
+Json AshaScheduler::Snapshot() const {
+  Json json = JsonObject{};
+  // Bracket identity, validated on Restore.
+  Json bracket = JsonObject{};
+  bracket.Set("r", Json(options_.r));
+  bracket.Set("R", Json(options_.R));
+  bracket.Set("eta", Json(options_.eta));
+  bracket.Set("s", Json(options_.s));
+  bracket.Set("infinite_horizon", Json(options_.infinite_horizon));
+  json.Set("bracket", std::move(bracket));
+
+  json.Set("trials", ToJson(*bank_));
+  Json rungs = JsonArray{};
+  for (const auto& rung : rungs_) {
+    Json entry = JsonObject{};
+    Json results = JsonArray{};
+    Json promoted = JsonArray{};
+    for (const auto& [loss, id] : rung.results()) {
+      Json pair = JsonObject{};
+      pair.Set("trial", Json(id));
+      pair.Set("loss", Json(loss));
+      results.PushBack(std::move(pair));
+      if (rung.IsPromoted(id)) promoted.PushBack(Json(id));
+    }
+    entry.Set("results", std::move(results));
+    entry.Set("promoted", std::move(promoted));
+    rungs.PushBack(std::move(entry));
+  }
+  json.Set("rungs", std::move(rungs));
+
+  json.Set("trials_created", Json(trials_created_));
+  json.Set("resource_dispatched", Json(resource_dispatched_));
+  if (const auto rec = incumbent_.Current()) {
+    Json entry = JsonObject{};
+    entry.Set("trial", Json(rec->trial_id));
+    entry.Set("loss", Json(rec->loss));
+    entry.Set("resource", Json(rec->resource));
+    json.Set("incumbent", std::move(entry));
+  }
+  Json rng_state = JsonArray{};
+  for (std::uint64_t word : rng_.state()) {
+    rng_state.PushBack(Json(static_cast<std::int64_t>(word)));
+  }
+  json.Set("rng", std::move(rng_state));
+  return json;
+}
+
+void AshaScheduler::Restore(const Json& snapshot) {
+  HT_CHECK_MSG(bank_->size() == 0 && jobs_in_flight_ == 0,
+               "Restore requires a freshly constructed scheduler");
+  const Json& bracket = snapshot.at("bracket");
+  HT_CHECK_MSG(bracket.at("r").AsDouble() == options_.r &&
+                   bracket.at("R").AsDouble() == options_.R &&
+                   bracket.at("eta").AsDouble() == options_.eta &&
+                   bracket.at("s").AsInt() == options_.s &&
+                   bracket.at("infinite_horizon").AsBool() ==
+                       options_.infinite_horizon,
+               "snapshot bracket options do not match this scheduler");
+
+  *bank_ = TrialBankFromJson(snapshot.at("trials"));
+  // Jobs in flight at snapshot time died with the service.
+  for (TrialId id = 0; id < static_cast<TrialId>(bank_->size()); ++id) {
+    Trial& trial = bank_->Get(id);
+    if (trial.status == TrialStatus::kRunning) {
+      trial.status = TrialStatus::kLost;
+    }
+  }
+
+  const auto& rungs = snapshot.at("rungs").AsArray();
+  rungs_.assign(std::max<std::size_t>(rungs.size(), 1), Rung{});
+  if (!options_.infinite_horizon) {
+    rungs_.resize(static_cast<std::size_t>(geometry_.NumRungs()));
+    HT_CHECK_MSG(rungs.size() <= rungs_.size(),
+                 "snapshot has more rungs than the bracket allows");
+  }
+  for (std::size_t k = 0; k < rungs.size(); ++k) {
+    for (const auto& pair : rungs[k].at("results").AsArray()) {
+      rungs_[k].Record(pair.at("trial").AsInt(), pair.at("loss").AsDouble());
+    }
+    for (const auto& id : rungs[k].at("promoted").AsArray()) {
+      rungs_[k].MarkPromoted(id.AsInt());
+    }
+  }
+
+  trials_created_ = snapshot.at("trials_created").AsInt();
+  resource_dispatched_ = snapshot.at("resource_dispatched").AsDouble();
+  if (snapshot.Has("incumbent")) {
+    const Json& rec = snapshot.at("incumbent");
+    incumbent_.Offer(rec.at("trial").AsInt(), rec.at("loss").AsDouble(),
+                     rec.at("resource").AsDouble());
+  }
+  std::array<std::uint64_t, 4> rng_state{};
+  const auto& words = snapshot.at("rng").AsArray();
+  HT_CHECK(words.size() == rng_state.size());
+  for (std::size_t i = 0; i < rng_state.size(); ++i) {
+    rng_state[i] = static_cast<std::uint64_t>(words[i].AsInt());
+  }
+  rng_.set_state(rng_state);
+}
+
+}  // namespace hypertune

@@ -1,0 +1,69 @@
+#include "core/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hypertune {
+
+int SMax(double r, double R, double eta) {
+  HT_CHECK_MSG(r > 0 && R >= r, "need 0 < r <= R, got r=" << r << " R=" << R);
+  HT_CHECK_MSG(eta >= 2.0, "eta must be >= 2, got " << eta);
+  // Largest k with r * eta^k <= R, with a relative tolerance so exact powers
+  // (R/r == eta^k) are not lost to rounding.
+  int k = 0;
+  double level = r;
+  while (level * eta <= R * (1.0 + 1e-9)) {
+    level *= eta;
+    ++k;
+  }
+  return k;
+}
+
+BracketGeometry BracketGeometry::Make(double r, double R, double eta, int s) {
+  BracketGeometry g;
+  g.r = r;
+  g.R = R;
+  g.eta = eta;
+  g.s_max = SMax(r, R, eta);
+  HT_CHECK_MSG(s >= 0 && s <= g.s_max,
+               "early-stopping rate s=" << s << " outside [0, " << g.s_max
+                                        << "]");
+  g.s = s;
+  return g;
+}
+
+Resource BracketGeometry::RungResource(int k) const {
+  HT_CHECK_MSG(k >= 0 && k < NumRungs(),
+               "rung " << k << " outside bracket with " << NumRungs()
+                       << " rungs");
+  if (k == NumRungs() - 1) return R;  // top rung is exactly R
+  return std::min(R, r * std::pow(eta, s + k));
+}
+
+std::vector<std::size_t> BracketGeometry::RungSizes(std::size_t n) const {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(static_cast<std::size_t>(NumRungs()));
+  double count = static_cast<double>(n);
+  for (int k = 0; k < NumRungs(); ++k) {
+    sizes.push_back(static_cast<std::size_t>(count));
+    count = std::floor(count / eta);
+  }
+  return sizes;
+}
+
+double BracketGeometry::TotalBudget(std::size_t n,
+                                    bool resume_from_checkpoint) const {
+  const auto sizes = RungSizes(n);
+  double total = 0.0;
+  for (int k = 0; k < NumRungs(); ++k) {
+    const double target = RungResource(k);
+    const double prev = k == 0 ? 0.0 : RungResource(k - 1);
+    const double cost = resume_from_checkpoint && k > 0 ? target - prev : target;
+    total += static_cast<double>(sizes[static_cast<std::size_t>(k)]) * cost;
+  }
+  return total;
+}
+
+}  // namespace hypertune

@@ -1,0 +1,48 @@
+// Bracket geometry: rung counts, per-rung resources and configuration counts
+// for the successive-halving family, computed once and shared by SHA, ASHA,
+// and both Hyperband variants.
+#pragma once
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace hypertune {
+
+/// Geometry of one bracket with early-stopping rate `s`.
+///
+/// With minimum resource r, maximum resource R, and reduction factor eta,
+/// s_max = floor(log_eta(R / r)) and bracket s has rungs k = 0 .. s_max - s,
+/// where rung k trains to r * eta^(s + k) (capped at R at the top).
+struct BracketGeometry {
+  double r = 1;
+  double R = 1;
+  double eta = 2;
+  int s = 0;
+  int s_max = 0;
+
+  /// Builds the geometry; validates r <= R, eta >= 2, 0 <= s <= s_max.
+  static BracketGeometry Make(double r, double R, double eta, int s);
+
+  /// Number of rungs in this bracket (s_max - s + 1).
+  int NumRungs() const { return s_max - s + 1; }
+
+  /// Resource a configuration is trained to at rung k (0-based). The top
+  /// rung is exactly R.
+  Resource RungResource(int k) const;
+
+  /// Configuration counts per rung for a *synchronous* bracket that starts
+  /// with n configurations: n_k = floor(n / eta^k), per Algorithm 1 line 7.
+  std::vector<std::size_t> RungSizes(std::size_t n) const;
+
+  /// Total resource a synchronous bracket with n starting configurations
+  /// consumes: sum over rungs of n_k * RungResource(k). (Without
+  /// checkpoint resume; with resume, later rungs only pay increments.)
+  double TotalBudget(std::size_t n, bool resume_from_checkpoint) const;
+};
+
+/// floor(log_eta(R / r)) computed robustly (integer loop, tolerant of
+/// floating-point ratios like R/r = 256.00000000001).
+int SMax(double r, double R, double eta);
+
+}  // namespace hypertune

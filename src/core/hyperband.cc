@@ -1,0 +1,100 @@
+#include "core/hyperband.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "core/geometry.h"
+
+namespace hypertune {
+
+namespace {
+
+constexpr std::uint64_t kBracketTagShift = 32;
+
+}  // namespace
+
+HyperbandScheduler::HyperbandScheduler(std::shared_ptr<ConfigSampler> sampler,
+                                       HyperbandOptions options,
+                                       std::shared_ptr<TrialBank> bank)
+    : sampler_(std::move(sampler)),
+      options_(options),
+      bank_(bank ? std::move(bank) : std::make_shared<TrialBank>()),
+      s_max_(SMax(options.r, options.R, options.eta)),
+      seed_counter_(options.seed) {
+  HT_CHECK(sampler_ != nullptr);
+  StartNextBracketIfNeeded();
+}
+
+int HyperbandScheduler::CurrentBracket() const {
+  HT_CHECK(!brackets_run_.empty());
+  return brackets_run_.back()->options().s;
+}
+
+void HyperbandScheduler::StartNextBracketIfNeeded() {
+  if (!brackets_run_.empty() && !brackets_run_.back()->Finished()) return;
+  const auto next_index = brackets_run_.size();
+  const int s = static_cast<int>(next_index % static_cast<std::size_t>(s_max_ + 1));
+  if (!options_.loop_forever && next_index > static_cast<std::size_t>(s_max_)) {
+    return;  // one full pass done
+  }
+  ShaOptions sha;
+  sha.n = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(options_.n0) *
+                                  std::pow(options_.eta, -s)));
+  sha.r = options_.r;
+  sha.R = options_.R;
+  sha.eta = options_.eta;
+  sha.s = s;
+  sha.resume_from_checkpoint = options_.resume_from_checkpoint;
+  sha.spawn_new_brackets = false;  // Hyperband runs one bracket at a time
+  sha.incumbent_policy = options_.incumbent_policy;
+  sha.seed = seed_counter_++;
+  brackets_run_.push_back(
+      std::make_unique<SyncShaScheduler>(sampler_, sha, bank_));
+}
+
+std::optional<Job> HyperbandScheduler::GetJob() {
+  StartNextBracketIfNeeded();
+  if (brackets_run_.empty()) return std::nullopt;
+  auto job = brackets_run_.back()->GetJob();
+  if (!job) return std::nullopt;
+  // Route results back to the owning bracket via the high tag bits.
+  job->tag |= (brackets_run_.size() - 1) << kBracketTagShift;
+  return job;
+}
+
+namespace {
+
+Job StripBracketTag(const Job& job) {
+  Job inner = job;
+  inner.tag &= (std::uint64_t{1} << kBracketTagShift) - 1;
+  return inner;
+}
+
+}  // namespace
+
+void HyperbandScheduler::ReportResult(const Job& job, double loss) {
+  const auto idx = job.tag >> kBracketTagShift;
+  auto& bracket = *brackets_run_.at(idx);
+  bracket.ReportResult(StripBracketTag(job), loss);
+  if (auto rec = bracket.Current()) {
+    incumbent_.Offer(rec->trial_id, rec->loss, rec->resource);
+  }
+}
+
+void HyperbandScheduler::ReportLost(const Job& job) {
+  const auto idx = job.tag >> kBracketTagShift;
+  brackets_run_.at(idx)->ReportLost(StripBracketTag(job));
+}
+
+bool HyperbandScheduler::Finished() const {
+  if (options_.loop_forever) return false;
+  if (brackets_run_.size() <= static_cast<std::size_t>(s_max_)) return false;
+  return brackets_run_.back()->Finished();
+}
+
+std::optional<Recommendation> HyperbandScheduler::Current() const {
+  return incumbent_.Current();
+}
+
+}  // namespace hypertune

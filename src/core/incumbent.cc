@@ -1,0 +1,11 @@
+#include "core/incumbent.h"
+
+namespace hypertune {
+
+void IncumbentTracker::Offer(TrialId trial_id, double loss, Resource resource) {
+  if (!current_ || loss < current_->loss) {
+    current_ = Recommendation{trial_id, loss, resource};
+  }
+}
+
+}  // namespace hypertune

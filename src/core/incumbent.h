@@ -1,0 +1,34 @@
+// Incumbent (recommendation) tracking.
+//
+// Appendix A.2 of the paper shows the accounting policy matters: recording
+// the incumbent only at bracket completion ("by bracket", as Klein et al.
+// evaluated Hyperband) versus after every rung ("by rung") versus after every
+// intermediate result (what ASHA does, Section 3.3) changes measured
+// time-to-accuracy. Schedulers decide *when* to offer a candidate; the
+// tracker keeps the best offer so far.
+#pragma once
+
+#include <optional>
+
+#include "core/types.h"
+
+namespace hypertune {
+
+enum class IncumbentPolicy {
+  kIntermediate,  // offer after every reported result (ASHA default)
+  kByRung,        // offer when a synchronous rung completes
+  kByBracket,     // offer only when a whole bracket completes
+};
+
+class IncumbentTracker {
+ public:
+  /// Offers a candidate; kept iff its loss beats the current incumbent.
+  void Offer(TrialId trial_id, double loss, Resource resource);
+
+  std::optional<Recommendation> Current() const { return current_; }
+
+ private:
+  std::optional<Recommendation> current_;
+};
+
+}  // namespace hypertune

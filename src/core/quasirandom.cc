@@ -1,0 +1,50 @@
+#include "core/quasirandom.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace hypertune {
+
+namespace {
+
+// Enough primes for any realistic hyperparameter space.
+constexpr std::uint64_t kPrimes[] = {2,  3,  5,  7,  11, 13, 17, 19, 23, 29,
+                                     31, 37, 41, 43, 47, 53, 59, 61, 67, 71};
+
+}  // namespace
+
+HaltonSampler::HaltonSampler(SearchSpace space) : space_(std::move(space)) {
+  HT_CHECK_MSG(space_.NumParams() <= std::size(kPrimes),
+               "Halton sampler supports at most " << std::size(kPrimes)
+                                                  << " dimensions");
+  HT_CHECK(space_.NumParams() > 0);
+}
+
+double HaltonSampler::RadicalInverse(std::uint64_t index, std::uint64_t base) {
+  double result = 0;
+  double fraction = 1.0 / static_cast<double>(base);
+  while (index > 0) {
+    result += static_cast<double>(index % base) * fraction;
+    index /= base;
+    fraction /= static_cast<double>(base);
+  }
+  return result;
+}
+
+Configuration HaltonSampler::Sample(Rng& rng) {
+  if (!offset_initialized_) {
+    // Skip a seed-dependent prefix so independent runs explore different
+    // (but each internally well-spread) portions of the sequence.
+    index_ = 31 + rng.UniformInt(0, 1 << 16);
+    offset_initialized_ = true;
+  }
+  std::vector<double> point(space_.NumParams());
+  for (std::size_t j = 0; j < point.size(); ++j) {
+    point[j] = RadicalInverse(index_, kPrimes[j]);
+  }
+  ++index_;
+  return space_.FromUnitVector(point);
+}
+
+}  // namespace hypertune

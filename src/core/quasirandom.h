@@ -1,0 +1,32 @@
+// Quasi-random (Halton) configuration sampling: a drop-in ConfigSampler
+// with lower discrepancy than i.i.d. uniform draws — fewer clumps and gaps
+// in the bottom rung's coverage. The dimensions use successive prime bases;
+// the sequence start is offset by the run seed so repeated trials differ.
+#pragma once
+
+#include <cstdint>
+
+#include "core/sampler.h"
+
+namespace hypertune {
+
+class HaltonSampler final : public ConfigSampler {
+ public:
+  explicit HaltonSampler(SearchSpace space);
+
+  /// The Rng only randomizes the sequence offset on the first call; the
+  /// sequence itself is deterministic afterward.
+  Configuration Sample(Rng& rng) override;
+
+  const SearchSpace& space() const { return space_; }
+
+  /// Halton radical inverse of `index` in base `base` (in [0, 1)).
+  static double RadicalInverse(std::uint64_t index, std::uint64_t base);
+
+ private:
+  SearchSpace space_;
+  std::uint64_t index_ = 0;
+  bool offset_initialized_ = false;
+};
+
+}  // namespace hypertune

@@ -1,0 +1,59 @@
+#include "core/random_search.h"
+
+#include "common/check.h"
+
+namespace hypertune {
+
+RandomSearchScheduler::RandomSearchScheduler(
+    std::shared_ptr<ConfigSampler> sampler, RandomSearchOptions options,
+    std::shared_ptr<TrialBank> bank)
+    : sampler_(std::move(sampler)),
+      options_(options),
+      bank_(bank ? std::move(bank) : std::make_shared<TrialBank>()),
+      rng_(options.seed) {
+  HT_CHECK(sampler_ != nullptr);
+  HT_CHECK(options_.R > 0);
+}
+
+std::optional<Job> RandomSearchScheduler::GetJob() {
+  if (options_.max_trials >= 0 && trials_created_ >= options_.max_trials) {
+    return std::nullopt;
+  }
+  const TrialId id = bank_->Create(sampler_->Sample(rng_), /*bracket=*/0);
+  ++trials_created_;
+  ++jobs_in_flight_;
+  Trial& trial = bank_->Get(id);
+  trial.status = TrialStatus::kRunning;
+  Job job;
+  job.trial_id = id;
+  job.config = trial.config;
+  job.from_resource = 0;
+  job.to_resource = options_.R;
+  return job;
+}
+
+void RandomSearchScheduler::ReportResult(const Job& job, double loss) {
+  HT_CHECK(jobs_in_flight_ > 0);
+  --jobs_in_flight_;
+  bank_->RecordObservation(job.trial_id, job.to_resource, loss);
+  bank_->Get(job.trial_id).status = TrialStatus::kCompleted;
+  incumbent_.Offer(job.trial_id, loss, job.to_resource);
+  sampler_->Observe(bank_->Get(job.trial_id).config, job.to_resource, loss);
+}
+
+void RandomSearchScheduler::ReportLost(const Job& job) {
+  HT_CHECK(jobs_in_flight_ > 0);
+  --jobs_in_flight_;
+  bank_->Get(job.trial_id).status = TrialStatus::kLost;
+}
+
+bool RandomSearchScheduler::Finished() const {
+  return options_.max_trials >= 0 && trials_created_ >= options_.max_trials &&
+         jobs_in_flight_ == 0;
+}
+
+std::optional<Recommendation> RandomSearchScheduler::Current() const {
+  return incumbent_.Current();
+}
+
+}  // namespace hypertune

@@ -1,0 +1,118 @@
+#include "core/rung.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace hypertune {
+
+void Rung::RebuildIndex(double eta) const {
+  eta_ = eta;
+  k_ = static_cast<std::size_t>(static_cast<double>(results_.size()) / eta);
+  boundary_ = results_.begin();
+  promotable_set_.clear();
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (!promoted_.contains(boundary_->second)) {
+      promotable_set_.insert(*boundary_);
+    }
+    ++boundary_;
+  }
+  index_valid_ = true;
+}
+
+bool Rung::InPrefix(const std::pair<double, TrialId>& entry) const {
+  if (k_ == 0) return false;
+  if (boundary_ == results_.end()) return true;  // prefix covers everything
+  return entry < *boundary_;
+}
+
+void Rung::Record(TrialId id, double loss) {
+  HT_CHECK_MSG(!Contains(id), "trial " << id << " already recorded in rung");
+  const std::pair<double, TrialId> entry{loss, id};
+  results_.insert(entry);
+  recorded_.emplace(id, loss);
+  if (!index_valid_) return;
+
+  if (k_ == 0) {
+    // Empty prefix: keep the boundary at rank 0.
+    boundary_ = results_.begin();
+  } else if (InPrefix(entry)) {
+    // The new entry displaced the old rank-(k_-1) element out of the prefix
+    // (or is itself the new rank-k_ element). Either way the new boundary is
+    // the predecessor of the old one, and the element now *at* the boundary
+    // left the candidate set.
+    --boundary_;
+    promotable_set_.insert(entry);  // new (unpromoted) entry joins the prefix
+    promotable_set_.erase(*boundary_);  // the boundary element leaves it
+  }
+
+  // k = floor(n / eta) can grow by one; the boundary element then joins the
+  // candidate set.
+  const auto new_k = static_cast<std::size_t>(
+      static_cast<double>(results_.size()) / eta_);
+  if (new_k == k_ + 1) {
+    HT_CHECK(boundary_ != results_.end());
+    if (!promoted_.contains(boundary_->second)) {
+      promotable_set_.insert(*boundary_);
+    }
+    ++boundary_;
+    k_ = new_k;
+  }
+}
+
+void Rung::MarkPromoted(TrialId id) {
+  const auto it = recorded_.find(id);
+  HT_CHECK_MSG(it != recorded_.end(), "promoting trial " << id
+                                                         << " not in rung");
+  const bool inserted = promoted_.insert(id).second;
+  HT_CHECK_MSG(inserted, "trial " << id << " promoted twice");
+  if (index_valid_) {
+    const std::pair<double, TrialId> entry{it->second, id};
+    if (InPrefix(entry)) {
+      const auto erased = promotable_set_.erase(entry);
+      HT_CHECK(erased == 1);
+    }
+  }
+}
+
+std::optional<TrialId> Rung::FirstPromotable(double eta) const {
+  HT_CHECK(eta >= 2.0);
+  if (!index_valid_ || eta_ != eta) RebuildIndex(eta);
+  if (promotable_set_.empty()) return std::nullopt;
+  return promotable_set_.begin()->second;
+}
+
+std::vector<TrialId> Rung::PromotableTrials(double eta) const {
+  HT_CHECK(eta >= 2.0);
+  const auto k = static_cast<std::size_t>(
+      static_cast<double>(results_.size()) / eta);
+  std::vector<TrialId> out;
+  std::size_t seen = 0;
+  for (const auto& [loss, id] : results_) {
+    if (seen++ >= k) break;
+    if (!promoted_.contains(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<TrialId> Rung::TopK(std::size_t k) const {
+  std::vector<TrialId> out;
+  out.reserve(std::min(k, results_.size()));
+  for (const auto& [loss, id] : results_) {
+    if (out.size() >= k) break;
+    out.push_back(id);
+  }
+  return out;
+}
+
+double Rung::BestLoss() const {
+  return results_.empty() ? std::numeric_limits<double>::infinity()
+                          : results_.begin()->first;
+}
+
+TrialId Rung::BestTrial() const {
+  return results_.empty() ? TrialId{-1} : results_.begin()->second;
+}
+
+}  // namespace hypertune

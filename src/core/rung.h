@@ -1,0 +1,90 @@
+// A rung: the set of configurations evaluated at one resource level of a
+// successive-halving bracket, with promotion bookkeeping.
+//
+// Implementation notes: results live in an ordered set keyed by (loss, id),
+// and the promotion candidate set — the best floor(n/eta) entries — is
+// tracked *incrementally* with a boundary iterator plus a count of
+// unpromoted candidates. Large-scale simulations push tens of thousands of
+// results into the bottom rung and call FirstPromotable on every worker
+// request; the incremental index makes that query O(1) when nothing is
+// promotable (the common case in a worker storm) instead of a rescan of a
+// nearly-fully-promoted prefix.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+
+namespace hypertune {
+
+class Rung {
+ public:
+  /// Records a completed evaluation. A trial may appear at most once.
+  void Record(TrialId id, double loss);
+
+  bool Contains(TrialId id) const { return recorded_.contains(id); }
+
+  /// Number of recorded results ("|rung k|" in Algorithm 2).
+  std::size_t NumRecorded() const { return results_.size(); }
+
+  /// Marks a trial as promoted out of this rung. Requires it was recorded
+  /// here and not already promoted.
+  void MarkPromoted(TrialId id);
+
+  bool IsPromoted(TrialId id) const { return promoted_.contains(id); }
+
+  std::size_t NumPromoted() const { return promoted_.size(); }
+
+  /// Algorithm 2 lines 14-17: the best not-yet-promoted trial among the top
+  /// floor(NumRecorded()/eta), if any. `eta` must be >= 2 and must not vary
+  /// across calls on one rung (successive halving uses a fixed eta).
+  std::optional<TrialId> FirstPromotable(double eta) const;
+
+  /// All promotable trials (best first); used by tests and Finished checks.
+  std::vector<TrialId> PromotableTrials(double eta) const;
+
+  /// The best `k` recorded trials (fewer if the rung is smaller), best
+  /// first, regardless of promotion state — synchronous SHA's rung-
+  /// completion elimination (Algorithm 1 line 10).
+  std::vector<TrialId> TopK(std::size_t k) const;
+
+  /// Lowest recorded loss; +inf when empty.
+  double BestLoss() const;
+
+  /// Trial id achieving BestLoss(); -1 when empty.
+  TrialId BestTrial() const;
+
+  /// (loss, trial) pairs in ascending loss order (ties by id).
+  const std::set<std::pair<double, TrialId>>& results() const {
+    return results_;
+  }
+
+ private:
+  using ResultSet = std::set<std::pair<double, TrialId>>;
+
+  /// (Re)builds the candidate index for the given eta.
+  void RebuildIndex(double eta) const;
+  /// True when the entry lies strictly inside the current candidate prefix.
+  bool InPrefix(const std::pair<double, TrialId>& entry) const;
+
+  ResultSet results_;
+  std::map<TrialId, double> recorded_;  // id -> loss (for pair reconstruction)
+  std::set<TrialId> promoted_;
+
+  // Incremental candidate index (mutable: maintained lazily on first query).
+  mutable bool index_valid_ = false;
+  mutable double eta_ = 0;
+  mutable std::size_t k_ = 0;  // floor(NumRecorded / eta)
+  /// Iterator to the rank-k_ element (first non-candidate); results_.end()
+  /// when the set is empty.
+  mutable ResultSet::iterator boundary_;
+  /// Unpromoted entries among the first k_, ordered — FirstPromotable is
+  /// its begin().
+  mutable ResultSet promotable_set_;
+};
+
+}  // namespace hypertune

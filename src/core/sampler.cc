@@ -1,0 +1,9 @@
+#include "core/sampler.h"
+
+namespace hypertune {
+
+std::shared_ptr<ConfigSampler> MakeRandomSampler(SearchSpace space) {
+  return std::make_shared<RandomConfigSampler>(std::move(space));
+}
+
+}  // namespace hypertune

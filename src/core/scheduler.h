@@ -1,0 +1,48 @@
+// The pull-based scheduler interface shared by every tuner.
+//
+// Algorithm 2 of the paper is phrased exactly this way: whenever a worker is
+// free, the tuner is asked for a job (`GetJob`); whenever a job finishes, the
+// loss is reported back (`ReportResult`). Synchronous algorithms fit the same
+// interface by returning std::nullopt while they wait for a rung to complete
+// — which is precisely the idle time stragglers inflict on them.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/trial.h"
+#include "core/types.h"
+
+namespace hypertune {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Next unit of work, or std::nullopt when no work is available right now
+  /// (the caller should retry after the next completion event).
+  virtual std::optional<Job> GetJob() = 0;
+
+  /// Reports the validation loss measured at `job.to_resource`.
+  virtual void ReportResult(const Job& job, double loss) = 0;
+
+  /// Reports that the job was dropped by its worker and will never complete.
+  virtual void ReportLost(const Job& job) = 0;
+
+  /// True when the tuner will never produce work again (e.g. a fixed-size
+  /// SHA bracket has fully completed). Open-ended tuners (ASHA, PBT with
+  /// population spawning) return false forever.
+  virtual bool Finished() const = 0;
+
+  /// The tuner's current recommendation per its incumbent accounting policy;
+  /// std::nullopt before the first recommendation is available.
+  virtual std::optional<Recommendation> Current() const = 0;
+
+  /// All trials created so far.
+  virtual const TrialBank& trials() const = 0;
+
+  /// Short human-readable name for reports ("ASHA", "SHA", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace hypertune

@@ -1,0 +1,178 @@
+#include "core/sha.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hypertune {
+
+SyncShaScheduler::SyncShaScheduler(std::shared_ptr<ConfigSampler> sampler,
+                                   ShaOptions options,
+                                   std::shared_ptr<TrialBank> bank)
+    : sampler_(std::move(sampler)),
+      options_(options),
+      bank_(bank ? std::move(bank) : std::make_shared<TrialBank>()),
+      geometry_(BracketGeometry::Make(options.r, options.R, options.eta,
+                                      options.s)),
+      rng_(options.seed) {
+  HT_CHECK(sampler_ != nullptr);
+  // Algorithm 1 line 3: at least one configuration must reach R.
+  HT_CHECK_MSG(static_cast<double>(options_.n) >=
+                   std::pow(options_.eta, geometry_.s_max - options_.s),
+               "n=" << options_.n << " too small: need at least eta^(s_max-s)="
+                    << std::pow(options_.eta, geometry_.s_max - options_.s));
+}
+
+SyncShaScheduler::BracketInstance SyncShaScheduler::MakeInstance() {
+  const auto num_rungs = static_cast<std::size_t>(geometry_.NumRungs());
+  BracketInstance inst;
+  inst.queue.resize(num_rungs);
+  inst.dispatched.assign(num_rungs, 0);
+  inst.outstanding.assign(num_rungs, 0);
+  inst.rungs.resize(num_rungs);
+  // Algorithm 1 line 4: sample the initial cohort.
+  inst.queue[0].reserve(options_.n);
+  for (std::size_t i = 0; i < options_.n; ++i) {
+    inst.queue[0].push_back(
+        bank_->Create(sampler_->Sample(rng_), options_.s));
+  }
+  return inst;
+}
+
+Job SyncShaScheduler::MakeJob(std::size_t instance_idx, TrialId id, int rung) {
+  Trial& trial = bank_->Get(id);
+  Job job;
+  job.trial_id = id;
+  job.config = trial.config;
+  job.from_resource =
+      options_.resume_from_checkpoint ? trial.resource_trained : 0.0;
+  job.to_resource = geometry_.RungResource(rung);
+  job.rung = rung;
+  job.bracket = options_.s;
+  job.tag = instance_idx;
+  trial.status = TrialStatus::kRunning;
+  resource_dispatched_ += job.to_resource - job.from_resource;
+  return job;
+}
+
+std::optional<Job> SyncShaScheduler::DispatchFrom(std::size_t instance_idx) {
+  BracketInstance& inst = instances_[instance_idx];
+  if (inst.complete) return std::nullopt;
+  // Only the frontier rung may dispatch: that is the synchronization.
+  const auto k = static_cast<std::size_t>(inst.frontier);
+  if (inst.dispatched[k] < inst.queue[k].size()) {
+    const TrialId id = inst.queue[k][inst.dispatched[k]++];
+    ++inst.outstanding[k];
+    return MakeJob(instance_idx, id, inst.frontier);
+  }
+  return std::nullopt;
+}
+
+std::optional<Job> SyncShaScheduler::GetJob() {
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (auto job = DispatchFrom(i)) return job;
+  }
+  if (options_.spawn_new_brackets || instances_.empty()) {
+    // No dispatchable work anywhere (stragglers hold the frontier rungs) —
+    // keep the worker busy with a fresh bracket.
+    if (!options_.spawn_new_brackets && !instances_.empty()) return std::nullopt;
+    instances_.push_back(MakeInstance());
+    return DispatchFrom(instances_.size() - 1);
+  }
+  return std::nullopt;
+}
+
+void SyncShaScheduler::OnRungSettled(std::size_t instance_idx) {
+  // Called when every dispatched job of the frontier rung has been reported
+  // (completed or lost) and the whole queue was dispatched.
+  BracketInstance& inst = instances_[instance_idx];
+  const auto k = static_cast<std::size_t>(inst.frontier);
+  const Rung& rung = inst.rungs[k];
+
+  if (options_.incumbent_policy == IncumbentPolicy::kByRung &&
+      rung.NumRecorded() > 0) {
+    incumbent_.Offer(rung.BestTrial(), rung.BestLoss(),
+                     geometry_.RungResource(inst.frontier));
+  }
+
+  const bool is_top = inst.frontier == geometry_.NumRungs() - 1;
+  // Algorithm 1 line 10 generalized to survivors: promote the best
+  // floor(|completed|/eta). Dropped jobs shrink the pool — synchronous SHA
+  // has no way to recover them.
+  const auto promote_count = static_cast<std::size_t>(
+      static_cast<double>(rung.NumRecorded()) / options_.eta);
+
+  if (is_top || promote_count == 0) {
+    inst.complete = true;
+    ++completed_brackets_;
+    if (rung.NumRecorded() > 0 &&
+        (options_.incumbent_policy == IncumbentPolicy::kByBracket ||
+         options_.incumbent_policy == IncumbentPolicy::kByRung)) {
+      // The bracket's output is the best configuration of its final settled
+      // rung (by-rung accounting already offered it above; Offer is
+      // idempotent for equal candidates).
+      incumbent_.Offer(rung.BestTrial(), rung.BestLoss(),
+                       geometry_.RungResource(inst.frontier));
+    }
+    return;
+  }
+
+  auto winners = rung.TopK(promote_count);
+  for (TrialId id : winners) {
+    inst.rungs[k].MarkPromoted(id);
+    bank_->Get(id).status = TrialStatus::kPaused;
+  }
+  inst.queue[k + 1] = std::move(winners);
+  ++inst.frontier;
+}
+
+void SyncShaScheduler::ReportResult(const Job& job, double loss) {
+  auto& inst = instances_.at(job.tag);
+  const auto k = static_cast<std::size_t>(job.rung);
+  HT_CHECK(inst.outstanding[k] > 0);
+  --inst.outstanding[k];
+
+  bank_->RecordObservation(job.trial_id, job.to_resource, loss);
+  inst.rungs[k].Record(job.trial_id, loss);
+  Trial& trial = bank_->Get(job.trial_id);
+  trial.status = job.rung == geometry_.NumRungs() - 1
+                     ? TrialStatus::kCompleted
+                     : TrialStatus::kPaused;
+  sampler_->Observe(trial.config, job.to_resource, loss);
+  if (options_.incumbent_policy == IncumbentPolicy::kIntermediate) {
+    incumbent_.Offer(job.trial_id, loss, job.to_resource);
+  }
+
+  if (inst.dispatched[k] == inst.queue[k].size() && inst.outstanding[k] == 0 &&
+      static_cast<int>(k) == inst.frontier) {
+    OnRungSettled(job.tag);
+  }
+}
+
+void SyncShaScheduler::ReportLost(const Job& job) {
+  auto& inst = instances_.at(job.tag);
+  const auto k = static_cast<std::size_t>(job.rung);
+  HT_CHECK(inst.outstanding[k] > 0);
+  --inst.outstanding[k];
+  bank_->Get(job.trial_id).status = TrialStatus::kLost;
+
+  if (inst.dispatched[k] == inst.queue[k].size() && inst.outstanding[k] == 0 &&
+      static_cast<int>(k) == inst.frontier) {
+    OnRungSettled(job.tag);
+  }
+}
+
+bool SyncShaScheduler::Finished() const {
+  if (options_.spawn_new_brackets) return false;
+  if (instances_.empty()) return false;  // first bracket not yet started
+  for (const auto& inst : instances_) {
+    if (!inst.complete) return false;
+  }
+  return true;
+}
+
+std::optional<Recommendation> SyncShaScheduler::Current() const {
+  return incumbent_.Current();
+}
+
+}  // namespace hypertune

@@ -1,0 +1,37 @@
+#include "core/trial.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hypertune {
+
+TrialId TrialBank::Create(Configuration config, int bracket) {
+  const auto id = static_cast<TrialId>(trials_.size());
+  Trial trial;
+  trial.id = id;
+  trial.config = std::move(config);
+  trial.bracket = bracket;
+  trials_.push_back(std::move(trial));
+  return id;
+}
+
+Trial& TrialBank::Get(TrialId id) {
+  HT_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < trials_.size(),
+               "unknown trial id " << id);
+  return trials_[static_cast<std::size_t>(id)];
+}
+
+const Trial& TrialBank::Get(TrialId id) const {
+  HT_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < trials_.size(),
+               "unknown trial id " << id);
+  return trials_[static_cast<std::size_t>(id)];
+}
+
+void TrialBank::RecordObservation(TrialId id, Resource resource, double loss) {
+  Trial& trial = Get(id);
+  trial.observations.push_back({resource, loss});
+  trial.resource_trained = std::max(trial.resource_trained, resource);
+}
+
+}  // namespace hypertune

@@ -1,0 +1,65 @@
+// Trial records and the TrialBank that owns them.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "core/types.h"
+
+namespace hypertune {
+
+/// One validation-loss measurement at a resource level.
+struct Observation {
+  Resource resource = 0;
+  double loss = 0.0;
+};
+
+/// A hyperparameter configuration under evaluation, with its full
+/// measurement history.
+struct Trial {
+  TrialId id = -1;
+  Configuration config;
+  int bracket = 0;
+  TrialStatus status = TrialStatus::kPending;
+  /// Highest resource this trial has been trained to (checkpoint position).
+  Resource resource_trained = 0;
+  std::vector<Observation> observations;
+
+  /// Lowest loss over all observations; +inf when none. ASHA's incumbent
+  /// accounting uses intermediate losses, i.e. exactly this quantity
+  /// (Section 3.3).
+  double BestLoss() const {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& ob : observations) best = std::min(best, ob.loss);
+    return best;
+  }
+
+  /// Loss of the most recent observation; +inf when none.
+  double LatestLoss() const {
+    return observations.empty() ? std::numeric_limits<double>::infinity()
+                                : observations.back().loss;
+  }
+};
+
+/// Owns all trials of a tuning run. Ids are dense indices, so lookups are
+/// O(1). Schedulers composed of sub-schedulers (asynchronous Hyperband)
+/// share one bank so ids stay globally unique.
+class TrialBank {
+ public:
+  TrialId Create(Configuration config, int bracket);
+
+  Trial& Get(TrialId id);
+  const Trial& Get(TrialId id) const;
+
+  std::size_t size() const { return trials_.size(); }
+  auto begin() const { return trials_.begin(); }
+  auto end() const { return trials_.end(); }
+
+  /// Appends an observation and updates the trial's checkpoint position.
+  void RecordObservation(TrialId id, Resource resource, double loss);
+
+ private:
+  std::vector<Trial> trials_;
+};
+
+}  // namespace hypertune

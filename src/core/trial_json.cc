@@ -1,0 +1,107 @@
+#include "core/trial_json.h"
+
+#include "common/check.h"
+#include "searchspace/config_json.h"
+
+namespace hypertune {
+
+const char* StatusName(TrialStatus status) {
+  switch (status) {
+    case TrialStatus::kPending: return "pending";
+    case TrialStatus::kRunning: return "running";
+    case TrialStatus::kPaused: return "paused";
+    case TrialStatus::kCompleted: return "completed";
+    case TrialStatus::kLost: return "lost";
+    case TrialStatus::kStopped: return "stopped";
+  }
+  return "unknown";
+}
+
+TrialStatus StatusFromName(const std::string& name) {
+  if (name == "pending") return TrialStatus::kPending;
+  if (name == "running") return TrialStatus::kRunning;
+  if (name == "paused") return TrialStatus::kPaused;
+  if (name == "completed") return TrialStatus::kCompleted;
+  if (name == "lost") return TrialStatus::kLost;
+  if (name == "stopped") return TrialStatus::kStopped;
+  throw CheckError("unknown trial status '" + name + "'");
+}
+
+Json ToJson(const Trial& trial) {
+  Json json = JsonObject{};
+  json.Set("id", Json(trial.id));
+  json.Set("config", ToJson(trial.config));
+  json.Set("bracket", Json(trial.bracket));
+  json.Set("status", Json(StatusName(trial.status)));
+  json.Set("resource_trained", Json(trial.resource_trained));
+  Json observations = JsonArray{};
+  for (const auto& ob : trial.observations) {
+    Json entry = JsonObject{};
+    entry.Set("resource", Json(ob.resource));
+    entry.Set("loss", Json(ob.loss));
+    observations.PushBack(std::move(entry));
+  }
+  json.Set("observations", std::move(observations));
+  return json;
+}
+
+Trial TrialFromJson(const Json& json) {
+  Trial trial;
+  trial.id = json.at("id").AsInt();
+  trial.config = ConfigurationFromJson(json.at("config"));
+  trial.bracket = static_cast<int>(json.at("bracket").AsInt());
+  trial.status = StatusFromName(json.at("status").AsString());
+  trial.resource_trained = json.at("resource_trained").AsDouble();
+  for (const auto& entry : json.at("observations").AsArray()) {
+    trial.observations.push_back(
+        {entry.at("resource").AsDouble(), entry.at("loss").AsDouble()});
+  }
+  return trial;
+}
+
+Json ToJson(const TrialBank& bank) {
+  Json array = JsonArray{};
+  for (const auto& trial : bank) array.PushBack(ToJson(trial));
+  return array;
+}
+
+TrialBank TrialBankFromJson(const Json& json) {
+  TrialBank bank;
+  for (const auto& entry : json.AsArray()) {
+    Trial restored = TrialFromJson(entry);
+    const TrialId id = bank.Create(restored.config, restored.bracket);
+    HT_CHECK_MSG(id == restored.id, "trial ids must be dense and ordered; got "
+                                        << restored.id << " at slot " << id);
+    Trial& trial = bank.Get(id);
+    trial.status = restored.status;
+    trial.resource_trained = restored.resource_trained;
+    trial.observations = std::move(restored.observations);
+  }
+  return bank;
+}
+
+Json ToJson(const Job& job) {
+  Json json = JsonObject{};
+  json.Set("trial", Json(job.trial_id));
+  json.Set("config", ToJson(job.config));
+  json.Set("from", Json(job.from_resource));
+  json.Set("to", Json(job.to_resource));
+  json.Set("rung", Json(job.rung));
+  json.Set("bracket", Json(job.bracket));
+  json.Set("tag", Json(static_cast<std::int64_t>(job.tag)));
+  return json;
+}
+
+Job JobFromJson(const Json& json) {
+  Job job;
+  job.trial_id = json.at("trial").AsInt();
+  job.config = ConfigurationFromJson(json.at("config"));
+  job.from_resource = json.at("from").AsDouble();
+  job.to_resource = json.at("to").AsDouble();
+  job.rung = static_cast<int>(json.at("rung").AsInt());
+  job.bracket = static_cast<int>(json.at("bracket").AsInt());
+  job.tag = static_cast<std::uint64_t>(json.at("tag").AsInt());
+  return job;
+}
+
+}  // namespace hypertune

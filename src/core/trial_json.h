@@ -1,0 +1,27 @@
+// JSON (de)serialization of trials and trial banks, used both for result
+// export and for scheduler snapshot/restore.
+#pragma once
+
+#include <string>
+
+#include "common/json.h"
+#include "core/trial.h"
+
+namespace hypertune {
+
+const char* StatusName(TrialStatus status);
+TrialStatus StatusFromName(const std::string& name);
+
+Json ToJson(const Trial& trial);
+Trial TrialFromJson(const Json& json);
+
+Json ToJson(const TrialBank& bank);
+/// Rebuilds a bank; trial ids must be dense and in order (as produced by
+/// ToJson).
+TrialBank TrialBankFromJson(const Json& json);
+
+/// Wire format for jobs (the tuning service sends these to workers).
+Json ToJson(const Job& job);
+Job JobFromJson(const Json& json);
+
+}  // namespace hypertune

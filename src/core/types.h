@@ -1,0 +1,57 @@
+// Shared vocabulary types for the tuner core.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "searchspace/configuration.h"
+
+namespace hypertune {
+
+/// Identifies a trial within one tuning run (dense, starting at 0).
+using TrialId = std::int64_t;
+
+/// Training resource in the paper's abstract units: SGD iterations, epochs,
+/// training examples, ... Tuners are agnostic to the unit (Section 3.1).
+using Resource = double;
+
+enum class TrialStatus {
+  kPending,    // created, never dispatched
+  kRunning,    // a job for this trial is in flight
+  kPaused,     // trained to some rung, awaiting promotion
+  kCompleted,  // trained to the maximum resource
+  kLost,       // its in-flight job was dropped by a worker
+  kStopped,    // abandoned by the tuner (e.g. replaced by a PBT exploit)
+};
+
+/// One unit of work handed to a worker: train `config` from a checkpoint at
+/// `from_resource` up to `to_resource` and report the validation loss there.
+///
+/// `from_resource` encodes checkpoint semantics: schedulers that resume
+/// incrementally-trained models set it to the trial's previously trained
+/// resource; schedulers that retrain from scratch set 0. The simulator
+/// charges time proportional to (to_resource - from_resource).
+struct Job {
+  TrialId trial_id = -1;
+  Configuration config;
+  Resource from_resource = 0;
+  Resource to_resource = 0;
+  /// Rung index the result will be recorded in (successive-halving family);
+  /// step index for PBT; 0 otherwise.
+  int rung = 0;
+  /// Early-stopping rate s of the owning bracket (Hyperband family).
+  int bracket = 0;
+  /// Scheduler-internal routing tag (e.g. which bracket *instance* of
+  /// synchronous SHA spawned this job). Opaque to workers.
+  std::uint64_t tag = 0;
+};
+
+/// The configuration a tuner currently recommends, together with the
+/// validation loss and resource at which that judgement was formed.
+struct Recommendation {
+  TrialId trial_id = -1;
+  double loss = 0.0;
+  Resource resource = 0;
+};
+
+}  // namespace hypertune

@@ -1,0 +1,48 @@
+// Name-based tuner registry: builds any of the library's schedulers from a
+// string name plus a small common parameter set, sized against a benchmark.
+// Used by the CLI and by downstream code that selects tuners from config
+// files rather than code.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "surrogate/benchmark.h"
+
+namespace hypertune {
+
+struct TunerParams {
+  /// Successive-halving reduction factor.
+  double eta = 4;
+  /// Minimum resource as a fraction of R: r = R / r_divisor.
+  double r_divisor = 256;
+  /// Bracket size for synchronous SHA/BOHB and n0 for Hyperband variants.
+  std::size_t n = 256;
+  /// Minimum early-stopping rate.
+  int s = 0;
+  /// PBT population size.
+  std::size_t population = 25;
+  /// PBT explore/exploit interval as R / step_divisor (also the median
+  /// rule's step).
+  double step_divisor = 30;
+  /// Grid-search points per dimension.
+  std::size_t grid_resolution = 4;
+  std::uint64_t seed = 1;
+  /// Resume from checkpoints where the benchmark supports it.
+  bool resume = true;
+};
+
+/// Known names: asha, asha_tpe, sha, hyperband, hyperband_by_bracket,
+/// async_hyperband, random, grid, bohb, pbt, vizier, vizier_capped,
+/// fabolas, median_rule.
+std::vector<std::string> TunerNames();
+
+/// Builds the named tuner sized for `benchmark`; throws CheckError for
+/// unknown names.
+std::unique_ptr<Scheduler> MakeTunerByName(const std::string& name,
+                                           const SyntheticBenchmark& benchmark,
+                                           const TunerParams& params);
+
+}  // namespace hypertune

@@ -1,0 +1,100 @@
+#include "runtime/executor.h"
+
+#include <thread>
+
+#include "common/check.h"
+
+namespace hypertune {
+
+ThreadPoolExecutor::ThreadPoolExecutor(Scheduler& scheduler,
+                                       TrainFunction train,
+                                       ExecutorOptions options)
+    : scheduler_(scheduler), train_(std::move(train)), options_(options) {
+  HT_CHECK(options_.num_workers > 0);
+  HT_CHECK(train_ != nullptr);
+}
+
+bool ThreadPoolExecutor::StopRequested(
+    const ExecutorResult& result,
+    std::chrono::steady_clock::time_point start) const {
+  if (shutting_down_) return true;
+  if (options_.max_jobs > 0 && result.jobs_completed >= options_.max_jobs) {
+    return true;
+  }
+  if (options_.wall_clock_budget.count() > 0 &&
+      std::chrono::steady_clock::now() - start >= options_.wall_clock_budget) {
+    return true;
+  }
+  return false;
+}
+
+void ThreadPoolExecutor::WorkerLoop(
+    ExecutorResult& result, std::chrono::steady_clock::time_point start) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (StopRequested(result, start) || scheduler_.Finished()) break;
+
+    auto job = scheduler_.GetJob();
+    if (!job) {
+      if (active_jobs_ == 0) {
+        // No work, and no running job could unlock any: the run is over
+        // (e.g. a capped tuner drained, or a wedged synchronous bracket).
+        break;
+      }
+      // Park until a completion (which may enable promotions) or shutdown;
+      // the timed wait keeps wall-clock budgets responsive.
+      ++idle_workers_;
+      work_available_.wait_for(lock, std::chrono::milliseconds(50));
+      --idle_workers_;
+      continue;
+    }
+
+    ++active_jobs_;
+    lock.unlock();
+
+    double loss = 0;
+    bool completed = true;
+    try {
+      loss = train_(*job);
+    } catch (...) {
+      completed = false;  // worker crash / preemption -> lost job
+    }
+
+    lock.lock();
+    --active_jobs_;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (completed) {
+      scheduler_.ReportResult(*job, loss);
+      ++result.jobs_completed;
+    } else {
+      scheduler_.ReportLost(*job);
+      ++result.jobs_lost;
+    }
+    result.records.push_back(
+        {elapsed, job->trial_id, job->to_resource, loss, !completed});
+    work_available_.notify_all();
+  }
+  // Wake parked siblings so they observe the stop condition too.
+  shutting_down_ = true;
+  work_available_.notify_all();
+}
+
+ExecutorResult ThreadPoolExecutor::Run() {
+  ExecutorResult result;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers.emplace_back(
+        [this, &result, start] { WorkerLoop(result, start); });
+  }
+  for (auto& worker : workers) worker.join();
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace hypertune

@@ -1,0 +1,84 @@
+// Real (non-simulated) execution: a pool of OS worker threads pulling jobs
+// from a Scheduler and running a user-supplied training function.
+//
+// This is the production half of the system the paper describes — their
+// implementation drove 25-500 actual workers. The tuners are agnostic to
+// the executor: the same Scheduler object can be driven by the
+// deterministic SimulationDriver (for experiments) or by this pool (for
+// real tuning), because both speak the pull-based GetJob/Report protocol.
+//
+// Concurrency contract: Scheduler implementations are NOT thread-safe; the
+// executor serializes all GetJob/Report calls behind one mutex and runs the
+// (expensive) training function outside it, so scheduler work never blocks
+// training and vice versa. Workers with no available job park on a
+// condition variable and are woken by the next completion (which may have
+// unlocked promotions) or by shutdown.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "core/scheduler.h"
+
+namespace hypertune {
+
+/// Trains `job.config` from `job.from_resource` to `job.to_resource` and
+/// returns the validation loss. Throwing (any exception) reports the job as
+/// lost — the worker equivalent of a crashed or preempted task.
+using TrainFunction = std::function<double(const Job&)>;
+
+struct ExecutorOptions {
+  int num_workers = 4;
+  /// Wall-clock budget; zero means unlimited (then max_jobs or
+  /// Scheduler::Finished must terminate the run).
+  std::chrono::milliseconds wall_clock_budget{0};
+  /// Stop after this many completed jobs (0 = unlimited).
+  std::size_t max_jobs = 0;
+};
+
+/// One completed (or lost) job with a wall-clock timestamp.
+struct ExecutionRecord {
+  double elapsed_seconds = 0;
+  TrialId trial_id = -1;
+  Resource to_resource = 0;
+  double loss = 0;
+  bool lost = false;
+};
+
+struct ExecutorResult {
+  std::size_t jobs_completed = 0;
+  std::size_t jobs_lost = 0;
+  double elapsed_seconds = 0;
+  std::vector<ExecutionRecord> records;
+};
+
+class ThreadPoolExecutor {
+ public:
+  ThreadPoolExecutor(Scheduler& scheduler, TrainFunction train,
+                     ExecutorOptions options);
+
+  /// Runs worker threads until a stop condition holds; joins them before
+  /// returning. Safe to call once per executor instance.
+  ExecutorResult Run();
+
+ private:
+  void WorkerLoop(ExecutorResult& result,
+                  std::chrono::steady_clock::time_point start);
+  bool StopRequested(const ExecutorResult& result,
+                     std::chrono::steady_clock::time_point start) const;
+
+  Scheduler& scheduler_;
+  TrainFunction train_;
+  ExecutorOptions options_;
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  bool shutting_down_ = false;
+  int idle_workers_ = 0;
+  int active_jobs_ = 0;
+};
+
+}  // namespace hypertune

@@ -1,0 +1,33 @@
+#include "searchspace/config_json.h"
+
+#include "common/check.h"
+
+namespace hypertune {
+
+Json ToJson(const Configuration& config) {
+  JsonObject object;
+  for (const auto& [name, value] : config) {
+    Json converted = std::visit([](const auto& v) { return Json(v); }, value);
+    object.emplace_back(name, std::move(converted));
+  }
+  return Json(std::move(object));
+}
+
+Configuration ConfigurationFromJson(const Json& json) {
+  Configuration config;
+  for (const auto& [name, value] : json.AsObject()) {
+    if (value.IsString()) {
+      config.Set(name, ParamValue{value.AsString()});
+    } else if (value.IsInt()) {
+      config.Set(name, ParamValue{value.AsInt()});
+    } else if (value.IsNumber()) {
+      config.Set(name, ParamValue{value.AsDouble()});
+    } else {
+      throw CheckError("configuration value for '" + name +
+                       "' is not a string or number");
+    }
+  }
+  return config;
+}
+
+}  // namespace hypertune

@@ -1,0 +1,13 @@
+// JSON (de)serialization of configurations; value types (double / int /
+// string) round-trip exactly.
+#pragma once
+
+#include "common/json.h"
+#include "searchspace/configuration.h"
+
+namespace hypertune {
+
+Json ToJson(const Configuration& config);
+Configuration ConfigurationFromJson(const Json& json);
+
+}  // namespace hypertune

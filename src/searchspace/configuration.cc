@@ -1,0 +1,62 @@
+#include "searchspace/configuration.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace hypertune {
+
+void Configuration::Set(std::string name, ParamValue value) {
+  for (auto& [existing, val] : items_) {
+    if (existing == name) {
+      val = std::move(value);
+      return;
+    }
+  }
+  items_.emplace_back(std::move(name), std::move(value));
+}
+
+bool Configuration::Has(std::string_view name) const {
+  return std::any_of(items_.begin(), items_.end(),
+                     [&](const auto& kv) { return kv.first == name; });
+}
+
+const ParamValue& Configuration::Get(std::string_view name) const {
+  for (const auto& [key, value] : items_) {
+    if (key == name) return value;
+  }
+  throw CheckError("Configuration has no parameter named '" +
+                   std::string(name) + "'");
+}
+
+double Configuration::GetDouble(std::string_view name) const {
+  return AsDouble(Get(name));
+}
+
+std::int64_t Configuration::GetInt(std::string_view name) const {
+  const ParamValue& v = Get(name);
+  const auto* i = std::get_if<std::int64_t>(&v);
+  HT_CHECK_MSG(i != nullptr, "parameter '" << name << "' is not an integer");
+  return *i;
+}
+
+const std::string& Configuration::GetString(std::string_view name) const {
+  const ParamValue& v = Get(name);
+  const auto* s = std::get_if<std::string>(&v);
+  HT_CHECK_MSG(s != nullptr, "parameter '" << name << "' is not a string");
+  return *s;
+}
+
+std::string Configuration::ToString() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [key, value] : items_) {
+    if (!first) os << ", ";
+    first = false;
+    os << key << "=" << hypertune::ToString(value);
+  }
+  return os.str();
+}
+
+}  // namespace hypertune

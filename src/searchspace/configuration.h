@@ -1,0 +1,54 @@
+// A Configuration is one concrete hyperparameter setting: an ordered list of
+// (name, value) pairs, usually produced by SearchSpace::Sample.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "searchspace/domain.h"
+
+namespace hypertune {
+
+/// Ordered name→value mapping. Order matches insertion (and therefore the
+/// declaring SearchSpace), which keeps unit-vector encodings stable.
+class Configuration {
+ public:
+  Configuration() = default;
+
+  /// Inserts or overwrites `name`.
+  void Set(std::string name, ParamValue value);
+
+  bool Has(std::string_view name) const;
+
+  /// Throws CheckError when `name` is absent.
+  const ParamValue& Get(std::string_view name) const;
+
+  /// Typed accessors; throw on missing name or wrong type. GetDouble accepts
+  /// integer-valued parameters and widens them.
+  double GetDouble(std::string_view name) const;
+  std::int64_t GetInt(std::string_view name) const;
+  const std::string& GetString(std::string_view name) const;
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  const std::pair<std::string, ParamValue>& at(std::size_t i) const {
+    return items_.at(i);
+  }
+
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+  /// "lr=0.01, layers=3" style rendering for logs and reports.
+  std::string ToString() const;
+
+  friend bool operator==(const Configuration&, const Configuration&) = default;
+
+ private:
+  std::vector<std::pair<std::string, ParamValue>> items_;
+};
+
+}  // namespace hypertune

@@ -1,0 +1,224 @@
+#include "searchspace/domain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace hypertune {
+
+std::string ToString(const ParamValue& value) {
+  return std::visit(
+      [](const auto& v) -> std::string {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::string>) {
+          return v;
+        } else if constexpr (std::is_same_v<T, std::int64_t>) {
+          return std::to_string(v);
+        } else {
+          std::ostringstream os;
+          os << v;
+          return os.str();
+        }
+      },
+      value);
+}
+
+double AsDouble(const ParamValue& value) {
+  if (const auto* d = std::get_if<double>(&value)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&value))
+    return static_cast<double>(*i);
+  throw CheckError("AsDouble on categorical string value: " +
+                   std::get<std::string>(value));
+}
+
+Domain Domain::Continuous(double lo, double hi, Scale scale) {
+  HT_CHECK_MSG(lo <= hi, "continuous domain inverted: [" << lo << ", " << hi << "]");
+  if (scale == Scale::kLog) HT_CHECK_MSG(lo > 0.0, "log scale requires lo > 0");
+  Domain d;
+  d.kind_ = ParamKind::kContinuous;
+  d.scale_ = scale;
+  d.lo_ = lo;
+  d.hi_ = hi;
+  return d;
+}
+
+Domain Domain::Integer(std::int64_t lo, std::int64_t hi, Scale scale) {
+  HT_CHECK_MSG(lo <= hi, "integer domain inverted: [" << lo << ", " << hi << "]");
+  if (scale == Scale::kLog) HT_CHECK_MSG(lo > 0, "log scale requires lo > 0");
+  Domain d;
+  d.kind_ = ParamKind::kInteger;
+  d.scale_ = scale;
+  d.lo_ = static_cast<double>(lo);
+  d.hi_ = static_cast<double>(hi);
+  return d;
+}
+
+Domain Domain::Choice(std::vector<ParamValue> options, bool ordered) {
+  HT_CHECK_MSG(!options.empty(), "choice domain needs at least one option");
+  Domain d;
+  d.kind_ = ParamKind::kChoice;
+  d.ordered_ = ordered;
+  d.options_ = std::move(options);
+  return d;
+}
+
+double Domain::lo() const {
+  HT_CHECK(kind_ != ParamKind::kChoice);
+  return lo_;
+}
+
+double Domain::hi() const {
+  HT_CHECK(kind_ != ParamKind::kChoice);
+  return hi_;
+}
+
+const std::vector<ParamValue>& Domain::options() const {
+  HT_CHECK(kind_ == ParamKind::kChoice);
+  return options_;
+}
+
+std::size_t Domain::Cardinality() const {
+  switch (kind_) {
+    case ParamKind::kContinuous:
+      return 0;
+    case ParamKind::kInteger:
+      return static_cast<std::size_t>(hi_ - lo_) + 1;
+    case ParamKind::kChoice:
+      return options_.size();
+  }
+  return 0;
+}
+
+namespace {
+
+std::int64_t RoundClampInt(double x, double lo, double hi) {
+  const double clamped = std::clamp(std::round(x), lo, hi);
+  return static_cast<std::int64_t>(clamped);
+}
+
+}  // namespace
+
+ParamValue Domain::Sample(Rng& rng) const {
+  switch (kind_) {
+    case ParamKind::kContinuous:
+      return scale_ == Scale::kLog ? rng.LogUniform(lo_, hi_)
+                                   : rng.Uniform(lo_, hi_);
+    case ParamKind::kInteger: {
+      if (scale_ == Scale::kLog) {
+        return RoundClampInt(rng.LogUniform(lo_, hi_), lo_, hi_);
+      }
+      return rng.UniformInt(static_cast<std::int64_t>(lo_),
+                            static_cast<std::int64_t>(hi_));
+    }
+    case ParamKind::kChoice:
+      return options_[rng.Index(options_.size())];
+  }
+  throw CheckError("unreachable domain kind");
+}
+
+bool Domain::Contains(const ParamValue& value) const {
+  switch (kind_) {
+    case ParamKind::kContinuous: {
+      const auto* d = std::get_if<double>(&value);
+      return d != nullptr && *d >= lo_ && *d <= hi_;
+    }
+    case ParamKind::kInteger: {
+      const auto* i = std::get_if<std::int64_t>(&value);
+      return i != nullptr && static_cast<double>(*i) >= lo_ &&
+             static_cast<double>(*i) <= hi_;
+    }
+    case ParamKind::kChoice:
+      return std::find(options_.begin(), options_.end(), value) !=
+             options_.end();
+  }
+  return false;
+}
+
+double Domain::ToUnit(const ParamValue& value) const {
+  HT_CHECK_MSG(Contains(value), "value " << ToString(value) << " not in domain");
+  switch (kind_) {
+    case ParamKind::kContinuous:
+    case ParamKind::kInteger: {
+      const double x = AsDouble(value);
+      if (hi_ == lo_) return 0.5;
+      if (scale_ == Scale::kLog) {
+        return (std::log(x) - std::log(lo_)) / (std::log(hi_) - std::log(lo_));
+      }
+      return (x - lo_) / (hi_ - lo_);
+    }
+    case ParamKind::kChoice: {
+      const auto it = std::find(options_.begin(), options_.end(), value);
+      const auto idx = static_cast<double>(it - options_.begin());
+      return (idx + 0.5) / static_cast<double>(options_.size());
+    }
+  }
+  throw CheckError("unreachable domain kind");
+}
+
+ParamValue Domain::FromUnit(double u) const {
+  u = std::clamp(u, 0.0, 1.0);
+  switch (kind_) {
+    case ParamKind::kContinuous: {
+      double x;
+      if (scale_ == Scale::kLog) {
+        // exp(log(lo)) can land a ULP outside [lo, hi]; clamp to stay
+        // strictly in-domain.
+        x = std::exp(std::log(lo_) + u * (std::log(hi_) - std::log(lo_)));
+      } else {
+        x = lo_ + u * (hi_ - lo_);
+      }
+      return std::clamp(x, lo_, hi_);
+    }
+    case ParamKind::kInteger: {
+      double x;
+      if (scale_ == Scale::kLog) {
+        x = std::exp(std::log(lo_) + u * (std::log(hi_) - std::log(lo_)));
+      } else {
+        x = lo_ + u * (hi_ - lo_);
+      }
+      return RoundClampInt(x, lo_, hi_);
+    }
+    case ParamKind::kChoice: {
+      const auto n = static_cast<double>(options_.size());
+      auto idx = static_cast<std::size_t>(std::min(u * n, n - 1.0));
+      return options_[idx];
+    }
+  }
+  throw CheckError("unreachable domain kind");
+}
+
+ParamValue Domain::Perturb(const ParamValue& value, double factor,
+                           Rng& rng) const {
+  HT_CHECK_MSG(Contains(value), "value " << ToString(value) << " not in domain");
+  HT_CHECK(factor > 0.0);
+  switch (kind_) {
+    case ParamKind::kContinuous: {
+      const double x = std::get<double>(value) * factor;
+      return std::clamp(x, lo_, hi_);
+    }
+    case ParamKind::kInteger: {
+      const double x = static_cast<double>(std::get<std::int64_t>(value)) * factor;
+      std::int64_t next = RoundClampInt(x, lo_, hi_);
+      // Guarantee movement on small ranges where rounding can be a no-op.
+      if (next == std::get<std::int64_t>(value)) {
+        const std::int64_t step = factor > 1.0 ? 1 : -1;
+        next = RoundClampInt(static_cast<double>(next + step), lo_, hi_);
+      }
+      return next;
+    }
+    case ParamKind::kChoice: {
+      if (!ordered_) return options_[rng.Index(options_.size())];
+      const auto it = std::find(options_.begin(), options_.end(), value);
+      auto idx = static_cast<std::int64_t>(it - options_.begin());
+      const std::int64_t step = factor > 1.0 ? 1 : -1;
+      idx = std::clamp<std::int64_t>(idx + step, 0,
+                                     static_cast<std::int64_t>(options_.size()) - 1);
+      return options_[static_cast<std::size_t>(idx)];
+    }
+  }
+  throw CheckError("unreachable domain kind");
+}
+
+}  // namespace hypertune

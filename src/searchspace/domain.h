@@ -1,0 +1,91 @@
+// Parameter domains: the typed ranges a single hyperparameter can take.
+//
+// The paper's search spaces (Tables 1-3 and the cuda-convnet space of
+// Li et al. 2017) use four domain shapes, all supported here:
+//   * continuous, linear or log scale          (e.g. dropout, learning rate)
+//   * integer, linear or log scale             (e.g. # hidden nodes)
+//   * choice over an explicit list of values   (e.g. batch size in {64,...})
+// Choices may be declared `ordered`; PBT's explore step perturbs ordered
+// choices to an adjacent option rather than resampling (Appendix A.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hypertune {
+
+/// A single hyperparameter value. Doubles for continuous draws, int64 for
+/// integer domains, strings for symbolic categorical options.
+using ParamValue = std::variant<double, std::int64_t, std::string>;
+
+/// Human-readable rendering ("0.01", "128", "relu").
+std::string ToString(const ParamValue& value);
+
+/// Numeric view of a value; categorical strings are not numeric and throw.
+double AsDouble(const ParamValue& value);
+
+enum class ParamKind { kContinuous, kInteger, kChoice };
+
+enum class Scale { kLinear, kLog };
+
+/// One hyperparameter's domain. Immutable after construction.
+class Domain {
+ public:
+  /// Continuous range [lo, hi]; `scale == kLog` requires lo > 0.
+  static Domain Continuous(double lo, double hi, Scale scale = Scale::kLinear);
+
+  /// Integer range [lo, hi] inclusive; log scale samples uniformly in
+  /// log-space then rounds.
+  static Domain Integer(std::int64_t lo, std::int64_t hi,
+                        Scale scale = Scale::kLinear);
+
+  /// Explicit option list. `ordered` enables adjacent-step perturbation.
+  static Domain Choice(std::vector<ParamValue> options, bool ordered = false);
+
+  ParamKind kind() const { return kind_; }
+  Scale scale() const { return scale_; }
+  bool ordered() const { return ordered_; }
+
+  double lo() const;  // continuous/integer only
+  double hi() const;  // continuous/integer only
+  const std::vector<ParamValue>& options() const;  // choice only
+
+  /// Number of distinct values; 0 means uncountable (continuous).
+  std::size_t Cardinality() const;
+
+  /// Draws a value uniformly (per the domain's scale) from the domain.
+  ParamValue Sample(Rng& rng) const;
+
+  /// True iff `value` has the right type and lies in the domain.
+  bool Contains(const ParamValue& value) const;
+
+  /// Maps a contained value to [0, 1] respecting the scale; choices map to
+  /// bucket midpoints (i + 0.5) / n. Used by the BO substrate, which models
+  /// everything in the unit hypercube.
+  double ToUnit(const ParamValue& value) const;
+
+  /// Inverse of ToUnit; `u` is clamped to [0, 1].
+  ParamValue FromUnit(double u) const;
+
+  /// PBT-style perturbation: continuous/integer values are scaled by
+  /// `factor` (clamped to the range); ordered choices step one option toward
+  /// the direction implied by factor (>1 up, <1 down); unordered choices
+  /// resample uniformly.
+  ParamValue Perturb(const ParamValue& value, double factor, Rng& rng) const;
+
+ private:
+  Domain() = default;
+
+  ParamKind kind_ = ParamKind::kContinuous;
+  Scale scale_ = Scale::kLinear;
+  bool ordered_ = false;
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  std::vector<ParamValue> options_;
+};
+
+}  // namespace hypertune

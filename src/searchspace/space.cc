@@ -1,0 +1,62 @@
+#include "searchspace/space.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hypertune {
+
+SearchSpace& SearchSpace::Add(std::string name, Domain domain) {
+  HT_CHECK_MSG(!Has(name), "duplicate parameter name '" << name << "'");
+  params_.emplace_back(std::move(name), std::move(domain));
+  return *this;
+}
+
+const Domain& SearchSpace::domain(std::string_view name) const {
+  for (const auto& [key, dom] : params_) {
+    if (key == name) return dom;
+  }
+  throw CheckError("SearchSpace has no parameter named '" + std::string(name) +
+                   "'");
+}
+
+bool SearchSpace::Has(std::string_view name) const {
+  return std::any_of(params_.begin(), params_.end(),
+                     [&](const auto& kv) { return kv.first == name; });
+}
+
+Configuration SearchSpace::Sample(Rng& rng) const {
+  Configuration config;
+  for (const auto& [name, dom] : params_) config.Set(name, dom.Sample(rng));
+  return config;
+}
+
+bool SearchSpace::Contains(const Configuration& config) const {
+  if (config.size() != params_.size()) return false;
+  for (const auto& [name, dom] : params_) {
+    if (!config.Has(name) || !dom.Contains(config.Get(name))) return false;
+  }
+  return true;
+}
+
+std::vector<double> SearchSpace::ToUnitVector(const Configuration& config) const {
+  HT_CHECK_MSG(Contains(config),
+               "configuration {" << config.ToString() << "} not in space");
+  std::vector<double> u;
+  u.reserve(params_.size());
+  for (const auto& [name, dom] : params_) u.push_back(dom.ToUnit(config.Get(name)));
+  return u;
+}
+
+Configuration SearchSpace::FromUnitVector(std::span<const double> u) const {
+  HT_CHECK_MSG(u.size() == params_.size(),
+               "unit vector has " << u.size() << " coords, space has "
+                                  << params_.size());
+  Configuration config;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    config.Set(params_[i].first, params_[i].second.FromUnit(u[i]));
+  }
+  return config;
+}
+
+}  // namespace hypertune

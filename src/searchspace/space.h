@@ -1,0 +1,46 @@
+// SearchSpace: a named, ordered collection of parameter domains.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "searchspace/configuration.h"
+#include "searchspace/domain.h"
+
+namespace hypertune {
+
+/// Declares the hyperparameters a tuner searches over. Parameter order is
+/// declaration order and defines the coordinate layout of unit vectors.
+class SearchSpace {
+ public:
+  /// Adds a parameter; names must be unique. Returns *this for chaining.
+  SearchSpace& Add(std::string name, Domain domain);
+
+  std::size_t NumParams() const { return params_.size(); }
+  const std::string& name(std::size_t i) const { return params_.at(i).first; }
+  const Domain& domain(std::size_t i) const { return params_.at(i).second; }
+
+  /// Throws CheckError for unknown names.
+  const Domain& domain(std::string_view name) const;
+  bool Has(std::string_view name) const;
+
+  /// Independent uniform draw from every domain.
+  Configuration Sample(Rng& rng) const;
+
+  /// True iff `config` has exactly this space's parameters, each in-domain.
+  bool Contains(const Configuration& config) const;
+
+  /// Encodes a configuration as a point in [0,1]^d for the BO substrate.
+  std::vector<double> ToUnitVector(const Configuration& config) const;
+
+  /// Decodes a unit-cube point (clamping each coordinate) to a configuration.
+  Configuration FromUnitVector(std::span<const double> u) const;
+
+ private:
+  std::vector<std::pair<std::string, Domain>> params_;
+};
+
+}  // namespace hypertune

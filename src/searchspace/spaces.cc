@@ -1,0 +1,103 @@
+#include "searchspace/spaces.h"
+
+#include <cmath>
+
+namespace hypertune::spaces {
+
+namespace {
+
+std::vector<ParamValue> IntOptions(std::initializer_list<std::int64_t> xs) {
+  std::vector<ParamValue> out;
+  for (auto x : xs) out.emplace_back(x);
+  return out;
+}
+
+}  // namespace
+
+SearchSpace CudaConvnetSpace() {
+  // Li et al. 2017 (Hyperband), CIFAR-10 cuda-convnet model: initial learning
+  // rate, l2 penalties for the three conv layers and the fully-connected
+  // layer, and the local-response-normalization scale/power, all log-scale.
+  SearchSpace space;
+  space.Add("learning_rate", Domain::Continuous(5e-5, 5.0, Scale::kLog))
+      .Add("l2_conv1", Domain::Continuous(5e-5, 5.0, Scale::kLog))
+      .Add("l2_conv2", Domain::Continuous(5e-5, 5.0, Scale::kLog))
+      .Add("l2_conv3", Domain::Continuous(5e-5, 5.0, Scale::kLog))
+      .Add("l2_fc", Domain::Continuous(5e-3, 500.0, Scale::kLog))
+      .Add("lrn_scale", Domain::Continuous(5e-6, 5.0, Scale::kLog))
+      .Add("lrn_power", Domain::Continuous(0.01, 3.0));
+  return space;
+}
+
+SearchSpace SmallCnnArchSpace() {
+  // Paper Table 1.
+  SearchSpace space;
+  space.Add("batch_size", Domain::Choice(IntOptions({64, 128, 256, 512}),
+                                         /*ordered=*/true))
+      .Add("num_layers",
+           Domain::Choice(IntOptions({2, 3, 4}), /*ordered=*/true))
+      .Add("num_filters",
+           Domain::Choice(IntOptions({16, 32, 48, 64}), /*ordered=*/true))
+      .Add("weight_init_std1", Domain::Continuous(1e-4, 1e-1, Scale::kLog))
+      .Add("weight_init_std2", Domain::Continuous(1e-3, 1.0, Scale::kLog))
+      .Add("weight_init_std3", Domain::Continuous(1e-3, 1.0, Scale::kLog))
+      .Add("l2_penalty1", Domain::Continuous(1e-5, 1.0, Scale::kLog))
+      .Add("l2_penalty2", Domain::Continuous(1e-5, 1.0, Scale::kLog))
+      .Add("l2_penalty3", Domain::Continuous(1e-3, 1e2, Scale::kLog))
+      .Add("learning_rate", Domain::Continuous(1e-5, 1e1, Scale::kLog));
+  return space;
+}
+
+SearchSpace PtbLstmSpace() {
+  // Paper Table 2. Per Appendix A.5, all parameters are tuned on a linear
+  // scale except where the table marks "log".
+  SearchSpace space;
+  space.Add("batch_size", Domain::Integer(10, 80))
+      .Add("time_steps", Domain::Integer(10, 80))
+      .Add("hidden_nodes", Domain::Integer(200, 1500))
+      .Add("learning_rate", Domain::Continuous(0.01, 100.0, Scale::kLog))
+      .Add("decay_rate", Domain::Continuous(0.01, 0.99))
+      .Add("decay_epochs", Domain::Integer(1, 10))
+      .Add("clip_gradients", Domain::Continuous(1.0, 10.0))
+      .Add("dropout", Domain::Continuous(0.1, 1.0))
+      .Add("weight_init_range", Domain::Continuous(0.001, 1.0, Scale::kLog));
+  return space;
+}
+
+SearchSpace AwdLstmSpace() {
+  // Paper Table 3 (search space around Merity et al. 2018's setting).
+  SearchSpace space;
+  space.Add("learning_rate", Domain::Continuous(10.0, 100.0, Scale::kLog))
+      .Add("dropout_rnn", Domain::Continuous(0.15, 0.35))
+      .Add("dropout_input", Domain::Continuous(0.3, 0.5))
+      .Add("dropout_embedding", Domain::Continuous(0.05, 0.2))
+      .Add("dropout_output", Domain::Continuous(0.3, 0.5))
+      .Add("dropout_dropconnect", Domain::Continuous(0.4, 0.6))
+      .Add("weight_decay", Domain::Continuous(0.5e-6, 2e-6, Scale::kLog))
+      .Add("batch_size",
+           Domain::Choice(IntOptions({15, 20, 25}), /*ordered=*/true))
+      .Add("time_steps",
+           Domain::Choice(IntOptions({65, 70, 75}), /*ordered=*/true));
+  return space;
+}
+
+SearchSpace SvmSpace() {
+  // Klein et al. 2017 (Fabolas) SVM tasks: RBF-kernel C and gamma on a log
+  // scale over [2^-10, 2^10].
+  const double lo = std::pow(2.0, -10.0);
+  const double hi = std::pow(2.0, 10.0);
+  SearchSpace space;
+  space.Add("C", Domain::Continuous(lo, hi, Scale::kLog))
+      .Add("gamma", Domain::Continuous(lo, hi, Scale::kLog));
+  return space;
+}
+
+bool IsSmallCnnArchParam(std::string_view name) {
+  return name == "num_layers" || name == "num_filters";
+}
+
+bool IsPtbLstmArchParam(std::string_view name) {
+  return name == "hidden_nodes";
+}
+
+}  // namespace hypertune::spaces

@@ -1,0 +1,37 @@
+// The concrete search spaces used in the paper's experiments.
+//
+//   * CudaConvnetSpace   — benchmark 1 (Sections 4.1/4.2, Fig. 3/4/9): the
+//     cuda-convnet CIFAR-10 space of Li et al. 2017 (learning rate, per-layer
+//     l2 penalties, weight-init scales, lr reductions).
+//   * SmallCnnArchSpace  — Table 1: the small-CNN architecture tuning task
+//     (benchmark 2, also used on SVHN in Appendix A.2).
+//   * PtbLstmSpace       — Table 2: the 500-worker PTB LSTM task (Fig. 5).
+//   * AwdLstmSpace       — Table 3: the 16-GPU AWD-LSTM/DropConnect task
+//     (Fig. 6).
+//   * SvmSpace           — the Fabolas SVM tasks (Appendix A.2, Fig. 9).
+//
+// Architecture-affecting parameter names per space are exposed so PBT can
+// freeze them during explore (Appendix A.3).
+#pragma once
+
+#include <string_view>
+
+#include "searchspace/space.h"
+
+namespace hypertune::spaces {
+
+SearchSpace CudaConvnetSpace();
+SearchSpace SmallCnnArchSpace();
+SearchSpace PtbLstmSpace();
+SearchSpace AwdLstmSpace();
+SearchSpace SvmSpace();
+
+/// True when `name` changes the model architecture in SmallCnnArchSpace
+/// (# layers / # filters), so PBT must not perturb it.
+bool IsSmallCnnArchParam(std::string_view name);
+
+/// True when `name` changes the model architecture in PtbLstmSpace
+/// (# hidden nodes).
+bool IsPtbLstmArchParam(std::string_view name);
+
+}  // namespace hypertune::spaces

@@ -1,0 +1,117 @@
+#include "service/server.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "core/trial_json.h"
+
+namespace hypertune {
+
+TuningServer::TuningServer(Scheduler& scheduler, ServerOptions options)
+    : scheduler_(scheduler), options_(options) {
+  HT_CHECK(options_.lease_timeout > 0);
+}
+
+Json TuningServer::Error(const std::string& text) {
+  Json reply = JsonObject{};
+  reply.Set("type", Json("error"));
+  reply.Set("message", Json(text));
+  return reply;
+}
+
+Json TuningServer::Ack() {
+  Json reply = JsonObject{};
+  reply.Set("type", Json("ack"));
+  return reply;
+}
+
+ServerStats TuningServer::stats() const {
+  ServerStats stats = stats_;
+  stats.active_leases = leases_.size();
+  return stats;
+}
+
+void TuningServer::Tick(double now) {
+  std::vector<std::uint64_t> expired;
+  for (const auto& [job_id, lease] : leases_) {
+    if (lease.deadline <= now) expired.push_back(job_id);
+  }
+  for (std::uint64_t job_id : expired) {
+    // The worker is presumed dead or partitioned: its work is gone.
+    scheduler_.ReportLost(leases_.at(job_id).job);
+    leases_.erase(job_id);
+    ++stats_.leases_expired;
+  }
+}
+
+Json TuningServer::HandleRequestJob(const Json& message, double now) {
+  const auto worker = static_cast<std::uint64_t>(message.at("worker").AsInt());
+  auto job = scheduler_.GetJob();
+  if (!job) {
+    Json reply = JsonObject{};
+    reply.Set("type", Json("no_job"));
+    // Synchronous tuners stall at rung barriers; tell the worker when to
+    // retry rather than leaving it to guess.
+    reply.Set("retry_after", Json(options_.lease_timeout / 4));
+    return reply;
+  }
+  const std::uint64_t job_id = next_job_id_++;
+  leases_[job_id] = Lease{*job, worker, now + options_.lease_timeout};
+  ++stats_.jobs_assigned;
+
+  Json reply = JsonObject{};
+  reply.Set("type", Json("job"));
+  reply.Set("job_id", Json(static_cast<std::int64_t>(job_id)));
+  reply.Set("job", ToJson(*job));
+  reply.Set("lease_timeout", Json(options_.lease_timeout));
+  return reply;
+}
+
+Json TuningServer::HandleReport(const Json& message, double now) {
+  (void)now;
+  const auto job_id = static_cast<std::uint64_t>(message.at("job_id").AsInt());
+  const auto it = leases_.find(job_id);
+  if (it == leases_.end()) {
+    // Lease already expired (we reported the job lost) or never existed:
+    // acknowledge so the worker moves on, but ignore the data — the
+    // scheduler already accounted for this job.
+    ++stats_.stale_reports_ignored;
+    Json reply = Ack();
+    reply.Set("stale", Json(true));
+    return reply;
+  }
+  scheduler_.ReportResult(it->second.job, message.at("loss").AsDouble());
+  leases_.erase(it);
+  ++stats_.jobs_completed;
+  return Ack();
+}
+
+Json TuningServer::HandleHeartbeat(const Json& message, double now) {
+  const auto job_id = static_cast<std::uint64_t>(message.at("job_id").AsInt());
+  const auto it = leases_.find(job_id);
+  if (it == leases_.end()) {
+    // Tell the worker its lease is gone so it can abandon the stale job.
+    Json reply = JsonObject{};
+    reply.Set("type", Json("lease_lost"));
+    return reply;
+  }
+  it->second.deadline = now + options_.lease_timeout;
+  return Ack();
+}
+
+Json TuningServer::HandleMessage(const Json& message, double now) {
+  Tick(now);
+  try {
+    const std::string& type = message.at("type").AsString();
+    if (type == "request_job") return HandleRequestJob(message, now);
+    if (type == "report") return HandleReport(message, now);
+    if (type == "heartbeat") return HandleHeartbeat(message, now);
+    ++stats_.malformed_messages;
+    return Error("unknown message type '" + type + "'");
+  } catch (const CheckError& error) {
+    ++stats_.malformed_messages;
+    return Error(error.what());
+  }
+}
+
+}  // namespace hypertune

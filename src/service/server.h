@@ -1,0 +1,88 @@
+// The tuning service: the distributed-systems shell around a Scheduler.
+//
+// The paper's system runs as a service that hands jobs to remote workers
+// (25 AWS machines, 500 Google workers). This module implements that
+// protocol layer over a JSON wire format:
+//
+//   worker -> {"type":"request_job","worker":W}
+//   server <- {"type":"job","job_id":J,"job":{...}} | {"type":"no_job"}
+//   worker -> {"type":"heartbeat","worker":W,"job_id":J}   (extends lease)
+//   worker -> {"type":"report","worker":W,"job_id":J,"loss":L}
+//   server <- {"type":"ack"} | {"type":"error","message":...}
+//
+// Every assignment carries a *lease*: if neither a heartbeat nor a report
+// arrives before the lease deadline, the server declares the job lost and
+// tells the scheduler (ReportLost) — the mechanism that turns crashed or
+// partitioned workers into the "dropped jobs" ASHA tolerates (Appendix
+// A.1). Late reports for expired leases are acknowledged but ignored
+// (at-most-once accounting).
+//
+// The server is single-threaded and clock-agnostic: callers pass `now`
+// into every entry point, so it runs identically under the simulator's
+// virtual time, a test harness, or a wall-clock polling loop.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/json.h"
+#include "core/scheduler.h"
+
+namespace hypertune {
+
+struct ServerOptions {
+  /// A job lease lasts this long past the last heartbeat/assignment.
+  double lease_timeout = 60;
+};
+
+struct ServerStats {
+  std::size_t jobs_assigned = 0;
+  std::size_t jobs_completed = 0;
+  std::size_t leases_expired = 0;
+  std::size_t stale_reports_ignored = 0;
+  std::size_t malformed_messages = 0;
+  std::size_t active_leases = 0;
+};
+
+class TuningServer {
+ public:
+  TuningServer(Scheduler& scheduler, ServerOptions options);
+
+  /// Handles one worker message and returns the reply. Malformed messages
+  /// get {"type":"error"} replies rather than exceptions (a bad client must
+  /// not take down the service).
+  Json HandleMessage(const Json& message, double now);
+
+  /// Expires overdue leases (call periodically; HandleMessage also calls
+  /// it, so a busy service needs no separate timer).
+  void Tick(double now);
+
+  ServerStats stats() const;
+
+  /// The scheduler's current recommendation (what the service would return
+  /// to a "best configuration so far" query).
+  std::optional<Recommendation> Current() const { return scheduler_.Current(); }
+
+ private:
+  struct Lease {
+    Job job;
+    std::uint64_t worker = 0;
+    double deadline = 0;
+  };
+
+  Json HandleRequestJob(const Json& message, double now);
+  Json HandleReport(const Json& message, double now);
+  Json HandleHeartbeat(const Json& message, double now);
+  static Json Error(const std::string& text);
+  static Json Ack();
+
+  Scheduler& scheduler_;
+  ServerOptions options_;
+  std::map<std::uint64_t, Lease> leases_;  // job_id -> lease
+  std::uint64_t next_job_id_ = 1;
+  ServerStats stats_;
+};
+
+}  // namespace hypertune

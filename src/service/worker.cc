@@ -1,0 +1,73 @@
+#include "service/worker.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/trial_json.h"
+
+namespace hypertune {
+
+SimulatedWorker::SimulatedWorker(std::uint64_t id, JobEnvironment& environment,
+                                 double heartbeat_interval)
+    : id_(id), environment_(environment),
+      heartbeat_interval_(heartbeat_interval) {
+  HT_CHECK(heartbeat_interval > 0);
+}
+
+void SimulatedWorker::OnTick(TuningServer& server, double now) {
+  if (crashed_) return;
+
+  if (!job_) {
+    // Idle: ask for work.
+    Json request = JsonObject{};
+    request.Set("type", Json("request_job"));
+    request.Set("worker", Json(static_cast<std::int64_t>(id_)));
+    const Json reply = server.HandleMessage(request, now);
+    if (reply.at("type").AsString() == "no_job") {
+      next_action_ = now + reply.at("retry_after").AsDouble();
+      return;
+    }
+    HT_CHECK(reply.at("type").AsString() == "job");
+    job_ = JobFromJson(reply.at("job"));
+    job_id_ = static_cast<std::uint64_t>(reply.at("job_id").AsInt());
+    finish_time_ = now + environment_.Duration(job_->config,
+                                               job_->from_resource,
+                                               job_->to_resource);
+    next_heartbeat_ = now + heartbeat_interval_;
+    next_action_ = std::min(finish_time_, next_heartbeat_);
+    return;
+  }
+
+  if (now >= finish_time_) {
+    // Training finished: evaluate and report.
+    const double loss = environment_.Loss(job_->config, job_->to_resource);
+    Json report = JsonObject{};
+    report.Set("type", Json("report"));
+    report.Set("worker", Json(static_cast<std::int64_t>(id_)));
+    report.Set("job_id", Json(static_cast<std::int64_t>(job_id_)));
+    report.Set("loss", Json(loss));
+    (void)server.HandleMessage(report, now);
+    job_.reset();
+    ++jobs_completed_;
+    next_action_ = now;  // immediately ask for the next job
+    return;
+  }
+
+  if (now >= next_heartbeat_) {
+    Json heartbeat = JsonObject{};
+    heartbeat.Set("type", Json("heartbeat"));
+    heartbeat.Set("worker", Json(static_cast<std::int64_t>(id_)));
+    heartbeat.Set("job_id", Json(static_cast<std::int64_t>(job_id_)));
+    const Json reply = server.HandleMessage(heartbeat, now);
+    if (reply.at("type").AsString() == "lease_lost") {
+      // The server gave up on us (e.g. after a long stall): abandon the job.
+      job_.reset();
+      next_action_ = now;
+      return;
+    }
+    next_heartbeat_ = now + heartbeat_interval_;
+  }
+  next_action_ = std::min(finish_time_, next_heartbeat_);
+}
+
+}  // namespace hypertune

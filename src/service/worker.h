@@ -1,0 +1,48 @@
+// A simulated worker speaking the tuning-service protocol — the client
+// half of the distributed shell. Drives training through a JobEnvironment
+// under virtual time, sends heartbeats while training, and can be crashed
+// mid-job to exercise the server's lease expiry.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/json.h"
+#include "service/server.h"
+#include "sim/environment.h"
+
+namespace hypertune {
+
+class SimulatedWorker {
+ public:
+  SimulatedWorker(std::uint64_t id, JobEnvironment& environment,
+                  double heartbeat_interval);
+
+  /// Advances the worker to time `now`, exchanging whatever messages are
+  /// due with the server (job requests, heartbeats, completion reports).
+  void OnTick(TuningServer& server, double now);
+
+  /// Simulates a crash: the worker stops sending anything. The in-flight
+  /// job's lease will expire on the server.
+  void Crash() { crashed_ = true; }
+
+  bool IsTraining() const { return job_.has_value(); }
+  std::size_t jobs_completed() const { return jobs_completed_; }
+  /// Earliest time this worker wants another OnTick (for harness loops).
+  double next_action_time() const { return next_action_; }
+
+ private:
+  std::uint64_t id_;
+  JobEnvironment& environment_;
+  double heartbeat_interval_;
+  bool crashed_ = false;
+
+  std::optional<Job> job_;
+  std::uint64_t job_id_ = 0;
+  double finish_time_ = 0;
+  double next_heartbeat_ = 0;
+  double next_action_ = 0;
+  std::size_t jobs_completed_ = 0;
+};
+
+}  // namespace hypertune

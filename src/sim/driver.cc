@@ -1,0 +1,116 @@
+#include "sim/driver.h"
+
+#include <queue>
+
+#include "common/check.h"
+
+namespace hypertune {
+
+namespace {
+
+struct ActiveJob {
+  Job job;
+  double start = 0;
+  double end = 0;
+  bool dropped = false;
+  std::uint64_t seq = 0;  // FIFO tie-break for equal event times
+
+  bool operator>(const ActiveJob& other) const {
+    if (end != other.end) return end > other.end;
+    return seq > other.seq;
+  }
+};
+
+}  // namespace
+
+SimulationDriver::SimulationDriver(Scheduler& scheduler,
+                                   JobEnvironment& environment,
+                                   DriverOptions options)
+    : scheduler_(scheduler), environment_(environment), options_(options) {
+  HT_CHECK(options_.num_workers > 0);
+  HT_CHECK(options_.time_limit > 0);
+}
+
+DriverResult SimulationDriver::Run() {
+  Rng hazard_rng(options_.seed);
+  const HazardModel hazards(options_.hazards);
+  DriverResult result;
+
+  std::priority_queue<ActiveJob, std::vector<ActiveJob>, std::greater<>> queue;
+  double now = 0;
+  int idle = options_.num_workers;
+  std::uint64_t seq = 0;
+
+  auto dispatch_idle_workers = [&] {
+    while (idle > 0) {
+      auto job = scheduler_.GetJob();
+      if (!job) break;  // no work right now; retry after the next event
+      const double base = environment_.Duration(job->config, job->from_resource,
+                                                job->to_resource);
+      HT_CHECK_MSG(base > 0, "job duration must be positive, got " << base);
+      const double duration = base * hazards.StragglerMultiplier(hazard_rng);
+      const auto drop_after = hazards.DropTime(duration, hazard_rng);
+      ActiveJob active;
+      active.job = std::move(*job);
+      active.start = now;
+      active.end = now + (drop_after ? *drop_after : duration);
+      active.dropped = drop_after.has_value();
+      active.seq = seq++;
+      queue.push(std::move(active));
+      --idle;
+    }
+  };
+
+  auto note_recommendation = [&] {
+    const auto rec = scheduler_.Current();
+    if (!rec) return;
+    if (!result.recommendations.empty()) {
+      const auto& last = result.recommendations.back();
+      if (last.trial_id == rec->trial_id && last.loss == rec->loss) return;
+    }
+    result.recommendations.push_back(
+        {now, rec->trial_id, rec->loss, rec->resource});
+  };
+
+  dispatch_idle_workers();
+  while (!queue.empty()) {
+    const ActiveJob active = queue.top();
+    if (active.end > options_.time_limit) break;  // budget exhausted
+    queue.pop();
+    now = active.end;
+    ++idle;
+    result.busy_time += active.end - active.start;
+
+    CompletionRecord record;
+    record.time = now;
+    record.trial_id = active.job.trial_id;
+    record.from_resource = active.job.from_resource;
+    record.to_resource = active.job.to_resource;
+    record.rung = active.job.rung;
+    record.bracket = active.job.bracket;
+    record.dropped = active.dropped;
+
+    if (active.dropped) {
+      scheduler_.ReportLost(active.job);
+      ++result.jobs_dropped;
+    } else {
+      record.loss = environment_.Loss(active.job.config, active.job.to_resource);
+      scheduler_.ReportResult(active.job, record.loss);
+      ++result.jobs_completed;
+    }
+    result.completions.push_back(record);
+    note_recommendation();
+
+    if (options_.max_completed_jobs > 0 &&
+        result.jobs_completed >= options_.max_completed_jobs) {
+      break;
+    }
+    if (scheduler_.Finished()) break;
+    dispatch_idle_workers();
+  }
+
+  result.end_time = now;
+  return result;
+}
+
+}  // namespace hypertune

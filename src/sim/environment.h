@@ -1,0 +1,27 @@
+// The simulator's view of "training a model": something that can say how
+// long a job takes and what validation loss it produces. Surrogate
+// benchmarks (src/surrogate) implement this; tests use tiny synthetic ones.
+#pragma once
+
+#include "core/types.h"
+#include "searchspace/configuration.h"
+
+namespace hypertune {
+
+class JobEnvironment {
+ public:
+  virtual ~JobEnvironment() = default;
+
+  /// Validation loss observed once `config` has been trained to `resource`.
+  /// Implementations must be deterministic in (config, resource) within one
+  /// environment instance so that re-evaluations are consistent.
+  virtual double Loss(const Configuration& config, Resource resource) = 0;
+
+  /// Base virtual-time duration of training `config` from `from` to `to`
+  /// resource units, before straggler effects. `from` > 0 means the job
+  /// resumes from a checkpoint.
+  virtual double Duration(const Configuration& config, Resource from,
+                          Resource to) = 0;
+};
+
+}  // namespace hypertune

@@ -1,0 +1,33 @@
+#include "sim/hazards.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hypertune {
+
+HazardModel::HazardModel(HazardOptions options) : options_(options) {
+  HT_CHECK_MSG(options_.straggler_std >= 0.0,
+               "straggler_std must be >= 0, got " << options_.straggler_std);
+  HT_CHECK_MSG(options_.drop_probability >= 0.0 &&
+                   options_.drop_probability < 1.0,
+               "drop_probability must be in [0, 1), got "
+                   << options_.drop_probability);
+  if (options_.drop_probability > 0.0) {
+    drop_rate_ = -std::log1p(-options_.drop_probability);
+  }
+}
+
+double HazardModel::StragglerMultiplier(Rng& rng) const {
+  if (options_.straggler_std == 0.0) return 1.0;
+  return 1.0 + std::abs(rng.Normal(0.0, options_.straggler_std));
+}
+
+std::optional<double> HazardModel::DropTime(double duration, Rng& rng) const {
+  if (drop_rate_ == 0.0) return std::nullopt;
+  const double t = rng.Exponential(drop_rate_);
+  if (t < duration) return t;
+  return std::nullopt;
+}
+
+}  // namespace hypertune

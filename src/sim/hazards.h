@@ -1,0 +1,41 @@
+// Failure injection for the cluster simulator, following Appendix A.1:
+//   * stragglers — a job's expected duration is multiplied by (1 + |z|),
+//     z ~ N(0, straggler_std);
+//   * dropped jobs — each running job is dropped with probability
+//     `drop_probability` per unit of virtual time (so a job of length d
+//     survives with probability (1 - p)^d).
+#pragma once
+
+#include <optional>
+
+#include "common/rng.h"
+
+namespace hypertune {
+
+struct HazardOptions {
+  /// Standard deviation of the half-normal straggler multiplier; 0 disables.
+  double straggler_std = 0.0;
+  /// Per-time-unit drop probability in [0, 1); 0 disables.
+  double drop_probability = 0.0;
+};
+
+class HazardModel {
+ public:
+  explicit HazardModel(HazardOptions options);
+
+  /// Multiplier >= 1 applied to a job's base duration.
+  double StragglerMultiplier(Rng& rng) const;
+
+  /// Time (from job start) at which the job is dropped, or nullopt if it
+  /// survives the full `duration`. The drop clock is exponential with rate
+  /// -ln(1 - p), the continuous-time equivalent of a per-unit Bernoulli.
+  std::optional<double> DropTime(double duration, Rng& rng) const;
+
+  const HazardOptions& options() const { return options_; }
+
+ private:
+  HazardOptions options_;
+  double drop_rate_ = 0.0;  // -ln(1 - p)
+};
+
+}  // namespace hypertune

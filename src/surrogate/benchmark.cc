@@ -1,0 +1,203 @@
+#include "surrogate/benchmark.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace hypertune {
+
+namespace {
+
+std::uint64_t MixHash(std::uint64_t h, std::uint64_t v) {
+  // boost::hash_combine-style mixing on 64 bits.
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4);
+  return h * 0xff51afd7ed558ccdULL;
+}
+
+std::uint64_t HashValue(const ParamValue& value) {
+  return std::visit(
+      [](const auto& v) -> std::uint64_t {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, double>) {
+          std::uint64_t bits = 0;
+          static_assert(sizeof(bits) == sizeof(v));
+          std::memcpy(&bits, &v, sizeof(bits));
+          return bits;
+        } else if constexpr (std::is_same_v<T, std::int64_t>) {
+          return static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ULL;
+        } else {
+          std::uint64_t h = 14695981039346656037ULL;
+          for (char c : v) h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+          return h;
+        }
+      },
+      value);
+}
+
+std::uint64_t HashConfig(const Configuration& config) {
+  std::uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (const auto& [name, value] : config) {
+    for (char c : name) h = MixHash(h, static_cast<unsigned char>(c));
+    h = MixHash(h, HashValue(value));
+  }
+  return h;
+}
+
+}  // namespace
+
+double ConfigUniform(const Configuration& config, std::uint64_t salt) {
+  Rng rng(MixHash(HashConfig(config), salt));
+  return rng.Uniform();
+}
+
+SyntheticBenchmark::SyntheticBenchmark(BenchmarkSpec spec,
+                                       std::uint64_t trial_seed)
+    : spec_(std::move(spec)), trial_seed_(trial_seed) {
+  HT_CHECK(spec_.max_resource > 0);
+  HT_CHECK(spec_.best_final_loss < spec_.random_guess_loss);
+  HT_CHECK(spec_.landscape_scale >= 0);
+  HT_CHECK(spec_.alpha_min > 0 && spec_.alpha_min <= spec_.alpha_max);
+  HT_CHECK(spec_.gap_frac_min >= 0 && spec_.gap_frac_min <= spec_.gap_frac_max);
+  HT_CHECK(spec_.time_exponent >= 1.0);
+  HT_CHECK(spec_.divergence_fraction >= 0 && spec_.divergence_fraction <= 1);
+
+  const std::size_t d = spec_.space.NumParams();
+  HT_CHECK_MSG(d > 0, "benchmark search space is empty");
+  Rng rng(spec_.landscape_seed);
+  optima_.resize(d);
+  weights_.resize(d);
+  double weight_sum = 0;
+  for (std::size_t j = 0; j < d; ++j) {
+    optima_[j] = rng.Uniform(0.15, 0.85);
+    // Geometrically decaying importance with a shuffled assignment so the
+    // "important" dimensions are not always the first declared.
+    weights_[j] = std::pow(0.65, static_cast<double>(j));
+    weight_sum += weights_[j];
+  }
+  for (std::size_t j = d; j-- > 1;) {
+    std::swap(weights_[j], weights_[rng.Index(j + 1)]);
+  }
+  for (double& w : weights_) w /= weight_sum;
+
+  for (std::size_t j = 0; j < d; ++j) {
+    if (spec_.space.name(j) == spec_.divergence_param) {
+      divergence_dim_ = static_cast<int>(j);
+    }
+  }
+}
+
+double SyntheticBenchmark::HashNoise(const Configuration& config,
+                                     std::uint64_t salt) const {
+  Rng rng(MixHash(MixHash(HashConfig(config), salt), spec_.landscape_seed));
+  return rng.Normal();
+}
+
+double SyntheticBenchmark::HashUniform(const Configuration& config,
+                                       std::uint64_t salt) const {
+  Rng rng(MixHash(MixHash(HashConfig(config), salt), spec_.landscape_seed));
+  return rng.Uniform();
+}
+
+bool SyntheticBenchmark::IsDiverged(const Configuration& config) const {
+  if (divergence_dim_ >= 0) {
+    const auto j = static_cast<std::size_t>(divergence_dim_);
+    const double u =
+        spec_.space.domain(j).ToUnit(config.Get(spec_.space.name(j)));
+    if (u > spec_.divergence_unit_threshold) return true;
+  }
+  return HashUniform(config, /*salt=*/11) < spec_.divergence_fraction;
+}
+
+double SyntheticBenchmark::FinalLoss(const Configuration& config) const {
+  if (IsDiverged(config)) {
+    double loss = spec_.divergence_loss;
+    if (spec_.heavy_tail_sigma > 0) {
+      loss *= std::exp(std::abs(HashNoise(config, 13)) * spec_.heavy_tail_sigma);
+    }
+    return loss;
+  }
+  const auto u = spec_.space.ToUnitVector(config);
+  double q = 0;
+  for (std::size_t j = 0; j < u.size(); ++j) {
+    q += weights_[j] * std::pow(std::abs(u[j] - optima_[j]), 1.2);
+  }
+  // q in roughly [0, 0.8]; normalize so the landscape spans its full scale.
+  q = std::min(1.0, q / 0.5);
+  double final_loss = spec_.best_final_loss +
+                      spec_.landscape_scale * std::pow(q, spec_.difficulty);
+  final_loss += spec_.ruggedness * HashNoise(config, 17);
+  if (spec_.extra_final_term) final_loss += spec_.extra_final_term(config);
+  return std::clamp(final_loss, spec_.best_final_loss * 0.9,
+                    spec_.random_guess_loss);
+}
+
+double SyntheticBenchmark::TrueLoss(const Configuration& config,
+                                    Resource resource) const {
+  HT_CHECK_MSG(resource > 0, "resource must be positive, got " << resource);
+  const double final_loss = FinalLoss(config);
+  if (IsDiverged(config)) return final_loss;  // divergence shows up early
+  const double alpha =
+      spec_.alpha_min +
+      (spec_.alpha_max - spec_.alpha_min) * HashUniform(config, 19);
+  const double gap_frac =
+      spec_.gap_frac_min +
+      (spec_.gap_frac_max - spec_.gap_frac_min) * HashUniform(config, 23);
+  const double gap = (spec_.random_guess_loss - final_loss) * gap_frac;
+  const double frac = std::min(1.0, resource / spec_.max_resource);
+  const double loss = final_loss + gap * (std::pow(frac, -alpha) - 1.0);
+  return std::min(loss, spec_.random_guess_loss);
+}
+
+double SyntheticBenchmark::Loss(const Configuration& config,
+                                Resource resource) {
+  double loss = TrueLoss(config, resource);
+  if (spec_.eval_noise_std > 0 && !IsDiverged(config)) {
+    // Deterministic per (trial instance, config, resource).
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &resource, sizeof(bits));
+    Rng rng(MixHash(MixHash(HashConfig(config), bits), trial_seed_));
+    loss += rng.Normal(0.0, spec_.eval_noise_std);
+    loss = std::min(loss, spec_.random_guess_loss);
+    loss = std::max(loss, spec_.best_final_loss * 0.5);
+  }
+  return loss;
+}
+
+double SyntheticBenchmark::TestMetric(const Configuration& config,
+                                      Resource resource) const {
+  double metric = TrueLoss(config, resource);
+  if (spec_.test_noise_std > 0 && !IsDiverged(config)) {
+    metric += spec_.test_noise_std * HashNoise(config, 29);
+    metric = std::clamp(metric, spec_.best_final_loss * 0.5,
+                        spec_.random_guess_loss);
+  }
+  return metric;
+}
+
+double SyntheticBenchmark::Duration(const Configuration& config, Resource from,
+                                    Resource to) {
+  HT_CHECK_MSG(to > from || !spec_.resumable,
+               "job trains backwards: from=" << from << " to=" << to);
+  const double cost = spec_.cost_per_unit ? spec_.cost_per_unit(config) : 1.0;
+  HT_CHECK_MSG(cost > 0, "cost_per_unit must be positive");
+  if (!spec_.resumable) from = 0;  // full retrain regardless of checkpoint
+  if (spec_.time_exponent == 1.0) return cost * (to - from);
+  return cost * (std::pow(to, spec_.time_exponent) -
+                 std::pow(from, spec_.time_exponent));
+}
+
+double SyntheticBenchmark::MeanTimeOfR(std::size_t n) const {
+  Rng rng(spec_.landscape_seed ^ 0xabcdef12345ULL);
+  double total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Configuration config = spec_.space.Sample(rng);
+    const double cost =
+        spec_.cost_per_unit ? spec_.cost_per_unit(config) : 1.0;
+    total += cost * std::pow(spec_.max_resource, spec_.time_exponent);
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace hypertune

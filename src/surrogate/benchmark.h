@@ -1,0 +1,153 @@
+// Surrogate training workloads.
+//
+// The paper's experiments train real CNNs/LSTMs/SVMs; reproducing them here
+// requires only that tuners observe realistic (config, resource) -> loss
+// samples and realistic training times. SyntheticBenchmark provides both:
+//
+//   * a fixed loss landscape over the search space: each configuration has
+//     an asymptotic validation loss final(θ) determined by a seeded smooth
+//     "distance to per-dimension optima" term plus a rugged hash term, with
+//     a diverging region (e.g. too-high learning rates) producing the
+//     orders-of-magnitude outliers the paper observes on PTB (Section 4.3);
+//   * a power-law learning curve
+//         loss(θ, r) = final(θ) + gap(θ) * ((r / R)^(-alpha(θ)) - 1)
+//     capped at the random-guess level, with per-configuration convergence
+//     rate alpha and partial-training gap — so low-resource losses are
+//     informative-but-imperfect rank predictors of final losses, exactly
+//     the regime successive halving assumes;
+//   * a per-configuration training-time model (architecture-dependent cost
+//     per resource unit, optionally superlinear in the resource for
+//     dataset-subset tasks like SVMs).
+//
+// The landscape is a deterministic function of the benchmark's landscape
+// seed (fixed per task, shared across experiment trials); evaluation noise
+// is seeded per trial instance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "searchspace/space.h"
+#include "sim/environment.h"
+
+namespace hypertune {
+
+/// Deterministic U[0,1) keyed by (config, salt); exported so cost models in
+/// benchmark factories can add per-configuration jitter without owning RNG
+/// state.
+double ConfigUniform(const Configuration& config, std::uint64_t salt);
+
+struct BenchmarkSpec {
+  std::string name;
+  /// Reported metric label ("test error", "perplexity").
+  std::string metric_name = "test error";
+  SearchSpace space;
+  /// Maximum per-configuration resource R (iterations / epochs / examples).
+  double max_resource = 256;
+
+  // ---- landscape (asymptotic loss) ----
+  /// Loss of an untrained / random-guessing model; learning curves are
+  /// capped here.
+  double random_guess_loss = 1.0;
+  /// Approximate loss of the global optimum.
+  double best_final_loss = 0.1;
+  /// Range of final losses across the non-diverged space:
+  /// final in ~[best, best + landscape_scale].
+  double landscape_scale = 0.5;
+  /// Exponent sharpening the optimum (larger -> thinner good region).
+  double difficulty = 1.5;
+  /// Std of the rugged (hash) term added to final losses.
+  double ruggedness = 0.01;
+  /// Optional structured term added to the final loss (before clamping).
+  /// Used e.g. to make larger architectures genuinely better (and slower) —
+  /// the coupling behind BOHB's expensive-configuration bias and the
+  /// straggler pressure on synchronous rungs (Section 4.2).
+  std::function<double(const Configuration&)> extra_final_term;
+  /// Fraction of the space that diverges regardless of location.
+  double divergence_fraction = 0.05;
+  /// If the space has this parameter, unit values above
+  /// `divergence_unit_threshold` diverge (models exploding learning rates).
+  std::string divergence_param = "learning_rate";
+  double divergence_unit_threshold = 0.92;
+  /// Loss reported by diverged configurations...
+  double divergence_loss = 1.0;
+  /// ...optionally multiplied by exp(|N(0, heavy_tail_sigma)|), giving the
+  /// orders-of-magnitude perplexity outliers of Section 4.3.
+  double heavy_tail_sigma = 0.0;
+
+  // ---- learning curve ----
+  double alpha_min = 0.5;
+  double alpha_max = 1.6;
+  /// gap(θ) = (random_guess - final) * U[gap_frac_min, gap_frac_max].
+  double gap_frac_min = 0.05;
+  double gap_frac_max = 0.4;
+  /// Additive observation noise on validation losses.
+  double eval_noise_std = 0.0;
+  /// Std of the per-configuration validation -> test offset.
+  double test_noise_std = 0.0;
+
+  // ---- training time ----
+  /// Virtual time per resource unit for a configuration (architecture
+  /// dependence). Defaults to 1 when unset. Must be deterministic.
+  std::function<double(const Configuration&)> cost_per_unit;
+  /// Training time grows as resource^time_exponent. 1 = linear (iterative
+  /// training); >1 models dataset-subset retraining (kernel SVMs).
+  double time_exponent = 1.0;
+  /// When false the task cannot checkpoint: duration ignores `from` and the
+  /// full cost to `to` is always paid (dataset-subset tasks).
+  bool resumable = true;
+
+  /// Landscape seed: fixed per task so all experiment trials share one
+  /// ground truth.
+  std::uint64_t landscape_seed = 7;
+};
+
+class SyntheticBenchmark final : public JobEnvironment {
+ public:
+  /// `trial_seed` seeds observation noise only; the landscape is a function
+  /// of spec.landscape_seed.
+  SyntheticBenchmark(BenchmarkSpec spec, std::uint64_t trial_seed);
+
+  const BenchmarkSpec& spec() const { return spec_; }
+  const SearchSpace& space() const { return spec_.space; }
+  double R() const { return spec_.max_resource; }
+  const std::string& name() const { return spec_.name; }
+
+  // JobEnvironment:
+  double Loss(const Configuration& config, Resource resource) override;
+  double Duration(const Configuration& config, Resource from,
+                  Resource to) override;
+
+  /// Offline test metric for a configuration trained to `resource`
+  /// (validation curve plus a fixed per-configuration test offset).
+  double TestMetric(const Configuration& config, Resource resource) const;
+
+  /// Ground-truth asymptotic validation loss (no observation noise).
+  double FinalLoss(const Configuration& config) const;
+
+  /// Noise-free validation loss at a resource level.
+  double TrueLoss(const Configuration& config, Resource resource) const;
+
+  /// Whether the configuration falls in the diverging region.
+  bool IsDiverged(const Configuration& config) const;
+
+  /// Expected training time for the full resource R, averaged over `n`
+  /// random configurations — the paper's time(R) unit (Figure 5).
+  double MeanTimeOfR(std::size_t n = 200) const;
+
+ private:
+  /// Deterministic standard-normal draw keyed by (landscape, config, salt).
+  double HashNoise(const Configuration& config, std::uint64_t salt) const;
+  double HashUniform(const Configuration& config, std::uint64_t salt) const;
+
+  BenchmarkSpec spec_;
+  std::uint64_t trial_seed_;
+  std::vector<double> optima_;   // per-dimension optimum in [0,1]
+  std::vector<double> weights_;  // per-dimension weights, sum 1
+  int divergence_dim_ = -1;      // index of spec.divergence_param, if any
+};
+
+}  // namespace hypertune

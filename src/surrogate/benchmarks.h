@@ -1,0 +1,50 @@
+// Factory functions building the surrogate equivalent of every task in the
+// paper's evaluation. Landscape seeds are fixed per task (all trials of an
+// experiment share one ground truth); `trial_seed` varies observation noise
+// across experiment repetitions.
+//
+// Calibration targets (paper -> surrogate):
+//   * CifarConvnet   — benchmark 1 (Fig. 3/4/9): cuda-convnet on CIFAR-10,
+//     R = 30k SGD iterations, best test error ~0.17-0.18, time(R) ~ 30 min,
+//     low training-time variance ("relative simplicity").
+//   * CifarArch      — benchmark 2 (Fig. 3/4): Table 1 small-CNN architecture
+//     space, R = 30k iterations, best ~0.20, time(R) mean ~30 min with
+//     std ~27 min (architecture-dependent cost drives Fig. 4's straggler
+//     sensitivity).
+//   * PtbLstm        — Fig. 5: Table 2 space, perplexities with best ~76 and
+//     a diverging region producing orders-of-magnitude outliers (§4.3).
+//   * AwdLstm        — Fig. 6: Table 3 space, validation perplexity best
+//     ~58.5, R = 256 epochs.
+//   * SvmVehicle / SvmMnist — Appendix A.2 (Fig. 9): resource = training
+//     examples, superlinear training time, no checkpoint resume.
+//   * SvhnCnn        — Appendix A.2 (Fig. 9): Table 1 space on SVHN.
+//   * UnitTime       — Appendix A.1 (Fig. 7/8): expected job time equals the
+//     allocated resource; the straggler/drop robustness workload.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "surrogate/benchmark.h"
+
+namespace hypertune::benchmarks {
+
+std::unique_ptr<SyntheticBenchmark> CifarConvnet(std::uint64_t trial_seed);
+std::unique_ptr<SyntheticBenchmark> CifarArch(std::uint64_t trial_seed);
+std::unique_ptr<SyntheticBenchmark> PtbLstm(std::uint64_t trial_seed);
+std::unique_ptr<SyntheticBenchmark> AwdLstm(std::uint64_t trial_seed);
+std::unique_ptr<SyntheticBenchmark> SvmVehicle(std::uint64_t trial_seed);
+std::unique_ptr<SyntheticBenchmark> SvmMnist(std::uint64_t trial_seed);
+std::unique_ptr<SyntheticBenchmark> SvhnCnn(std::uint64_t trial_seed);
+std::unique_ptr<SyntheticBenchmark> UnitTime(std::uint64_t trial_seed);
+
+/// Builds by name ("cifar_convnet", "cifar_arch", ...); throws on unknown.
+std::unique_ptr<SyntheticBenchmark> ByName(const std::string& name,
+                                           std::uint64_t trial_seed);
+
+/// All task names, in the order they appear in the paper.
+std::vector<std::string> AllNames();
+
+}  // namespace hypertune::benchmarks

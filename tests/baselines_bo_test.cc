@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "baselines/bohb.h"
+#include "baselines/fabolas.h"
+#include "baselines/vizier.h"
+#include "common/check.h"
+
+namespace hypertune {
+namespace {
+
+SearchSpace BowlSpace() {
+  SearchSpace space;
+  space.Add("x", Domain::Continuous(0.0, 1.0))
+      .Add("y", Domain::Continuous(0.0, 1.0));
+  return space;
+}
+
+/// Smooth 2-d bowl with minimum 0 at (0.3, 0.6).
+double Bowl(const Configuration& config) {
+  const double dx = config.GetDouble("x") - 0.3;
+  const double dy = config.GetDouble("y") - 0.6;
+  return dx * dx + dy * dy;
+}
+
+// ------------------------------------------------------------------- BOHB
+
+TEST(Bohb, IsSyncShaWithTpeSampling) {
+  BohbOptions options;
+  options.sha.n = 9;
+  options.sha.r = 1;
+  options.sha.R = 9;
+  options.sha.eta = 3;
+  options.sha.spawn_new_brackets = false;
+  auto bohb = MakeBohb(BowlSpace(), options);
+  EXPECT_EQ(bohb->name(), "BOHB");
+  // Exact SHA mechanics: 9 rung-0 jobs then a barrier.
+  for (int i = 0; i < 9; ++i) {
+    const auto job = bohb->GetJob();
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->rung, 0);
+  }
+  EXPECT_FALSE(bohb->GetJob().has_value());
+}
+
+TEST(Bohb, ModelImprovesSamplingOverBrackets) {
+  // After enough observations the TPE model samples near the bowl minimum
+  // more often than uniform would.
+  BohbOptions options;
+  options.sha.n = 27;
+  options.sha.r = 1;
+  options.sha.R = 9;
+  options.sha.eta = 3;
+  options.sha.spawn_new_brackets = true;
+  options.tpe.random_fraction = 0.1;
+  options.tpe.min_points = 5;
+  auto bohb = MakeBohb(BowlSpace(), options);
+  // Run several brackets sequentially.
+  double sum_distance_late = 0;
+  int late_count = 0;
+  for (int step = 0; step < 400; ++step) {
+    const auto job = bohb->GetJob();
+    ASSERT_TRUE(job.has_value());
+    bohb->ReportResult(*job, Bowl(job->config));
+    if (step >= 300 && job->rung == 0) {
+      const double dx = job->config.GetDouble("x") - 0.3;
+      const double dy = job->config.GetDouble("y") - 0.6;
+      sum_distance_late += std::sqrt(dx * dx + dy * dy);
+      ++late_count;
+    }
+  }
+  ASSERT_GT(late_count, 10);
+  // Uniform sampling would average ~0.48 distance from (0.3, 0.6).
+  EXPECT_LT(sum_distance_late / late_count, 0.35);
+}
+
+TEST(AshaTpe, LabeledAndFunctional) {
+  AshaOptions asha;
+  asha.r = 1;
+  asha.R = 9;
+  asha.eta = 3;
+  auto tuner = MakeAshaTpe(BowlSpace(), asha, {});
+  EXPECT_EQ(tuner->name(), "ASHA+TPE");
+  for (int i = 0; i < 20; ++i) {
+    const auto job = tuner->GetJob();
+    ASSERT_TRUE(job.has_value());
+    tuner->ReportResult(*job, Bowl(job->config));
+  }
+  EXPECT_TRUE(tuner->Current().has_value());
+}
+
+// ----------------------------------------------------------------- Vizier
+
+TEST(Vizier, FullResourceJobsOnly) {
+  VizierOptions options;
+  options.R = 50;
+  VizierScheduler vizier(BowlSpace(), options);
+  for (int i = 0; i < 5; ++i) {
+    const auto job = vizier.GetJob();
+    ASSERT_TRUE(job.has_value());
+    EXPECT_DOUBLE_EQ(job->to_resource, 50);
+    EXPECT_DOUBLE_EQ(job->from_resource, 0);
+    vizier.ReportResult(*job, Bowl(job->config));
+  }
+  EXPECT_EQ(vizier.NumCompleted(), 5u);
+}
+
+TEST(Vizier, ModelConcentratesNearOptimum) {
+  VizierOptions options;
+  options.R = 1;
+  options.num_initial_random = 8;
+  options.refit_every = 2;
+  options.candidates_per_suggest = 256;
+  VizierScheduler vizier(BowlSpace(), options);
+  double late_distance = 0;
+  int late_count = 0;
+  for (int i = 0; i < 60; ++i) {
+    const auto job = *vizier.GetJob();
+    vizier.ReportResult(job, Bowl(job.config));
+    if (i >= 40) {
+      const double dx = job.config.GetDouble("x") - 0.3;
+      const double dy = job.config.GetDouble("y") - 0.6;
+      late_distance += std::sqrt(dx * dx + dy * dy);
+      ++late_count;
+    }
+  }
+  EXPECT_LT(late_distance / late_count, 0.3);  // uniform would be ~0.48
+  ASSERT_TRUE(vizier.Current().has_value());
+  EXPECT_LT(vizier.Current()->loss, 0.05);
+}
+
+TEST(Vizier, ConstantLiarSpreadsParallelSuggestions) {
+  VizierOptions options;
+  options.R = 1;
+  options.num_initial_random = 6;
+  options.refit_every = 1;
+  VizierScheduler vizier(BowlSpace(), options);
+  // Seed the model.
+  for (int i = 0; i < 8; ++i) {
+    const auto job = *vizier.GetJob();
+    vizier.ReportResult(job, Bowl(job.config));
+  }
+  // Ask for several jobs *without* reporting: they must not collapse onto
+  // one point.
+  std::set<std::pair<double, double>> points;
+  for (int i = 0; i < 4; ++i) {
+    const auto job = *vizier.GetJob();
+    points.insert({job.config.GetDouble("x"), job.config.GetDouble("y")});
+  }
+  EXPECT_GE(points.size(), 3u);
+}
+
+TEST(Vizier, LossCapAppliedToModel) {
+  VizierOptions options;
+  options.R = 1;
+  options.loss_cap = 10.0;
+  VizierScheduler vizier(BowlSpace(), options);
+  const auto job = *vizier.GetJob();
+  vizier.ReportResult(job, 1e6);
+  // The incumbent keeps the raw loss; the model sees the cap. Both visible
+  // effects: Current() reports 1e6, and later fits do not throw.
+  EXPECT_DOUBLE_EQ(vizier.Current()->loss, 1e6);
+  for (int i = 0; i < 15; ++i) {
+    const auto j = *vizier.GetJob();
+    vizier.ReportResult(j, Bowl(j.config));
+  }
+  SUCCEED();
+}
+
+TEST(Vizier, LostJobsRemovePending) {
+  VizierScheduler vizier(BowlSpace(), {});
+  const auto job = *vizier.GetJob();
+  vizier.ReportLost(job);
+  EXPECT_EQ(vizier.trials().Get(job.trial_id).status, TrialStatus::kLost);
+  EXPECT_EQ(vizier.NumCompleted(), 0u);
+}
+
+// ---------------------------------------------------------------- Fabolas
+
+TEST(Fabolas, InitialDesignUsesCheapestFidelity) {
+  FabolasOptions options;
+  options.R = 64;
+  FabolasScheduler fabolas(BowlSpace(), options);
+  for (int i = 0; i < 5; ++i) {
+    const auto job = *fabolas.GetJob();
+    EXPECT_DOUBLE_EQ(job.to_resource, 1.0);  // R/64
+    fabolas.ReportResult(job, Bowl(job.config) + 0.1);
+  }
+}
+
+TEST(Fabolas, FidelityScheduleVisitsFullData) {
+  FabolasOptions options;
+  options.R = 64;
+  options.num_initial_random = 4;
+  FabolasScheduler fabolas(BowlSpace(), options);
+  std::set<double> fidelities;
+  for (int i = 0; i < 40; ++i) {
+    const auto job = *fabolas.GetJob();
+    fidelities.insert(job.to_resource);
+    // Cheap evaluations are biased upward (less data -> worse loss).
+    const double penalty = 0.3 * (1.0 - job.to_resource / 64.0);
+    fabolas.ReportResult(job, Bowl(job.config) + penalty);
+  }
+  EXPECT_TRUE(fidelities.contains(64.0));   // full data evaluated
+  EXPECT_TRUE(fidelities.contains(1.0));    // cheap subsets dominate
+  EXPECT_GE(fidelities.size(), 3u);
+}
+
+TEST(Fabolas, IncumbentIsPredictedFullDataBest) {
+  FabolasOptions options;
+  options.R = 64;
+  options.num_initial_random = 6;
+  options.refit_every = 3;
+  FabolasScheduler fabolas(BowlSpace(), options);
+  for (int i = 0; i < 50; ++i) {
+    const auto job = *fabolas.GetJob();
+    const double penalty = 0.3 * (1.0 - job.to_resource / 64.0);
+    fabolas.ReportResult(job, Bowl(job.config) + penalty);
+  }
+  ASSERT_TRUE(fabolas.Current().has_value());
+  const auto rec = *fabolas.Current();
+  EXPECT_DOUBLE_EQ(rec.resource, 64.0);  // judged at full data
+  const auto& config = fabolas.trials().Get(rec.trial_id).config;
+  EXPECT_LT(Bowl(config), 0.15);  // found a good region
+}
+
+TEST(Fabolas, OptionValidation) {
+  FabolasOptions options;
+  options.fidelities = {0.5, 1.0};
+  options.fidelity_repeats = {1};  // size mismatch
+  EXPECT_THROW(FabolasScheduler(BowlSpace(), options), CheckError);
+  options = {};
+  options.fidelities = {0.25, 0.5};  // must end at 1.0
+  options.fidelity_repeats = {1, 1};
+  EXPECT_THROW(FabolasScheduler(BowlSpace(), options), CheckError);
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -1,0 +1,213 @@
+#include "baselines/pbt.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/check.h"
+
+namespace hypertune {
+namespace {
+
+SearchSpace UnitSpace() {
+  SearchSpace space;
+  space.Add("x", Domain::Continuous(0.0, 1.0));
+  return space;
+}
+
+PbtOptions SmallOptions() {
+  PbtOptions options;
+  options.population_size = 4;
+  options.step_resource = 10;
+  options.max_resource = 40;
+  options.sync_window = 20;
+  options.truncation_fraction = 0.25;
+  options.spawn_new_populations = false;
+  return options;
+}
+
+TEST(Pbt, InitialJobsCoverPopulation) {
+  PbtScheduler pbt(UnitSpace(), SmallOptions());
+  std::set<TrialId> trials;
+  for (int i = 0; i < 4; ++i) {
+    const auto job = pbt.GetJob();
+    ASSERT_TRUE(job.has_value());
+    EXPECT_DOUBLE_EQ(job->from_resource, 0);
+    EXPECT_DOUBLE_EQ(job->to_resource, 10);
+    trials.insert(job->trial_id);
+  }
+  EXPECT_EQ(trials.size(), 4u);
+  EXPECT_EQ(pbt.NumPopulations(), 1u);
+  // All members running, spawning disabled -> no work.
+  EXPECT_FALSE(pbt.GetJob().has_value());
+}
+
+TEST(Pbt, MembersProgressInSteps) {
+  PbtScheduler pbt(UnitSpace(), SmallOptions());
+  std::vector<Job> jobs;
+  for (int i = 0; i < 4; ++i) jobs.push_back(*pbt.GetJob());
+  for (const auto& job : jobs) pbt.ReportResult(job, 0.5);
+  const auto next = *pbt.GetJob();
+  EXPECT_DOUBLE_EQ(next.from_resource, 10);
+  EXPECT_DOUBLE_EQ(next.to_resource, 20);
+}
+
+TEST(Pbt, SyncWindowBlocksRunahead) {
+  auto options = SmallOptions();
+  options.sync_window = 10;  // exactly one step of run-ahead allowed
+  PbtScheduler pbt(UnitSpace(), options);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 4; ++i) jobs.push_back(*pbt.GetJob());
+  // Complete only member 0's job; it is now at 10, others at 0.
+  pbt.ReportResult(jobs[0], 0.5);
+  // Member 0 may not start its next step: 10 - 0 >= sync_window.
+  EXPECT_FALSE(pbt.GetJob().has_value());
+  // After another member reports, member 0 is still blocked by the two at 0.
+  pbt.ReportResult(jobs[1], 0.6);
+  EXPECT_FALSE(pbt.GetJob().has_value());
+  pbt.ReportResult(jobs[2], 0.7);
+  pbt.ReportResult(jobs[3], 0.8);
+  // Everyone at 10: all four eligible again.
+  EXPECT_TRUE(pbt.GetJob().has_value());
+}
+
+TEST(Pbt, ExploitCopiesFromTopAndExplores) {
+  auto options = SmallOptions();
+  options.explore.perturb_probability = 1.0;  // deterministic-ish explore
+  PbtScheduler pbt(UnitSpace(), options);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 4; ++i) jobs.push_back(*pbt.GetJob());
+  // Member 3 is clearly worst -> exploited after reporting.
+  pbt.ReportResult(jobs[0], 0.1);
+  pbt.ReportResult(jobs[1], 0.2);
+  pbt.ReportResult(jobs[2], 0.3);
+  const auto before = pbt.trials().size();
+  pbt.ReportResult(jobs[3], 0.9);
+  // Exploit created a new trial (copied + explored config).
+  EXPECT_EQ(pbt.trials().size(), before + 1);
+  const Trial& old_trial = pbt.trials().Get(jobs[3].trial_id);
+  EXPECT_EQ(old_trial.status, TrialStatus::kStopped);
+  // The new trial inherits the donor's resource position (weights copied).
+  const Trial& new_trial = pbt.trials().Get(static_cast<TrialId>(before));
+  EXPECT_DOUBLE_EQ(new_trial.resource_trained, 10);
+}
+
+TEST(Pbt, GoodMembersAreNotExploited) {
+  PbtScheduler pbt(UnitSpace(), SmallOptions());
+  std::vector<Job> jobs;
+  for (int i = 0; i < 4; ++i) jobs.push_back(*pbt.GetJob());
+  const auto before = pbt.trials().size();
+  pbt.ReportResult(jobs[0], 0.9);  // first report: no ranking context yet
+  pbt.ReportResult(jobs[1], 0.1);  // best member: never exploited
+  EXPECT_EQ(pbt.trials().size(), before);
+}
+
+TEST(Pbt, FinishesAtMaxResource) {
+  auto options = SmallOptions();
+  options.truncation_fraction = 0.5;
+  PbtScheduler pbt(UnitSpace(), options);
+  std::map<TrialId, int> steps;
+  int guard = 0;
+  while (!pbt.Finished() && guard++ < 200) {
+    const auto job = pbt.GetJob();
+    if (!job) break;
+    // Equal losses: no exploitation pressure.
+    pbt.ReportResult(*job, 0.5);
+  }
+  EXPECT_TRUE(pbt.Finished());
+  int completed = 0;
+  for (const auto& trial : pbt.trials()) {
+    completed += trial.status == TrialStatus::kCompleted;
+  }
+  EXPECT_EQ(completed, 4);
+}
+
+TEST(Pbt, SpawnsNewPopulationWhenBlocked) {
+  auto options = SmallOptions();
+  options.spawn_new_populations = true;
+  PbtScheduler pbt(UnitSpace(), options);
+  for (int i = 0; i < 4; ++i) (void)*pbt.GetJob();
+  // All members busy: a fifth worker gets a fresh population.
+  const auto job = pbt.GetJob();
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(pbt.NumPopulations(), 2u);
+  EXPECT_EQ(job->bracket, 1);  // population index
+  EXPECT_FALSE(pbt.Finished());
+}
+
+TEST(Pbt, RandomGuessResamplingReplacesBadFirstSteps) {
+  auto options = SmallOptions();
+  options.random_guess_loss = 0.8;
+  PbtScheduler pbt(UnitSpace(), options);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 4; ++i) jobs.push_back(*pbt.GetJob());
+  const auto before = pbt.trials().size();
+  // First member reports at random-guess level while 0/1 are above guessing:
+  // it must be resampled (new trial, resource reset).
+  pbt.ReportResult(jobs[0], 0.9);
+  EXPECT_EQ(pbt.trials().size(), before + 1);
+  const auto next = *pbt.GetJob();  // the resampled member restarts at 0
+  EXPECT_DOUBLE_EQ(next.from_resource, 0);
+}
+
+TEST(Pbt, LostJobRestartsMemberFresh) {
+  PbtScheduler pbt(UnitSpace(), SmallOptions());
+  std::vector<Job> jobs;
+  for (int i = 0; i < 4; ++i) jobs.push_back(*pbt.GetJob());
+  const auto before = pbt.trials().size();
+  pbt.ReportLost(jobs[2]);
+  EXPECT_EQ(pbt.trials().size(), before + 1);
+  EXPECT_EQ(pbt.trials().Get(jobs[2].trial_id).status, TrialStatus::kLost);
+}
+
+TEST(Pbt, ArchitectureParamsFrozenDuringExplore) {
+  SearchSpace space;
+  space.Add("arch", Domain::Integer(1, 8))
+      .Add("lr", Domain::Continuous(0.0, 1.0));
+  auto options = SmallOptions();
+  options.explore.frozen = [](std::string_view name) {
+    return name == "arch";
+  };
+  PbtScheduler pbt(space, options);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 4; ++i) jobs.push_back(*pbt.GetJob());
+  pbt.ReportResult(jobs[0], 0.1);
+  pbt.ReportResult(jobs[1], 0.2);
+  pbt.ReportResult(jobs[2], 0.3);
+  pbt.ReportResult(jobs[3], 0.9);  // exploited from one of the top members
+  const auto& new_trial = pbt.trials().Get(
+      static_cast<TrialId>(pbt.trials().size() - 1));
+  // The inherited arch matches some top member's arch exactly.
+  std::set<std::int64_t> top_archs;
+  for (int i = 0; i < 3; ++i) {
+    top_archs.insert(pbt.trials().Get(jobs[i].trial_id).config.GetInt("arch"));
+  }
+  EXPECT_TRUE(top_archs.contains(new_trial.config.GetInt("arch")));
+}
+
+TEST(Pbt, OptionValidation) {
+  auto options = SmallOptions();
+  options.population_size = 1;
+  EXPECT_THROW(PbtScheduler(UnitSpace(), options), CheckError);
+  options = SmallOptions();
+  options.truncation_fraction = 0.6;
+  EXPECT_THROW(PbtScheduler(UnitSpace(), options), CheckError);
+  options = SmallOptions();
+  options.sync_window = 5;  // below one step
+  EXPECT_THROW(PbtScheduler(UnitSpace(), options), CheckError);
+}
+
+TEST(Pbt, IncumbentTracksBestReported) {
+  PbtScheduler pbt(UnitSpace(), SmallOptions());
+  std::vector<Job> jobs;
+  for (int i = 0; i < 4; ++i) jobs.push_back(*pbt.GetJob());
+  pbt.ReportResult(jobs[0], 0.4);
+  pbt.ReportResult(jobs[1], 0.2);
+  ASSERT_TRUE(pbt.Current().has_value());
+  EXPECT_EQ(pbt.Current()->trial_id, jobs[1].trial_id);
+  EXPECT_DOUBLE_EQ(pbt.Current()->loss, 0.2);
+}
+
+}  // namespace
+}  // namespace hypertune

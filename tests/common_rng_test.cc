@@ -1,0 +1,178 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace hypertune {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatelyHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng(3);
+  EXPECT_THROW(rng.Uniform(1.0, 0.0), CheckError);
+}
+
+TEST(Rng, LogUniformStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.LogUniform(1e-5, 1e2);
+    EXPECT_GE(u, 1e-5);
+    EXPECT_LE(u, 1e2);
+  }
+}
+
+TEST(Rng, LogUniformMedianIsGeometricMean) {
+  Rng rng(13);
+  std::vector<double> xs(20001);
+  for (auto& x : xs) x = rng.LogUniform(1e-4, 1e4);
+  // log-uniform over 8 decades centered at 1 -> median ~ 1.
+  EXPECT_NEAR(std::log10(Median(xs)), 0.0, 0.15);
+}
+
+TEST(Rng, LogUniformRejectsNonPositiveLo) {
+  Rng rng(5);
+  EXPECT_THROW(rng.LogUniform(0.0, 1.0), CheckError);
+  EXPECT_THROW(rng.LogUniform(-1.0, 1.0), CheckError);
+}
+
+TEST(Rng, UniformIntCoversAllValuesInclusive) {
+  Rng rng(17);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 6000; ++i) {
+    const auto v = rng.UniformInt(10, 15);
+    ASSERT_GE(v, 10);
+    ASSERT_LE(v, 15);
+    ++counts[static_cast<std::size_t>(v - 10)];
+  }
+  for (int count : counts) EXPECT_GT(count, 800);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(19);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(4, 4), 4);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.UniformInt(-8, -3);
+    EXPECT_GE(v, -8);
+    EXPECT_LE(v, -3);
+  }
+}
+
+TEST(Rng, IndexBounds) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Index(7), 7u);
+  EXPECT_THROW(rng.Index(0), CheckError);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(31);
+  std::vector<double> xs(100000);
+  for (auto& x : xs) x = rng.Normal();
+  EXPECT_NEAR(Mean(xs), 0.0, 0.02);
+  EXPECT_NEAR(Stddev(xs), 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaledMoments) {
+  Rng rng(37);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = rng.Normal(5.0, 2.0);
+  EXPECT_NEAR(Mean(xs), 5.0, 0.05);
+  EXPECT_NEAR(Stddev(xs), 2.0, 0.05);
+}
+
+TEST(Rng, NormalRejectsNegativeStddev) {
+  Rng rng(37);
+  EXPECT_THROW(rng.Normal(0.0, -1.0), CheckError);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(41);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeProbabilities) {
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+  EXPECT_THROW(rng.Bernoulli(1.5), CheckError);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(47);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = rng.Exponential(4.0);
+  EXPECT_NEAR(Mean(xs), 0.25, 0.01);
+  EXPECT_THROW(rng.Exponential(0.0), CheckError);
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng parent(53);
+  Rng child1 = parent.Split(1);
+  Rng child2 = parent.Split(1);  // parent advanced -> different child
+  EXPECT_NE(child1(), child2());
+}
+
+TEST(Rng, SplitDeterministicFromSameState) {
+  Rng a(59), b(59);
+  Rng ca = a.Split(7), cb = b.Split(7);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(ca(), cb());
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  std::uint64_t s1 = 0, s2 = 0;
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -1,0 +1,192 @@
+#include "core/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "core/rung.h"
+#include "core/trial.h"
+
+namespace hypertune {
+namespace {
+
+TEST(SMax, PowersAndNonPowers) {
+  EXPECT_EQ(SMax(1, 9, 3), 2);
+  EXPECT_EQ(SMax(1, 256, 4), 4);
+  EXPECT_EQ(SMax(1, 255, 4), 3);   // just below a power
+  EXPECT_EQ(SMax(1, 257, 4), 4);   // just above
+  EXPECT_EQ(SMax(1, 1, 2), 0);
+  EXPECT_EQ(SMax(117.1875, 30000, 4), 4);  // r = R/256 with fp ratio
+}
+
+TEST(SMax, Validation) {
+  EXPECT_THROW(SMax(0, 10, 2), CheckError);
+  EXPECT_THROW(SMax(10, 5, 2), CheckError);
+  EXPECT_THROW(SMax(1, 10, 1.5), CheckError);
+}
+
+TEST(BracketGeometry, Figure1Bracket0) {
+  // Paper Figure 1: n=9, r=1, R=9, eta=3, bracket s=0.
+  const auto g = BracketGeometry::Make(1, 9, 3, 0);
+  EXPECT_EQ(g.NumRungs(), 3);
+  EXPECT_DOUBLE_EQ(g.RungResource(0), 1);
+  EXPECT_DOUBLE_EQ(g.RungResource(1), 3);
+  EXPECT_DOUBLE_EQ(g.RungResource(2), 9);
+  const auto sizes = g.RungSizes(9);
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{9, 3, 1}));
+  // Each rung's budget is 9, total 27 (Figure 1 right, bracket 0).
+  EXPECT_DOUBLE_EQ(g.TotalBudget(9, /*resume=*/false), 27);
+}
+
+TEST(BracketGeometry, Figure1Bracket1) {
+  const auto g = BracketGeometry::Make(1, 9, 3, 1);
+  EXPECT_EQ(g.NumRungs(), 2);
+  EXPECT_DOUBLE_EQ(g.RungResource(0), 3);
+  EXPECT_DOUBLE_EQ(g.RungResource(1), 9);
+  EXPECT_EQ(g.RungSizes(9), (std::vector<std::size_t>{9, 3}));
+  // 9*3 + 3*9 = 54 (Figure 1 right, bracket 1: 27 per rung).
+  EXPECT_DOUBLE_EQ(g.TotalBudget(9, false), 54);
+}
+
+TEST(BracketGeometry, Figure1Bracket2) {
+  const auto g = BracketGeometry::Make(1, 9, 3, 2);
+  EXPECT_EQ(g.NumRungs(), 1);
+  EXPECT_DOUBLE_EQ(g.RungResource(0), 9);
+  EXPECT_EQ(g.RungSizes(9), (std::vector<std::size_t>{9}));
+  EXPECT_DOUBLE_EQ(g.TotalBudget(9, false), 81);
+}
+
+TEST(BracketGeometry, PaperSection41Setting) {
+  // Section 4.1/4.2: n=256, eta=4, s=0, r=R/256, R=30000 iterations.
+  const double R = 30000;
+  const auto g = BracketGeometry::Make(R / 256, R, 4, 0);
+  EXPECT_EQ(g.NumRungs(), 5);
+  EXPECT_EQ(g.RungSizes(256), (std::vector<std::size_t>{256, 64, 16, 4, 1}));
+  EXPECT_DOUBLE_EQ(g.RungResource(4), R);
+  EXPECT_NEAR(g.RungResource(0), R / 256, 1e-9);
+}
+
+TEST(BracketGeometry, ResumeBudgetPaysIncrementsOnly) {
+  const auto g = BracketGeometry::Make(1, 9, 3, 0);
+  // rung0: 9*1; rung1: 3*(3-1); rung2: 1*(9-3) => 9 + 6 + 6 = 21.
+  EXPECT_DOUBLE_EQ(g.TotalBudget(9, /*resume=*/true), 21);
+}
+
+TEST(BracketGeometry, TopRungIsExactlyR) {
+  // Non-power ratio: R/r = 10, eta = 3 -> s_max = 2, top rung capped at R.
+  const auto g = BracketGeometry::Make(1, 10, 3, 0);
+  EXPECT_EQ(g.NumRungs(), 3);
+  EXPECT_DOUBLE_EQ(g.RungResource(2), 10);
+}
+
+TEST(BracketGeometry, InvalidEarlyStoppingRate) {
+  EXPECT_THROW(BracketGeometry::Make(1, 9, 3, 3), CheckError);
+  EXPECT_THROW(BracketGeometry::Make(1, 9, 3, -1), CheckError);
+}
+
+TEST(BracketGeometry, RungResourceBoundsChecked) {
+  const auto g = BracketGeometry::Make(1, 9, 3, 0);
+  EXPECT_THROW(g.RungResource(3), CheckError);
+  EXPECT_THROW(g.RungResource(-1), CheckError);
+}
+
+TEST(TrialBank, CreateAndLookup) {
+  TrialBank bank;
+  Configuration config;
+  config.Set("x", ParamValue{0.5});
+  const TrialId id = bank.Create(config, 2);
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(bank.Get(id).bracket, 2);
+  EXPECT_EQ(bank.Get(id).status, TrialStatus::kPending);
+  EXPECT_EQ(bank.size(), 1u);
+  EXPECT_THROW(bank.Get(5), CheckError);
+  EXPECT_THROW(bank.Get(-1), CheckError);
+}
+
+TEST(TrialBank, ObservationsUpdateCheckpoint) {
+  TrialBank bank;
+  const TrialId id = bank.Create(Configuration{}, 0);
+  bank.RecordObservation(id, 10, 0.5);
+  bank.RecordObservation(id, 30, 0.3);
+  const Trial& trial = bank.Get(id);
+  EXPECT_DOUBLE_EQ(trial.resource_trained, 30);
+  EXPECT_EQ(trial.observations.size(), 2u);
+  EXPECT_DOUBLE_EQ(trial.BestLoss(), 0.3);
+  EXPECT_DOUBLE_EQ(trial.LatestLoss(), 0.3);
+}
+
+TEST(Trial, LossesOnEmptyObservations) {
+  Trial trial;
+  EXPECT_TRUE(std::isinf(trial.BestLoss()));
+  EXPECT_TRUE(std::isinf(trial.LatestLoss()));
+}
+
+TEST(Rung, RecordKeepsSortedAndRejectsDuplicates) {
+  Rung rung;
+  rung.Record(1, 0.5);
+  rung.Record(2, 0.2);
+  rung.Record(3, 0.8);
+  EXPECT_EQ(rung.NumRecorded(), 3u);
+  EXPECT_EQ(rung.BestTrial(), 2);
+  EXPECT_DOUBLE_EQ(rung.BestLoss(), 0.2);
+  EXPECT_THROW(rung.Record(1, 0.1), CheckError);
+}
+
+TEST(Rung, PromotableTopFraction) {
+  Rung rung;
+  for (int i = 0; i < 6; ++i) rung.Record(i, 0.1 * (i + 1));
+  // floor(6/3) = 2 candidates: trials 0 and 1.
+  auto promotable = rung.PromotableTrials(3.0);
+  EXPECT_EQ(promotable, (std::vector<TrialId>{0, 1}));
+  rung.MarkPromoted(0);
+  promotable = rung.PromotableTrials(3.0);
+  EXPECT_EQ(promotable, (std::vector<TrialId>{1}));
+  EXPECT_TRUE(rung.IsPromoted(0));
+  EXPECT_FALSE(rung.IsPromoted(1));
+}
+
+TEST(Rung, PromotableEmptyWhenTooFew) {
+  Rung rung;
+  rung.Record(0, 0.5);
+  rung.Record(1, 0.6);
+  // floor(2/3) = 0: nothing promotable yet.
+  EXPECT_TRUE(rung.PromotableTrials(3.0).empty());
+}
+
+TEST(Rung, TiesBreakTowardEarlierTrial) {
+  Rung rung;
+  rung.Record(7, 0.5);
+  rung.Record(3, 0.5);
+  rung.Record(9, 0.9);
+  const auto promotable = rung.PromotableTrials(3.0);
+  ASSERT_EQ(promotable.size(), 1u);
+  EXPECT_EQ(promotable[0], 3);  // equal loss -> lower id first
+}
+
+TEST(Rung, TopKClampsToSize) {
+  Rung rung;
+  rung.Record(0, 0.3);
+  rung.Record(1, 0.1);
+  EXPECT_EQ(rung.TopK(5), (std::vector<TrialId>{1, 0}));
+  EXPECT_EQ(rung.TopK(1), (std::vector<TrialId>{1}));
+  EXPECT_TRUE(rung.TopK(0).empty());
+}
+
+TEST(Rung, DoublePromotionThrows) {
+  Rung rung;
+  rung.Record(0, 0.3);
+  rung.MarkPromoted(0);
+  EXPECT_THROW(rung.MarkPromoted(0), CheckError);
+  EXPECT_THROW(rung.MarkPromoted(42), CheckError);  // not recorded
+}
+
+TEST(Rung, EmptyRungQueries) {
+  Rung rung;
+  EXPECT_TRUE(std::isinf(rung.BestLoss()));
+  EXPECT_EQ(rung.BestTrial(), -1);
+  EXPECT_TRUE(rung.PromotableTrials(2.0).empty());
+}
+
+}  // namespace
+}  // namespace hypertune

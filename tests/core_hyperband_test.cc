@@ -1,0 +1,205 @@
+#include "core/async_hyperband.h"
+#include "core/hyperband.h"
+#include "core/random_search.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/check.h"
+
+namespace hypertune {
+namespace {
+
+SearchSpace UnitSpace() {
+  SearchSpace space;
+  space.Add("x", Domain::Continuous(0.0, 1.0));
+  return space;
+}
+
+// ---------------------------------------------------------------- Hyperband
+
+HyperbandOptions ToyHyperband() {
+  HyperbandOptions options;
+  options.n0 = 9;
+  options.r = 1;
+  options.R = 9;
+  options.eta = 3;
+  options.loop_forever = false;
+  return options;
+}
+
+TEST(Hyperband, LoopsThroughBracketsWithShrinkingN) {
+  HyperbandScheduler hb(MakeRandomSampler(UnitSpace()), ToyHyperband());
+  std::map<int, std::map<int, int>> jobs;  // bracket -> rung -> count
+  while (!hb.Finished()) {
+    const auto job = hb.GetJob();
+    ASSERT_TRUE(job.has_value());
+    ++jobs[job->bracket][job->rung];
+    hb.ReportResult(*job, 0.001 * static_cast<double>(job->trial_id));
+  }
+  // Bracket s=0: 9/3/1; s=1: 3 at r=3 then 1 at 9; s=2: 1 at 9.
+  EXPECT_EQ(jobs[0][0], 9);
+  EXPECT_EQ(jobs[0][1], 3);
+  EXPECT_EQ(jobs[0][2], 1);
+  EXPECT_EQ(jobs[1][0], 3);
+  EXPECT_EQ(jobs[1][1], 1);
+  EXPECT_EQ(jobs[2][0], 1);
+}
+
+TEST(Hyperband, BracketOrderIsSequential) {
+  HyperbandScheduler hb(MakeRandomSampler(UnitSpace()), ToyHyperband());
+  int last_bracket = 0;
+  while (!hb.Finished()) {
+    const auto job = *hb.GetJob();
+    EXPECT_GE(job.bracket, last_bracket);  // never goes back in one pass
+    last_bracket = job.bracket;
+    hb.ReportResult(job, 0.001 * static_cast<double>(job.trial_id));
+  }
+  EXPECT_EQ(last_bracket, 2);
+}
+
+TEST(Hyperband, LoopForeverRestartsBracketZero) {
+  auto options = ToyHyperband();
+  options.loop_forever = true;
+  HyperbandScheduler hb(MakeRandomSampler(UnitSpace()), options);
+  std::set<int> brackets_seen;
+  for (int i = 0; i < 40; ++i) {
+    const auto job = *hb.GetJob();
+    brackets_seen.insert(job.bracket);
+    hb.ReportResult(job, 0.001 * static_cast<double>(job.trial_id));
+  }
+  EXPECT_FALSE(hb.Finished());
+  EXPECT_TRUE(brackets_seen.contains(0));
+  EXPECT_TRUE(brackets_seen.contains(1));
+}
+
+TEST(Hyperband, IncumbentAggregatesAcrossBrackets) {
+  HyperbandScheduler hb(MakeRandomSampler(UnitSpace()), ToyHyperband());
+  while (!hb.Finished()) {
+    const auto job = *hb.GetJob();
+    hb.ReportResult(job, 0.001 * static_cast<double>(job.trial_id + 1));
+  }
+  ASSERT_TRUE(hb.Current().has_value());
+  // Trial 0 (bracket 0 winner) has the lowest loss anywhere.
+  EXPECT_EQ(hb.Current()->trial_id, 0);
+}
+
+// ---------------------------------------------------------- AsyncHyperband
+
+AsyncHyperbandOptions ToyAsyncHyperband() {
+  AsyncHyperbandOptions options;
+  options.n0 = 9;
+  options.r = 1;
+  options.R = 9;
+  options.eta = 3;
+  return options;
+}
+
+TEST(AsyncHyperband, StartsInBracketZero) {
+  AsyncHyperbandScheduler ahb(MakeRandomSampler(UnitSpace()),
+                              ToyAsyncHyperband());
+  EXPECT_EQ(ahb.NumBrackets(), 3u);
+  EXPECT_EQ(ahb.CurrentBracket(), 0);
+  const auto job = *ahb.GetJob();
+  EXPECT_EQ(job.bracket, 0);
+  EXPECT_DOUBLE_EQ(job.to_resource, 1);
+}
+
+TEST(AsyncHyperband, SwitchesBracketWhenBudgetDepleted) {
+  AsyncHyperbandScheduler ahb(MakeRandomSampler(UnitSpace()),
+                              ToyAsyncHyperband());
+  std::set<int> brackets_seen;
+  for (int i = 0; i < 120; ++i) {
+    const auto job = *ahb.GetJob();
+    brackets_seen.insert(job.bracket);
+    ahb.ReportResult(job, 0.001 * static_cast<double>(job.trial_id));
+  }
+  // Bracket 0's hypothetical budget (21 with resume) depletes well within
+  // 120 unit jobs, so at least brackets 0 and 1 must appear.
+  EXPECT_GE(brackets_seen.size(), 2u);
+  EXPECT_TRUE(brackets_seen.contains(0));
+  EXPECT_TRUE(brackets_seen.contains(1));
+}
+
+TEST(AsyncHyperband, ResultsRouteToOwningBracket) {
+  AsyncHyperbandScheduler ahb(MakeRandomSampler(UnitSpace()),
+                              ToyAsyncHyperband());
+  // Collect jobs until one comes from bracket 1, reporting as we go.
+  for (int i = 0; i < 200; ++i) {
+    const auto job = *ahb.GetJob();
+    ahb.ReportResult(job, 0.5);
+    if (job.bracket == 1) {
+      // Bracket 1 recorded the result in *its* ASHA instance.
+      EXPECT_GE(ahb.bracket(1).rung(0).NumRecorded(), 1u);
+      return;
+    }
+  }
+  FAIL() << "bracket 1 never scheduled";
+}
+
+TEST(AsyncHyperband, SharedTrialBankHasUniqueIds) {
+  AsyncHyperbandScheduler ahb(MakeRandomSampler(UnitSpace()),
+                              ToyAsyncHyperband());
+  std::set<TrialId> fresh_ids;
+  for (int i = 0; i < 100; ++i) {
+    const auto job = *ahb.GetJob();
+    if (job.rung == 0 && job.from_resource == 0 &&
+        ahb.trials().Get(job.trial_id).observations.empty()) {
+      EXPECT_TRUE(fresh_ids.insert(job.trial_id).second)
+          << "trial id " << job.trial_id << " reused across brackets";
+    }
+    ahb.ReportResult(job, 0.5);
+  }
+}
+
+TEST(AsyncHyperband, NeverFinishes) {
+  AsyncHyperbandScheduler ahb(MakeRandomSampler(UnitSpace()),
+                              ToyAsyncHyperband());
+  EXPECT_FALSE(ahb.Finished());
+}
+
+// ------------------------------------------------------------ RandomSearch
+
+TEST(RandomSearch, AlwaysFullResourceJobs) {
+  RandomSearchOptions options;
+  options.R = 100;
+  RandomSearchScheduler rs(MakeRandomSampler(UnitSpace()), options);
+  for (int i = 0; i < 10; ++i) {
+    const auto job = *rs.GetJob();
+    EXPECT_DOUBLE_EQ(job.to_resource, 100);
+    EXPECT_DOUBLE_EQ(job.from_resource, 0);
+    rs.ReportResult(job, 0.5);
+    EXPECT_EQ(rs.trials().Get(job.trial_id).status, TrialStatus::kCompleted);
+  }
+}
+
+TEST(RandomSearch, IncumbentIsBestCompleted) {
+  RandomSearchOptions options;
+  options.R = 10;
+  RandomSearchScheduler rs(MakeRandomSampler(UnitSpace()), options);
+  const auto j0 = *rs.GetJob();
+  const auto j1 = *rs.GetJob();
+  rs.ReportResult(j0, 0.7);
+  rs.ReportResult(j1, 0.3);
+  ASSERT_TRUE(rs.Current().has_value());
+  EXPECT_EQ(rs.Current()->trial_id, j1.trial_id);
+}
+
+TEST(RandomSearch, MaxTrialsFinishes) {
+  RandomSearchOptions options;
+  options.R = 10;
+  options.max_trials = 2;
+  RandomSearchScheduler rs(MakeRandomSampler(UnitSpace()), options);
+  const auto j0 = *rs.GetJob();
+  const auto j1 = *rs.GetJob();
+  EXPECT_FALSE(rs.GetJob().has_value());
+  EXPECT_FALSE(rs.Finished());  // jobs still in flight
+  rs.ReportResult(j0, 0.5);
+  rs.ReportLost(j1);
+  EXPECT_TRUE(rs.Finished());
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -1,0 +1,201 @@
+#include "core/sha.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace hypertune {
+namespace {
+
+SearchSpace UnitSpace() {
+  SearchSpace space;
+  space.Add("x", Domain::Continuous(0.0, 1.0));
+  return space;
+}
+
+ShaOptions ToyOptions() {
+  ShaOptions options;
+  options.n = 9;
+  options.r = 1;
+  options.R = 9;
+  options.eta = 3;
+  options.s = 0;
+  options.spawn_new_brackets = false;
+  return options;
+}
+
+TEST(Sha, RejectsTooFewConfigurations) {
+  auto options = ToyOptions();
+  options.n = 8;  // needs >= eta^(s_max - s) = 9
+  EXPECT_THROW(SyncShaScheduler(MakeRandomSampler(UnitSpace()), options),
+               CheckError);
+}
+
+TEST(Sha, DispatchesWholeRungThenBlocks) {
+  SyncShaScheduler sha(MakeRandomSampler(UnitSpace()), ToyOptions());
+  std::vector<Job> jobs;
+  for (int i = 0; i < 9; ++i) {
+    const auto job = sha.GetJob();
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->rung, 0);
+    EXPECT_DOUBLE_EQ(job->to_resource, 1);
+    jobs.push_back(*job);
+  }
+  // Synchronization: rung 0 incomplete -> no work (a straggler would idle
+  // every other worker here).
+  EXPECT_FALSE(sha.GetJob().has_value());
+  // Report 8 of 9: still blocked.
+  for (int i = 0; i < 8; ++i) sha.ReportResult(jobs[i], 0.1 * (i + 1));
+  EXPECT_FALSE(sha.GetJob().has_value());
+  sha.ReportResult(jobs[8], 0.9);
+  // Rung settled: top 3 promoted.
+  const auto promotion = sha.GetJob();
+  ASSERT_TRUE(promotion.has_value());
+  EXPECT_EQ(promotion->rung, 1);
+  EXPECT_DOUBLE_EQ(promotion->to_resource, 3);
+}
+
+TEST(Sha, FullBracketPromotionCounts) {
+  // Algorithm 1 on the toy bracket: 9 -> 3 -> 1 (Figure 1 left).
+  SyncShaScheduler sha(MakeRandomSampler(UnitSpace()), ToyOptions());
+  std::map<int, int> jobs_per_rung;
+  while (!sha.Finished()) {
+    const auto job = sha.GetJob();
+    ASSERT_TRUE(job.has_value());
+    ++jobs_per_rung[job->rung];
+    // Loss by trial id: lower id = better.
+    sha.ReportResult(*job, 0.01 * static_cast<double>(job->trial_id));
+  }
+  EXPECT_EQ(jobs_per_rung[0], 9);
+  EXPECT_EQ(jobs_per_rung[1], 3);
+  EXPECT_EQ(jobs_per_rung[2], 1);
+  EXPECT_EQ(sha.NumCompletedBrackets(), 1u);
+  // Best trials promoted: ids 0,1,2 to rung 1; id 0 to rung 2.
+  EXPECT_EQ(sha.trials().Get(0).status, TrialStatus::kCompleted);
+  EXPECT_DOUBLE_EQ(sha.trials().Get(0).resource_trained, 9);
+}
+
+TEST(Sha, ByBracketIncumbentOnlyAtCompletion) {
+  SyncShaScheduler sha(MakeRandomSampler(UnitSpace()), ToyOptions());
+  while (!sha.Finished()) {
+    const auto job = *sha.GetJob();
+    const bool was_finished = sha.Finished();
+    EXPECT_FALSE(was_finished);
+    // Recommendation appears only once the whole bracket settles.
+    EXPECT_FALSE(sha.Current().has_value());
+    sha.ReportResult(job, 0.01 * static_cast<double>(job.trial_id));
+  }
+  ASSERT_TRUE(sha.Current().has_value());
+  EXPECT_EQ(sha.Current()->trial_id, 0);
+}
+
+TEST(Sha, ByRungIncumbentAfterEachRung) {
+  auto options = ToyOptions();
+  options.incumbent_policy = IncumbentPolicy::kByRung;
+  SyncShaScheduler sha(MakeRandomSampler(UnitSpace()), options);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 9; ++i) jobs.push_back(*sha.GetJob());
+  for (int i = 0; i < 8; ++i) {
+    sha.ReportResult(jobs[i], 0.1 * (i + 1));
+    EXPECT_FALSE(sha.Current().has_value());
+  }
+  sha.ReportResult(jobs[8], 0.9);
+  // Rung 0 settled: incumbent available immediately (Appendix A.2).
+  ASSERT_TRUE(sha.Current().has_value());
+  EXPECT_EQ(sha.Current()->trial_id, jobs[0].trial_id);
+}
+
+TEST(Sha, DroppedJobsShrinkPromotions) {
+  SyncShaScheduler sha(MakeRandomSampler(UnitSpace()), ToyOptions());
+  std::vector<Job> jobs;
+  for (int i = 0; i < 9; ++i) jobs.push_back(*sha.GetJob());
+  // Drop 4 of 9; 5 survive -> floor(5/3) = 1 promotion only.
+  for (int i = 0; i < 5; ++i) sha.ReportResult(jobs[i], 0.1 * (i + 1));
+  for (int i = 5; i < 9; ++i) sha.ReportLost(jobs[i]);
+  const auto promotion = sha.GetJob();
+  ASSERT_TRUE(promotion.has_value());
+  EXPECT_EQ(promotion->rung, 1);
+  EXPECT_FALSE(sha.GetJob().has_value());  // only one survivor promoted
+}
+
+TEST(Sha, BracketDiesWhenTooFewSurvive) {
+  SyncShaScheduler sha(MakeRandomSampler(UnitSpace()), ToyOptions());
+  std::vector<Job> jobs;
+  for (int i = 0; i < 9; ++i) jobs.push_back(*sha.GetJob());
+  // Only 2 survive rung 0: floor(2/3) = 0 promotions -> bracket complete.
+  sha.ReportResult(jobs[0], 0.1);
+  sha.ReportResult(jobs[1], 0.2);
+  for (int i = 2; i < 9; ++i) sha.ReportLost(jobs[i]);
+  EXPECT_TRUE(sha.Finished());
+  EXPECT_EQ(sha.NumCompletedBrackets(), 1u);
+}
+
+TEST(Sha, SpawnsNewBracketWhenBlocked) {
+  auto options = ToyOptions();
+  options.spawn_new_brackets = true;
+  SyncShaScheduler sha(MakeRandomSampler(UnitSpace()), options);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 9; ++i) jobs.push_back(*sha.GetJob());
+  // Rung incomplete, but the Falkner scheme starts a second bracket rather
+  // than idling the worker.
+  const auto job = sha.GetJob();
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->rung, 0);
+  EXPECT_EQ(sha.NumBracketInstances(), 2u);
+  EXPECT_NE(job->tag, jobs[0].tag);
+  EXPECT_FALSE(sha.Finished());  // never finishes in spawn mode
+}
+
+TEST(Sha, ResultsRouteToCorrectBracketInstance) {
+  auto options = ToyOptions();
+  options.spawn_new_brackets = true;
+  SyncShaScheduler sha(MakeRandomSampler(UnitSpace()), options);
+  std::vector<Job> first_bracket;
+  for (int i = 0; i < 9; ++i) first_bracket.push_back(*sha.GetJob());
+  std::vector<Job> second_bracket;
+  for (int i = 0; i < 9; ++i) second_bracket.push_back(*sha.GetJob());
+  // Settle the *second* bracket's rung 0 first.
+  for (const auto& job : second_bracket) sha.ReportResult(job, 0.5);
+  const auto promotion = *sha.GetJob();
+  EXPECT_EQ(promotion.rung, 1);
+  EXPECT_EQ(promotion.tag, second_bracket[0].tag);
+}
+
+TEST(Sha, ResumeAffectsPromotionCost) {
+  SyncShaScheduler sha(MakeRandomSampler(UnitSpace()), ToyOptions());
+  std::vector<Job> jobs;
+  for (int i = 0; i < 9; ++i) jobs.push_back(*sha.GetJob());
+  for (int i = 0; i < 9; ++i) sha.ReportResult(jobs[i], 0.1 * (i + 1));
+  const auto promotion = *sha.GetJob();
+  EXPECT_DOUBLE_EQ(promotion.from_resource, 1);
+  EXPECT_DOUBLE_EQ(promotion.to_resource, 3);
+}
+
+TEST(Sha, DisplayNameOverride) {
+  auto options = ToyOptions();
+  options.display_name = "BOHB";
+  SyncShaScheduler sha(MakeRandomSampler(UnitSpace()), options);
+  EXPECT_EQ(sha.name(), "BOHB");
+}
+
+TEST(Sha, Section41GeometrySanity) {
+  ShaOptions options;
+  options.n = 256;
+  options.r = 30000.0 / 256;
+  options.R = 30000;
+  options.eta = 4;
+  options.spawn_new_brackets = false;
+  SyncShaScheduler sha(MakeRandomSampler(UnitSpace()), options);
+  int rung0_jobs = 0;
+  while (auto job = sha.GetJob()) {
+    ++rung0_jobs;
+    EXPECT_EQ(job->rung, 0);
+  }
+  EXPECT_EQ(rung0_jobs, 256);
+}
+
+}  // namespace
+}  // namespace hypertune

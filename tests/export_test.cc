@@ -1,0 +1,131 @@
+#include "analysis/export.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "analysis/trajectory.h"
+#include "common/check.h"
+#include "core/asha.h"
+#include "sim/driver.h"
+#include "surrogate/benchmarks.h"
+
+namespace hypertune {
+namespace {
+
+Configuration SampleConfig() {
+  Configuration config;
+  config.Set("lr", ParamValue{0.015625});
+  config.Set("layers", ParamValue{std::int64_t{3}});
+  config.Set("activation", ParamValue{std::string{"relu"}});
+  return config;
+}
+
+TEST(Export, ConfigurationRoundTripPreservesTypes) {
+  const auto config = SampleConfig();
+  const auto back = ConfigurationFromJson(ToJson(config));
+  EXPECT_EQ(back, config);
+  // Types preserved exactly.
+  EXPECT_NO_THROW(back.GetDouble("lr"));
+  EXPECT_NO_THROW(back.GetInt("layers"));
+  EXPECT_NO_THROW(back.GetString("activation"));
+}
+
+TEST(Export, ConfigurationRejectsNonScalarValues) {
+  Json bad = JsonObject{};
+  bad.Set("x", Json(JsonArray{Json(1)}));
+  EXPECT_THROW(ConfigurationFromJson(bad), CheckError);
+}
+
+TEST(Export, TrialToJsonCarriesObservations) {
+  Trial trial;
+  trial.id = 4;
+  trial.config = SampleConfig();
+  trial.bracket = 1;
+  trial.status = TrialStatus::kPaused;
+  trial.observations = {{10, 0.5}, {40, 0.3}};
+  trial.resource_trained = 40;
+  const Json json = ToJson(trial);
+  EXPECT_EQ(json.at("id").AsInt(), 4);
+  EXPECT_EQ(json.at("status").AsString(), "paused");
+  EXPECT_EQ(json.at("observations").size(), 2u);
+  EXPECT_DOUBLE_EQ(
+      json.at("observations").at(std::size_t{1}).at("loss").AsDouble(), 0.3);
+}
+
+TEST(Export, DriverResultRoundTrip) {
+  // Run a real small tuning job and round-trip its result through JSON.
+  auto bench = benchmarks::UnitTime(1);
+  AshaOptions options;
+  options.r = 1;
+  options.R = 16;
+  options.eta = 4;
+  options.max_trials = 20;
+  AshaScheduler asha(MakeRandomSampler(bench->space()), options);
+  DriverOptions driver_options;
+  driver_options.num_workers = 4;
+  driver_options.hazards.drop_probability = 0.01;
+  SimulationDriver driver(asha, *bench, driver_options);
+  const DriverResult original = driver.Run();
+
+  const DriverResult back =
+      DriverResultFromJson(Json::Parse(ToJson(original).Dump()));
+  ASSERT_EQ(back.completions.size(), original.completions.size());
+  for (std::size_t i = 0; i < back.completions.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.completions[i].time, original.completions[i].time);
+    EXPECT_EQ(back.completions[i].trial_id, original.completions[i].trial_id);
+    EXPECT_EQ(back.completions[i].dropped, original.completions[i].dropped);
+    EXPECT_DOUBLE_EQ(back.completions[i].loss, original.completions[i].loss);
+  }
+  ASSERT_EQ(back.recommendations.size(), original.recommendations.size());
+  EXPECT_DOUBLE_EQ(back.end_time, original.end_time);
+  EXPECT_EQ(back.jobs_completed, original.jobs_completed);
+  EXPECT_EQ(back.jobs_dropped, original.jobs_dropped);
+}
+
+TEST(Export, TrialBankSerializesEveryTrial) {
+  auto bench = benchmarks::UnitTime(2);
+  AshaOptions options;
+  options.r = 1;
+  options.R = 16;
+  options.eta = 4;
+  options.max_trials = 10;
+  AshaScheduler asha(MakeRandomSampler(bench->space()), options);
+  DriverOptions driver_options;
+  SimulationDriver driver(asha, *bench, driver_options);
+  (void)driver.Run();
+  const Json json = ToJson(asha.trials());
+  EXPECT_EQ(json.size(), asha.trials().size());
+  // Every serialized trial's config re-parses into the original.
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const auto config = ConfigurationFromJson(json.at(i).at("config"));
+    EXPECT_EQ(config, asha.trials().Get(static_cast<TrialId>(i)).config);
+  }
+}
+
+TEST(Export, ExperimentFileIsValidJson) {
+  MethodResult method;
+  method.method = "ASHA";
+  Trajectory trajectory;
+  trajectory.Add(1, 0.5);
+  method.trajectories.push_back(trajectory);
+  method.series = Aggregate(method.trajectories, {1.0, 2.0});
+  method.mean_trials_evaluated = 3;
+
+  const std::string path =
+      testing::TempDir() + "/ht_export_test/experiment.json";
+  ASSERT_TRUE(ExportExperiment(path, "unit-test", {method}));
+
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  const Json parsed = Json::Parse(content);
+  EXPECT_EQ(parsed.at("name").AsString(), "unit-test");
+  EXPECT_EQ(parsed.at("methods").size(), 1u);
+  const auto& m = parsed.at("methods").at(std::size_t{0});
+  EXPECT_EQ(m.at("method").AsString(), "ASHA");
+  EXPECT_EQ(m.at("series").at("times").size(), 2u);
+}
+
+}  // namespace
+}  // namespace hypertune

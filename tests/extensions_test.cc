@@ -1,0 +1,233 @@
+// Tests for the extension components: power-law curve fitting, the
+// learning-curve stopper, the Halton quasi-random sampler, and Spearman
+// correlation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "baselines/lc_stop.h"
+#include "bo/curve_fit.h"
+#include "common/check.h"
+#include "common/stats.h"
+#include "core/quasirandom.h"
+#include "sim/driver.h"
+
+namespace hypertune {
+namespace {
+
+// ------------------------------------------------------------- curve fit
+
+TEST(CurveFit, RecoversKnownPowerLaw) {
+  // y = 0.2 + 0.5 * r^(-0.8)
+  std::vector<std::pair<double, double>> points;
+  for (double r : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    points.emplace_back(r, 0.2 + 0.5 * std::pow(r, -0.8));
+  }
+  const auto fit = FitPowerLaw(points);
+  EXPECT_NEAR(fit.a, 0.2, 0.02);
+  EXPECT_NEAR(fit.b, 0.5, 0.05);
+  EXPECT_NEAR(fit.c, 0.8, 0.06);
+  EXPECT_LT(fit.rss, 1e-4);
+  EXPECT_NEAR(PredictPowerLaw(fit, 1e6), 0.2, 0.02);
+}
+
+TEST(CurveFit, ExtrapolationSeparatesGoodFromBad) {
+  auto curve = [](double floor, double r) {
+    return floor + 0.4 * std::pow(r, -0.6);
+  };
+  std::vector<std::pair<double, double>> good, bad;
+  for (double r : {4.0, 8.0, 12.0}) {
+    good.emplace_back(r, curve(0.1, r));
+    bad.emplace_back(r, curve(0.3, r));
+  }
+  const double good_final = PredictPowerLaw(FitPowerLaw(good), 256);
+  const double bad_final = PredictPowerLaw(FitPowerLaw(bad), 256);
+  EXPECT_LT(good_final, 0.2);
+  EXPECT_GT(bad_final, 0.25);
+}
+
+TEST(CurveFit, RisingLossesFallBackToFlatFit) {
+  std::vector<std::pair<double, double>> points{{1, 0.2}, {2, 0.3}, {4, 0.4}};
+  const auto fit = FitPowerLaw(points);
+  // No decreasing power law matches; the flat fallback predicts ~the mean.
+  EXPECT_NEAR(PredictPowerLaw(fit, 1000), 0.3, 0.15);
+}
+
+TEST(CurveFit, Validation) {
+  std::vector<std::pair<double, double>> two{{1, 0.2}, {2, 0.1}};
+  EXPECT_THROW(FitPowerLaw(two), CheckError);
+  std::vector<std::pair<double, double>> negative{{0, 0.2}, {1, 0.1}, {2, 0.05}};
+  EXPECT_THROW(FitPowerLaw(negative), CheckError);
+}
+
+// ---------------------------------------------------------------- LCStop
+
+SearchSpace UnitSpace() {
+  SearchSpace space;
+  space.Add("x", Domain::Continuous(0.0, 1.0));
+  return space;
+}
+
+class PowerLawEnv final : public JobEnvironment {
+ public:
+  double Loss(const Configuration& config, Resource resource) override {
+    const double floor = config.GetDouble("x");
+    return floor + 0.5 * std::pow(resource, -0.7);
+  }
+  double Duration(const Configuration&, Resource from, Resource to) override {
+    return to - from;
+  }
+};
+
+TEST(LcStop, PrunesBadTrialsAndKeepsIncumbentSane) {
+  LcStopOptions options;
+  options.R = 256;
+  options.step_resource = 16;
+  options.min_observations = 3;
+  options.margin = 0.1;
+  LcStopScheduler tuner(MakeRandomSampler(UnitSpace()), options);
+  PowerLawEnv env;
+  DriverOptions driver_options;
+  driver_options.num_workers = 4;
+  driver_options.time_limit = 20000;
+  SimulationDriver driver(tuner, env, driver_options);
+  const auto result = driver.Run();
+  EXPECT_GT(result.jobs_completed, 200u);
+  EXPECT_GT(tuner.NumStopped(), 5u);
+  ASSERT_TRUE(tuner.Current().has_value());
+  // The incumbent's floor must be small (extrapolation found good configs).
+  const auto& best = tuner.trials().Get(tuner.Current()->trial_id).config;
+  EXPECT_LT(best.GetDouble("x"), 0.3);
+  // Stopped trials never consumed the full budget.
+  for (const auto& trial : tuner.trials()) {
+    if (trial.status == TrialStatus::kStopped) {
+      EXPECT_LT(trial.resource_trained, options.R);
+    }
+  }
+}
+
+TEST(LcStop, NoPruningBeforeFirstCompletion) {
+  LcStopOptions options;
+  options.R = 64;
+  options.step_resource = 16;
+  LcStopScheduler tuner(MakeRandomSampler(UnitSpace()), options);
+  // Interleave two trials; neither completes -> neither may be stopped.
+  const auto j0 = *tuner.GetJob();
+  tuner.ReportResult(j0, 0.9);
+  const auto j1 = *tuner.GetJob();  // resume of trial 0 (priority)
+  tuner.ReportResult(j1, 0.85);
+  const auto j2 = *tuner.GetJob();
+  tuner.ReportResult(j2, 0.84);
+  EXPECT_EQ(tuner.NumStopped(), 0u);
+}
+
+// ---------------------------------------------------------------- Halton
+
+TEST(Halton, RadicalInverseKnownValues) {
+  EXPECT_DOUBLE_EQ(HaltonSampler::RadicalInverse(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(HaltonSampler::RadicalInverse(1, 2), 0.5);
+  EXPECT_DOUBLE_EQ(HaltonSampler::RadicalInverse(2, 2), 0.25);
+  EXPECT_DOUBLE_EQ(HaltonSampler::RadicalInverse(3, 2), 0.75);
+  EXPECT_DOUBLE_EQ(HaltonSampler::RadicalInverse(1, 3), 1.0 / 3);
+  EXPECT_DOUBLE_EQ(HaltonSampler::RadicalInverse(2, 3), 2.0 / 3);
+}
+
+TEST(Halton, SamplesInSpaceAndDeterministic) {
+  SearchSpace space;
+  space.Add("a", Domain::Continuous(0.0, 1.0))
+      .Add("b", Domain::Integer(1, 100));
+  HaltonSampler s1(space), s2(space);
+  Rng r1(5), r2(5);
+  for (int i = 0; i < 100; ++i) {
+    const auto c1 = s1.Sample(r1);
+    const auto c2 = s2.Sample(r2);
+    EXPECT_TRUE(space.Contains(c1));
+    EXPECT_EQ(c1, c2);  // same seed -> same sequence
+  }
+}
+
+TEST(Halton, LowerDiscrepancyThanUniform) {
+  // Count points in a 4x4 grid of cells: Halton's max cell count should be
+  // closer to the expected n/16 than uniform's.
+  SearchSpace space;
+  space.Add("a", Domain::Continuous(0.0, 1.0))
+      .Add("b", Domain::Continuous(0.0, 1.0));
+  auto max_cell_count = [&](auto&& sample, int n) {
+    std::vector<int> cells(16, 0);
+    for (int i = 0; i < n; ++i) {
+      const auto config = sample();
+      const auto cell_x = std::min(3, static_cast<int>(config.GetDouble("a") * 4));
+      const auto cell_y = std::min(3, static_cast<int>(config.GetDouble("b") * 4));
+      ++cells[static_cast<std::size_t>(cell_y * 4 + cell_x)];
+    }
+    return *std::max_element(cells.begin(), cells.end());
+  };
+  const int n = 320;  // expected 20 per cell
+  HaltonSampler halton(space);
+  Rng hr(3);
+  const int halton_max = max_cell_count([&] { return halton.Sample(hr); }, n);
+  Rng ur(3);
+  const int uniform_max =
+      max_cell_count([&] { return space.Sample(ur); }, n);
+  EXPECT_LE(halton_max, uniform_max);
+  EXPECT_LE(halton_max, 26);  // tight around the expectation of 20
+}
+
+TEST(Halton, RejectsTooManyDimensions) {
+  SearchSpace space;
+  for (int i = 0; i < 21; ++i) {
+    space.Add("p" + std::to_string(i), Domain::Continuous(0, 1));
+  }
+  EXPECT_THROW(HaltonSampler{space}, CheckError);
+}
+
+// --------------------------------------------------------------- Spearman
+
+TEST(Spearman, PerfectMonotoneRelations) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> up{10, 20, 30, 40, 50};
+  const std::vector<double> down{5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation(xs, up), 1.0);
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation(xs, down), -1.0);
+  // Nonlinear but monotone: still 1.
+  const std::vector<double> exp_y{std::exp(1.0), std::exp(2.0), std::exp(3.0),
+                                  std::exp(4.0), std::exp(5.0)};
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation(xs, exp_y), 1.0);
+}
+
+TEST(Spearman, TiesGetAverageRanks) {
+  const std::vector<double> xs{1, 2, 2, 3};
+  const auto ranks = Ranks(xs);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(Spearman, ConstantInputGivesZero) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> constant{5, 5, 5};
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation(xs, constant), 0.0);
+}
+
+TEST(Spearman, IndependentSamplesNearZero) {
+  Rng rng(11);
+  std::vector<double> xs(2000), ys(2000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.Uniform();
+    ys[i] = rng.Uniform();
+  }
+  EXPECT_NEAR(SpearmanCorrelation(xs, ys), 0.0, 0.06);
+}
+
+TEST(Spearman, Validation) {
+  const std::vector<double> one{1.0};
+  const std::vector<double> two{1.0, 2.0};
+  EXPECT_THROW(SpearmanCorrelation(one, one), CheckError);
+  EXPECT_THROW(SpearmanCorrelation(two, one), CheckError);
+}
+
+}  // namespace
+}  // namespace hypertune

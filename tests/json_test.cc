@@ -1,0 +1,140 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hypertune {
+namespace {
+
+TEST(Json, TypePredicates) {
+  EXPECT_TRUE(Json().IsNull());
+  EXPECT_TRUE(Json(true).IsBool());
+  EXPECT_TRUE(Json(1.5).IsNumber());
+  EXPECT_TRUE(Json(std::int64_t{3}).IsInt());
+  EXPECT_FALSE(Json(1.5).IsInt());
+  EXPECT_TRUE(Json("hi").IsString());
+  EXPECT_TRUE(Json(JsonArray{}).IsArray());
+  EXPECT_TRUE(Json(JsonObject{}).IsObject());
+}
+
+TEST(Json, AccessorsAndMismatches) {
+  EXPECT_TRUE(Json(true).AsBool());
+  EXPECT_DOUBLE_EQ(Json(2.5).AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(Json(std::int64_t{7}).AsDouble(), 7.0);  // widening
+  EXPECT_EQ(Json(std::int64_t{7}).AsInt(), 7);
+  EXPECT_EQ(Json(4.0).AsInt(), 4);  // exactly-integral double
+  EXPECT_THROW(Json(4.5).AsInt(), CheckError);
+  EXPECT_THROW(Json("x").AsDouble(), CheckError);
+  EXPECT_THROW(Json(1.0).AsString(), CheckError);
+}
+
+TEST(Json, ObjectBuildAndLookup) {
+  Json json;  // null -> becomes object on Set
+  json.Set("a", Json(1));
+  json.Set("b", Json("two"));
+  json.Set("a", Json(3));  // overwrite
+  EXPECT_EQ(json.size(), 2u);
+  EXPECT_EQ(json.at("a").AsInt(), 3);
+  EXPECT_EQ(json.at("b").AsString(), "two");
+  EXPECT_TRUE(json.Has("a"));
+  EXPECT_FALSE(json.Has("zz"));
+  EXPECT_THROW(json.at("zz"), CheckError);
+}
+
+TEST(Json, ArrayBuildAndIndex) {
+  Json json;  // null -> becomes array on PushBack
+  json.PushBack(Json(1));
+  json.PushBack(Json(2));
+  EXPECT_EQ(json.size(), 2u);
+  EXPECT_EQ(json.at(std::size_t{1}).AsInt(), 2);
+  EXPECT_THROW(json.at(std::size_t{5}), CheckError);
+}
+
+TEST(Json, DumpCompact) {
+  Json json = JsonObject{};
+  json.Set("n", Json(std::int64_t{42}));
+  json.Set("x", Json(1.5));
+  json.Set("s", Json("a\"b"));
+  json.Set("flag", Json(false));
+  json.Set("list", Json(JsonArray{Json(1), Json()}));
+  EXPECT_EQ(json.Dump(),
+            R"({"n":42,"x":1.5,"s":"a\"b","flag":false,"list":[1,null]})");
+}
+
+TEST(Json, DumpPrettyIsReparsable) {
+  Json json = JsonObject{};
+  json.Set("outer", Json(JsonObject{{"inner", Json(JsonArray{Json(1)})}}));
+  const std::string pretty = json.Dump(2);
+  EXPECT_NE(pretty.find("\n  \"outer\""), std::string::npos);
+  EXPECT_EQ(Json::Parse(pretty), json);
+}
+
+TEST(Json, IntDoubleDistinctionSurvivesRoundTrip) {
+  Json json = JsonObject{};
+  json.Set("i", Json(std::int64_t{5}));
+  json.Set("d", Json(5.0));  // integral-valued double
+  const Json back = Json::Parse(json.Dump());
+  EXPECT_TRUE(back.at("i").IsInt());
+  EXPECT_FALSE(back.at("d").IsInt());
+  EXPECT_DOUBLE_EQ(back.at("d").AsDouble(), 5.0);
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  Json json = JsonArray{Json(std::nan("")), Json(INFINITY)};
+  EXPECT_EQ(json.Dump(), "[null,null]");
+}
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(Json::Parse("null").IsNull());
+  EXPECT_TRUE(Json::Parse("true").AsBool());
+  EXPECT_FALSE(Json::Parse("false").AsBool());
+  EXPECT_EQ(Json::Parse("-17").AsInt(), -17);
+  EXPECT_DOUBLE_EQ(Json::Parse("2.5e-3").AsDouble(), 0.0025);
+  EXPECT_EQ(Json::Parse(R"("he\nllo")").AsString(), "he\nllo");
+}
+
+TEST(Json, ParseNestedWithWhitespace) {
+  const auto json = Json::Parse(R"(
+    { "a" : [ 1 , { "b" : "c" } , [] ] ,
+      "d" : {} }
+  )");
+  EXPECT_EQ(json.at("a").size(), 3u);
+  EXPECT_EQ(json.at("a").at(std::size_t{1}).at("b").AsString(), "c");
+  EXPECT_EQ(json.at("d").size(), 0u);
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  EXPECT_EQ(Json::Parse(R"("A")").AsString(), "A");
+  EXPECT_EQ(Json::Parse(R"("é")").AsString(), "\xc3\xa9");  // é
+}
+
+TEST(Json, ParseErrorsCarryOffsets) {
+  EXPECT_THROW(Json::Parse(""), CheckError);
+  EXPECT_THROW(Json::Parse("{"), CheckError);
+  EXPECT_THROW(Json::Parse("[1,]2"), CheckError);
+  EXPECT_THROW(Json::Parse("{\"a\" 1}"), CheckError);
+  EXPECT_THROW(Json::Parse("tru"), CheckError);
+  EXPECT_THROW(Json::Parse("1 2"), CheckError);
+  EXPECT_THROW(Json::Parse("\"unterminated"), CheckError);
+}
+
+TEST(Json, RoundTripComplexDocument) {
+  Json document = JsonObject{};
+  document.Set("name", Json("fig5"));
+  Json methods = JsonArray{};
+  for (int i = 0; i < 3; ++i) {
+    Json method = JsonObject{};
+    method.Set("id", Json(i));
+    method.Set("mean", Json(0.1 * i + 0.05));
+    methods.PushBack(std::move(method));
+  }
+  document.Set("methods", std::move(methods));
+  EXPECT_EQ(Json::Parse(document.Dump()), document);
+  EXPECT_EQ(Json::Parse(document.Dump(4)), document);
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -1,0 +1,76 @@
+#include "registry/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "sim/driver.h"
+#include "surrogate/benchmarks.h"
+
+namespace hypertune {
+namespace {
+
+TEST(Registry, EveryListedTunerBuildsAndRuns) {
+  for (const auto& name : TunerNames()) {
+    auto bench = benchmarks::CifarArch(5);
+    TunerParams params;
+    params.n = 64;
+    params.r_divisor = 64;
+    params.grid_resolution = 2;
+    auto tuner = MakeTunerByName(name, *bench, params);
+    ASSERT_NE(tuner, nullptr) << name;
+
+    DriverOptions options;
+    options.num_workers = 4;
+    options.time_limit = 2.0 * bench->MeanTimeOfR();
+    SimulationDriver driver(*tuner, *bench, options);
+    const auto result = driver.Run();
+    EXPECT_GT(result.jobs_completed, 3u) << name;
+    EXPECT_TRUE(tuner->Current().has_value()) << name;
+  }
+}
+
+TEST(Registry, UnknownNameThrowsWithKnownList) {
+  auto bench = benchmarks::UnitTime(1);
+  try {
+    MakeTunerByName("nope", *bench, {});
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& error) {
+    // The error message lists valid names for discoverability.
+    EXPECT_NE(std::string(error.what()).find("asha"), std::string::npos);
+  }
+}
+
+TEST(Registry, ParamsAreApplied) {
+  auto bench = benchmarks::UnitTime(1);
+  TunerParams params;
+  params.eta = 2;
+  params.s = 1;
+  params.r_divisor = 16;
+  auto tuner = MakeTunerByName("asha", *bench, params);
+  const auto job = tuner->GetJob();
+  ASSERT_TRUE(job.has_value());
+  // r = 256/16 = 16; s=1 => bottom rung at r*eta = 32.
+  EXPECT_DOUBLE_EQ(job->to_resource, 32);
+  EXPECT_EQ(job->bracket, 1);
+}
+
+TEST(Registry, NonResumableBenchmarkDisablesResume) {
+  auto bench = benchmarks::SvmVehicle(1);
+  TunerParams params;
+  params.n = 64;
+  params.r_divisor = 64;
+  auto tuner = MakeTunerByName("sha", *bench, params);
+  // Drive one full rung to get a promotion job and check it retrains.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 64; ++i) jobs.push_back(*tuner->GetJob());
+  for (int i = 0; i < 64; ++i) {
+    tuner->ReportResult(jobs[static_cast<std::size_t>(i)], 0.01 * i);
+  }
+  const auto promotion = tuner->GetJob();
+  ASSERT_TRUE(promotion.has_value());
+  EXPECT_GT(promotion->rung, 0);
+  EXPECT_DOUBLE_EQ(promotion->from_resource, 0);  // full retrain
+}
+
+}  // namespace
+}  // namespace hypertune

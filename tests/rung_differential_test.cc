@@ -1,0 +1,127 @@
+// Differential test: the incrementally-indexed Rung against a naive
+// reference implementation, under long random interleavings of Record /
+// MarkPromoted / FirstPromotable. The incremental boundary-iterator logic
+// in core/rung.cc is the subtlest code in the scheduler hot path; this
+// suite pins it to the obviously-correct version.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/rung.h"
+
+namespace hypertune {
+namespace {
+
+/// The obviously-correct rung: full rescan on every query.
+class ReferenceRung {
+ public:
+  void Record(TrialId id, double loss) { results_.emplace_back(loss, id); }
+
+  void MarkPromoted(TrialId id) { promoted_.insert(id); }
+
+  std::optional<TrialId> FirstPromotable(double eta) const {
+    std::vector<std::pair<double, TrialId>> sorted = results_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto k = static_cast<std::size_t>(
+        static_cast<double>(sorted.size()) / eta);
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!promoted_.contains(sorted[i].second)) return sorted[i].second;
+    }
+    return std::nullopt;
+  }
+
+  std::vector<TrialId> Promotable(double eta) const {
+    std::vector<std::pair<double, TrialId>> sorted = results_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto k = static_cast<std::size_t>(
+        static_cast<double>(sorted.size()) / eta);
+    std::vector<TrialId> out;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!promoted_.contains(sorted[i].second)) out.push_back(sorted[i].second);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<double, TrialId>> results_;
+  std::set<TrialId> promoted_;
+};
+
+struct FuzzParams {
+  double eta;
+  std::uint64_t seed;
+  int steps;
+  /// Probability a step promotes (via the real rung's answer) vs records.
+  double promote_probability;
+  /// Losses drawn from a small discrete set to force ties when true.
+  bool heavy_ties;
+};
+
+class RungDifferential : public testing::TestWithParam<FuzzParams> {};
+
+TEST_P(RungDifferential, MatchesReferenceUnderRandomOps) {
+  const auto params = GetParam();
+  Rng rng(params.seed);
+  Rung rung;
+  ReferenceRung reference;
+  TrialId next_id = 0;
+
+  for (int step = 0; step < params.steps; ++step) {
+    const bool try_promote = rng.Bernoulli(params.promote_probability);
+    if (try_promote) {
+      const auto real = rung.FirstPromotable(params.eta);
+      const auto expected = reference.FirstPromotable(params.eta);
+      // Ties in the reference sort are broken by (loss, id) just like the
+      // real set ordering, so answers must agree exactly.
+      ASSERT_EQ(real.has_value(), expected.has_value()) << "step " << step;
+      if (real) {
+        ASSERT_EQ(*real, *expected) << "step " << step;
+        rung.MarkPromoted(*real);
+        reference.MarkPromoted(*expected);
+      }
+    } else {
+      const double loss =
+          params.heavy_ties
+              ? 0.1 * static_cast<double>(rng.UniformInt(0, 5))
+              : rng.Uniform();
+      rung.Record(next_id, loss);
+      reference.Record(next_id, loss);
+      ++next_id;
+    }
+    if (step % 64 == 0) {
+      // Periodically compare the full promotable sets too.
+      ASSERT_EQ(rung.PromotableTrials(params.eta),
+                reference.Promotable(params.eta))
+          << "step " << step;
+    }
+  }
+  // Final full-state agreement.
+  EXPECT_EQ(rung.PromotableTrials(params.eta),
+            reference.Promotable(params.eta));
+  EXPECT_EQ(rung.FirstPromotable(params.eta).has_value(),
+            reference.FirstPromotable(params.eta).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, RungDifferential,
+    testing::Values(FuzzParams{2.0, 1, 4000, 0.3, false},
+                    FuzzParams{2.0, 2, 4000, 0.6, true},
+                    FuzzParams{3.0, 3, 4000, 0.4, false},
+                    FuzzParams{3.0, 4, 2000, 0.5, true},
+                    FuzzParams{4.0, 5, 4000, 0.2, false},
+                    FuzzParams{4.0, 6, 4000, 0.45, true},
+                    FuzzParams{8.0, 7, 4000, 0.3, false},
+                    FuzzParams{2.0, 8, 500, 0.05, true},
+                    FuzzParams{4.0, 9, 500, 0.9, false}),
+    [](const testing::TestParamInfo<FuzzParams>& info) {
+      const auto& p = info.param;
+      return "eta" + std::to_string(static_cast<int>(p.eta)) + "_seed" +
+             std::to_string(p.seed) + (p.heavy_ties ? "_ties" : "_uniform");
+    });
+
+}  // namespace
+}  // namespace hypertune

@@ -1,0 +1,166 @@
+#include "runtime/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/check.h"
+#include "core/asha.h"
+#include "core/random_search.h"
+#include "core/sha.h"
+
+namespace hypertune {
+namespace {
+
+SearchSpace UnitSpace() {
+  SearchSpace space;
+  space.Add("x", Domain::Continuous(0.0, 1.0));
+  return space;
+}
+
+TEST(Executor, RunsCappedRandomSearchToCompletion) {
+  RandomSearchOptions options;
+  options.R = 10;
+  options.max_trials = 20;
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), options);
+  ThreadPoolExecutor executor(
+      scheduler, [](const Job& job) { return job.config.GetDouble("x"); },
+      {.num_workers = 4});
+  const auto result = executor.Run();
+  EXPECT_EQ(result.jobs_completed, 20u);
+  EXPECT_EQ(result.jobs_lost, 0u);
+  EXPECT_EQ(result.records.size(), 20u);
+  EXPECT_TRUE(scheduler.Finished());
+  ASSERT_TRUE(scheduler.Current().has_value());
+}
+
+TEST(Executor, DrivesAshaThroughPromotions) {
+  AshaOptions options;
+  options.r = 1;
+  options.R = 27;
+  options.eta = 3;
+  options.max_trials = 27;
+  AshaScheduler asha(MakeRandomSampler(UnitSpace()), options);
+  std::atomic<int> trained{0};
+  ThreadPoolExecutor executor(
+      asha,
+      [&](const Job& job) {
+        ++trained;
+        return job.config.GetDouble("x") * (1.0 + 1.0 / job.to_resource);
+      },
+      {.num_workers = 8});
+  const auto result = executor.Run();
+  EXPECT_EQ(result.jobs_completed, static_cast<std::size_t>(trained.load()));
+  EXPECT_TRUE(asha.Finished());
+  // Promotions happened: some trial reached beyond the bottom rung.
+  bool promoted = false;
+  for (const auto& record : result.records) {
+    promoted |= record.to_resource > 1.0;
+  }
+  EXPECT_TRUE(promoted);
+}
+
+TEST(Executor, ThrowingTrainFunctionReportsLost) {
+  RandomSearchOptions options;
+  options.R = 10;
+  options.max_trials = 10;
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), options);
+  std::atomic<int> count{0};
+  ThreadPoolExecutor executor(
+      scheduler,
+      [&](const Job& job) -> double {
+        if (count++ % 2 == 0) throw std::runtime_error("worker preempted");
+        return job.config.GetDouble("x");
+      },
+      {.num_workers = 2});
+  const auto result = executor.Run();
+  EXPECT_EQ(result.jobs_completed + result.jobs_lost, 10u);
+  EXPECT_EQ(result.jobs_lost, 5u);
+  std::size_t lost_trials = 0;
+  for (const auto& trial : scheduler.trials()) {
+    lost_trials += trial.status == TrialStatus::kLost;
+  }
+  EXPECT_EQ(lost_trials, 5u);
+}
+
+TEST(Executor, MaxJobsStopsEarly) {
+  RandomSearchOptions options;
+  options.R = 10;  // unlimited trials
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), options);
+  ThreadPoolExecutor executor(
+      scheduler, [](const Job&) { return 0.5; },
+      {.num_workers = 4, .max_jobs = 25});
+  const auto result = executor.Run();
+  // Workers already mid-job when the cap hits may still land their result.
+  EXPECT_GE(result.jobs_completed, 25u);
+  EXPECT_LE(result.jobs_completed, 25u + 4u);
+}
+
+TEST(Executor, WallClockBudgetStops) {
+  RandomSearchOptions options;
+  options.R = 10;
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), options);
+  ThreadPoolExecutor executor(
+      scheduler,
+      [](const Job&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        return 0.5;
+      },
+      {.num_workers = 2,
+       .wall_clock_budget = std::chrono::milliseconds(120)});
+  const auto result = executor.Run();
+  EXPECT_GT(result.jobs_completed, 2u);
+  EXPECT_LT(result.elapsed_seconds, 5.0);  // stopped, not hung
+}
+
+TEST(Executor, SynchronousBarrierParksAndResumesWorkers) {
+  // 8 workers on an n=8 bracket: after dispatching rung 0, workers park at
+  // the barrier; the final completion wakes them for rung-1 work.
+  ShaOptions options;
+  options.n = 8;
+  options.r = 1;
+  options.R = 4;
+  options.eta = 2;
+  options.spawn_new_brackets = false;
+  SyncShaScheduler sha(MakeRandomSampler(UnitSpace()), options);
+  ThreadPoolExecutor executor(
+      sha,
+      [](const Job& job) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        return job.config.GetDouble("x");
+      },
+      {.num_workers = 8});
+  const auto result = executor.Run();
+  EXPECT_TRUE(sha.Finished());
+  EXPECT_EQ(result.jobs_completed, 8u + 4u + 2u);  // full bracket
+}
+
+TEST(Executor, RecordsHaveMonotoneTimestamps) {
+  RandomSearchOptions options;
+  options.R = 10;
+  options.max_trials = 30;
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), options);
+  ThreadPoolExecutor executor(
+      scheduler, [](const Job&) { return 0.1; }, {.num_workers = 4});
+  const auto result = executor.Run();
+  for (std::size_t i = 1; i < result.records.size(); ++i) {
+    EXPECT_GE(result.records[i].elapsed_seconds,
+              result.records[i - 1].elapsed_seconds);
+  }
+}
+
+TEST(Executor, ValidatesOptions) {
+  RandomSearchOptions options;
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), options);
+  EXPECT_THROW(ThreadPoolExecutor(scheduler, nullptr, {}), CheckError);
+  EXPECT_THROW(
+      ThreadPoolExecutor(scheduler, [](const Job&) { return 0.0; },
+                         {.num_workers = 0}),
+      CheckError);
+}
+
+}  // namespace
+}  // namespace hypertune

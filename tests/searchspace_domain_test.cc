@@ -1,0 +1,197 @@
+#include "searchspace/domain.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace hypertune {
+namespace {
+
+TEST(ParamValue, ToStringRendering) {
+  EXPECT_EQ(ToString(ParamValue{std::int64_t{42}}), "42");
+  EXPECT_EQ(ToString(ParamValue{std::string{"relu"}}), "relu");
+  EXPECT_EQ(ToString(ParamValue{0.5}), "0.5");
+}
+
+TEST(ParamValue, AsDoubleWidensIntsAndRejectsStrings) {
+  EXPECT_DOUBLE_EQ(AsDouble(ParamValue{std::int64_t{3}}), 3.0);
+  EXPECT_DOUBLE_EQ(AsDouble(ParamValue{2.5}), 2.5);
+  EXPECT_THROW(AsDouble(ParamValue{std::string{"x"}}), CheckError);
+}
+
+TEST(Domain, ContinuousSampleWithinBounds) {
+  const auto dom = Domain::Continuous(-1.0, 2.0);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = dom.Sample(rng);
+    EXPECT_TRUE(dom.Contains(v));
+    EXPECT_GE(std::get<double>(v), -1.0);
+    EXPECT_LE(std::get<double>(v), 2.0);
+  }
+}
+
+TEST(Domain, LogContinuousSamplesSpanDecades) {
+  const auto dom = Domain::Continuous(1e-4, 1e2, Scale::kLog);
+  Rng rng(2);
+  int low_decades = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = std::get<double>(dom.Sample(rng));
+    EXPECT_GE(v, 1e-4);
+    EXPECT_LE(v, 1e2);
+    if (v < 1e-1) ++low_decades;
+  }
+  // Log-uniform: half the samples fall below the geometric midpoint 1e-1.
+  EXPECT_NEAR(low_decades / 2000.0, 0.5, 0.05);
+}
+
+TEST(Domain, LogScaleRequiresPositiveLo) {
+  EXPECT_THROW(Domain::Continuous(0.0, 1.0, Scale::kLog), CheckError);
+  EXPECT_THROW(Domain::Integer(0, 5, Scale::kLog), CheckError);
+}
+
+TEST(Domain, InvertedBoundsRejected) {
+  EXPECT_THROW(Domain::Continuous(2.0, 1.0), CheckError);
+  EXPECT_THROW(Domain::Integer(5, 4), CheckError);
+  EXPECT_THROW(Domain::Choice({}), CheckError);
+}
+
+TEST(Domain, IntegerSamplingInclusive) {
+  const auto dom = Domain::Integer(10, 12);
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(std::get<std::int64_t>(dom.Sample(rng)));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{10, 11, 12}));
+  EXPECT_EQ(dom.Cardinality(), 3u);
+}
+
+TEST(Domain, ChoiceSamplingCoversOptions) {
+  const auto dom = Domain::Choice(
+      {ParamValue{std::string{"a"}}, ParamValue{std::string{"b"}}});
+  Rng rng(4);
+  std::set<std::string> seen;
+  for (int i = 0; i < 100; ++i) {
+    seen.insert(std::get<std::string>(dom.Sample(rng)));
+  }
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_EQ(dom.Cardinality(), 2u);
+}
+
+TEST(Domain, ContainsChecksTypeAndRange) {
+  const auto cont = Domain::Continuous(0.0, 1.0);
+  EXPECT_TRUE(cont.Contains(ParamValue{0.5}));
+  EXPECT_FALSE(cont.Contains(ParamValue{1.5}));
+  EXPECT_FALSE(cont.Contains(ParamValue{std::int64_t{0}}));  // wrong type
+
+  const auto choice = Domain::Choice({ParamValue{std::int64_t{64}},
+                                      ParamValue{std::int64_t{128}}});
+  EXPECT_TRUE(choice.Contains(ParamValue{std::int64_t{64}}));
+  EXPECT_FALSE(choice.Contains(ParamValue{std::int64_t{65}}));
+}
+
+TEST(Domain, UnitRoundTripContinuousLinear) {
+  const auto dom = Domain::Continuous(-2.0, 6.0);
+  EXPECT_DOUBLE_EQ(dom.ToUnit(ParamValue{2.0}), 0.5);
+  EXPECT_DOUBLE_EQ(std::get<double>(dom.FromUnit(0.5)), 2.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(dom.FromUnit(0.0)), -2.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(dom.FromUnit(1.0)), 6.0);
+}
+
+TEST(Domain, UnitRoundTripContinuousLog) {
+  const auto dom = Domain::Continuous(1e-4, 1.0, Scale::kLog);
+  EXPECT_NEAR(dom.ToUnit(ParamValue{1e-2}), 0.5, 1e-12);
+  EXPECT_NEAR(std::get<double>(dom.FromUnit(0.5)), 1e-2, 1e-12);
+}
+
+TEST(Domain, UnitRoundTripInteger) {
+  const auto dom = Domain::Integer(0, 10);
+  EXPECT_DOUBLE_EQ(dom.ToUnit(ParamValue{std::int64_t{5}}), 0.5);
+  EXPECT_EQ(std::get<std::int64_t>(dom.FromUnit(0.5)), 5);
+  EXPECT_EQ(std::get<std::int64_t>(dom.FromUnit(1.0)), 10);
+}
+
+TEST(Domain, UnitChoiceBucketMidpoints) {
+  const auto dom = Domain::Choice({ParamValue{std::int64_t{1}},
+                                   ParamValue{std::int64_t{2}},
+                                   ParamValue{std::int64_t{3}},
+                                   ParamValue{std::int64_t{4}}});
+  EXPECT_DOUBLE_EQ(dom.ToUnit(ParamValue{std::int64_t{1}}), 0.125);
+  EXPECT_DOUBLE_EQ(dom.ToUnit(ParamValue{std::int64_t{4}}), 0.875);
+  EXPECT_EQ(std::get<std::int64_t>(dom.FromUnit(0.0)), 1);
+  EXPECT_EQ(std::get<std::int64_t>(dom.FromUnit(0.99)), 4);
+  // FromUnit(ToUnit(x)) is identity for choices.
+  for (std::int64_t v = 1; v <= 4; ++v) {
+    EXPECT_EQ(std::get<std::int64_t>(
+                  dom.FromUnit(dom.ToUnit(ParamValue{v}))), v);
+  }
+}
+
+TEST(Domain, FromUnitClampsOutOfRange) {
+  const auto dom = Domain::Continuous(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(dom.FromUnit(-0.5)), 0.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(dom.FromUnit(1.5)), 1.0);
+}
+
+TEST(Domain, ToUnitRejectsValueOutsideDomain) {
+  const auto dom = Domain::Continuous(0.0, 1.0);
+  EXPECT_THROW(dom.ToUnit(ParamValue{2.0}), CheckError);
+}
+
+TEST(Domain, PerturbContinuousScalesAndClamps) {
+  const auto dom = Domain::Continuous(0.0, 1.0);
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(std::get<double>(dom.Perturb(ParamValue{0.5}, 1.2, rng)),
+                   0.6);
+  EXPECT_DOUBLE_EQ(std::get<double>(dom.Perturb(ParamValue{0.9}, 1.2, rng)),
+                   1.0);  // clamped
+  EXPECT_DOUBLE_EQ(std::get<double>(dom.Perturb(ParamValue{0.5}, 0.8, rng)),
+                   0.4);
+}
+
+TEST(Domain, PerturbIntegerGuaranteesMovementOnSmallRanges) {
+  const auto dom = Domain::Integer(1, 10);
+  Rng rng(6);
+  // 2 * 1.2 = 2.4 -> rounds to 2: the fallback forces a step to 3.
+  EXPECT_EQ(std::get<std::int64_t>(
+                dom.Perturb(ParamValue{std::int64_t{2}}, 1.2, rng)), 3);
+  EXPECT_EQ(std::get<std::int64_t>(
+                dom.Perturb(ParamValue{std::int64_t{10}}, 1.2, rng)), 10);
+}
+
+TEST(Domain, PerturbOrderedChoiceStepsAdjacent) {
+  const auto dom = Domain::Choice({ParamValue{std::int64_t{64}},
+                                   ParamValue{std::int64_t{128}},
+                                   ParamValue{std::int64_t{256}}},
+                                  /*ordered=*/true);
+  Rng rng(7);
+  EXPECT_EQ(std::get<std::int64_t>(
+                dom.Perturb(ParamValue{std::int64_t{128}}, 1.2, rng)), 256);
+  EXPECT_EQ(std::get<std::int64_t>(
+                dom.Perturb(ParamValue{std::int64_t{128}}, 0.8, rng)), 64);
+  // Clamped at the ends.
+  EXPECT_EQ(std::get<std::int64_t>(
+                dom.Perturb(ParamValue{std::int64_t{256}}, 1.2, rng)), 256);
+}
+
+TEST(Domain, PerturbUnorderedChoiceResamples) {
+  const auto dom = Domain::Choice({ParamValue{std::string{"a"}},
+                                   ParamValue{std::string{"b"}},
+                                   ParamValue{std::string{"c"}}});
+  Rng rng(8);
+  std::set<std::string> seen;
+  for (int i = 0; i < 100; ++i) {
+    seen.insert(std::get<std::string>(
+        dom.Perturb(ParamValue{std::string{"a"}}, 1.2, rng)));
+  }
+  EXPECT_EQ(seen.size(), 3u);  // can land anywhere, including itself
+}
+
+TEST(Domain, CardinalityContinuousIsZero) {
+  EXPECT_EQ(Domain::Continuous(0, 1).Cardinality(), 0u);
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -1,0 +1,221 @@
+#include "searchspace/space.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "searchspace/perturb.h"
+#include "searchspace/spaces.h"
+
+namespace hypertune {
+namespace {
+
+SearchSpace TwoParamSpace() {
+  SearchSpace space;
+  space.Add("lr", Domain::Continuous(1e-4, 1.0, Scale::kLog))
+      .Add("layers", Domain::Integer(2, 4));
+  return space;
+}
+
+TEST(Configuration, SetGetOverwrite) {
+  Configuration config;
+  config.Set("a", ParamValue{1.0});
+  config.Set("b", ParamValue{std::int64_t{2}});
+  config.Set("a", ParamValue{3.0});  // overwrite keeps position
+  EXPECT_EQ(config.size(), 2u);
+  EXPECT_DOUBLE_EQ(config.GetDouble("a"), 3.0);
+  EXPECT_EQ(config.GetInt("b"), 2);
+  EXPECT_EQ(config.at(0).first, "a");
+}
+
+TEST(Configuration, MissingAndWrongTypeThrow) {
+  Configuration config;
+  config.Set("a", ParamValue{1.0});
+  EXPECT_THROW(config.Get("zz"), CheckError);
+  EXPECT_THROW(config.GetInt("a"), CheckError);
+  EXPECT_THROW(config.GetString("a"), CheckError);
+  EXPECT_FALSE(config.Has("zz"));
+  EXPECT_TRUE(config.Has("a"));
+}
+
+TEST(Configuration, GetDoubleWidensInt) {
+  Configuration config;
+  config.Set("n", ParamValue{std::int64_t{5}});
+  EXPECT_DOUBLE_EQ(config.GetDouble("n"), 5.0);
+}
+
+TEST(Configuration, ToStringAndEquality) {
+  Configuration a, b;
+  a.Set("x", ParamValue{std::int64_t{1}});
+  b.Set("x", ParamValue{std::int64_t{1}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.ToString(), "x=1");
+  b.Set("x", ParamValue{std::int64_t{2}});
+  EXPECT_NE(a, b);
+}
+
+TEST(SearchSpace, DuplicateNameRejected) {
+  SearchSpace space;
+  space.Add("a", Domain::Continuous(0, 1));
+  EXPECT_THROW(space.Add("a", Domain::Continuous(0, 1)), CheckError);
+}
+
+TEST(SearchSpace, SampleIsContained) {
+  const auto space = TwoParamSpace();
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto config = space.Sample(rng);
+    EXPECT_TRUE(space.Contains(config));
+    EXPECT_EQ(config.size(), 2u);
+  }
+}
+
+TEST(SearchSpace, ContainsRejectsExtraMissingOrOutOfRange) {
+  const auto space = TwoParamSpace();
+  Configuration config;
+  config.Set("lr", ParamValue{0.1});
+  EXPECT_FALSE(space.Contains(config));  // missing layers
+  config.Set("layers", ParamValue{std::int64_t{3}});
+  EXPECT_TRUE(space.Contains(config));
+  config.Set("extra", ParamValue{1.0});
+  EXPECT_FALSE(space.Contains(config));  // extra param
+
+  Configuration bad;
+  bad.Set("lr", ParamValue{5.0});  // out of range
+  bad.Set("layers", ParamValue{std::int64_t{3}});
+  EXPECT_FALSE(space.Contains(bad));
+}
+
+TEST(SearchSpace, UnitVectorRoundTrip) {
+  const auto space = TwoParamSpace();
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const auto config = space.Sample(rng);
+    const auto u = space.ToUnitVector(config);
+    ASSERT_EQ(u.size(), 2u);
+    for (double v : u) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+    // Integer params round-trip exactly; continuous round-trip to tolerance.
+    const auto back = space.FromUnitVector(u);
+    EXPECT_EQ(back.GetInt("layers"), config.GetInt("layers"));
+    EXPECT_NEAR(std::log(back.GetDouble("lr")),
+                std::log(config.GetDouble("lr")), 1e-9);
+  }
+}
+
+TEST(SearchSpace, FromUnitVectorSizeMismatchThrows) {
+  const auto space = TwoParamSpace();
+  EXPECT_THROW(space.FromUnitVector(std::vector<double>{0.5}), CheckError);
+}
+
+TEST(SearchSpace, DomainLookupByName) {
+  const auto space = TwoParamSpace();
+  EXPECT_EQ(space.domain("layers").kind(), ParamKind::kInteger);
+  EXPECT_THROW(space.domain("nope"), CheckError);
+  EXPECT_EQ(space.name(0), "lr");
+}
+
+TEST(PbtExplore, OutputAlwaysContained) {
+  const auto space = spaces::SmallCnnArchSpace();
+  Rng rng(3);
+  PbtExploreOptions options;
+  for (int i = 0; i < 200; ++i) {
+    const auto config = space.Sample(rng);
+    const auto explored = PbtExplore(space, config, options, rng);
+    EXPECT_TRUE(space.Contains(explored));
+  }
+}
+
+TEST(PbtExplore, FrozenParamsNeverChange) {
+  const auto space = spaces::SmallCnnArchSpace();
+  Rng rng(4);
+  PbtExploreOptions options;
+  options.frozen = spaces::IsSmallCnnArchParam;
+  for (int i = 0; i < 100; ++i) {
+    const auto config = space.Sample(rng);
+    const auto explored = PbtExplore(space, config, options, rng);
+    EXPECT_EQ(explored.GetInt("num_layers"), config.GetInt("num_layers"));
+    EXPECT_EQ(explored.GetInt("num_filters"), config.GetInt("num_filters"));
+  }
+}
+
+TEST(PbtExplore, PerturbProbabilityZeroMeansFullResample) {
+  SearchSpace space;
+  space.Add("x", Domain::Continuous(0.0, 1.0));
+  Rng rng(5);
+  PbtExploreOptions options;
+  options.perturb_probability = 0.0;
+  Configuration config;
+  config.Set("x", ParamValue{0.5});
+  int exactly_scaled = 0;
+  for (int i = 0; i < 200; ++i) {
+    const double v = PbtExplore(space, config, options, rng).GetDouble("x");
+    if (v == 0.6 || v == 0.4) ++exactly_scaled;
+  }
+  EXPECT_EQ(exactly_scaled, 0);  // resampled, never multiplied by 1.2/0.8
+}
+
+TEST(PbtExplore, PerturbProbabilityOneUsesFactors) {
+  SearchSpace space;
+  space.Add("x", Domain::Continuous(0.0, 1.0));
+  Rng rng(6);
+  PbtExploreOptions options;
+  options.perturb_probability = 1.0;
+  Configuration config;
+  config.Set("x", ParamValue{0.5});
+  for (int i = 0; i < 100; ++i) {
+    const double v = PbtExplore(space, config, options, rng).GetDouble("x");
+    EXPECT_TRUE(v == 0.6 || v == 0.4) << v;
+  }
+}
+
+TEST(PaperSpaces, DimensionsMatchTables) {
+  EXPECT_EQ(spaces::CudaConvnetSpace().NumParams(), 7u);
+  EXPECT_EQ(spaces::SmallCnnArchSpace().NumParams(), 10u);  // Table 1
+  EXPECT_EQ(spaces::PtbLstmSpace().NumParams(), 9u);        // Table 2
+  EXPECT_EQ(spaces::AwdLstmSpace().NumParams(), 9u);        // Table 3
+  EXPECT_EQ(spaces::SvmSpace().NumParams(), 2u);
+}
+
+TEST(PaperSpaces, Table1RangesSpotCheck) {
+  const auto space = spaces::SmallCnnArchSpace();
+  const auto& batch = space.domain("batch_size");
+  EXPECT_EQ(batch.Cardinality(), 4u);
+  EXPECT_TRUE(batch.Contains(ParamValue{std::int64_t{64}}));
+  EXPECT_TRUE(batch.Contains(ParamValue{std::int64_t{512}}));
+  EXPECT_FALSE(batch.Contains(ParamValue{std::int64_t{100}}));
+  const auto& lr = space.domain("learning_rate");
+  EXPECT_DOUBLE_EQ(lr.lo(), 1e-5);
+  EXPECT_DOUBLE_EQ(lr.hi(), 1e1);
+  EXPECT_EQ(lr.scale(), Scale::kLog);
+}
+
+TEST(PaperSpaces, Table2RangesSpotCheck) {
+  const auto space = spaces::PtbLstmSpace();
+  const auto& hidden = space.domain("hidden_nodes");
+  EXPECT_DOUBLE_EQ(hidden.lo(), 200);
+  EXPECT_DOUBLE_EQ(hidden.hi(), 1500);
+  const auto& decay = space.domain("decay_rate");
+  EXPECT_EQ(decay.scale(), Scale::kLinear);
+}
+
+TEST(PaperSpaces, Table3RangesSpotCheck) {
+  const auto space = spaces::AwdLstmSpace();
+  EXPECT_DOUBLE_EQ(space.domain("learning_rate").lo(), 10.0);
+  EXPECT_DOUBLE_EQ(space.domain("weight_decay").hi(), 2e-6);
+  EXPECT_EQ(space.domain("batch_size").Cardinality(), 3u);
+}
+
+TEST(PaperSpaces, ArchitectureParamPredicates) {
+  EXPECT_TRUE(spaces::IsSmallCnnArchParam("num_layers"));
+  EXPECT_TRUE(spaces::IsSmallCnnArchParam("num_filters"));
+  EXPECT_FALSE(spaces::IsSmallCnnArchParam("learning_rate"));
+  EXPECT_TRUE(spaces::IsPtbLstmArchParam("hidden_nodes"));
+  EXPECT_FALSE(spaces::IsPtbLstmArchParam("batch_size"));
+}
+
+}  // namespace
+}  // namespace hypertune

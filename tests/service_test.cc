@@ -1,0 +1,250 @@
+// The distributed tuning service: protocol handling, job leases, heartbeat
+// renewal, lease-expiry lost-job detection, and an end-to-end virtual-time
+// harness with simulated (and crashing) workers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "core/asha.h"
+#include "core/random_search.h"
+#include "core/trial_json.h"
+#include "service/server.h"
+#include "service/worker.h"
+
+namespace hypertune {
+namespace {
+
+SearchSpace UnitSpace() {
+  SearchSpace space;
+  space.Add("x", Domain::Continuous(0.0, 1.0));
+  return space;
+}
+
+class RankEnv final : public JobEnvironment {
+ public:
+  double Loss(const Configuration& config, Resource resource) override {
+    return config.GetDouble("x") * (1.0 + 1.0 / resource);
+  }
+  double Duration(const Configuration&, Resource from, Resource to) override {
+    return to - from;
+  }
+};
+
+Json RequestJob(std::uint64_t worker) {
+  Json message = JsonObject{};
+  message.Set("type", Json("request_job"));
+  message.Set("worker", Json(static_cast<std::int64_t>(worker)));
+  return message;
+}
+
+Json Report(std::uint64_t worker, std::int64_t job_id, double loss) {
+  Json message = JsonObject{};
+  message.Set("type", Json("report"));
+  message.Set("worker", Json(static_cast<std::int64_t>(worker)));
+  message.Set("job_id", Json(job_id));
+  message.Set("loss", Json(loss));
+  return message;
+}
+
+Json Heartbeat(std::uint64_t worker, std::int64_t job_id) {
+  Json message = JsonObject{};
+  message.Set("type", Json("heartbeat"));
+  message.Set("worker", Json(static_cast<std::int64_t>(worker)));
+  message.Set("job_id", Json(job_id));
+  return message;
+}
+
+TEST(JobWireFormat, RoundTrip) {
+  Job job;
+  job.trial_id = 7;
+  job.config.Set("x", ParamValue{0.25});
+  job.from_resource = 4;
+  job.to_resource = 16;
+  job.rung = 2;
+  job.bracket = 1;
+  job.tag = 99;
+  const Job back = JobFromJson(Json::Parse(ToJson(job).Dump()));
+  EXPECT_EQ(back.trial_id, job.trial_id);
+  EXPECT_EQ(back.config, job.config);
+  EXPECT_DOUBLE_EQ(back.from_resource, 4);
+  EXPECT_DOUBLE_EQ(back.to_resource, 16);
+  EXPECT_EQ(back.rung, 2);
+  EXPECT_EQ(back.bracket, 1);
+  EXPECT_EQ(back.tag, 99u);
+}
+
+TEST(Server, AssignAndReportFlow) {
+  RandomSearchOptions options;
+  options.R = 10;
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), options);
+  TuningServer server(scheduler, {.lease_timeout = 60});
+
+  const Json reply = server.HandleMessage(RequestJob(1), /*now=*/0);
+  ASSERT_EQ(reply.at("type").AsString(), "job");
+  const auto job_id = reply.at("job_id").AsInt();
+  EXPECT_EQ(server.stats().jobs_assigned, 1u);
+  EXPECT_EQ(server.stats().active_leases, 1u);
+
+  const Json ack = server.HandleMessage(Report(1, job_id, 0.42), 5);
+  EXPECT_EQ(ack.at("type").AsString(), "ack");
+  EXPECT_EQ(server.stats().jobs_completed, 1u);
+  EXPECT_EQ(server.stats().active_leases, 0u);
+  ASSERT_TRUE(server.Current().has_value());
+  EXPECT_DOUBLE_EQ(server.Current()->loss, 0.42);
+}
+
+TEST(Server, LeaseExpiryReportsLost) {
+  RandomSearchOptions options;
+  options.R = 10;
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), options);
+  TuningServer server(scheduler, {.lease_timeout = 60});
+
+  const Json reply = server.HandleMessage(RequestJob(1), 0);
+  const Job job = JobFromJson(reply.at("job"));
+  // Worker goes silent; time passes beyond the lease.
+  server.Tick(61);
+  EXPECT_EQ(server.stats().leases_expired, 1u);
+  EXPECT_EQ(server.stats().active_leases, 0u);
+  EXPECT_EQ(scheduler.trials().Get(job.trial_id).status, TrialStatus::kLost);
+}
+
+TEST(Server, HeartbeatExtendsLease) {
+  RandomSearchOptions options;
+  options.R = 10;
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), options);
+  TuningServer server(scheduler, {.lease_timeout = 60});
+
+  const Json reply = server.HandleMessage(RequestJob(1), 0);
+  const auto job_id = reply.at("job_id").AsInt();
+  // Heartbeats at 50, 100: lease pushed to 160.
+  EXPECT_EQ(server.HandleMessage(Heartbeat(1, job_id), 50).at("type")
+                .AsString(), "ack");
+  EXPECT_EQ(server.HandleMessage(Heartbeat(1, job_id), 100).at("type")
+                .AsString(), "ack");
+  server.Tick(155);
+  EXPECT_EQ(server.stats().leases_expired, 0u);
+  // Report still lands.
+  const Json ack = server.HandleMessage(Report(1, job_id, 0.3), 158);
+  EXPECT_EQ(ack.at("type").AsString(), "ack");
+  EXPECT_FALSE(ack.Has("stale"));
+}
+
+TEST(Server, StaleReportAfterExpiryIsIgnored) {
+  RandomSearchOptions options;
+  options.R = 10;
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), options);
+  TuningServer server(scheduler, {.lease_timeout = 60});
+
+  const Json reply = server.HandleMessage(RequestJob(1), 0);
+  const auto job_id = reply.at("job_id").AsInt();
+  server.Tick(100);  // expired -> lost
+  const Json ack = server.HandleMessage(Report(1, job_id, 0.3), 101);
+  EXPECT_EQ(ack.at("type").AsString(), "ack");
+  EXPECT_TRUE(ack.at("stale").AsBool());
+  EXPECT_EQ(server.stats().stale_reports_ignored, 1u);
+  // The scheduler never saw the stale result.
+  EXPECT_FALSE(server.Current().has_value());
+}
+
+TEST(Server, HeartbeatForLostLeaseSaysSo) {
+  RandomSearchOptions options;
+  options.R = 10;
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), options);
+  TuningServer server(scheduler, {.lease_timeout = 60});
+  const Json reply = server.HandleMessage(RequestJob(1), 0);
+  const auto job_id = reply.at("job_id").AsInt();
+  const Json late = server.HandleMessage(Heartbeat(1, job_id), 200);
+  EXPECT_EQ(late.at("type").AsString(), "lease_lost");
+}
+
+TEST(Server, MalformedMessagesGetErrorReplies) {
+  RandomSearchOptions options;
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), options);
+  TuningServer server(scheduler, {});
+  Json bad = JsonObject{};
+  bad.Set("type", Json("launch_missiles"));
+  EXPECT_EQ(server.HandleMessage(bad, 0).at("type").AsString(), "error");
+  Json missing = JsonObject{};
+  missing.Set("type", Json("report"));  // no job_id/loss
+  EXPECT_EQ(server.HandleMessage(missing, 0).at("type").AsString(), "error");
+  EXPECT_EQ(server.stats().malformed_messages, 2u);
+}
+
+TEST(Server, NoJobReplyCarriesRetryHint) {
+  // A capped random search with one outstanding job has no work.
+  RandomSearchOptions options;
+  options.R = 10;
+  options.max_trials = 1;
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), options);
+  TuningServer server(scheduler, {.lease_timeout = 40});
+  (void)server.HandleMessage(RequestJob(1), 0);
+  const Json reply = server.HandleMessage(RequestJob(2), 1);
+  EXPECT_EQ(reply.at("type").AsString(), "no_job");
+  EXPECT_GT(reply.at("retry_after").AsDouble(), 0);
+}
+
+TEST(Service, EndToEndVirtualTimeHarness) {
+  // 8 simulated workers drive ASHA through the full protocol.
+  AshaOptions options;
+  options.r = 1;
+  options.R = 27;
+  options.eta = 3;
+  options.max_trials = 40;
+  AshaScheduler asha(MakeRandomSampler(UnitSpace()), options);
+  TuningServer server(asha, {.lease_timeout = 30});
+  RankEnv env;
+  std::vector<SimulatedWorker> workers;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    workers.emplace_back(i, env, /*heartbeat_interval=*/5);
+  }
+  for (double now = 0; now < 200; now += 0.5) {
+    for (auto& worker : workers) {
+      if (now >= worker.next_action_time()) worker.OnTick(server, now);
+    }
+  }
+  EXPECT_TRUE(asha.Finished());
+  EXPECT_EQ(server.stats().leases_expired, 0u);
+  EXPECT_GT(server.stats().jobs_completed, 40u);  // promotions included
+  ASSERT_TRUE(server.Current().has_value());
+  // Promotions flowed through the protocol: some trial trained to R.
+  bool full_training = false;
+  for (const auto& trial : asha.trials()) {
+    full_training |= trial.resource_trained >= 27;
+  }
+  EXPECT_TRUE(full_training);
+}
+
+TEST(Service, CrashedWorkersJobsAreRecovered) {
+  AshaOptions options;
+  options.r = 1;
+  options.R = 27;
+  options.eta = 3;
+  AshaScheduler asha(MakeRandomSampler(UnitSpace()), options);
+  TuningServer server(asha, {.lease_timeout = 10});
+  RankEnv env;
+  SimulatedWorker healthy(1, env, 2);
+  SimulatedWorker doomed(2, env, 2);
+
+  // Both take jobs; one crashes immediately.
+  healthy.OnTick(server, 0);
+  doomed.OnTick(server, 0);
+  doomed.Crash();
+  EXPECT_EQ(server.stats().jobs_assigned, 2u);
+
+  std::size_t lost_before = 0;
+  for (double now = 0.5; now < 60; now += 0.5) {
+    if (now >= healthy.next_action_time()) healthy.OnTick(server, now);
+    server.Tick(now);
+  }
+  EXPECT_EQ(server.stats().leases_expired, 1u);
+  for (const auto& trial : asha.trials()) {
+    lost_before += trial.status == TrialStatus::kLost;
+  }
+  EXPECT_EQ(lost_before, 1u);
+  // The healthy worker kept making progress throughout.
+  EXPECT_GT(healthy.jobs_completed(), 10u);
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -1,0 +1,162 @@
+// Snapshot/restore: ASHA as a crash-tolerant tuning service.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/check.h"
+#include "core/asha.h"
+
+namespace hypertune {
+namespace {
+
+SearchSpace UnitSpace() {
+  SearchSpace space;
+  space.Add("x", Domain::Continuous(0.0, 1.0));
+  return space;
+}
+
+AshaOptions ToyOptions() {
+  AshaOptions options;
+  options.r = 1;
+  options.R = 27;
+  options.eta = 3;
+  options.seed = 17;
+  return options;
+}
+
+/// Deterministic per-trial loss (rank by configuration value).
+double LossFor(const AshaScheduler& asha, const Job& job) {
+  return asha.trials().Get(job.trial_id).config.GetDouble("x") *
+         (1.0 + 1.0 / job.to_resource);
+}
+
+TEST(Snapshot, RestoredSchedulerContinuesIdentically) {
+  AshaScheduler original(MakeRandomSampler(UnitSpace()), ToyOptions());
+  // Run 40 synchronous steps.
+  for (int step = 0; step < 40; ++step) {
+    const auto job = *original.GetJob();
+    original.ReportResult(job, LossFor(original, job));
+  }
+  const Json snapshot = original.Snapshot();
+
+  AshaScheduler restored(MakeRandomSampler(UnitSpace()), ToyOptions());
+  restored.Restore(snapshot);
+
+  EXPECT_EQ(restored.trials().size(), original.trials().size());
+  EXPECT_EQ(restored.NumTrialsCreated(), original.NumTrialsCreated());
+  EXPECT_DOUBLE_EQ(restored.ResourceDispatched(),
+                   original.ResourceDispatched());
+  ASSERT_TRUE(restored.Current().has_value());
+  EXPECT_EQ(restored.Current()->trial_id, original.Current()->trial_id);
+
+  // Both schedulers now produce identical futures.
+  for (int step = 0; step < 60; ++step) {
+    const auto job_a = *original.GetJob();
+    const auto job_b = *restored.GetJob();
+    EXPECT_EQ(job_a.trial_id, job_b.trial_id) << "step " << step;
+    EXPECT_EQ(job_a.rung, job_b.rung) << "step " << step;
+    EXPECT_EQ(job_a.config, job_b.config) << "step " << step;
+    original.ReportResult(job_a, LossFor(original, job_a));
+    restored.ReportResult(job_b, LossFor(restored, job_b));
+  }
+}
+
+TEST(Snapshot, SurvivesJsonTextRoundTrip) {
+  AshaScheduler original(MakeRandomSampler(UnitSpace()), ToyOptions());
+  for (int step = 0; step < 25; ++step) {
+    const auto job = *original.GetJob();
+    original.ReportResult(job, LossFor(original, job));
+  }
+  // Through text — what a service would write to disk.
+  const std::string text = original.Snapshot().Dump(2);
+  AshaScheduler restored(MakeRandomSampler(UnitSpace()), ToyOptions());
+  restored.Restore(Json::Parse(text));
+  const auto job_a = *original.GetJob();
+  const auto job_b = *restored.GetJob();
+  EXPECT_EQ(job_a.trial_id, job_b.trial_id);
+  EXPECT_EQ(job_a.config, job_b.config);
+}
+
+TEST(Snapshot, InFlightJobsBecomeLostOnRestore) {
+  AshaScheduler original(MakeRandomSampler(UnitSpace()), ToyOptions());
+  const auto j0 = *original.GetJob();
+  original.ReportResult(j0, 0.4);
+  const auto in_flight = *original.GetJob();  // never reported
+  const Json snapshot = original.Snapshot();
+
+  AshaScheduler restored(MakeRandomSampler(UnitSpace()), ToyOptions());
+  restored.Restore(snapshot);
+  EXPECT_EQ(restored.trials().Get(in_flight.trial_id).status,
+            TrialStatus::kLost);
+  EXPECT_EQ(restored.trials().Get(j0.trial_id).status, TrialStatus::kPaused);
+  // The restored scheduler keeps working.
+  EXPECT_TRUE(restored.GetJob().has_value());
+}
+
+TEST(Snapshot, RestoreRejectsUsedScheduler) {
+  AshaScheduler original(MakeRandomSampler(UnitSpace()), ToyOptions());
+  const auto job = *original.GetJob();
+  original.ReportResult(job, 0.5);
+  const Json snapshot = original.Snapshot();
+  // `original` already has trials: restoring into it must fail.
+  EXPECT_THROW(original.Restore(snapshot), CheckError);
+}
+
+TEST(Snapshot, RestoreRejectsMismatchedBracket) {
+  AshaScheduler original(MakeRandomSampler(UnitSpace()), ToyOptions());
+  const auto job = *original.GetJob();
+  original.ReportResult(job, 0.5);
+  const Json snapshot = original.Snapshot();
+
+  auto other_options = ToyOptions();
+  other_options.eta = 4;  // different bracket shape
+  AshaScheduler other(MakeRandomSampler(UnitSpace()), other_options);
+  EXPECT_THROW(other.Restore(snapshot), CheckError);
+}
+
+TEST(Snapshot, PromotionStateSurvives) {
+  AshaScheduler original(MakeRandomSampler(UnitSpace()), ToyOptions());
+  // Create three results so one promotion becomes available, take it.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 3; ++i) jobs.push_back(*original.GetJob());
+  original.ReportResult(jobs[0], 0.1);
+  original.ReportResult(jobs[1], 0.2);
+  original.ReportResult(jobs[2], 0.3);
+  const auto promotion = *original.GetJob();
+  ASSERT_EQ(promotion.rung, 1);
+  original.ReportResult(promotion, 0.05);
+
+  AshaScheduler restored(MakeRandomSampler(UnitSpace()), ToyOptions());
+  restored.Restore(original.Snapshot());
+  // Trial 0 is already promoted out of rung 0: the restored scheduler must
+  // not promote it again.
+  const auto next = *restored.GetJob();
+  EXPECT_FALSE(next.rung == 1 && next.trial_id == promotion.trial_id);
+  EXPECT_TRUE(restored.rung(0).IsPromoted(promotion.trial_id));
+  EXPECT_EQ(restored.rung(1).NumRecorded(), 1u);
+}
+
+TEST(Snapshot, InfiniteHorizonRoundTrip) {
+  auto options = ToyOptions();
+  options.infinite_horizon = true;
+  AshaScheduler original(MakeRandomSampler(UnitSpace()), options);
+  std::map<TrialId, double> losses;
+  for (int step = 0; step < 50; ++step) {
+    const auto job = *original.GetJob();
+    const double loss = losses.contains(job.trial_id)
+                            ? losses[job.trial_id] * 0.9
+                            : 0.5 + 0.001 * static_cast<double>(job.trial_id);
+    losses[job.trial_id] = loss;
+    original.ReportResult(job, loss);
+  }
+  AshaScheduler restored(MakeRandomSampler(UnitSpace()), options);
+  restored.Restore(original.Snapshot());
+  EXPECT_EQ(restored.NumRungs(), original.NumRungs());
+  const auto job_a = *original.GetJob();
+  const auto job_b = *restored.GetJob();
+  EXPECT_EQ(job_a.trial_id, job_b.trial_id);
+  EXPECT_EQ(job_a.rung, job_b.rung);
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -1,0 +1,294 @@
+#include "surrogate/benchmark.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "surrogate/benchmarks.h"
+
+namespace hypertune {
+namespace {
+
+BenchmarkSpec SimpleSpec() {
+  BenchmarkSpec spec;
+  spec.name = "test";
+  SearchSpace space;
+  space.Add("x", Domain::Continuous(0.0, 1.0))
+      .Add("y", Domain::Continuous(0.0, 1.0));
+  spec.space = std::move(space);
+  spec.max_resource = 100;
+  spec.random_guess_loss = 1.0;
+  spec.best_final_loss = 0.1;
+  spec.landscape_scale = 0.5;
+  spec.divergence_fraction = 0.0;
+  spec.divergence_param = "";
+  spec.eval_noise_std = 0.0;
+  // Calibrated like the paper benchmarks: early losses are informative but
+  // imperfect rank predictors.
+  spec.alpha_min = 0.4;
+  spec.alpha_max = 0.9;
+  spec.gap_frac_min = 0.015;
+  spec.gap_frac_max = 0.06;
+  return spec;
+}
+
+TEST(Surrogate, LossMonotonicallyImprovesWithResource) {
+  SyntheticBenchmark bench(SimpleSpec(), 1);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto config = bench.space().Sample(rng);
+    double prev = bench.TrueLoss(config, 1);
+    for (double r = 10; r <= 100; r += 10) {
+      const double loss = bench.TrueLoss(config, r);
+      EXPECT_LE(loss, prev + 1e-12);
+      prev = loss;
+    }
+  }
+}
+
+TEST(Surrogate, LossCappedAtRandomGuess) {
+  SyntheticBenchmark bench(SimpleSpec(), 1);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const auto config = bench.space().Sample(rng);
+    EXPECT_LE(bench.TrueLoss(config, 0.01), 1.0);
+    EXPECT_GE(bench.FinalLoss(config), 0.09);
+  }
+}
+
+TEST(Surrogate, FinalLossBoundedByLandscape) {
+  SyntheticBenchmark bench(SimpleSpec(), 1);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto config = bench.space().Sample(rng);
+    const double final_loss = bench.FinalLoss(config);
+    EXPECT_GE(final_loss, 0.1 * 0.9);
+    EXPECT_LE(final_loss, 1.0);
+  }
+}
+
+TEST(Surrogate, LandscapeDeterministicAcrossInstances) {
+  SyntheticBenchmark a(SimpleSpec(), /*trial_seed=*/1);
+  SyntheticBenchmark b(SimpleSpec(), /*trial_seed=*/999);
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const auto config = a.space().Sample(rng);
+    // Ground truth is independent of the trial seed.
+    EXPECT_DOUBLE_EQ(a.FinalLoss(config), b.FinalLoss(config));
+    EXPECT_DOUBLE_EQ(a.TrueLoss(config, 50), b.TrueLoss(config, 50));
+  }
+}
+
+TEST(Surrogate, EvalNoiseVariesByTrialSeedButIsReproducible) {
+  auto spec = SimpleSpec();
+  spec.eval_noise_std = 0.01;
+  SyntheticBenchmark a(spec, 1), a2(spec, 1), b(spec, 2);
+  Rng rng(5);
+  int differ = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto config = a.space().Sample(rng);
+    EXPECT_DOUBLE_EQ(a.Loss(config, 50), a2.Loss(config, 50));
+    differ += a.Loss(config, 50) != b.Loss(config, 50);
+  }
+  EXPECT_GT(differ, 15);
+}
+
+TEST(Surrogate, LowResourceLossPredictsFinalRank) {
+  // Correlation between partial-training loss and final loss is clearly
+  // positive — the premise of successive halving — and strengthens with
+  // more resource.
+  SyntheticBenchmark bench(SimpleSpec(), 1);
+  Rng rng(6);
+  std::vector<Configuration> configs;
+  std::vector<double> final_losses;
+  for (int i = 0; i < 300; ++i) {
+    configs.push_back(bench.space().Sample(rng));
+    final_losses.push_back(bench.FinalLoss(configs.back()));
+  }
+  const auto final_rank = ArgsortAscending(final_losses);
+  auto hits_at = [&](double resource) {
+    std::vector<double> early;
+    for (const auto& config : configs) {
+      early.push_back(bench.TrueLoss(config, resource));
+    }
+    const auto early_rank = ArgsortAscending(early);
+    std::set<std::size_t> early_top(early_rank.begin(),
+                                    early_rank.begin() + 90);
+    int hits = 0;
+    for (int i = 0; i < 30; ++i) hits += early_top.contains(final_rank[i]);
+    return hits;  // chance level: 90/300 * 30 = 9
+  };
+  EXPECT_GT(hits_at(100.0 / 8), 15);
+  EXPECT_GE(hits_at(100.0 / 4), hits_at(100.0 / 64));
+  EXPECT_GT(hits_at(100.0 / 2), 22);
+}
+
+TEST(Surrogate, DivergenceRegionRespectsThreshold) {
+  auto spec = SimpleSpec();
+  spec.divergence_param = "x";
+  spec.divergence_unit_threshold = 0.9;
+  spec.divergence_loss = 1.0;
+  SyntheticBenchmark bench(spec, 1);
+  Configuration high, low;
+  high.Set("x", ParamValue{0.95});
+  high.Set("y", ParamValue{0.5});
+  low.Set("x", ParamValue{0.5});
+  low.Set("y", ParamValue{0.5});
+  EXPECT_TRUE(bench.IsDiverged(high));
+  EXPECT_FALSE(bench.IsDiverged(low));
+  // Diverged configs show their bad loss even at tiny resource.
+  EXPECT_DOUBLE_EQ(bench.TrueLoss(high, 1), bench.FinalLoss(high));
+}
+
+TEST(Surrogate, HeavyTailProducesOrdersOfMagnitudeOutliers) {
+  auto bench = benchmarks::PtbLstm(1);
+  Rng rng(7);
+  double worst = 0;
+  int diverged = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto config = bench->space().Sample(rng);
+    if (bench->IsDiverged(config)) {
+      ++diverged;
+      worst = std::max(worst, bench->FinalLoss(config));
+    }
+  }
+  EXPECT_GT(diverged, 30);      // ~10%+ of the space diverges
+  EXPECT_GT(worst, 10000.0);    // orders of magnitude beyond normal ~76-136
+}
+
+TEST(Surrogate, DurationLinearAndResumable) {
+  SyntheticBenchmark bench(SimpleSpec(), 1);
+  Rng rng(8);
+  const auto config = bench.space().Sample(rng);
+  EXPECT_DOUBLE_EQ(bench.Duration(config, 0, 100),
+                   bench.Duration(config, 0, 40) +
+                       bench.Duration(config, 40, 100));
+}
+
+TEST(Surrogate, NonResumablePaysFullCost) {
+  auto spec = SimpleSpec();
+  spec.resumable = false;
+  spec.time_exponent = 1.7;
+  SyntheticBenchmark bench(spec, 1);
+  Rng rng(9);
+  const auto config = bench.space().Sample(rng);
+  // From a checkpoint or not, cost is identical (full retrain).
+  EXPECT_DOUBLE_EQ(bench.Duration(config, 50, 100),
+                   bench.Duration(config, 0, 100));
+  // Superlinear: 2x data costs > 2x time.
+  EXPECT_GT(bench.Duration(config, 0, 100),
+            2.0 * bench.Duration(config, 0, 50));
+}
+
+TEST(Surrogate, TestMetricTracksValidationLoss) {
+  auto spec = SimpleSpec();
+  spec.test_noise_std = 0.01;
+  SyntheticBenchmark bench(spec, 1);
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    const auto config = bench.space().Sample(rng);
+    EXPECT_NEAR(bench.TestMetric(config, 100), bench.TrueLoss(config, 100),
+                0.05);
+  }
+}
+
+TEST(Surrogate, SpecValidation) {
+  auto spec = SimpleSpec();
+  spec.best_final_loss = 2.0;  // above random guess
+  EXPECT_THROW(SyntheticBenchmark(spec, 1), CheckError);
+  spec = SimpleSpec();
+  spec.max_resource = 0;
+  EXPECT_THROW(SyntheticBenchmark(spec, 1), CheckError);
+  spec = SimpleSpec();
+  spec.time_exponent = 0.5;
+  EXPECT_THROW(SyntheticBenchmark(spec, 1), CheckError);
+}
+
+TEST(PaperBenchmarks, AllBuildAndSample) {
+  for (const auto& name : benchmarks::AllNames()) {
+    auto bench = benchmarks::ByName(name, 1);
+    Rng rng(11);
+    const auto config = bench->space().Sample(rng);
+    const double loss = bench->Loss(config, bench->R());
+    EXPECT_TRUE(std::isfinite(loss)) << name;
+    EXPECT_GT(bench->Duration(config, 0, bench->R()), 0) << name;
+  }
+  EXPECT_THROW(benchmarks::ByName("nope", 1), CheckError);
+}
+
+TEST(PaperBenchmarks, CifarArchTrainingTimeSpread) {
+  // Section 4.2: mean time(R) ~30 minutes with std ~27 — high variance in
+  // training times across configurations.
+  auto bench = benchmarks::CifarArch(1);
+  Rng rng(12);
+  std::vector<double> times;
+  for (int i = 0; i < 400; ++i) {
+    const auto config = bench->space().Sample(rng);
+    times.push_back(bench->Duration(config, 0, bench->R()));
+  }
+  const double mean = Mean(times);
+  EXPECT_GT(mean, 15.0);
+  EXPECT_LT(mean, 50.0);
+  EXPECT_GT(Stddev(times) / mean, 0.5);  // high relative spread
+}
+
+TEST(PaperBenchmarks, CifarConvnetTimeNearlyConstant) {
+  auto bench = benchmarks::CifarConvnet(1);
+  Rng rng(13);
+  std::vector<double> times;
+  for (int i = 0; i < 200; ++i) {
+    const auto config = bench->space().Sample(rng);
+    times.push_back(bench->Duration(config, 0, bench->R()));
+  }
+  EXPECT_LT(Stddev(times) / Mean(times), 0.15);  // "relative simplicity"
+}
+
+TEST(PaperBenchmarks, PtbMeanTimeOfRNearOne) {
+  auto bench = benchmarks::PtbLstm(1);
+  // Figure 5's x-axis unit: time(R) ~ 1.0 by calibration.
+  EXPECT_NEAR(bench->MeanTimeOfR(500), 1.0, 0.25);
+}
+
+TEST(PaperBenchmarks, GoodConfigurationsExist) {
+  // Each benchmark's best 1% of random draws should approach the target
+  // floor — otherwise no tuner could reproduce the paper's curves.
+  struct Target { const char* name; double good; };
+  const std::vector<Target> targets{
+      {"cifar_convnet", 0.23}, {"cifar_arch", 0.27},
+      {"svhn_cnn", 0.10},      {"awd_lstm", 75.0}};
+  for (const auto& target : targets) {
+    auto bench = benchmarks::ByName(target.name, 1);
+    Rng rng(14);
+    double best = 1e18;
+    for (int i = 0; i < 2000; ++i) {
+      best = std::min(best, bench->FinalLoss(bench->space().Sample(rng)));
+    }
+    EXPECT_LT(best, target.good) << target.name;
+  }
+}
+
+TEST(PaperBenchmarks, UnitTimeDurationEqualsResource) {
+  auto bench = benchmarks::UnitTime(1);
+  Rng rng(15);
+  const auto config = bench->space().Sample(rng);
+  EXPECT_DOUBLE_EQ(bench->Duration(config, 0, 256), 256);
+  EXPECT_DOUBLE_EQ(bench->Duration(config, 64, 256), 192);
+}
+
+TEST(ConfigUniform, DeterministicAndSaltSensitive) {
+  Configuration config;
+  config.Set("a", ParamValue{0.5});
+  EXPECT_DOUBLE_EQ(ConfigUniform(config, 1), ConfigUniform(config, 1));
+  EXPECT_NE(ConfigUniform(config, 1), ConfigUniform(config, 2));
+  const double u = ConfigUniform(config, 1);
+  EXPECT_GE(u, 0.0);
+  EXPECT_LT(u, 1.0);
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -1,0 +1,165 @@
+// hypertune_cli — run any tuner against any surrogate benchmark from the
+// command line and print (and optionally export) the aggregated results.
+//
+// Examples:
+//   hypertune_cli --benchmark=cifar_arch --tuner=asha --workers=25 \
+//                 --time=150 --trials=5
+//   hypertune_cli --benchmark=ptb_lstm --tuner=vizier --workers=500 \
+//                 --time-in-r=6 --out=/tmp/ptb.json
+//   hypertune_cli --list
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "analysis/experiment.h"
+#include "analysis/export.h"
+#include "analysis/report.h"
+#include "common/check.h"
+#include "registry/registry.h"
+#include "surrogate/benchmarks.h"
+
+using namespace hypertune;
+
+namespace {
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : std::stod(it->second);
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : std::stoi(it->second);
+  }
+  bool Has(const std::string& key) const { return values.contains(key); }
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    HT_CHECK_MSG(arg.rfind("--", 0) == 0, "flags look like --key=value, got '"
+                                              << arg << "'");
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags.values[arg] = "true";
+    } else {
+      flags.values[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+int Usage() {
+  std::cout <<
+      R"(hypertune_cli — surrogate hyperparameter-tuning experiments
+
+Flags:
+  --list                 print available tuners and benchmarks, then exit
+  --benchmark=NAME       surrogate task (default cifar_arch)
+  --tuner=NAME[,NAME...] tuner(s) to run (default asha)
+  --workers=N            parallel workers (default 25)
+  --time=T               virtual-time budget in the task's units (minutes)
+  --time-in-r=X          budget as a multiple of mean time(R) (overrides --time)
+  --trials=N             independent repetitions (default 3)
+  --eta=E --s=S          successive-halving parameters (default 4, 0)
+  --r-divisor=D          r = R / D (default 256)
+  --n=N                  bracket size / n0 (default 256)
+  --seed=S               base seed (default 1000)
+  --grid-points=N        rows in the printed time series (default 12)
+  --out=PATH             also export results as JSON
+)";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Flags flags = ParseFlags(argc, argv);
+    if (flags.Has("help") || flags.Has("h")) return Usage();
+    if (flags.Has("list")) {
+      std::cout << "tuners:";
+      for (const auto& name : TunerNames()) std::cout << " " << name;
+      std::cout << "\nbenchmarks:";
+      for (const auto& name : benchmarks::AllNames()) std::cout << " " << name;
+      std::cout << "\n";
+      return 0;
+    }
+
+    const std::string benchmark_name = flags.Get("benchmark", "cifar_arch");
+    const std::string tuner_list = flags.Get("tuner", "asha");
+
+    TunerParams params;
+    params.eta = flags.GetDouble("eta", 4);
+    params.s = flags.GetInt("s", 0);
+    params.r_divisor = flags.GetDouble("r-divisor", 256);
+    params.n = static_cast<std::size_t>(flags.GetInt("n", 256));
+
+    ExperimentOptions options;
+    options.num_trials = flags.GetInt("trials", 3);
+    options.num_workers = flags.GetInt("workers", 25);
+    options.grid_points = static_cast<std::size_t>(
+        flags.GetInt("grid-points", 12));
+    options.base_seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1000));
+
+    auto probe = benchmarks::ByName(benchmark_name, 1);
+    if (flags.Has("time-in-r")) {
+      options.time_limit = flags.GetDouble("time-in-r", 4) * probe->MeanTimeOfR();
+    } else {
+      options.time_limit = flags.GetDouble("time", 150);
+    }
+
+    std::cout << "benchmark: " << benchmark_name << " (R=" << probe->R()
+              << ", mean time(R)=" << FormatDouble(probe->MeanTimeOfR(), 2)
+              << ")\nworkers: " << options.num_workers
+              << ", budget: " << FormatDouble(options.time_limit, 1)
+              << ", trials: " << options.num_trials << "\n\n";
+
+    std::vector<MethodResult> results;
+    std::string remaining = tuner_list;
+    while (!remaining.empty()) {
+      const auto comma = remaining.find(',');
+      const std::string tuner = remaining.substr(0, comma);
+      remaining = comma == std::string::npos ? "" : remaining.substr(comma + 1);
+
+      results.push_back(RunExperiment(
+          tuner,
+          [&](std::uint64_t seed) {
+            return benchmarks::ByName(benchmark_name, seed);
+          },
+          [&](const SyntheticBenchmark& bench, std::uint64_t seed) {
+            TunerParams seeded = params;
+            seeded.seed = seed;
+            return MakeTunerByName(tuner, bench, seeded);
+          },
+          options));
+    }
+
+    const std::string metric = probe->spec().metric_name;
+    std::cout << SeriesTable(results, "time", metric).ToMarkdown() << "\n"
+              << SummaryTable(results, metric).ToMarkdown();
+
+    if (flags.Has("out")) {
+      const std::string path = flags.Get("out", "");
+      if (ExportExperiment(path, benchmark_name, results)) {
+        std::cout << "\nexported to " << path << "\n";
+      } else {
+        std::cerr << "failed to write " << path << "\n";
+        return 1;
+      }
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
