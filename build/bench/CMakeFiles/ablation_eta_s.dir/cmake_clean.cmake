@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_eta_s.dir/ablation_eta_s.cc.o"
+  "CMakeFiles/ablation_eta_s.dir/ablation_eta_s.cc.o.d"
+  "ablation_eta_s"
+  "ablation_eta_s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eta_s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asha_theory_check.dir/asha_theory_check.cc.o"
+  "CMakeFiles/asha_theory_check.dir/asha_theory_check.cc.o.d"
+  "asha_theory_check"
+  "asha_theory_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asha_theory_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

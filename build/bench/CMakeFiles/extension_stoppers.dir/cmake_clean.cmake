@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_stoppers.dir/extension_stoppers.cc.o"
+  "CMakeFiles/extension_stoppers.dir/extension_stoppers.cc.o.d"
+  "extension_stoppers"
+  "extension_stoppers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_stoppers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for extension_stoppers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_sha_promotion.dir/fig1_sha_promotion.cc.o"
+  "CMakeFiles/fig1_sha_promotion.dir/fig1_sha_promotion.cc.o.d"
+  "fig1_sha_promotion"
+  "fig1_sha_promotion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_sha_promotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

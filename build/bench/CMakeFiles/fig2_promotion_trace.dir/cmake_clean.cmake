@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_promotion_trace.dir/fig2_promotion_trace.cc.o"
+  "CMakeFiles/fig2_promotion_trace.dir/fig2_promotion_trace.cc.o.d"
+  "fig2_promotion_trace"
+  "fig2_promotion_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_promotion_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

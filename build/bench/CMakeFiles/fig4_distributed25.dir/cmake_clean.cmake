@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_distributed25.dir/fig4_distributed25.cc.o"
+  "CMakeFiles/fig4_distributed25.dir/fig4_distributed25.cc.o.d"
+  "fig4_distributed25"
+  "fig4_distributed25.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_distributed25.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

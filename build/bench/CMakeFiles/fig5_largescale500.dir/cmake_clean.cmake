@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_largescale500.dir/fig5_largescale500.cc.o"
+  "CMakeFiles/fig5_largescale500.dir/fig5_largescale500.cc.o.d"
+  "fig5_largescale500"
+  "fig5_largescale500.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_largescale500.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

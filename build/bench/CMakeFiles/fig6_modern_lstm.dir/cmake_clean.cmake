@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_modern_lstm.dir/fig6_modern_lstm.cc.o"
+  "CMakeFiles/fig6_modern_lstm.dir/fig6_modern_lstm.cc.o.d"
+  "fig6_modern_lstm"
+  "fig6_modern_lstm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_modern_lstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_stragglers.dir/fig7_stragglers.cc.o"
+  "CMakeFiles/fig7_stragglers.dir/fig7_stragglers.cc.o.d"
+  "fig7_stragglers"
+  "fig7_stragglers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_stragglers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_first_completion.dir/fig8_first_completion.cc.o"
+  "CMakeFiles/fig8_first_completion.dir/fig8_first_completion.cc.o.d"
+  "fig8_first_completion"
+  "fig8_first_completion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_first_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_fabolas.dir/fig9_fabolas.cc.o"
+  "CMakeFiles/fig9_fabolas.dir/fig9_fabolas.cc.o.d"
+  "fig9_fabolas"
+  "fig9_fabolas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_fabolas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tables_searchspaces.dir/tables_searchspaces.cc.o"
+  "CMakeFiles/tables_searchspaces.dir/tables_searchspaces.cc.o.d"
+  "tables_searchspaces"
+  "tables_searchspaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tables_searchspaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

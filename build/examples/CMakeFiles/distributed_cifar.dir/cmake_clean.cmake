@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_cifar.dir/distributed_cifar.cpp.o"
+  "CMakeFiles/distributed_cifar.dir/distributed_cifar.cpp.o.d"
+  "distributed_cifar"
+  "distributed_cifar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_cifar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_scale_ptb.dir/large_scale_ptb.cpp.o"
+  "CMakeFiles/large_scale_ptb.dir/large_scale_ptb.cpp.o.d"
+  "large_scale_ptb"
+  "large_scale_ptb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_scale_ptb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_service.dir/tuning_service.cpp.o"
+  "CMakeFiles/tuning_service.dir/tuning_service.cpp.o.d"
+  "tuning_service"
+  "tuning_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/aggregate.cc" "src/analysis/CMakeFiles/ht_analysis.dir/aggregate.cc.o" "gcc" "src/analysis/CMakeFiles/ht_analysis.dir/aggregate.cc.o.d"
+  "/root/repo/src/analysis/experiment.cc" "src/analysis/CMakeFiles/ht_analysis.dir/experiment.cc.o" "gcc" "src/analysis/CMakeFiles/ht_analysis.dir/experiment.cc.o.d"
+  "/root/repo/src/analysis/export.cc" "src/analysis/CMakeFiles/ht_analysis.dir/export.cc.o" "gcc" "src/analysis/CMakeFiles/ht_analysis.dir/export.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/analysis/CMakeFiles/ht_analysis.dir/report.cc.o" "gcc" "src/analysis/CMakeFiles/ht_analysis.dir/report.cc.o.d"
+  "/root/repo/src/analysis/trajectory.cc" "src/analysis/CMakeFiles/ht_analysis.dir/trajectory.cc.o" "gcc" "src/analysis/CMakeFiles/ht_analysis.dir/trajectory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ht_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ht_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ht_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/surrogate/CMakeFiles/ht_surrogate.dir/DependInfo.cmake"
+  "/root/repo/build/src/searchspace/CMakeFiles/ht_searchspace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_analysis.dir/aggregate.cc.o"
+  "CMakeFiles/ht_analysis.dir/aggregate.cc.o.d"
+  "CMakeFiles/ht_analysis.dir/experiment.cc.o"
+  "CMakeFiles/ht_analysis.dir/experiment.cc.o.d"
+  "CMakeFiles/ht_analysis.dir/export.cc.o"
+  "CMakeFiles/ht_analysis.dir/export.cc.o.d"
+  "CMakeFiles/ht_analysis.dir/report.cc.o"
+  "CMakeFiles/ht_analysis.dir/report.cc.o.d"
+  "CMakeFiles/ht_analysis.dir/trajectory.cc.o"
+  "CMakeFiles/ht_analysis.dir/trajectory.cc.o.d"
+  "libht_analysis.a"
+  "libht_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bohb.cc" "src/baselines/CMakeFiles/ht_baselines.dir/bohb.cc.o" "gcc" "src/baselines/CMakeFiles/ht_baselines.dir/bohb.cc.o.d"
+  "/root/repo/src/baselines/fabolas.cc" "src/baselines/CMakeFiles/ht_baselines.dir/fabolas.cc.o" "gcc" "src/baselines/CMakeFiles/ht_baselines.dir/fabolas.cc.o.d"
+  "/root/repo/src/baselines/lc_stop.cc" "src/baselines/CMakeFiles/ht_baselines.dir/lc_stop.cc.o" "gcc" "src/baselines/CMakeFiles/ht_baselines.dir/lc_stop.cc.o.d"
+  "/root/repo/src/baselines/median_rule.cc" "src/baselines/CMakeFiles/ht_baselines.dir/median_rule.cc.o" "gcc" "src/baselines/CMakeFiles/ht_baselines.dir/median_rule.cc.o.d"
+  "/root/repo/src/baselines/pbt.cc" "src/baselines/CMakeFiles/ht_baselines.dir/pbt.cc.o" "gcc" "src/baselines/CMakeFiles/ht_baselines.dir/pbt.cc.o.d"
+  "/root/repo/src/baselines/vizier.cc" "src/baselines/CMakeFiles/ht_baselines.dir/vizier.cc.o" "gcc" "src/baselines/CMakeFiles/ht_baselines.dir/vizier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ht_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/searchspace/CMakeFiles/ht_searchspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ht_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bo/CMakeFiles/ht_bo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

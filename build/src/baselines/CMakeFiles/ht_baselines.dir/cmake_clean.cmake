@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_baselines.dir/bohb.cc.o"
+  "CMakeFiles/ht_baselines.dir/bohb.cc.o.d"
+  "CMakeFiles/ht_baselines.dir/fabolas.cc.o"
+  "CMakeFiles/ht_baselines.dir/fabolas.cc.o.d"
+  "CMakeFiles/ht_baselines.dir/lc_stop.cc.o"
+  "CMakeFiles/ht_baselines.dir/lc_stop.cc.o.d"
+  "CMakeFiles/ht_baselines.dir/median_rule.cc.o"
+  "CMakeFiles/ht_baselines.dir/median_rule.cc.o.d"
+  "CMakeFiles/ht_baselines.dir/pbt.cc.o"
+  "CMakeFiles/ht_baselines.dir/pbt.cc.o.d"
+  "CMakeFiles/ht_baselines.dir/vizier.cc.o"
+  "CMakeFiles/ht_baselines.dir/vizier.cc.o.d"
+  "libht_baselines.a"
+  "libht_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bo/acquisition.cc" "src/bo/CMakeFiles/ht_bo.dir/acquisition.cc.o" "gcc" "src/bo/CMakeFiles/ht_bo.dir/acquisition.cc.o.d"
+  "/root/repo/src/bo/curve_fit.cc" "src/bo/CMakeFiles/ht_bo.dir/curve_fit.cc.o" "gcc" "src/bo/CMakeFiles/ht_bo.dir/curve_fit.cc.o.d"
+  "/root/repo/src/bo/gp.cc" "src/bo/CMakeFiles/ht_bo.dir/gp.cc.o" "gcc" "src/bo/CMakeFiles/ht_bo.dir/gp.cc.o.d"
+  "/root/repo/src/bo/kde.cc" "src/bo/CMakeFiles/ht_bo.dir/kde.cc.o" "gcc" "src/bo/CMakeFiles/ht_bo.dir/kde.cc.o.d"
+  "/root/repo/src/bo/kernel.cc" "src/bo/CMakeFiles/ht_bo.dir/kernel.cc.o" "gcc" "src/bo/CMakeFiles/ht_bo.dir/kernel.cc.o.d"
+  "/root/repo/src/bo/matrix.cc" "src/bo/CMakeFiles/ht_bo.dir/matrix.cc.o" "gcc" "src/bo/CMakeFiles/ht_bo.dir/matrix.cc.o.d"
+  "/root/repo/src/bo/tpe.cc" "src/bo/CMakeFiles/ht_bo.dir/tpe.cc.o" "gcc" "src/bo/CMakeFiles/ht_bo.dir/tpe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ht_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/searchspace/CMakeFiles/ht_searchspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ht_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_bo.dir/acquisition.cc.o"
+  "CMakeFiles/ht_bo.dir/acquisition.cc.o.d"
+  "CMakeFiles/ht_bo.dir/curve_fit.cc.o"
+  "CMakeFiles/ht_bo.dir/curve_fit.cc.o.d"
+  "CMakeFiles/ht_bo.dir/gp.cc.o"
+  "CMakeFiles/ht_bo.dir/gp.cc.o.d"
+  "CMakeFiles/ht_bo.dir/kde.cc.o"
+  "CMakeFiles/ht_bo.dir/kde.cc.o.d"
+  "CMakeFiles/ht_bo.dir/kernel.cc.o"
+  "CMakeFiles/ht_bo.dir/kernel.cc.o.d"
+  "CMakeFiles/ht_bo.dir/matrix.cc.o"
+  "CMakeFiles/ht_bo.dir/matrix.cc.o.d"
+  "CMakeFiles/ht_bo.dir/tpe.cc.o"
+  "CMakeFiles/ht_bo.dir/tpe.cc.o.d"
+  "libht_bo.a"
+  "libht_bo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_bo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

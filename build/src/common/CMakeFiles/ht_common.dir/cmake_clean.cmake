@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_common.dir/json.cc.o"
+  "CMakeFiles/ht_common.dir/json.cc.o.d"
+  "CMakeFiles/ht_common.dir/rng.cc.o"
+  "CMakeFiles/ht_common.dir/rng.cc.o.d"
+  "CMakeFiles/ht_common.dir/stats.cc.o"
+  "CMakeFiles/ht_common.dir/stats.cc.o.d"
+  "CMakeFiles/ht_common.dir/table.cc.o"
+  "CMakeFiles/ht_common.dir/table.cc.o.d"
+  "libht_common.a"
+  "libht_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

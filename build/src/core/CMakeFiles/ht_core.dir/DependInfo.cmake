@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/asha.cc" "src/core/CMakeFiles/ht_core.dir/asha.cc.o" "gcc" "src/core/CMakeFiles/ht_core.dir/asha.cc.o.d"
+  "/root/repo/src/core/async_hyperband.cc" "src/core/CMakeFiles/ht_core.dir/async_hyperband.cc.o" "gcc" "src/core/CMakeFiles/ht_core.dir/async_hyperband.cc.o.d"
+  "/root/repo/src/core/geometry.cc" "src/core/CMakeFiles/ht_core.dir/geometry.cc.o" "gcc" "src/core/CMakeFiles/ht_core.dir/geometry.cc.o.d"
+  "/root/repo/src/core/grid_search.cc" "src/core/CMakeFiles/ht_core.dir/grid_search.cc.o" "gcc" "src/core/CMakeFiles/ht_core.dir/grid_search.cc.o.d"
+  "/root/repo/src/core/hyperband.cc" "src/core/CMakeFiles/ht_core.dir/hyperband.cc.o" "gcc" "src/core/CMakeFiles/ht_core.dir/hyperband.cc.o.d"
+  "/root/repo/src/core/incumbent.cc" "src/core/CMakeFiles/ht_core.dir/incumbent.cc.o" "gcc" "src/core/CMakeFiles/ht_core.dir/incumbent.cc.o.d"
+  "/root/repo/src/core/quasirandom.cc" "src/core/CMakeFiles/ht_core.dir/quasirandom.cc.o" "gcc" "src/core/CMakeFiles/ht_core.dir/quasirandom.cc.o.d"
+  "/root/repo/src/core/random_search.cc" "src/core/CMakeFiles/ht_core.dir/random_search.cc.o" "gcc" "src/core/CMakeFiles/ht_core.dir/random_search.cc.o.d"
+  "/root/repo/src/core/rung.cc" "src/core/CMakeFiles/ht_core.dir/rung.cc.o" "gcc" "src/core/CMakeFiles/ht_core.dir/rung.cc.o.d"
+  "/root/repo/src/core/sampler.cc" "src/core/CMakeFiles/ht_core.dir/sampler.cc.o" "gcc" "src/core/CMakeFiles/ht_core.dir/sampler.cc.o.d"
+  "/root/repo/src/core/sha.cc" "src/core/CMakeFiles/ht_core.dir/sha.cc.o" "gcc" "src/core/CMakeFiles/ht_core.dir/sha.cc.o.d"
+  "/root/repo/src/core/trial.cc" "src/core/CMakeFiles/ht_core.dir/trial.cc.o" "gcc" "src/core/CMakeFiles/ht_core.dir/trial.cc.o.d"
+  "/root/repo/src/core/trial_json.cc" "src/core/CMakeFiles/ht_core.dir/trial_json.cc.o" "gcc" "src/core/CMakeFiles/ht_core.dir/trial_json.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ht_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/searchspace/CMakeFiles/ht_searchspace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_core.dir/asha.cc.o"
+  "CMakeFiles/ht_core.dir/asha.cc.o.d"
+  "CMakeFiles/ht_core.dir/async_hyperband.cc.o"
+  "CMakeFiles/ht_core.dir/async_hyperband.cc.o.d"
+  "CMakeFiles/ht_core.dir/geometry.cc.o"
+  "CMakeFiles/ht_core.dir/geometry.cc.o.d"
+  "CMakeFiles/ht_core.dir/grid_search.cc.o"
+  "CMakeFiles/ht_core.dir/grid_search.cc.o.d"
+  "CMakeFiles/ht_core.dir/hyperband.cc.o"
+  "CMakeFiles/ht_core.dir/hyperband.cc.o.d"
+  "CMakeFiles/ht_core.dir/incumbent.cc.o"
+  "CMakeFiles/ht_core.dir/incumbent.cc.o.d"
+  "CMakeFiles/ht_core.dir/quasirandom.cc.o"
+  "CMakeFiles/ht_core.dir/quasirandom.cc.o.d"
+  "CMakeFiles/ht_core.dir/random_search.cc.o"
+  "CMakeFiles/ht_core.dir/random_search.cc.o.d"
+  "CMakeFiles/ht_core.dir/rung.cc.o"
+  "CMakeFiles/ht_core.dir/rung.cc.o.d"
+  "CMakeFiles/ht_core.dir/sampler.cc.o"
+  "CMakeFiles/ht_core.dir/sampler.cc.o.d"
+  "CMakeFiles/ht_core.dir/sha.cc.o"
+  "CMakeFiles/ht_core.dir/sha.cc.o.d"
+  "CMakeFiles/ht_core.dir/trial.cc.o"
+  "CMakeFiles/ht_core.dir/trial.cc.o.d"
+  "CMakeFiles/ht_core.dir/trial_json.cc.o"
+  "CMakeFiles/ht_core.dir/trial_json.cc.o.d"
+  "libht_core.a"
+  "libht_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

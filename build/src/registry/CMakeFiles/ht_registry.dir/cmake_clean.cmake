@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_registry.dir/registry.cc.o"
+  "CMakeFiles/ht_registry.dir/registry.cc.o.d"
+  "libht_registry.a"
+  "libht_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_runtime.dir/executor.cc.o"
+  "CMakeFiles/ht_runtime.dir/executor.cc.o.d"
+  "libht_runtime.a"
+  "libht_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/searchspace/config_json.cc" "src/searchspace/CMakeFiles/ht_searchspace.dir/config_json.cc.o" "gcc" "src/searchspace/CMakeFiles/ht_searchspace.dir/config_json.cc.o.d"
+  "/root/repo/src/searchspace/configuration.cc" "src/searchspace/CMakeFiles/ht_searchspace.dir/configuration.cc.o" "gcc" "src/searchspace/CMakeFiles/ht_searchspace.dir/configuration.cc.o.d"
+  "/root/repo/src/searchspace/domain.cc" "src/searchspace/CMakeFiles/ht_searchspace.dir/domain.cc.o" "gcc" "src/searchspace/CMakeFiles/ht_searchspace.dir/domain.cc.o.d"
+  "/root/repo/src/searchspace/perturb.cc" "src/searchspace/CMakeFiles/ht_searchspace.dir/perturb.cc.o" "gcc" "src/searchspace/CMakeFiles/ht_searchspace.dir/perturb.cc.o.d"
+  "/root/repo/src/searchspace/space.cc" "src/searchspace/CMakeFiles/ht_searchspace.dir/space.cc.o" "gcc" "src/searchspace/CMakeFiles/ht_searchspace.dir/space.cc.o.d"
+  "/root/repo/src/searchspace/spaces.cc" "src/searchspace/CMakeFiles/ht_searchspace.dir/spaces.cc.o" "gcc" "src/searchspace/CMakeFiles/ht_searchspace.dir/spaces.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ht_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

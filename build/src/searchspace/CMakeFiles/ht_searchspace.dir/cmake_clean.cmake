@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_searchspace.dir/config_json.cc.o"
+  "CMakeFiles/ht_searchspace.dir/config_json.cc.o.d"
+  "CMakeFiles/ht_searchspace.dir/configuration.cc.o"
+  "CMakeFiles/ht_searchspace.dir/configuration.cc.o.d"
+  "CMakeFiles/ht_searchspace.dir/domain.cc.o"
+  "CMakeFiles/ht_searchspace.dir/domain.cc.o.d"
+  "CMakeFiles/ht_searchspace.dir/perturb.cc.o"
+  "CMakeFiles/ht_searchspace.dir/perturb.cc.o.d"
+  "CMakeFiles/ht_searchspace.dir/space.cc.o"
+  "CMakeFiles/ht_searchspace.dir/space.cc.o.d"
+  "CMakeFiles/ht_searchspace.dir/spaces.cc.o"
+  "CMakeFiles/ht_searchspace.dir/spaces.cc.o.d"
+  "libht_searchspace.a"
+  "libht_searchspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_searchspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

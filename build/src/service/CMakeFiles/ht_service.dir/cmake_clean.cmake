@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_service.dir/server.cc.o"
+  "CMakeFiles/ht_service.dir/server.cc.o.d"
+  "CMakeFiles/ht_service.dir/worker.cc.o"
+  "CMakeFiles/ht_service.dir/worker.cc.o.d"
+  "libht_service.a"
+  "libht_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_sim.dir/driver.cc.o"
+  "CMakeFiles/ht_sim.dir/driver.cc.o.d"
+  "CMakeFiles/ht_sim.dir/hazards.cc.o"
+  "CMakeFiles/ht_sim.dir/hazards.cc.o.d"
+  "libht_sim.a"
+  "libht_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_surrogate.dir/benchmark.cc.o"
+  "CMakeFiles/ht_surrogate.dir/benchmark.cc.o.d"
+  "CMakeFiles/ht_surrogate.dir/benchmarks.cc.o"
+  "CMakeFiles/ht_surrogate.dir/benchmarks.cc.o.d"
+  "libht_surrogate.a"
+  "libht_surrogate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_surrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

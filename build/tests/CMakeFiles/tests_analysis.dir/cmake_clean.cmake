@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_analysis.dir/analysis_test.cc.o"
+  "CMakeFiles/tests_analysis.dir/analysis_test.cc.o.d"
+  "tests_analysis"
+  "tests_analysis.pdb"
+  "tests_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

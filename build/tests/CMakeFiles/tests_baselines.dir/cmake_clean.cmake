@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_baselines.dir/baselines_bo_test.cc.o"
+  "CMakeFiles/tests_baselines.dir/baselines_bo_test.cc.o.d"
+  "CMakeFiles/tests_baselines.dir/baselines_pbt_test.cc.o"
+  "CMakeFiles/tests_baselines.dir/baselines_pbt_test.cc.o.d"
+  "tests_baselines"
+  "tests_baselines.pdb"
+  "tests_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

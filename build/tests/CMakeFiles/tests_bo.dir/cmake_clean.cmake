@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_bo.dir/bo_kde_tpe_test.cc.o"
+  "CMakeFiles/tests_bo.dir/bo_kde_tpe_test.cc.o.d"
+  "CMakeFiles/tests_bo.dir/bo_matrix_gp_test.cc.o"
+  "CMakeFiles/tests_bo.dir/bo_matrix_gp_test.cc.o.d"
+  "tests_bo"
+  "tests_bo.pdb"
+  "tests_bo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_bo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_common.dir/common_rng_test.cc.o"
+  "CMakeFiles/tests_common.dir/common_rng_test.cc.o.d"
+  "CMakeFiles/tests_common.dir/common_stats_test.cc.o"
+  "CMakeFiles/tests_common.dir/common_stats_test.cc.o.d"
+  "tests_common"
+  "tests_common.pdb"
+  "tests_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

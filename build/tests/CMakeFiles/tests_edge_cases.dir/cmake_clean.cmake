@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_edge_cases.dir/edge_cases_test.cc.o"
+  "CMakeFiles/tests_edge_cases.dir/edge_cases_test.cc.o.d"
+  "tests_edge_cases"
+  "tests_edge_cases.pdb"
+  "tests_edge_cases[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_edge_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_extensions.dir/extensions_test.cc.o"
+  "CMakeFiles/tests_extensions.dir/extensions_test.cc.o.d"
+  "tests_extensions"
+  "tests_extensions.pdb"
+  "tests_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

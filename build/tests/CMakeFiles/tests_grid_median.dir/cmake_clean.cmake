@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_grid_median.dir/grid_median_test.cc.o"
+  "CMakeFiles/tests_grid_median.dir/grid_median_test.cc.o.d"
+  "tests_grid_median"
+  "tests_grid_median.pdb"
+  "tests_grid_median[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_grid_median.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_json.dir/export_test.cc.o"
+  "CMakeFiles/tests_json.dir/export_test.cc.o.d"
+  "CMakeFiles/tests_json.dir/json_test.cc.o"
+  "CMakeFiles/tests_json.dir/json_test.cc.o.d"
+  "CMakeFiles/tests_json.dir/snapshot_test.cc.o"
+  "CMakeFiles/tests_json.dir/snapshot_test.cc.o.d"
+  "tests_json"
+  "tests_json.pdb"
+  "tests_json[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_property.dir/property_test.cc.o"
+  "CMakeFiles/tests_property.dir/property_test.cc.o.d"
+  "tests_property"
+  "tests_property.pdb"
+  "tests_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_registry.dir/registry_test.cc.o"
+  "CMakeFiles/tests_registry.dir/registry_test.cc.o.d"
+  "tests_registry"
+  "tests_registry.pdb"
+  "tests_registry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_rung_differential.dir/rung_differential_test.cc.o"
+  "CMakeFiles/tests_rung_differential.dir/rung_differential_test.cc.o.d"
+  "tests_rung_differential"
+  "tests_rung_differential.pdb"
+  "tests_rung_differential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_rung_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_runtime.dir/runtime_executor_test.cc.o"
+  "CMakeFiles/tests_runtime.dir/runtime_executor_test.cc.o.d"
+  "tests_runtime"
+  "tests_runtime.pdb"
+  "tests_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_searchspace.dir/searchspace_domain_test.cc.o"
+  "CMakeFiles/tests_searchspace.dir/searchspace_domain_test.cc.o.d"
+  "CMakeFiles/tests_searchspace.dir/searchspace_space_test.cc.o"
+  "CMakeFiles/tests_searchspace.dir/searchspace_space_test.cc.o.d"
+  "tests_searchspace"
+  "tests_searchspace.pdb"
+  "tests_searchspace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_searchspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

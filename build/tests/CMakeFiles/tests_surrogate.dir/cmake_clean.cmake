@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_surrogate.dir/surrogate_test.cc.o"
+  "CMakeFiles/tests_surrogate.dir/surrogate_test.cc.o.d"
+  "tests_surrogate"
+  "tests_surrogate.pdb"
+  "tests_surrogate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_surrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_common[1]_include.cmake")
+include("/root/repo/build/tests/tests_searchspace[1]_include.cmake")
+include("/root/repo/build/tests/tests_core[1]_include.cmake")
+include("/root/repo/build/tests/tests_bo[1]_include.cmake")
+include("/root/repo/build/tests/tests_sim[1]_include.cmake")
+include("/root/repo/build/tests/tests_surrogate[1]_include.cmake")
+include("/root/repo/build/tests/tests_baselines[1]_include.cmake")
+include("/root/repo/build/tests/tests_analysis[1]_include.cmake")
+include("/root/repo/build/tests/tests_property[1]_include.cmake")
+include("/root/repo/build/tests/tests_integration[1]_include.cmake")
+include("/root/repo/build/tests/tests_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/tests_rung_differential[1]_include.cmake")
+include("/root/repo/build/tests/tests_json[1]_include.cmake")
+include("/root/repo/build/tests/tests_grid_median[1]_include.cmake")
+include("/root/repo/build/tests/tests_extensions[1]_include.cmake")
+include("/root/repo/build/tests/tests_service[1]_include.cmake")
+include("/root/repo/build/tests/tests_registry[1]_include.cmake")
+include("/root/repo/build/tests/tests_runtime[1]_include.cmake")

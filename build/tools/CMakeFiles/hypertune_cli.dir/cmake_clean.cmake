@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypertune_cli.dir/hypertune_cli.cc.o"
+  "CMakeFiles/hypertune_cli.dir/hypertune_cli.cc.o.d"
+  "hypertune_cli"
+  "hypertune_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypertune_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
