@@ -1,6 +1,7 @@
 #include "analysis/experiment.h"
 
 #include "common/check.h"
+#include "telemetry/telemetry.h"
 
 namespace hypertune {
 
@@ -23,6 +24,10 @@ MethodResult RunExperiment(const std::string& method_name,
     driver_options.time_limit = options.time_limit;
     driver_options.hazards = options.hazards;
     driver_options.seed = seed ^ 0x5eedULL;
+    if (trial == 0 && options.telemetry != nullptr) {
+      driver_options.telemetry = options.telemetry;
+      scheduler->SetTelemetry(options.telemetry);
+    }
 
     SimulationDriver driver(*scheduler, *benchmark, driver_options);
     const DriverResult run = driver.Run();

@@ -15,6 +15,8 @@
 
 namespace hypertune {
 
+class Telemetry;
+
 /// Builds the benchmark instance for one experiment trial.
 using BenchmarkFactory =
     std::function<std::unique_ptr<SyntheticBenchmark>(std::uint64_t trial_seed)>;
@@ -31,6 +33,12 @@ struct ExperimentOptions {
   /// Time-grid resolution of the aggregated series.
   std::size_t grid_points = 24;
   std::uint64_t base_seed = 1000;
+  /// Optional observability sink (not owned). The *first* repetition of
+  /// each method runs fully instrumented — scheduler, driver, and worker
+  /// spans land in the sink's tracer — so one seeded run stays readable in
+  /// a trace viewer; later repetitions run dark (metrics from them would be
+  /// indistinguishable anyway and overlapping traces are useless).
+  Telemetry* telemetry = nullptr;
 };
 
 struct MethodResult {

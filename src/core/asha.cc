@@ -4,8 +4,20 @@
 
 #include "common/check.h"
 #include "core/trial_json.h"
+#include "telemetry/telemetry.h"
 
 namespace hypertune {
+
+namespace {
+
+Json TrialArgs(TrialId id, int bracket) {
+  Json args = JsonObject{};
+  args.Set("trial", Json(id));
+  args.Set("bracket", Json(bracket));
+  return args;
+}
+
+}  // namespace
 
 AshaScheduler::AshaScheduler(std::shared_ptr<ConfigSampler> sampler,
                              AshaOptions options,
@@ -72,6 +84,13 @@ std::optional<Job> AshaScheduler::FindPromotion() {
         static_cast<std::size_t>(k) + 1 == rungs_.size()) {
       rungs_.emplace_back();  // grow the bracket upward (Section 3.3)
     }
+    if (telemetry_ != nullptr) {
+      Json args = TrialArgs(id, options_.s);
+      args.Set("from_rung", Json(k));
+      args.Set("to_rung", Json(k + 1));
+      telemetry_->Event("trial_promoted", "trial", std::move(args));
+      telemetry_->Count("scheduler.promotions");
+    }
     return MakeJob(id, k + 1);
   }
   return std::nullopt;
@@ -86,6 +105,10 @@ std::optional<Job> AshaScheduler::GetJob() {
   Configuration config = sampler_->Sample(rng_);
   const TrialId id = bank_->Create(std::move(config), options_.s);
   ++trials_created_;
+  if (telemetry_ != nullptr) {
+    telemetry_->Event("trial_sampled", "trial", TrialArgs(id, options_.s));
+    telemetry_->Count("scheduler.trials_sampled");
+  }
   return MakeJob(id, 0);
 }
 
@@ -97,6 +120,15 @@ void AshaScheduler::ReportResult(const Job& job, double loss) {
   rungs_.at(static_cast<std::size_t>(job.rung)).Record(job.trial_id, loss);
   trial.status = IsTopRung(job.rung) ? TrialStatus::kCompleted
                                      : TrialStatus::kPaused;
+  if (telemetry_ != nullptr) {
+    telemetry_->Count("scheduler.results");
+    if (trial.status == TrialStatus::kCompleted) {
+      Json args = TrialArgs(job.trial_id, options_.s);
+      args.Set("loss", Json(loss));
+      args.Set("resource", Json(job.to_resource));
+      telemetry_->Event("trial_completed", "trial", std::move(args));
+    }
+  }
   // Section 3.3: ASHA uses intermediate losses for its recommendation.
   incumbent_.Offer(job.trial_id, loss, job.to_resource);
   sampler_->Observe(trial.config, job.to_resource, loss);
@@ -109,6 +141,12 @@ void AshaScheduler::ReportLost(const Job& job) {
   // property evaluated in Appendix A.1). If the trial had been promoted its
   // promotion mark stays — the slot is lost, not recycled.
   bank_->Get(job.trial_id).status = TrialStatus::kLost;
+  if (telemetry_ != nullptr) {
+    Json args = TrialArgs(job.trial_id, options_.s);
+    args.Set("rung", Json(job.rung));
+    telemetry_->Event("trial_lost", "trial", std::move(args));
+    telemetry_->Count("scheduler.jobs_lost");
+  }
 }
 
 bool AshaScheduler::Finished() const {

@@ -63,6 +63,7 @@ class AshaScheduler final : public Scheduler {
   std::optional<Recommendation> Current() const override;
   const TrialBank& trials() const override { return *bank_; }
   std::string name() const override { return options_.display_name; }
+  void SetTelemetry(Telemetry* telemetry) override { telemetry_ = telemetry; }
 
   const AshaOptions& options() const { return options_; }
 
@@ -104,6 +105,7 @@ class AshaScheduler final : public Scheduler {
   BracketGeometry geometry_;
   std::vector<Rung> rungs_;
   IncumbentTracker incumbent_;
+  Telemetry* telemetry_ = nullptr;
   Rng rng_;
   std::int64_t trials_created_ = 0;
   std::int64_t jobs_in_flight_ = 0;

@@ -39,6 +39,9 @@ class AsyncHyperbandScheduler final : public Scheduler {
   std::optional<Recommendation> Current() const override;
   const TrialBank& trials() const override { return *bank_; }
   std::string name() const override { return "Hyperband (async)"; }
+  void SetTelemetry(Telemetry* telemetry) override {
+    for (auto& bracket : brackets_) bracket->SetTelemetry(telemetry);
+  }
 
   /// Early-stopping rate of the ASHA bracket jobs are currently drawn from.
   int CurrentBracket() const { return current_; }

@@ -51,6 +51,12 @@ void HyperbandScheduler::StartNextBracketIfNeeded() {
   sha.seed = seed_counter_++;
   brackets_run_.push_back(
       std::make_unique<SyncShaScheduler>(sampler_, sha, bank_));
+  brackets_run_.back()->SetTelemetry(telemetry_);
+}
+
+void HyperbandScheduler::SetTelemetry(Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  for (auto& bracket : brackets_run_) bracket->SetTelemetry(telemetry);
 }
 
 std::optional<Job> HyperbandScheduler::GetJob() {

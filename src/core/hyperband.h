@@ -47,6 +47,8 @@ class HyperbandScheduler final : public Scheduler {
   std::optional<Recommendation> Current() const override;
   const TrialBank& trials() const override { return *bank_; }
   std::string name() const override { return "Hyperband"; }
+  /// Forwarded to every bracket, including ones started later.
+  void SetTelemetry(Telemetry* telemetry) override;
 
   /// Early-stopping rate of the bracket currently being run.
   int CurrentBracket() const;
@@ -62,6 +64,7 @@ class HyperbandScheduler final : public Scheduler {
   /// All brackets ever run; jobs are routed back by the high bits of the tag.
   std::vector<std::unique_ptr<SyncShaScheduler>> brackets_run_;
   IncumbentTracker incumbent_;
+  Telemetry* telemetry_ = nullptr;
   std::uint64_t seed_counter_;
 };
 

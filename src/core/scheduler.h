@@ -15,9 +15,17 @@
 
 namespace hypertune {
 
+class Telemetry;
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
+
+  /// Attaches an observability sink (see src/telemetry). Null detaches.
+  /// Implementations that emit nothing inherit this no-op; composite
+  /// schedulers forward the sink to their inner brackets. Must be called
+  /// before the scheduler is driven — sinks are not swapped mid-run.
+  virtual void SetTelemetry(Telemetry* telemetry) { (void)telemetry; }
 
   /// Next unit of work, or std::nullopt when no work is available right now
   /// (the caller should retry after the next completion event).

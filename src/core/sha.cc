@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "telemetry/telemetry.h"
 
 namespace hypertune {
 
@@ -35,6 +36,15 @@ SyncShaScheduler::BracketInstance SyncShaScheduler::MakeInstance() {
   for (std::size_t i = 0; i < options_.n; ++i) {
     inst.queue[0].push_back(
         bank_->Create(sampler_->Sample(rng_), options_.s));
+  }
+  if (telemetry_ != nullptr) {
+    Json args = JsonObject{};
+    args.Set("bracket", Json(options_.s));
+    args.Set("instance", Json(static_cast<std::int64_t>(instances_.size())));
+    args.Set("cohort", Json(static_cast<std::int64_t>(options_.n)));
+    telemetry_->Event("bracket_started", "rung", std::move(args));
+    telemetry_->Count("scheduler.trials_sampled",
+                      static_cast<std::int64_t>(options_.n));
   }
   return inst;
 }
@@ -102,9 +112,28 @@ void SyncShaScheduler::OnRungSettled(std::size_t instance_idx) {
   const auto promote_count = static_cast<std::size_t>(
       static_cast<double>(rung.NumRecorded()) / options_.eta);
 
+  if (telemetry_ != nullptr) {
+    Json args = JsonObject{};
+    args.Set("bracket", Json(options_.s));
+    args.Set("instance", Json(static_cast<std::int64_t>(instance_idx)));
+    args.Set("rung", Json(inst.frontier));
+    args.Set("recorded", Json(static_cast<std::int64_t>(rung.NumRecorded())));
+    args.Set("promoted",
+             Json(static_cast<std::int64_t>(is_top ? 0 : promote_count)));
+    telemetry_->Event("rung_settled", "rung", std::move(args));
+    telemetry_->Count("scheduler.rungs_settled");
+  }
+
   if (is_top || promote_count == 0) {
     inst.complete = true;
     ++completed_brackets_;
+    if (telemetry_ != nullptr) {
+      Json args = JsonObject{};
+      args.Set("bracket", Json(options_.s));
+      args.Set("instance", Json(static_cast<std::int64_t>(instance_idx)));
+      telemetry_->Event("bracket_complete", "rung", std::move(args));
+      telemetry_->Count("scheduler.brackets_completed");
+    }
     if (rung.NumRecorded() > 0 &&
         (options_.incumbent_policy == IncumbentPolicy::kByBracket ||
          options_.incumbent_policy == IncumbentPolicy::kByRung)) {
@@ -121,6 +150,15 @@ void SyncShaScheduler::OnRungSettled(std::size_t instance_idx) {
   for (TrialId id : winners) {
     inst.rungs[k].MarkPromoted(id);
     bank_->Get(id).status = TrialStatus::kPaused;
+    if (telemetry_ != nullptr) {
+      Json args = JsonObject{};
+      args.Set("trial", Json(id));
+      args.Set("bracket", Json(options_.s));
+      args.Set("from_rung", Json(inst.frontier));
+      args.Set("to_rung", Json(inst.frontier + 1));
+      telemetry_->Event("trial_promoted", "trial", std::move(args));
+      telemetry_->Count("scheduler.promotions");
+    }
   }
   inst.queue[k + 1] = std::move(winners);
   ++inst.frontier;
@@ -139,6 +177,7 @@ void SyncShaScheduler::ReportResult(const Job& job, double loss) {
                      ? TrialStatus::kCompleted
                      : TrialStatus::kPaused;
   sampler_->Observe(trial.config, job.to_resource, loss);
+  if (telemetry_ != nullptr) telemetry_->Count("scheduler.results");
   if (options_.incumbent_policy == IncumbentPolicy::kIntermediate) {
     incumbent_.Offer(job.trial_id, loss, job.to_resource);
   }
@@ -155,6 +194,14 @@ void SyncShaScheduler::ReportLost(const Job& job) {
   HT_CHECK(inst.outstanding[k] > 0);
   --inst.outstanding[k];
   bank_->Get(job.trial_id).status = TrialStatus::kLost;
+  if (telemetry_ != nullptr) {
+    Json args = JsonObject{};
+    args.Set("trial", Json(job.trial_id));
+    args.Set("bracket", Json(options_.s));
+    args.Set("rung", Json(job.rung));
+    telemetry_->Event("trial_lost", "trial", std::move(args));
+    telemetry_->Count("scheduler.jobs_lost");
+  }
 
   if (inst.dispatched[k] == inst.queue[k].size() && inst.outstanding[k] == 0 &&
       static_cast<int>(k) == inst.frontier) {

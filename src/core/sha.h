@@ -54,6 +54,7 @@ class SyncShaScheduler final : public Scheduler {
   std::optional<Recommendation> Current() const override;
   const TrialBank& trials() const override { return *bank_; }
   std::string name() const override { return options_.display_name; }
+  void SetTelemetry(Telemetry* telemetry) override { telemetry_ = telemetry; }
 
   const ShaOptions& options() const { return options_; }
   const BracketGeometry& geometry() const { return geometry_; }
@@ -92,6 +93,7 @@ class SyncShaScheduler final : public Scheduler {
   BracketGeometry geometry_;
   std::vector<BracketInstance> instances_;
   IncumbentTracker incumbent_;
+  Telemetry* telemetry_ = nullptr;
   Rng rng_;
   std::size_t completed_brackets_ = 0;
   double resource_dispatched_ = 0;

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "telemetry/telemetry.h"
 
 namespace hypertune {
 
@@ -12,6 +13,15 @@ ThreadPoolExecutor::ThreadPoolExecutor(Scheduler& scheduler,
     : scheduler_(scheduler), train_(std::move(train)), options_(options) {
   HT_CHECK(options_.num_workers > 0);
   HT_CHECK(train_ != nullptr);
+  if (options_.telemetry != nullptr) {
+    auto& metrics = options_.telemetry->metrics();
+    jobs_completed_counter_ = &metrics.counter("executor.jobs_completed");
+    jobs_lost_counter_ = &metrics.counter("executor.jobs_lost");
+    queue_wait_histogram_ = &metrics.histogram(
+        "executor.queue_wait_seconds", ExponentialBuckets(1e-4, 4, 12));
+    job_seconds_histogram_ = &metrics.histogram(
+        "executor.job_seconds", ExponentialBuckets(1e-4, 4, 12));
+  }
 }
 
 bool ThreadPoolExecutor::StopRequested(
@@ -29,8 +39,12 @@ bool ThreadPoolExecutor::StopRequested(
 }
 
 void ThreadPoolExecutor::WorkerLoop(
-    ExecutorResult& result, std::chrono::steady_clock::time_point start) {
+    int worker_index, ExecutorResult& result,
+    std::chrono::steady_clock::time_point start) {
+  Telemetry* const telemetry = options_.telemetry;
   std::unique_lock<std::mutex> lock(mutex_);
+  // When the worker last became free (for the queue-wait histogram).
+  double free_since = telemetry != nullptr ? telemetry->Now() : 0;
   for (;;) {
     if (StopRequested(result, start) || scheduler_.Finished()) break;
 
@@ -52,12 +66,38 @@ void ThreadPoolExecutor::WorkerLoop(
     ++active_jobs_;
     lock.unlock();
 
+    double span_start = 0;
+    if (telemetry != nullptr) {
+      span_start = telemetry->Now();
+      queue_wait_histogram_->Observe(span_start - free_since);
+    }
+
     double loss = 0;
     bool completed = true;
     try {
       loss = train_(*job);
     } catch (...) {
       completed = false;  // worker crash / preemption -> lost job
+    }
+
+    if (telemetry != nullptr) {
+      const double span_end = telemetry->Now();
+      free_since = span_end;
+      job_seconds_histogram_->Observe(span_end - span_start);
+      (completed ? jobs_completed_counter_ : jobs_lost_counter_)->Increment();
+      Json args = JsonObject{};
+      args.Set("trial", Json(job->trial_id));
+      args.Set("rung", Json(job->rung));
+      args.Set("to_resource", Json(job->to_resource));
+      if (completed) {
+        args.Set("loss", Json(loss));
+      } else {
+        args.Set("lost", Json(true));
+      }
+      telemetry->SpanAt(span_start, span_end - span_start,
+                        "t" + std::to_string(job->trial_id) + ":r" +
+                            std::to_string(job->rung),
+                        "worker", std::move(args), worker_index);
     }
 
     lock.lock();
@@ -88,7 +128,7 @@ ExecutorResult ThreadPoolExecutor::Run() {
   workers.reserve(static_cast<std::size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     workers.emplace_back(
-        [this, &result, start] { WorkerLoop(result, start); });
+        [this, i, &result, start] { WorkerLoop(i, result, start); });
   }
   for (auto& worker : workers) worker.join();
   result.elapsed_seconds =

@@ -25,6 +25,10 @@
 
 namespace hypertune {
 
+class Telemetry;
+class Counter;
+class Histogram;
+
 /// Trains `job.config` from `job.from_resource` to `job.to_resource` and
 /// returns the validation loss. Throwing (any exception) reports the job as
 /// lost — the worker equivalent of a crashed or preempted task.
@@ -37,6 +41,13 @@ struct ExecutorOptions {
   std::chrono::milliseconds wall_clock_budget{0};
   /// Stop after this many completed jobs (0 = unlimited).
   std::size_t max_jobs = 0;
+  /// Optional observability sink (not owned; must outlive the executor).
+  /// When set, each worker emits a per-job span on its own trace track,
+  /// counts completions/losses, and feeds two histograms:
+  /// "executor.queue_wait_seconds" (time a free worker waited for its next
+  /// job, promotion stalls included) and "executor.job_seconds" (training
+  /// durations). Null — the default — makes instrumentation a no-op.
+  Telemetry* telemetry = nullptr;
 };
 
 /// One completed (or lost) job with a wall-clock timestamp.
@@ -65,7 +76,7 @@ class ThreadPoolExecutor {
   ExecutorResult Run();
 
  private:
-  void WorkerLoop(ExecutorResult& result,
+  void WorkerLoop(int worker_index, ExecutorResult& result,
                   std::chrono::steady_clock::time_point start);
   bool StopRequested(const ExecutorResult& result,
                      std::chrono::steady_clock::time_point start) const;
@@ -73,6 +84,13 @@ class ThreadPoolExecutor {
   Scheduler& scheduler_;
   TrainFunction train_;
   ExecutorOptions options_;
+
+  // Instruments resolved once at construction (null when telemetry is off)
+  // so the worker hot path never takes the registry's registration lock.
+  Counter* jobs_completed_counter_ = nullptr;
+  Counter* jobs_lost_counter_ = nullptr;
+  Histogram* queue_wait_histogram_ = nullptr;
+  Histogram* job_seconds_histogram_ = nullptr;
 
   std::mutex mutex_;
   std::condition_variable work_available_;

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "core/trial_json.h"
+#include "telemetry/telemetry.h"
 
 namespace hypertune {
 
@@ -31,6 +32,18 @@ ServerStats TuningServer::stats() const {
   return stats;
 }
 
+namespace {
+
+Json LeaseArgs(std::uint64_t job_id, std::uint64_t worker, TrialId trial) {
+  Json args = JsonObject{};
+  args.Set("job_id", Json(static_cast<std::int64_t>(job_id)));
+  args.Set("worker", Json(static_cast<std::int64_t>(worker)));
+  args.Set("trial", Json(trial));
+  return args;
+}
+
+}  // namespace
+
 void TuningServer::Tick(double now) {
   std::vector<std::uint64_t> expired;
   for (const auto& [job_id, lease] : leases_) {
@@ -38,7 +51,14 @@ void TuningServer::Tick(double now) {
   }
   for (std::uint64_t job_id : expired) {
     // The worker is presumed dead or partitioned: its work is gone.
-    scheduler_.ReportLost(leases_.at(job_id).job);
+    const Lease& lease = leases_.at(job_id);
+    if (options_.telemetry != nullptr) {
+      options_.telemetry->EventAt(
+          now, "lease_expired", "lease",
+          LeaseArgs(job_id, lease.worker, lease.job.trial_id));
+      options_.telemetry->Count("server.leases_expired");
+    }
+    scheduler_.ReportLost(lease.job);
     leases_.erase(job_id);
     ++stats_.leases_expired;
   }
@@ -58,6 +78,14 @@ Json TuningServer::HandleRequestJob(const Json& message, double now) {
   const std::uint64_t job_id = next_job_id_++;
   leases_[job_id] = Lease{*job, worker, now + options_.lease_timeout};
   ++stats_.jobs_assigned;
+  if (options_.telemetry != nullptr) {
+    Json args = LeaseArgs(job_id, worker, job->trial_id);
+    args.Set("rung", Json(job->rung));
+    args.Set("deadline", Json(now + options_.lease_timeout));
+    options_.telemetry->EventAt(now, "lease_granted", "lease",
+                                std::move(args));
+    options_.telemetry->Count("server.jobs_assigned");
+  }
 
   Json reply = JsonObject{};
   reply.Set("type", Json("job"));
@@ -68,7 +96,6 @@ Json TuningServer::HandleRequestJob(const Json& message, double now) {
 }
 
 Json TuningServer::HandleReport(const Json& message, double now) {
-  (void)now;
   const auto job_id = static_cast<std::uint64_t>(message.at("job_id").AsInt());
   const auto it = leases_.find(job_id);
   if (it == leases_.end()) {
@@ -76,11 +103,28 @@ Json TuningServer::HandleReport(const Json& message, double now) {
     // acknowledge so the worker moves on, but ignore the data — the
     // scheduler already accounted for this job.
     ++stats_.stale_reports_ignored;
+    if (options_.telemetry != nullptr) {
+      Json args = JsonObject{};
+      args.Set("job_id", Json(static_cast<std::int64_t>(job_id)));
+      options_.telemetry->EventAt(now, "stale_report", "lease",
+                                  std::move(args));
+      options_.telemetry->Count("server.stale_reports_ignored");
+    }
     Json reply = Ack();
     reply.Set("stale", Json(true));
     return reply;
   }
-  scheduler_.ReportResult(it->second.job, message.at("loss").AsDouble());
+  // Validate the payload *before* mutating lease state, so a report missing
+  // its loss leaves the lease intact for the worker's retry.
+  const double loss = message.at("loss").AsDouble();
+  if (options_.telemetry != nullptr) {
+    Json args = LeaseArgs(job_id, it->second.worker, it->second.job.trial_id);
+    args.Set("loss", Json(loss));
+    options_.telemetry->EventAt(now, "job_reported", "lease",
+                                std::move(args));
+    options_.telemetry->Count("server.jobs_completed");
+  }
+  scheduler_.ReportResult(it->second.job, loss);
   leases_.erase(it);
   ++stats_.jobs_completed;
   return Ack();
@@ -96,21 +140,43 @@ Json TuningServer::HandleHeartbeat(const Json& message, double now) {
     return reply;
   }
   it->second.deadline = now + options_.lease_timeout;
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->EventAt(
+        now, "lease_renewed", "lease",
+        LeaseArgs(job_id, it->second.worker, it->second.job.trial_id));
+    options_.telemetry->Count("server.leases_renewed");
+  }
   return Ack();
 }
 
 Json TuningServer::HandleMessage(const Json& message, double now) {
+  // Align the sink's virtual clock with protocol time so scheduler events
+  // emitted inside GetJob/Report carry the same timestamps as ours.
+  if (options_.telemetry != nullptr) options_.telemetry->AdvanceTo(now);
   Tick(now);
+  const auto malformed = [&](const std::string& text) {
+    ++stats_.malformed_messages;
+    if (options_.telemetry != nullptr) {
+      Json args = JsonObject{};
+      args.Set("message", Json(text));
+      options_.telemetry->EventAt(now, "malformed_message", "server",
+                                  std::move(args));
+      options_.telemetry->Count("server.malformed_messages");
+    }
+    return Error(text);
+  };
   try {
     const std::string& type = message.at("type").AsString();
     if (type == "request_job") return HandleRequestJob(message, now);
     if (type == "report") return HandleReport(message, now);
     if (type == "heartbeat") return HandleHeartbeat(message, now);
-    ++stats_.malformed_messages;
-    return Error("unknown message type '" + type + "'");
+    return malformed("unknown message type '" + type + "'");
   } catch (const CheckError& error) {
-    ++stats_.malformed_messages;
-    return Error(error.what());
+    return malformed(error.what());
+  } catch (const std::exception& error) {
+    // Defense in depth: any other exception a hostile payload provokes is
+    // still an error reply (with accounting), never a dead service.
+    return malformed(error.what());
   }
 }
 

@@ -32,9 +32,19 @@
 
 namespace hypertune {
 
+class Telemetry;
+
 struct ServerOptions {
   /// A job lease lasts this long past the last heartbeat/assignment.
   double lease_timeout = 60;
+  /// Optional observability sink (not owned; must outlive the server).
+  /// When set, the server emits lease lifecycle events (granted / renewed /
+  /// expired), report/stale-report/malformed-message events — all stamped
+  /// with the caller-provided `now`, so traces stay deterministic under
+  /// virtual time — and mirrors ServerStats into counters. The server also
+  /// advances the sink's virtual clock (when it has one) to `now` on every
+  /// message, so scheduler events emitted inside GetJob/Report line up.
+  Telemetry* telemetry = nullptr;
 };
 
 struct ServerStats {

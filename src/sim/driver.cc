@@ -1,8 +1,11 @@
 #include "sim/driver.h"
 
 #include <queue>
+#include <set>
+#include <string>
 
 #include "common/check.h"
+#include "telemetry/telemetry.h"
 
 namespace hypertune {
 
@@ -13,7 +16,8 @@ struct ActiveJob {
   double start = 0;
   double end = 0;
   bool dropped = false;
-  std::uint64_t seq = 0;  // FIFO tie-break for equal event times
+  int worker = 0;             // virtual worker executing this job
+  std::uint64_t seq = 0;      // FIFO tie-break for equal event times
 
   bool operator>(const ActiveJob& other) const {
     if (end != other.end) return end > other.end;
@@ -35,14 +39,18 @@ DriverResult SimulationDriver::Run() {
   Rng hazard_rng(options_.seed);
   const HazardModel hazards(options_.hazards);
   DriverResult result;
+  Telemetry* const telemetry = options_.telemetry;
 
   std::priority_queue<ActiveJob, std::vector<ActiveJob>, std::greater<>> queue;
   double now = 0;
-  int idle = options_.num_workers;
   std::uint64_t seq = 0;
+  // Lowest-index-first worker assignment keeps trace tracks deterministic.
+  std::set<int> idle_workers;
+  for (int w = 0; w < options_.num_workers; ++w) idle_workers.insert(w);
 
   auto dispatch_idle_workers = [&] {
-    while (idle > 0) {
+    while (!idle_workers.empty()) {
+      if (telemetry != nullptr) telemetry->AdvanceTo(now);
       auto job = scheduler_.GetJob();
       if (!job) break;  // no work right now; retry after the next event
       const double base = environment_.Duration(job->config, job->from_resource,
@@ -55,9 +63,10 @@ DriverResult SimulationDriver::Run() {
       active.start = now;
       active.end = now + (drop_after ? *drop_after : duration);
       active.dropped = drop_after.has_value();
+      active.worker = *idle_workers.begin();
       active.seq = seq++;
+      idle_workers.erase(idle_workers.begin());
       queue.push(std::move(active));
-      --idle;
     }
   };
 
@@ -70,6 +79,13 @@ DriverResult SimulationDriver::Run() {
     }
     result.recommendations.push_back(
         {now, rec->trial_id, rec->loss, rec->resource});
+    if (telemetry != nullptr) {
+      Json args = JsonObject{};
+      args.Set("trial", Json(rec->trial_id));
+      args.Set("loss", Json(rec->loss));
+      args.Set("resource", Json(rec->resource));
+      telemetry->EventAt(now, "recommendation", "job", std::move(args));
+    }
   };
 
   dispatch_idle_workers();
@@ -78,7 +94,8 @@ DriverResult SimulationDriver::Run() {
     if (active.end > options_.time_limit) break;  // budget exhausted
     queue.pop();
     now = active.end;
-    ++idle;
+    if (telemetry != nullptr) telemetry->AdvanceTo(now);
+    idle_workers.insert(active.worker);
     result.busy_time += active.end - active.start;
 
     CompletionRecord record;
@@ -98,6 +115,25 @@ DriverResult SimulationDriver::Run() {
       scheduler_.ReportResult(active.job, record.loss);
       ++result.jobs_completed;
     }
+    if (telemetry != nullptr) {
+      Json args = JsonObject{};
+      args.Set("trial", Json(active.job.trial_id));
+      args.Set("rung", Json(active.job.rung));
+      args.Set("bracket", Json(active.job.bracket));
+      args.Set("from_resource", Json(active.job.from_resource));
+      args.Set("to_resource", Json(active.job.to_resource));
+      if (active.dropped) {
+        args.Set("dropped", Json(true));
+      } else {
+        args.Set("loss", Json(record.loss));
+      }
+      telemetry->SpanAt(active.start, active.end - active.start,
+                        "t" + std::to_string(active.job.trial_id) + ":r" +
+                            std::to_string(active.job.rung),
+                        "worker", std::move(args), active.worker);
+      telemetry->Count(active.dropped ? "driver.jobs_dropped"
+                                      : "driver.jobs_completed");
+    }
     result.completions.push_back(record);
     note_recommendation();
 
@@ -110,6 +146,15 @@ DriverResult SimulationDriver::Run() {
   }
 
   result.end_time = now;
+  if (telemetry != nullptr) {
+    auto& metrics = telemetry->metrics();
+    metrics.gauge("driver.end_time").Set(result.end_time);
+    if (result.end_time > 0) {
+      metrics.gauge("driver.worker_utilization")
+          .Set(result.busy_time /
+               (static_cast<double>(options_.num_workers) * result.end_time));
+    }
+  }
   return result;
 }
 

@@ -18,6 +18,8 @@
 
 namespace hypertune {
 
+class Telemetry;
+
 struct DriverOptions {
   int num_workers = 1;
   /// Virtual-time budget; events after this instant are not processed.
@@ -27,6 +29,13 @@ struct DriverOptions {
   std::uint64_t seed = 99;
   /// Stop early once this many jobs have completed (0 = no cap).
   std::size_t max_completed_jobs = 0;
+  /// Optional observability sink (not owned; must outlive the run). The
+  /// driver advances the sink's virtual clock to each event's virtual time
+  /// before touching the scheduler, emits one span per job on the executing
+  /// worker's track plus recommendation-change instants, and fills
+  /// driver.* counters/gauges. With a virtual-clock sink and a fixed seed
+  /// the recorded trace is byte-identical across reruns.
+  Telemetry* telemetry = nullptr;
 };
 
 /// One finished (or dropped) job.

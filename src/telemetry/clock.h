@@ -1,0 +1,49 @@
+// Time sources for telemetry timestamps.
+//
+// Trace determinism is a first-class requirement: a seeded simulation must
+// produce byte-identical traces across reruns. The simulator therefore
+// drives a VirtualClock (advanced to each event's virtual time before any
+// instrumented code runs), while real executions use a SteadyClock anchored
+// at construction. Instrumented layers never pick a clock themselves — they
+// read whatever clock their Telemetry sink carries.
+#pragma once
+
+#include <chrono>
+
+namespace hypertune {
+
+class TelemetryClock {
+ public:
+  virtual ~TelemetryClock() = default;
+
+  /// Current time in seconds. The origin is clock-specific: virtual time 0
+  /// for VirtualClock, construction time for SteadyClock.
+  virtual double Now() const = 0;
+};
+
+/// Manually advanced clock for deterministic (simulated) runs. The driver
+/// owns the notion of "now" and pushes it here before emitting events.
+class VirtualClock final : public TelemetryClock {
+ public:
+  void Set(double now) { now_ = now; }
+  double Now() const override { return now_; }
+
+ private:
+  double now_ = 0;
+};
+
+/// Monotonic wall clock reporting seconds since construction.
+class SteadyClock final : public TelemetryClock {
+ public:
+  SteadyClock() : start_(std::chrono::steady_clock::now()) {}
+  double Now() const override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace hypertune

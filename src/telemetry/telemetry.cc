@@ -1,0 +1,95 @@
+#include "telemetry/telemetry.h"
+
+#include <map>
+
+#include "common/table.h"
+
+namespace hypertune {
+
+Telemetry::Telemetry(std::unique_ptr<TelemetryClock> clock)
+    : clock_(clock ? std::move(clock) : std::make_unique<SteadyClock>()) {
+  virtual_clock_ = dynamic_cast<VirtualClock*>(clock_.get());
+}
+
+void Telemetry::Event(std::string name, std::string category, Json args,
+                      std::int64_t worker) {
+  EventAt(Now(), std::move(name), std::move(category), std::move(args),
+          worker);
+}
+
+void Telemetry::EventAt(double time, std::string name, std::string category,
+                        Json args, std::int64_t worker) {
+  TraceEvent event;
+  event.time = time;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.worker = worker;
+  event.args = std::move(args);
+  tracer_.Record(std::move(event));
+}
+
+void Telemetry::SpanAt(double start, double duration, std::string name,
+                       std::string category, Json args, std::int64_t worker) {
+  TraceEvent event;
+  event.time = start;
+  event.duration = duration;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.worker = worker;
+  event.args = std::move(args);
+  tracer_.Record(std::move(event));
+}
+
+Json Telemetry::MetricsJson() const {
+  Json out = JsonObject{};
+  out.Set("metrics", metrics_.Snapshot());
+  out.Set("events", Json(static_cast<std::int64_t>(tracer_.size())));
+  return out;
+}
+
+std::string Telemetry::SummaryText() const {
+  std::string out;
+
+  std::map<std::string, std::int64_t> by_category;
+  for (const auto& event : tracer_.Events()) ++by_category[event.category];
+  if (!by_category.empty()) {
+    TextTable events({"event category", "count"});
+    for (const auto& [category, count] : by_category) {
+      events.AddRow({category, std::to_string(count)});
+    }
+    out += events.ToMarkdown();
+  }
+
+  const Json snapshot = metrics_.Snapshot();
+  const auto& counters = snapshot.at("counters").AsObject();
+  const auto& gauges = snapshot.at("gauges").AsObject();
+  if (!counters.empty() || !gauges.empty()) {
+    TextTable table({"metric", "value"});
+    for (const auto& [name, value] : counters) {
+      table.AddRow({name, std::to_string(value.AsInt())});
+    }
+    for (const auto& [name, value] : gauges) {
+      table.AddRow({name, FormatDouble(value.AsDouble())});
+    }
+    if (!out.empty()) out += "\n";
+    out += table.ToMarkdown();
+  }
+
+  const auto& histograms = snapshot.at("histograms").AsObject();
+  if (!histograms.empty()) {
+    TextTable table({"histogram", "count", "sum", "mean"});
+    for (const auto& [name, entry] : histograms) {
+      const auto count = entry.at("count").AsInt();
+      const double sum = entry.at("sum").AsDouble();
+      table.AddRow({name, std::to_string(count), FormatDouble(sum),
+                    FormatDouble(count > 0
+                                     ? sum / static_cast<double>(count)
+                                     : 0.0)});
+    }
+    if (!out.empty()) out += "\n";
+    out += table.ToMarkdown();
+  }
+  return out;
+}
+
+}  // namespace hypertune

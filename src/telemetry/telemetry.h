@@ -1,0 +1,89 @@
+// Telemetry — the sink instrumented layers write to.
+//
+// Contract (see DESIGN.md): every instrumented component holds a nullable
+// `Telemetry*` that defaults to nullptr, and guards each emission with
+// `if (telemetry_)`. Disabled telemetry therefore costs one pointer
+// compare per site — no locks, no allocation, no time-stamping.
+//
+// A Telemetry object bundles the three pieces every layer needs:
+//   - a clock (virtual for simulations, steady for real executions),
+//   - a MetricsRegistry (atomic counters/gauges/histograms),
+//   - an EventTracer (structured timestamped events).
+// Components that know their own time (TuningServer, SimulationDriver —
+// both are handed `now` explicitly) emit with EventAt/SpanAt; components
+// that do not (schedulers, inside GetJob/Report) emit with Event(), which
+// stamps from the clock. Drivers advance the virtual clock *before* calling
+// into instrumented code so both paths agree on "now".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/json.h"
+#include "telemetry/clock.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace hypertune {
+
+class TextTable;
+
+class Telemetry {
+ public:
+  /// Uses a SteadyClock when `clock` is null (the real-execution default).
+  explicit Telemetry(std::unique_ptr<TelemetryClock> clock = nullptr);
+
+  /// Convenience factory for deterministic simulated runs.
+  static std::unique_ptr<Telemetry> ForSimulation() {
+    return std::make_unique<Telemetry>(std::make_unique<VirtualClock>());
+  }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  EventTracer& tracer() { return tracer_; }
+  const EventTracer& tracer() const { return tracer_; }
+
+  double Now() const { return clock_->Now(); }
+
+  /// The clock as a VirtualClock, or nullptr when this sink runs on wall
+  /// time. Simulation drivers use this to push virtual time forward.
+  VirtualClock* virtual_clock() { return virtual_clock_; }
+
+  /// Advances the virtual clock when present; no-op on a steady clock.
+  void AdvanceTo(double now) {
+    if (virtual_clock_ != nullptr) virtual_clock_->Set(now);
+  }
+
+  /// Instant event stamped with the sink's clock.
+  void Event(std::string name, std::string category, Json args = Json(),
+             std::int64_t worker = 0);
+  /// Instant event at an explicit time (clock-agnostic components).
+  void EventAt(double time, std::string name, std::string category,
+               Json args = Json(), std::int64_t worker = 0);
+  /// Span [start, start + duration] on the given worker track.
+  void SpanAt(double start, double duration, std::string name,
+              std::string category, Json args = Json(),
+              std::int64_t worker = 0);
+
+  /// Counter/histogram shorthands for single-shot sites; hot paths should
+  /// cache the instrument reference instead.
+  void Count(const std::string& name, std::int64_t delta = 1) {
+    metrics_.counter(name).Increment(delta);
+  }
+
+  /// Metrics snapshot plus trace summary: {"metrics": ..., "events": N}.
+  Json MetricsJson() const;
+
+  /// Human-readable summary: per-category event counts and every counter
+  /// and histogram, rendered as markdown tables.
+  std::string SummaryText() const;
+
+ private:
+  std::unique_ptr<TelemetryClock> clock_;
+  VirtualClock* virtual_clock_ = nullptr;  // non-owning view of clock_
+  MetricsRegistry metrics_;
+  EventTracer tracer_;
+};
+
+}  // namespace hypertune

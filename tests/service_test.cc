@@ -11,6 +11,7 @@
 #include "core/trial_json.h"
 #include "service/server.h"
 #include "service/worker.h"
+#include "telemetry/telemetry.h"
 
 namespace hypertune {
 namespace {
@@ -169,6 +170,102 @@ TEST(Server, MalformedMessagesGetErrorReplies) {
   missing.Set("type", Json("report"));  // no job_id/loss
   EXPECT_EQ(server.HandleMessage(missing, 0).at("type").AsString(), "error");
   EXPECT_EQ(server.stats().malformed_messages, 2u);
+}
+
+TEST(Server, EveryErrorReplyIncrementsMalformedCount) {
+  // Regression: error-path accounting must hold on *every* error reply —
+  // unknown types, missing fields, wrong-typed fields, and non-object
+  // messages alike.
+  RandomSearchOptions options;
+  options.R = 10;
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), options);
+  TuningServer server(scheduler, {.lease_timeout = 60});
+
+  std::vector<Json> bad_messages;
+  bad_messages.push_back(Json("not an object"));
+  bad_messages.push_back(JsonObject{});  // no type at all
+  Json wrong_type = JsonObject{};
+  wrong_type.Set("type", Json(42));  // type present but not a string
+  bad_messages.push_back(std::move(wrong_type));
+  Json unknown = JsonObject{};
+  unknown.Set("type", Json("launch_missiles"));
+  bad_messages.push_back(std::move(unknown));
+  Json no_worker = JsonObject{};
+  no_worker.Set("type", Json("request_job"));  // missing worker
+  bad_messages.push_back(std::move(no_worker));
+  Json no_job_id = JsonObject{};
+  no_job_id.Set("type", Json("report"));  // missing job_id/loss
+  bad_messages.push_back(std::move(no_job_id));
+  Json bad_heartbeat = JsonObject{};
+  bad_heartbeat.Set("type", Json("heartbeat"));  // missing job_id
+  bad_messages.push_back(std::move(bad_heartbeat));
+  Json string_job_id = JsonObject{};
+  string_job_id.Set("type", Json("heartbeat"));
+  string_job_id.Set("job_id", Json("seven"));  // wrong-typed job_id
+  bad_messages.push_back(std::move(string_job_id));
+
+  std::size_t errors = 0;
+  for (const auto& message : bad_messages) {
+    const Json reply = server.HandleMessage(message, 0);
+    EXPECT_EQ(reply.at("type").AsString(), "error") << message.Dump();
+    EXPECT_EQ(server.stats().malformed_messages, ++errors) << message.Dump();
+  }
+}
+
+TEST(Server, ReportMissingLossKeepsLeaseAlive) {
+  // A report whose payload fails validation must not consume the lease:
+  // the worker's retry (with the loss attached) should still land.
+  RandomSearchOptions options;
+  options.R = 10;
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), options);
+  TuningServer server(scheduler, {.lease_timeout = 60});
+  const Json reply = server.HandleMessage(RequestJob(1), 0);
+  const auto job_id = reply.at("job_id").AsInt();
+
+  Json lossless = JsonObject{};
+  lossless.Set("type", Json("report"));
+  lossless.Set("job_id", Json(job_id));
+  EXPECT_EQ(server.HandleMessage(lossless, 1).at("type").AsString(), "error");
+  EXPECT_EQ(server.stats().malformed_messages, 1u);
+  EXPECT_EQ(server.stats().active_leases, 1u);
+
+  const Json ack = server.HandleMessage(Report(1, job_id, 0.2), 2);
+  EXPECT_EQ(ack.at("type").AsString(), "ack");
+  EXPECT_FALSE(ack.Has("stale"));
+  EXPECT_EQ(server.stats().jobs_completed, 1u);
+}
+
+TEST(Server, TelemetryRecordsLeaseLifecycle) {
+  RandomSearchOptions options;
+  options.R = 10;
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), options);
+  auto telemetry = Telemetry::ForSimulation();
+  TuningServer server(scheduler,
+                      {.lease_timeout = 60, .telemetry = telemetry.get()});
+
+  const Json reply = server.HandleMessage(RequestJob(1), 0);
+  const auto job_id = reply.at("job_id").AsInt();
+  server.HandleMessage(Heartbeat(1, job_id), 10);
+  server.HandleMessage(Report(1, job_id, 0.4), 20);
+  (void)server.HandleMessage(RequestJob(1), 30);
+  server.Tick(300);  // second lease expires silently
+
+  std::vector<std::string> names;
+  for (const auto& event : telemetry->tracer().Events()) {
+    if (event.category == "lease") names.push_back(event.name);
+  }
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "lease_granted");
+  EXPECT_EQ(names[1], "lease_renewed");
+  EXPECT_EQ(names[2], "job_reported");
+  EXPECT_EQ(names[3], "lease_granted");  // the second assignment
+  EXPECT_EQ(names[4], "lease_expired");
+  // Event times are the protocol's virtual `now`, not wall time.
+  EXPECT_DOUBLE_EQ(telemetry->tracer().Events().back().time, 300);
+
+  const Json snapshot = telemetry->metrics().Snapshot();
+  EXPECT_EQ(snapshot.at("counters").at("server.jobs_assigned").AsInt(), 2);
+  EXPECT_EQ(snapshot.at("counters").at("server.leases_expired").AsInt(), 1);
 }
 
 TEST(Server, NoJobReplyCarriesRetryHint) {

@@ -16,8 +16,10 @@
 #include "analysis/export.h"
 #include "analysis/report.h"
 #include "common/check.h"
+#include "common/table.h"
 #include "registry/registry.h"
 #include "surrogate/benchmarks.h"
+#include "telemetry/telemetry.h"
 
 using namespace hypertune;
 
@@ -76,6 +78,11 @@ Flags:
   --seed=S               base seed (default 1000)
   --grid-points=N        rows in the printed time series (default 12)
   --out=PATH             also export results as JSON
+  --trace-out=PATH       write a Chrome trace_event JSON of the first
+                         repetition (open in chrome://tracing or Perfetto);
+                         byte-identical across reruns with the same seed
+  --trace-jsonl=PATH     same events as JSONL (one object per line)
+  --metrics-out=PATH     write the metrics-registry snapshot as JSON
 )";
   return 0;
 }
@@ -110,6 +117,17 @@ int main(int argc, char** argv) {
     options.grid_points = static_cast<std::size_t>(
         flags.GetInt("grid-points", 12));
     options.base_seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1000));
+
+    // Observability: a virtual-clock sink keeps simulated traces
+    // deterministic (byte-identical across reruns of the same seed).
+    const bool want_telemetry = flags.Has("trace-out") ||
+                                flags.Has("trace-jsonl") ||
+                                flags.Has("metrics-out");
+    std::unique_ptr<Telemetry> telemetry;
+    if (want_telemetry) {
+      telemetry = Telemetry::ForSimulation();
+      options.telemetry = telemetry.get();
+    }
 
     auto probe = benchmarks::ByName(benchmark_name, 1);
     if (flags.Has("time-in-r")) {
@@ -154,6 +172,34 @@ int main(int argc, char** argv) {
         std::cout << "\nexported to " << path << "\n";
       } else {
         std::cerr << "failed to write " << path << "\n";
+        return 1;
+      }
+    }
+
+    if (telemetry) {
+      std::cout << "\n## Telemetry\n\n" << telemetry->SummaryText();
+      const auto write_or_die = [](const std::string& path,
+                                   const std::string& content) {
+        if (WriteFile(path, content)) {
+          std::cout << "wrote " << path << "\n";
+          return true;
+        }
+        std::cerr << "failed to write " << path << "\n";
+        return false;
+      };
+      if (flags.Has("trace-out") &&
+          !write_or_die(flags.Get("trace-out", ""),
+                        telemetry->tracer().ToChromeTrace().Dump(2) + "\n")) {
+        return 1;
+      }
+      if (flags.Has("trace-jsonl") &&
+          !write_or_die(flags.Get("trace-jsonl", ""),
+                        telemetry->tracer().ToJsonl())) {
+        return 1;
+      }
+      if (flags.Has("metrics-out") &&
+          !write_or_die(flags.Get("metrics-out", ""),
+                        telemetry->MetricsJson().Dump(2) + "\n")) {
         return 1;
       }
     }
