@@ -1,5 +1,7 @@
 #include "analysis/experiment.h"
 
+#include <chrono>
+
 #include "common/check.h"
 #include "telemetry/telemetry.h"
 
@@ -30,7 +32,17 @@ MethodResult RunExperiment(const std::string& method_name,
     }
 
     SimulationDriver driver(*scheduler, *benchmark, driver_options);
+    const auto wall_start = std::chrono::steady_clock::now();
     const DriverResult run = driver.Run();
+    result.mean_wall_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    const SchedulerCost cost = scheduler->Cost();
+    result.mean_model_fit_seconds += cost.model_fit_seconds;
+    result.mean_model_full_fits += static_cast<double>(cost.model_full_fits);
+    result.mean_model_incremental_fits +=
+        static_cast<double>(cost.model_incremental_fits);
 
     result.trajectories.push_back(
         TestMetricTrajectory(run, scheduler->trials(), *benchmark));
@@ -50,6 +62,14 @@ MethodResult RunExperiment(const std::string& method_name,
   result.mean_jobs_completed /= n;
   result.mean_jobs_dropped /= n;
   result.mean_worker_utilization /= n;
+  if (result.mean_wall_seconds > 0) {
+    result.model_fit_share =
+        result.mean_model_fit_seconds / result.mean_wall_seconds;
+  }
+  result.mean_wall_seconds /= n;
+  result.mean_model_fit_seconds /= n;
+  result.mean_model_full_fits /= n;
+  result.mean_model_incremental_fits /= n;
 
   result.series = Aggregate(result.trajectories,
                             UniformGrid(options.time_limit, options.grid_points));

@@ -50,6 +50,16 @@ struct MethodResult {
   double mean_jobs_completed = 0;
   double mean_jobs_dropped = 0;
   double mean_worker_utilization = 0;  // busy time / (workers * end time)
+  /// Real (not simulated) wall-clock per trial, and the slice of it the
+  /// tuner spent fitting its surrogate model (Scheduler::Cost) — the
+  /// tuner-overhead share baseline benches report.
+  double mean_wall_seconds = 0;
+  double mean_model_fit_seconds = 0;
+  double mean_model_full_fits = 0;
+  double mean_model_incremental_fits = 0;
+  /// total model-fit seconds / total wall seconds across trials (0 when the
+  /// tuner fits no model).
+  double model_fit_share = 0;
 };
 
 /// Runs `num_trials` independent tuning runs and aggregates them.

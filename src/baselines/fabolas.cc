@@ -91,18 +91,17 @@ std::optional<Job> FabolasScheduler::GetJob() {
     const double best_predicted =
         incumbent_ ? incumbent_->loss
                    : std::numeric_limits<double>::infinity();
-    std::vector<double> candidate(d);
-    double best_ei = -1;
-    for (std::size_t c = 0; c < options_.candidates_per_suggest; ++c) {
+    std::vector<std::vector<double>> candidates(
+        options_.candidates_per_suggest, std::vector<double>(d));
+    std::vector<std::vector<double>> augmented;
+    augmented.reserve(candidates.size());
+    for (auto& candidate : candidates) {
       for (auto& u : candidate) u = rng_.Uniform();
-      const auto pred = gp_.Predict(Augment(candidate, 1.0));
-      const double ei =
-          ExpectedImprovement(pred.mean, pred.variance, best_predicted);
-      if (ei > best_ei) {
-        best_ei = ei;
-        point = candidate;
-      }
+      augmented.push_back(Augment(candidate, 1.0));
     }
+    const auto scores =
+        ScoreEiBatch(gp_, augmented, best_predicted, options_.num_threads);
+    point = std::move(candidates[ArgMaxScore(scores)]);
   }
 
   const double fidelity = fit_valid_ ? NextFidelity() : options_.fidelities[0];
@@ -121,14 +120,21 @@ std::optional<Job> FabolasScheduler::GetJob() {
 }
 
 void FabolasScheduler::UpdateIncumbent() {
-  if (!fit_valid_) return;
+  if (!fit_valid_ || evaluated_configs_.empty()) return;
+  // One batched prediction over every evaluated configuration instead of
+  // |configs| scalar solves.
+  std::vector<std::vector<double>> augmented;
+  augmented.reserve(evaluated_configs_.size());
+  for (const auto& [id, x] : evaluated_configs_) {
+    augmented.push_back(Augment(x, 1.0));
+  }
+  const auto predictions = gp_.PredictBatch(augmented);
   double best = std::numeric_limits<double>::infinity();
   TrialId best_id = -1;
-  for (const auto& [id, x] : evaluated_configs_) {
-    const double predicted = gp_.Predict(Augment(x, 1.0)).mean;
-    if (predicted < best) {
-      best = predicted;
-      best_id = id;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i].mean < best) {
+      best = predictions[i].mean;
+      best_id = evaluated_configs_[i].first;
     }
   }
   if (best_id >= 0) incumbent_ = Recommendation{best_id, best, options_.R};

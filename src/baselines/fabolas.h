@@ -35,6 +35,10 @@ struct FabolasOptions {
   std::size_t candidates_per_suggest = 128;
   std::size_t refit_every = 10;
   std::size_t max_gp_points = 200;
+  /// Threads for EI scoring over the candidate batch; 1 runs inline.
+  /// Scores are bit-identical at any setting, so seeded decisions never
+  /// depend on it.
+  int num_threads = 1;
   GpOptions gp;
   std::uint64_t seed = 1;
 };
@@ -51,6 +55,15 @@ class FabolasScheduler final : public Scheduler {
   std::optional<Recommendation> Current() const override;
   const TrialBank& trials() const override { return *bank_; }
   std::string name() const override { return "Fabolas"; }
+  /// Forwards the sink to the GP (bo.fit_full / bo.fit_rank1 counters and
+  /// the bo.fit_seconds histogram).
+  void SetTelemetry(Telemetry* telemetry) override {
+    gp_.SetTelemetry(telemetry);
+  }
+  SchedulerCost Cost() const override {
+    const GpFitStats& stats = gp_.fit_stats();
+    return {stats.full_fits, stats.rank1_updates, stats.fit_seconds};
+  }
 
  private:
   /// Unit point augmented with the fidelity coordinate (log-scaled to [0,1]).

@@ -87,7 +87,7 @@ std::vector<double> VizierScheduler::SuggestPoint() {
     return u;
   }
   return SuggestByEi(gp_, d, best_loss_, options_.candidates_per_suggest,
-                     rng_);
+                     rng_, options_.num_threads);
 }
 
 std::optional<Job> VizierScheduler::GetJob() {

@@ -45,6 +45,10 @@ struct VizierOptions {
   /// Losses are clipped here before entering the model; the paper tried
   /// capping PTB perplexities at 1000 to help Vizier (Section 4.3).
   double loss_cap = std::numeric_limits<double>::infinity();
+  /// Threads for EI scoring over the candidate batch. 1 (the default) runs
+  /// inline; higher values split the batch across threads with bit-identical
+  /// scores, so seeded runs make the same decisions at any setting.
+  int num_threads = 1;
   GpOptions gp;
   std::uint64_t seed = 1;
 };
@@ -60,6 +64,15 @@ class VizierScheduler final : public Scheduler {
   std::optional<Recommendation> Current() const override;
   const TrialBank& trials() const override { return *bank_; }
   std::string name() const override { return "Vizier"; }
+  /// Forwards the sink to the GP (bo.fit_full / bo.fit_rank1 counters and
+  /// the bo.fit_seconds histogram).
+  void SetTelemetry(Telemetry* telemetry) override {
+    gp_.SetTelemetry(telemetry);
+  }
+  SchedulerCost Cost() const override {
+    const GpFitStats& stats = gp_.fit_stats();
+    return {stats.full_fits, stats.rank1_updates, stats.fit_seconds};
+  }
 
   std::size_t NumCompleted() const { return completed_x_.size(); }
 

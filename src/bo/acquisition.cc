@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "common/check.h"
+#include "runtime/parallel.h"
 
 namespace hypertune {
 
@@ -21,24 +22,52 @@ double ExpectedImprovement(double mean, double variance, double best) {
   return (best - mean) * NormalCdf(z) + sigma * NormalPdf(z);
 }
 
+std::vector<double> ScoreEiBatch(
+    const GaussianProcess& gp, std::span<const std::vector<double>> candidates,
+    double best_observed, int num_threads) {
+  HT_CHECK_MSG(gp.IsFit(), "ScoreEiBatch called before Fit");
+  if (candidates.empty()) return {};
+  // Validate up front: ParallelFor workers must not throw.
+  const std::size_t d = candidates.front().size();
+  for (const auto& candidate : candidates) HT_CHECK(candidate.size() == d);
+
+  std::vector<double> scores(candidates.size());
+  ParallelFor(candidates.size(), num_threads,
+              [&](std::size_t begin, std::size_t end) {
+                const auto predictions =
+                    gp.PredictBatch(candidates.subspan(begin, end - begin));
+                for (std::size_t i = 0; i < predictions.size(); ++i) {
+                  scores[begin + i] = ExpectedImprovement(
+                      predictions[i].mean, predictions[i].variance,
+                      best_observed);
+                }
+              });
+  return scores;
+}
+
+std::size_t ArgMaxScore(std::span<const double> scores) {
+  HT_CHECK(!scores.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] > scores[best]) best = i;
+  }
+  return best;
+}
+
 std::vector<double> SuggestByEi(const GaussianProcess& gp, std::size_t dim,
                                 double best_observed,
-                                std::size_t num_candidates, Rng& rng) {
+                                std::size_t num_candidates, Rng& rng,
+                                int num_threads) {
   HT_CHECK(dim > 0 && num_candidates > 0);
-  std::vector<double> best_point(dim);
-  double best_ei = -1;
-  std::vector<double> candidate(dim);
-  for (std::size_t c = 0; c < num_candidates; ++c) {
+  // Draw all candidates first (same stream order as scoring them one by
+  // one), then score in one batched pass.
+  std::vector<std::vector<double>> candidates(num_candidates,
+                                              std::vector<double>(dim));
+  for (auto& candidate : candidates) {
     for (auto& u : candidate) u = rng.Uniform();
-    const auto pred = gp.Predict(candidate);
-    const double ei = ExpectedImprovement(pred.mean, pred.variance,
-                                          best_observed);
-    if (ei > best_ei) {
-      best_ei = ei;
-      best_point = candidate;
-    }
   }
-  return best_point;
+  const auto scores = ScoreEiBatch(gp, candidates, best_observed, num_threads);
+  return candidates[ArgMaxScore(scores)];
 }
 
 }  // namespace hypertune

@@ -18,11 +18,26 @@ double NormalCdf(double z);
 /// max(best - mean, 0).
 double ExpectedImprovement(double mean, double variance, double best);
 
+/// EI of every candidate under the GP posterior, computed with batched
+/// prediction (one multi-RHS solve per chunk). With num_threads > 1 the
+/// candidate range is split across threads; each candidate's score is
+/// bit-identical to the single-threaded (and scalar-Predict) result, so
+/// thread count never changes tuning decisions.
+std::vector<double> ScoreEiBatch(const GaussianProcess& gp,
+                                 std::span<const std::vector<double>> candidates,
+                                 double best_observed, int num_threads = 1);
+
+/// Index of the maximum score; ties resolve to the lowest index (matching a
+/// first-strictly-greater sequential scan). Requires non-empty scores.
+std::size_t ArgMaxScore(std::span<const double> scores);
+
 /// Maximizes EI over `num_candidates` uniform random points in [0,1]^dim
 /// (random-search acquisition optimization, as production GP services do at
-/// scale). Returns the best candidate point.
+/// scale). Returns the best candidate point. `num_threads` parallelizes the
+/// scoring only; the result is identical for every thread count.
 std::vector<double> SuggestByEi(const GaussianProcess& gp, std::size_t dim,
                                 double best_observed,
-                                std::size_t num_candidates, Rng& rng);
+                                std::size_t num_candidates, Rng& rng,
+                                int num_threads = 1);
 
 }  // namespace hypertune

@@ -1,4 +1,10 @@
 // Covariance kernels for GP regression over the unit hypercube.
+//
+// Both families are stationary and isotropic: k(a, b) is a function of the
+// squared distance |a - b|^2 alone. The GP exploits this by computing the
+// pairwise squared-distance matrix once per fit and evaluating every
+// lengthscale in its grid through FromSquaredDistance — the distances never
+// need recomputing when only the lengthscale changes.
 #pragma once
 
 #include <memory>
@@ -9,16 +15,19 @@ namespace hypertune {
 class Kernel {
  public:
   virtual ~Kernel() = default;
-  virtual double operator()(std::span<const double> a,
-                            std::span<const double> b) const = 0;
+
+  /// k(a, b) as a function of d2 = |a - b|^2. This is the primitive;
+  /// operator() is the convenience wrapper that computes d2 first.
+  virtual double FromSquaredDistance(double d2) const = 0;
+
+  double operator()(std::span<const double> a, std::span<const double> b) const;
 };
 
 /// Squared-exponential: sigma_f^2 * exp(-|a-b|^2 / (2 l^2)).
 class RbfKernel final : public Kernel {
  public:
   RbfKernel(double lengthscale, double signal_variance = 1.0);
-  double operator()(std::span<const double> a,
-                    std::span<const double> b) const override;
+  double FromSquaredDistance(double d2) const override;
   double lengthscale() const { return lengthscale_; }
 
  private:
@@ -32,8 +41,7 @@ class RbfKernel final : public Kernel {
 class Matern52Kernel final : public Kernel {
  public:
   Matern52Kernel(double lengthscale, double signal_variance = 1.0);
-  double operator()(std::span<const double> a,
-                    std::span<const double> b) const override;
+  double FromSquaredDistance(double d2) const override;
   double lengthscale() const { return lengthscale_; }
 
  private:

@@ -14,10 +14,20 @@ std::vector<double> Matrix::MatVec(std::span<const double> x) const {
   std::vector<double> y(rows_, 0.0);
   for (std::size_t i = 0; i < rows_; ++i) {
     double acc = 0;
-    for (std::size_t j = 0; j < cols_; ++j) acc += at(i, j) * x[j];
+    const double* row = Row(i);
+    for (std::size_t j = 0; j < cols_; ++j) acc += row[j] * x[j];
     y[i] = acc;
   }
   return y;
+}
+
+TriangularMatrix::TriangularMatrix(std::size_t n)
+    : n_(n), data_(n * (n + 1) / 2, 0.0) {}
+
+void TriangularMatrix::AppendRow(std::span<const double> row) {
+  HT_CHECK(row.size() == n_ + 1);
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++n_;
 }
 
 Matrix CholeskyFactor(const Matrix& a, double jitter) {
@@ -26,16 +36,61 @@ Matrix CholeskyFactor(const Matrix& a, double jitter) {
   Matrix l(n, n);
   for (std::size_t j = 0; j < n; ++j) {
     double diag = a.at(j, j) + jitter;
-    for (std::size_t k = 0; k < j; ++k) diag -= l.at(j, k) * l.at(j, k);
+    const double* lj = l.Row(j);
+    for (std::size_t k = 0; k < j; ++k) diag -= lj[k] * lj[k];
     HT_CHECK_MSG(diag > 0, "matrix not positive definite at pivot " << j);
     l.at(j, j) = std::sqrt(diag);
     for (std::size_t i = j + 1; i < n; ++i) {
       double off = a.at(i, j);
-      for (std::size_t k = 0; k < j; ++k) off -= l.at(i, k) * l.at(j, k);
-      l.at(i, j) = off / l.at(j, j);
+      const double* li = l.Row(i);
+      for (std::size_t k = 0; k < j; ++k) off -= li[k] * lj[k];
+      l.at(i, j) = off / lj[j];
     }
   }
   return l;
+}
+
+TriangularMatrix CholeskyFactor(const TriangularMatrix& a, double jitter) {
+  // Left-looking, row-oriented: row i of L is finished before row i + 1
+  // starts, and every dot product runs over two contiguous packed rows.
+  // Per-entry accumulation order (k ascending) matches the dense factorizer
+  // exactly, so the results agree bit for bit.
+  const std::size_t n = a.size();
+  TriangularMatrix l(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* ai = a.Row(i);
+    double* li = l.Row(i);
+    for (std::size_t j = 0; j < i; ++j) {
+      const double* lj = l.Row(j);
+      double off = ai[j];
+      for (std::size_t k = 0; k < j; ++k) off -= li[k] * lj[k];
+      li[j] = off / lj[j];
+    }
+    double diag = ai[i] + jitter;
+    for (std::size_t k = 0; k < i; ++k) diag -= li[k] * li[k];
+    HT_CHECK_MSG(diag > 0, "matrix not positive definite at pivot " << i);
+    li[i] = std::sqrt(diag);
+  }
+  return l;
+}
+
+double CholeskyAppendRow(TriangularMatrix& l, std::span<const double> k,
+                         double kappa, double jitter) {
+  const std::size_t n = l.size();
+  HT_CHECK(k.size() == n);
+  std::vector<double> row(n + 1);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double* lj = l.Row(j);
+    double off = k[j];
+    for (std::size_t c = 0; c < j; ++c) off -= row[c] * lj[c];
+    row[j] = off / lj[j];
+  }
+  double diag = kappa + jitter;
+  for (std::size_t c = 0; c < n; ++c) diag -= row[c] * row[c];
+  HT_CHECK_MSG(diag > 0, "matrix not positive definite at pivot " << n);
+  row[n] = std::sqrt(diag);
+  l.AppendRow(row);
+  return row[n];
 }
 
 std::vector<double> SolveLower(const Matrix& l, std::span<const double> b) {
@@ -44,8 +99,23 @@ std::vector<double> SolveLower(const Matrix& l, std::span<const double> b) {
   std::vector<double> x(n);
   for (std::size_t i = 0; i < n; ++i) {
     double acc = b[i];
-    for (std::size_t j = 0; j < i; ++j) acc -= l.at(i, j) * x[j];
-    x[i] = acc / l.at(i, i);
+    const double* li = l.Row(i);
+    for (std::size_t j = 0; j < i; ++j) acc -= li[j] * x[j];
+    x[i] = acc / li[i];
+  }
+  return x;
+}
+
+std::vector<double> SolveLower(const TriangularMatrix& l,
+                               std::span<const double> b) {
+  HT_CHECK(b.size() == l.size());
+  const std::size_t n = l.size();
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    const double* li = l.Row(i);
+    for (std::size_t j = 0; j < i; ++j) acc -= li[j] * x[j];
+    x[i] = acc / li[i];
   }
   return x;
 }
@@ -61,6 +131,36 @@ std::vector<double> SolveLowerTranspose(const Matrix& l,
     x[i] = acc / l.at(i, i);
   }
   return x;
+}
+
+std::vector<double> SolveLowerTranspose(const TriangularMatrix& l,
+                                        std::span<const double> b) {
+  HT_CHECK(b.size() == l.size());
+  const std::size_t n = l.size();
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= l.at(j, i) * x[j];
+    x[i] = acc / l.at(i, i);
+  }
+  return x;
+}
+
+void SolveLowerInPlace(const TriangularMatrix& l, Matrix& b) {
+  HT_CHECK(b.rows() == l.size());
+  const std::size_t n = l.size();
+  const std::size_t m = b.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* li = l.Row(i);
+    double* bi = b.Row(i);
+    for (std::size_t j = 0; j < i; ++j) {
+      const double lij = li[j];
+      const double* bj = b.Row(j);
+      for (std::size_t c = 0; c < m; ++c) bi[c] -= lij * bj[c];
+    }
+    const double lii = li[i];
+    for (std::size_t c = 0; c < m; ++c) bi[c] /= lii;
+  }
 }
 
 double SquaredDistance(std::span<const double> a, std::span<const double> b) {

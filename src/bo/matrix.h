@@ -1,6 +1,21 @@
 // Minimal dense linear algebra for the Gaussian-process substrate.
-// Column counts stay small (hundreds of BO observations), so a simple
-// row-major dense representation with O(n^3) Cholesky is the right tool.
+// Column counts stay small (hundreds of BO observations), so simple dense
+// representations are the right tool. Two layouts:
+//
+//   - Matrix: general row-major rectangular storage (kernel cross-matrices,
+//     multi-RHS blocks).
+//   - TriangularMatrix: packed row-major lower-triangular storage (row i
+//     holds i+1 contiguous entries). Cholesky factors and symmetric kernel
+//     matrices live here: half the memory of a square matrix, contiguous
+//     row access in every solve, and O(n) row append — which is what makes
+//     the GP's rank-1 incremental refit possible without copying the
+//     factor.
+//
+// Numerical contract: every routine accumulates dot products over k in
+// ascending order, so the packed Cholesky, the appended-row extension, and
+// the multi-RHS solves produce bit-identical results to their scalar/dense
+// counterparts. Seeded tuning runs therefore make identical decisions
+// whichever path computed them.
 #pragma once
 
 #include <cstddef>
@@ -20,6 +35,10 @@ class Matrix {
   double& at(std::size_t i, std::size_t j) { return data_[i * cols_ + j]; }
   double at(std::size_t i, std::size_t j) const { return data_[i * cols_ + j]; }
 
+  /// Contiguous row i (length cols()).
+  double* Row(std::size_t i) { return data_.data() + i * cols_; }
+  const double* Row(std::size_t i) const { return data_.data() + i * cols_; }
+
   /// y = A x. Requires x.size() == cols().
   std::vector<double> MatVec(std::span<const double> x) const;
 
@@ -29,17 +48,75 @@ class Matrix {
   std::vector<double> data_;
 };
 
+/// Packed row-major lower-triangular matrix: row i stores entries
+/// (i,0)..(i,i) contiguously at offset i(i+1)/2. Entries above the diagonal
+/// are implicitly zero.
+class TriangularMatrix {
+ public:
+  TriangularMatrix() = default;
+  explicit TriangularMatrix(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  double& at(std::size_t i, std::size_t j) {
+    return data_[i * (i + 1) / 2 + j];
+  }
+  double at(std::size_t i, std::size_t j) const {
+    return data_[i * (i + 1) / 2 + j];
+  }
+
+  /// Contiguous row i: entries (i,0)..(i,i).
+  double* Row(std::size_t i) { return data_.data() + i * (i + 1) / 2; }
+  const double* Row(std::size_t i) const {
+    return data_.data() + i * (i + 1) / 2;
+  }
+
+  /// Reserves storage for `n` rows without changing the logical size.
+  void Reserve(std::size_t n) { data_.reserve(n * (n + 1) / 2); }
+
+  /// Appends row n as (row[0], ..., row[n]); O(n), no copy of prior rows.
+  void AppendRow(std::span<const double> row);
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> data_;
+};
+
 /// Cholesky factor L (lower triangular, A = L L^T) of a symmetric
 /// positive-definite matrix. Adds `jitter` to the diagonal before
 /// factorizing; throws CheckError if the matrix is still not PD.
 Matrix CholeskyFactor(const Matrix& a, double jitter = 1e-10);
 
+/// Packed-storage Cholesky of a packed SPD lower triangle; bit-identical to
+/// CholeskyFactor on the equivalent dense matrix.
+TriangularMatrix CholeskyFactor(const TriangularMatrix& a,
+                                double jitter = 1e-10);
+
+/// Rank-1 factor extension: given the factor L of A, appends the row that
+/// makes `l` the factor of [[A, k], [k^T, kappa + jitter]] in O(n^2) —
+/// bit-identical to refactorizing the extended matrix from scratch. Throws
+/// CheckError when the extended matrix is not PD. Returns the new diagonal
+/// entry L(n, n).
+double CholeskyAppendRow(TriangularMatrix& l, std::span<const double> k,
+                         double kappa, double jitter = 1e-10);
+
 /// Solves L x = b for lower-triangular L.
 std::vector<double> SolveLower(const Matrix& l, std::span<const double> b);
+std::vector<double> SolveLower(const TriangularMatrix& l,
+                               std::span<const double> b);
 
 /// Solves L^T x = b for lower-triangular L (i.e. an upper-triangular solve).
 std::vector<double> SolveLowerTranspose(const Matrix& l,
                                         std::span<const double> b);
+std::vector<double> SolveLowerTranspose(const TriangularMatrix& l,
+                                        std::span<const double> b);
+
+/// Multi-RHS forward substitution, solving L X = B in place where B holds
+/// one right-hand side per *column* (B is l.size() x m). One blocked pass
+/// over L serves all m systems — the inner loops run contiguously along
+/// rows of B — and each column's result is bit-identical to the scalar
+/// SolveLower on that column.
+void SolveLowerInPlace(const TriangularMatrix& l, Matrix& b);
 
 /// Squared Euclidean distance between two points of equal dimension.
 double SquaredDistance(std::span<const double> a, std::span<const double> b);

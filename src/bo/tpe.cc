@@ -37,14 +37,11 @@ void TpeSampler::Observe(const Configuration& config, double resource,
   auto& level = levels_[resource];
   level.points.push_back(space_.ToUnitVector(config));
   level.losses.push_back(loss);
+  level.model.reset();  // densities are stale; rebuild on next Sample
 }
 
-Configuration TpeSampler::Sample(Rng& rng) {
-  const double model_resource = ModelResource();
-  if (model_resource < 0 || rng.Bernoulli(options_.random_fraction)) {
-    return space_.Sample(rng);
-  }
-  const LevelData& level = levels_.at(model_resource);
+const TpeSampler::LevelModel& TpeSampler::ModelFor(LevelData& level) const {
+  if (level.model != nullptr) return *level.model;
 
   const auto order = ArgsortAscending(level.losses);
   const auto n = order.size();
@@ -60,11 +57,23 @@ Configuration TpeSampler::Sample(Rng& rng) {
       bad.push_back(level.points[order[i]]);
     }
   }
+  level.model = std::make_unique<LevelModel>(LevelModel{
+      KernelDensityEstimator(std::move(good), 1e-3, options_.bandwidth_factor),
+      KernelDensityEstimator(std::move(bad), 1e-3,
+                             options_.bandwidth_factor)});
+  return *level.model;
+}
 
-  const KernelDensityEstimator good_kde(std::move(good), 1e-3,
-                                        options_.bandwidth_factor);
-  const KernelDensityEstimator bad_kde(std::move(bad), 1e-3,
-                                       options_.bandwidth_factor);
+Configuration TpeSampler::Sample(Rng& rng) {
+  const double model_resource = ModelResource();
+  if (model_resource < 0 || rng.Bernoulli(options_.random_fraction)) {
+    return space_.Sample(rng);
+  }
+  // The KDE pair only changes when new observations land at the level, but
+  // BOHB samples between every pair of completions — cache it.
+  const LevelModel& model = ModelFor(levels_.at(model_resource));
+  const KernelDensityEstimator& good_kde = model.good;
+  const KernelDensityEstimator& bad_kde = model.bad;
 
   std::vector<double> best_point;
   double best_ratio = -1;

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "bo/kde.h"
@@ -48,12 +49,23 @@ class TpeSampler final : public ConfigSampler {
   double ModelResource() const;
 
  private:
+  struct LevelModel {
+    KernelDensityEstimator good;
+    KernelDensityEstimator bad;
+  };
   struct LevelData {
     std::vector<std::vector<double>> points;
     std::vector<double> losses;
+    /// Good/bad KDEs fitted to the current points; rebuilt lazily on the
+    /// next Sample after an observation lands at this level. Caching only
+    /// skips recomputation of identical density models, so sampling
+    /// decisions are unchanged.
+    std::unique_ptr<LevelModel> model;
   };
 
   std::size_t MinPoints() const;
+  /// The cached (or freshly built) KDE pair for one level's data.
+  const LevelModel& ModelFor(LevelData& level) const;
 
   SearchSpace space_;
   TpeOptions options_;

@@ -17,6 +17,17 @@ namespace hypertune {
 
 class Telemetry;
 
+/// Tuner-side overhead accounting: real wall-clock spent fitting the
+/// tuner's surrogate model (GP, KDE, ...) and how often each fit path ran.
+/// All zeros for model-free tuners. The experiment runner divides
+/// model_fit_seconds by the run's wall-clock to report the tuner-overhead
+/// share — the quantity that caps how many workers one tuner can feed.
+struct SchedulerCost {
+  std::int64_t model_full_fits = 0;
+  std::int64_t model_incremental_fits = 0;
+  double model_fit_seconds = 0;
+};
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
@@ -26,6 +37,9 @@ class Scheduler {
   /// schedulers forward the sink to their inner brackets. Must be called
   /// before the scheduler is driven — sinks are not swapped mid-run.
   virtual void SetTelemetry(Telemetry* telemetry) { (void)telemetry; }
+
+  /// Cumulative model-fitting cost (see SchedulerCost); zeros by default.
+  virtual SchedulerCost Cost() const { return {}; }
 
   /// Next unit of work, or std::nullopt when no work is available right now
   /// (the caller should retry after the next completion event).

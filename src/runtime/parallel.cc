@@ -1,0 +1,37 @@
+#include "runtime/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace hypertune {
+
+void ParallelFor(std::size_t n, int num_threads,
+                 const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t threads =
+      std::min<std::size_t>(std::max(num_threads, 1), n);
+  if (threads <= 1) {
+    fn(0, n);
+    return;
+  }
+  // Contiguous chunks, remainder spread over the first chunks.
+  const std::size_t base = n / threads;
+  const std::size_t remainder = n % threads;
+  std::vector<std::thread> workers;
+  workers.reserve(threads - 1);
+  std::size_t begin = 0;
+  for (std::size_t t = 0; t < threads; ++t) {
+    const std::size_t size = base + (t < remainder ? 1 : 0);
+    const std::size_t end = begin + size;
+    if (t + 1 == threads) {
+      fn(begin, end);  // last chunk on the calling thread
+    } else {
+      workers.emplace_back([&fn, begin, end] { fn(begin, end); });
+    }
+    begin = end;
+  }
+  for (auto& worker : workers) worker.join();
+}
+
+}  // namespace hypertune

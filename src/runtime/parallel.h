@@ -1,0 +1,24 @@
+// ParallelFor — the runtime's small fork-join helper for data-parallel
+// stages (acquisition scoring over candidate batches, batched prediction).
+//
+// Unlike ThreadPoolExecutor, which owns long-lived workers driving a
+// Scheduler, this spawns short-lived threads for one statically-chunked
+// loop and joins them before returning. Chunking is deterministic: the
+// index range is split into `num_threads` contiguous chunks, so any
+// computation whose per-index result does not depend on the chunking
+// produces identical output for every thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace hypertune {
+
+/// Invokes fn(begin, end) over disjoint contiguous subranges covering
+/// [0, n). With num_threads <= 1 (or a range too small to split) the single
+/// call fn(0, n) runs inline on the caller's thread — the deterministic
+/// default; tuners expose this as their `num_threads` option.
+void ParallelFor(std::size_t n, int num_threads,
+                 const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace hypertune
