@@ -1,0 +1,178 @@
+// Microbenchmarks (google-benchmark) of the request-serving hot path: how
+// fast can one TuningServer / ThreadPoolExecutor feed a large worker fleet?
+//
+// The paper's 500-worker regime (Figure 5) only works while get_job/report
+// stay far cheaper than a training job; these benches measure exactly that
+// dispatch cost — HandleMessage with many concurrent leases, batched vs
+// single-job leasing, and executor jobs/sec at rising thread counts.
+// Curated before/after numbers live in BENCH_service.json.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/asha.h"
+#include "core/random_search.h"
+#include "runtime/executor.h"
+#include "service/server.h"
+
+namespace hypertune {
+namespace {
+
+SearchSpace UnitSpace() {
+  SearchSpace space;
+  space.Add("x", Domain::Continuous(0.0, 1.0));
+  return space;
+}
+
+Json RequestJob(std::uint64_t worker) {
+  Json message = JsonObject{};
+  message.Set("type", Json("request_job"));
+  message.Set("worker", Json(static_cast<std::int64_t>(worker)));
+  return message;
+}
+
+Json Heartbeat(std::uint64_t worker, std::int64_t job_id) {
+  Json message = JsonObject{};
+  message.Set("type", Json("heartbeat"));
+  message.Set("worker", Json(static_cast<std::int64_t>(worker)));
+  message.Set("job_id", Json(job_id));
+  return message;
+}
+
+Json Report(std::uint64_t worker, std::int64_t job_id, double loss) {
+  Json message = JsonObject{};
+  message.Set("type", Json("report"));
+  message.Set("worker", Json(static_cast<std::int64_t>(worker)));
+  message.Set("job_id", Json(job_id));
+  message.Set("loss", Json(loss));
+  return message;
+}
+
+// HandleMessage cost with L active leases: the server fields a heartbeat
+// per message while every other lease stays live. Before the deadline heap
+// this was O(L) per message (full lease rescan in Tick); with the heap the
+// scan disappears and only due entries are touched.
+void BM_HandleMessageActiveLeases(benchmark::State& state) {
+  const auto leases = static_cast<std::uint64_t>(state.range(0));
+  AshaOptions options;
+  options.r = 1;
+  options.R = 256;
+  options.eta = 4;
+  AshaScheduler asha(MakeRandomSampler(UnitSpace()), options);
+  TuningServer server(asha, {.lease_timeout = 1e12});
+  std::vector<std::int64_t> job_ids;
+  job_ids.reserve(leases);
+  for (std::uint64_t w = 0; w < leases; ++w) {
+    const Json reply = server.HandleMessage(RequestJob(w), 0);
+    job_ids.push_back(reply.at("job_id").AsInt());
+  }
+  const Json heartbeat = Heartbeat(0, job_ids[0]);
+  double now = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.HandleMessage(heartbeat, now));
+    now += 1e-6;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HandleMessageActiveLeases)->Arg(10)->Arg(500)->Arg(5000);
+
+// Full lease cycle (request + report) with L background leases held open.
+void BM_LeaseCycleActiveLeases(benchmark::State& state) {
+  const auto leases = static_cast<std::uint64_t>(state.range(0));
+  AshaOptions options;
+  options.r = 1;
+  options.R = 256;
+  options.eta = 4;
+  AshaScheduler asha(MakeRandomSampler(UnitSpace()), options);
+  TuningServer server(asha, {.lease_timeout = 1e12});
+  for (std::uint64_t w = 1; w <= leases; ++w) {
+    (void)server.HandleMessage(RequestJob(w), 0);
+  }
+  double now = 1;
+  for (auto _ : state) {
+    const Json reply = server.HandleMessage(RequestJob(0), now);
+    (void)server.HandleMessage(Report(0, reply.at("job_id").AsInt(), 0.5),
+                               now + 1e-7);
+    now += 1e-6;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LeaseCycleActiveLeases)->Arg(10)->Arg(500)->Arg(5000);
+
+// Batched vs single-job leasing: per-job protocol cost of leasing B jobs
+// through one request_jobs message (reports stay per-job in both shapes;
+// B = 1 is the single-job request_job baseline).
+void BM_BatchedLeaseAndReport(benchmark::State& state) {
+  const auto batch = state.range(0);
+  AshaOptions options;
+  options.r = 1;
+  options.R = 256;
+  options.eta = 4;
+  AshaScheduler asha(MakeRandomSampler(UnitSpace()), options);
+  TuningServer server(asha, {.lease_timeout = 1e12});
+  Json request = JsonObject{};
+  if (batch == 1) {
+    request = RequestJob(0);
+  } else {
+    request.Set("type", Json("request_jobs"));
+    request.Set("worker", Json(std::int64_t{0}));
+    request.Set("count", Json(static_cast<std::int64_t>(batch)));
+  }
+  double now = 0;
+  std::vector<std::int64_t> job_ids;
+  for (auto _ : state) {
+    const Json reply = server.HandleMessage(request, now);
+    job_ids.clear();
+    if (batch == 1) {
+      job_ids.push_back(reply.at("job_id").AsInt());
+    } else {
+      for (const auto& entry : reply.at("jobs").AsArray()) {
+        job_ids.push_back(entry.at("job_id").AsInt());
+      }
+    }
+    for (const std::int64_t job_id : job_ids) {
+      (void)server.HandleMessage(Report(0, job_id, 0.5), now);
+    }
+    now += 1e-6;
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_BatchedLeaseAndReport)->Arg(1)->Arg(16)->Arg(64);
+
+// Executor scaling: jobs/sec through the GetJob -> train -> Report cycle
+// with a near-trivial training function, so the dispatch path (mutex +
+// scheduler calls) dominates. Real threads; expect contention to flatten
+// the curve long before the thread count does.
+void BM_ExecutorJobsPerSec(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int prefetch = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    RandomSearchOptions options;
+    options.R = 10;
+    RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), options);
+    ThreadPoolExecutor executor(
+        scheduler,
+        [](const Job& job) { return job.config.GetDouble("x"); },
+        {.num_workers = threads, .max_jobs = 20000, .prefetch = prefetch});
+    const auto result = executor.Run();
+    benchmark::DoNotOptimize(result.jobs_completed);
+    state.SetIterationTime(result.elapsed_seconds);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_ExecutorJobsPerSec)
+    ->Args({4, 0})
+    ->Args({16, 0})
+    ->Args({32, 0})
+    ->Args({4, 16})
+    ->Args({16, 16})
+    ->Args({32, 16})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hypertune
+
+BENCHMARK_MAIN();

@@ -153,11 +153,12 @@ bool AshaScheduler::Finished() const {
   if (options_.max_trials < 0) return false;  // can always grow rung 0
   if (trials_created_ < options_.max_trials) return false;
   if (jobs_in_flight_ > 0) return false;  // completions may unlock promotions
+  // O(1) per rung against the incremental promotable index — this runs on
+  // every executor worker-loop iteration, so the old O(n)-scan,
+  // vector-allocating PromotableTrials walk here throttled large fleets.
   for (int k = 0; k < static_cast<int>(rungs_.size()); ++k) {
     if (IsTopRung(k)) continue;
-    if (!rungs_[static_cast<std::size_t>(k)]
-             .PromotableTrials(options_.eta)
-             .empty()) {
+    if (rungs_[static_cast<std::size_t>(k)].HasPromotable(options_.eta)) {
       return false;
     }
   }

@@ -83,6 +83,12 @@ std::optional<TrialId> Rung::FirstPromotable(double eta) const {
   return promotable_set_.begin()->second;
 }
 
+bool Rung::HasPromotable(double eta) const {
+  HT_CHECK(eta >= 2.0);
+  if (!index_valid_ || eta_ != eta) RebuildIndex(eta);
+  return !promotable_set_.empty();
+}
+
 std::vector<TrialId> Rung::PromotableTrials(double eta) const {
   HT_CHECK(eta >= 2.0);
   const auto k = static_cast<std::size_t>(

@@ -44,7 +44,13 @@ class Rung {
   /// across calls on one rung (successive halving uses a fixed eta).
   std::optional<TrialId> FirstPromotable(double eta) const;
 
-  /// All promotable trials (best first); used by tests and Finished checks.
+  /// FirstPromotable(eta).has_value() without building the optional: O(1)
+  /// amortized against the incremental index, allocation-free. Schedulers'
+  /// Finished() checks run this on every worker-loop iteration.
+  bool HasPromotable(double eta) const;
+
+  /// All promotable trials (best first); used by tests as the oracle the
+  /// incremental index is differential-tested against.
   std::vector<TrialId> PromotableTrials(double eta) const;
 
   /// The best `k` recorded trials (fewer if the rung is smaller), best

@@ -1,5 +1,6 @@
 #include "runtime/executor.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "common/check.h"
@@ -12,6 +13,7 @@ ThreadPoolExecutor::ThreadPoolExecutor(Scheduler& scheduler,
                                        ExecutorOptions options)
     : scheduler_(scheduler), train_(std::move(train)), options_(options) {
   HT_CHECK(options_.num_workers > 0);
+  HT_CHECK(options_.prefetch >= 0);
   HT_CHECK(train_ != nullptr);
   if (options_.telemetry != nullptr) {
     auto& metrics = options_.telemetry->metrics();
@@ -25,10 +27,9 @@ ThreadPoolExecutor::ThreadPoolExecutor(Scheduler& scheduler,
 }
 
 bool ThreadPoolExecutor::StopRequested(
-    const ExecutorResult& result,
     std::chrono::steady_clock::time_point start) const {
   if (shutting_down_) return true;
-  if (options_.max_jobs > 0 && result.jobs_completed >= options_.max_jobs) {
+  if (options_.max_jobs > 0 && completed_total_ >= options_.max_jobs) {
     return true;
   }
   if (options_.wall_clock_budget.count() > 0 &&
@@ -38,25 +39,43 @@ bool ThreadPoolExecutor::StopRequested(
   return false;
 }
 
+void ThreadPoolExecutor::RefillPrefetchLocked(
+    std::chrono::steady_clock::time_point start) {
+  if (options_.prefetch <= 0 || StopRequested(start)) return;
+  while (static_cast<int>(prefetch_buffer_.size()) < options_.prefetch) {
+    auto job = scheduler_.GetJob();
+    if (!job) break;
+    prefetch_buffer_.push_back(std::move(*job));
+  }
+}
+
 void ThreadPoolExecutor::WorkerLoop(
-    int worker_index, ExecutorResult& result,
+    int worker_index, WorkerState& state,
     std::chrono::steady_clock::time_point start) {
   Telemetry* const telemetry = options_.telemetry;
   std::unique_lock<std::mutex> lock(mutex_);
   // When the worker last became free (for the queue-wait histogram).
   double free_since = telemetry != nullptr ? telemetry->Now() : 0;
   for (;;) {
-    if (StopRequested(result, start) || scheduler_.Finished()) break;
+    if (StopRequested(start) || scheduler_.Finished()) break;
 
-    auto job = scheduler_.GetJob();
+    std::optional<Job> job;
+    if (!prefetch_buffer_.empty()) {
+      job = std::move(prefetch_buffer_.front());
+      prefetch_buffer_.pop_front();
+    } else {
+      job = scheduler_.GetJob();
+    }
     if (!job) {
       if (active_jobs_ == 0) {
-        // No work, and no running job could unlock any: the run is over
-        // (e.g. a capped tuner drained, or a wedged synchronous bracket).
+        // No work, no buffered work, and no running job could unlock any:
+        // the run is over (e.g. a capped tuner drained, or a wedged
+        // synchronous bracket).
         break;
       }
       // Park until a completion (which may enable promotions) or shutdown;
-      // the timed wait keeps wall-clock budgets responsive.
+      // the timed wait keeps wall-clock budgets responsive and backstops
+      // completions that unlock more than one job.
       ++idle_workers_;
       work_available_.wait_for(lock, std::chrono::milliseconds(50));
       --idle_workers_;
@@ -64,6 +83,10 @@ void ThreadPoolExecutor::WorkerLoop(
     }
 
     ++active_jobs_;
+    // If buffered jobs remain, a parked sibling can start one right away.
+    if (!prefetch_buffer_.empty() && idle_workers_ > 0) {
+      work_available_.notify_one();
+    }
     lock.unlock();
 
     double span_start = 0;
@@ -100,21 +123,31 @@ void ThreadPoolExecutor::WorkerLoop(
                         "worker", std::move(args), worker_index);
     }
 
-    lock.lock();
-    --active_jobs_;
+    // Record-keeping stays out of the critical section: timestamp and
+    // per-worker buffer push happen before the lock is re-taken.
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
+    state.records.push_back(
+        {elapsed, job->trial_id, job->to_resource, loss, !completed});
+
+    lock.lock();
+    --active_jobs_;
     if (completed) {
       scheduler_.ReportResult(*job, loss);
-      ++result.jobs_completed;
+      ++completed_total_;
+      ++state.completed;
     } else {
       scheduler_.ReportLost(*job);
-      ++result.jobs_lost;
+      ++state.lost;
     }
-    result.records.push_back(
-        {elapsed, job->trial_id, job->to_resource, loss, !completed});
-    work_available_.notify_all();
+    // The lock is already hot: top the prefetch buffer back up so idle
+    // workers dequeue without paying their own scheduler call.
+    RefillPrefetchLocked(start);
+    // A completion hands out at most one unlocked job (plus whatever the
+    // refill buffered, chained above on dequeue): wake one parked worker,
+    // not the whole pool.
+    if (idle_workers_ > 0) work_available_.notify_one();
   }
   // Wake parked siblings so they observe the stop condition too.
   shutting_down_ = true;
@@ -122,18 +155,45 @@ void ThreadPoolExecutor::WorkerLoop(
 }
 
 ExecutorResult ThreadPoolExecutor::Run() {
-  ExecutorResult result;
   const auto start = std::chrono::steady_clock::now();
+  std::vector<WorkerState> states(
+      static_cast<std::size_t>(options_.num_workers));
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
+    WorkerState& state = states[static_cast<std::size_t>(i)];
     workers.emplace_back(
-        [this, i, &result, start] { WorkerLoop(i, result, start); });
+        [this, i, &state, start] { WorkerLoop(i, state, start); });
   }
   for (auto& worker : workers) worker.join();
+
+  ExecutorResult result;
+  // Elapsed covers the run itself, not the post-join merge below.
   result.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  std::size_t total_records = 0;
+  for (const auto& state : states) total_records += state.records.size();
+  result.records.reserve(total_records);
+  for (auto& state : states) {
+    result.jobs_completed += state.completed;
+    result.jobs_lost += state.lost;
+    std::move(state.records.begin(), state.records.end(),
+              std::back_inserter(result.records));
+  }
+  // Per-worker buffers interleave in wall-clock time; restore the global
+  // completion order the old single-vector bookkeeping produced.
+  std::stable_sort(result.records.begin(), result.records.end(),
+                   [](const ExecutionRecord& a, const ExecutionRecord& b) {
+                     return a.elapsed_seconds < b.elapsed_seconds;
+                   });
+  // Jobs leased ahead but never trained go back to the scheduler as lost —
+  // the same accounting a crashed worker's lease expiry produces.
+  for (const auto& job : prefetch_buffer_) {
+    scheduler_.ReportLost(job);
+    ++result.jobs_lost;
+  }
+  prefetch_buffer_.clear();
   return result;
 }
 

@@ -10,13 +10,26 @@
 // Concurrency contract: Scheduler implementations are NOT thread-safe; the
 // executor serializes all GetJob/Report calls behind one mutex and runs the
 // (expensive) training function outside it, so scheduler work never blocks
-// training and vice versa. Workers with no available job park on a
-// condition variable and are woken by the next completion (which may have
-// unlocked promotions) or by shutdown.
+// training and vice versa. The critical section is kept minimal: records
+// accumulate in per-worker buffers merged (and time-sorted) after the
+// threads join, telemetry JSON is built outside the lock, and a completion
+// wakes exactly one parked worker (there is at most one new job to hand
+// out per completion; a 50 ms timed wait backstops promotion bursts).
+// Workers with no available job park on a condition variable.
+//
+// With `prefetch` > 0 the executor keeps up to that many jobs pulled ahead
+// in a shared buffer, refilled while the completion lock is already held —
+// a free worker then dequeues without paying a scheduler call. Prefetching
+// changes *when* jobs are drawn from the scheduler (they are leased
+// earlier), so it is off by default; runs that must be decision-comparable
+// to the simulator leave it off. Jobs still buffered at shutdown are
+// returned to the scheduler as lost (they were leased but never trained)
+// and counted in ExecutorResult::jobs_lost.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <vector>
@@ -41,6 +54,9 @@ struct ExecutorOptions {
   std::chrono::milliseconds wall_clock_budget{0};
   /// Stop after this many completed jobs (0 = unlimited).
   std::size_t max_jobs = 0;
+  /// Jobs to keep pulled ahead of demand in a shared buffer (0 = fetch on
+  /// demand). See the prefetch paragraph in the file comment.
+  int prefetch = 0;
   /// Optional observability sink (not owned; must outlive the executor).
   /// When set, each worker emits a per-job span on its own trace track,
   /// counts completions/losses, and feeds two histograms:
@@ -63,6 +79,7 @@ struct ExecutorResult {
   std::size_t jobs_completed = 0;
   std::size_t jobs_lost = 0;
   double elapsed_seconds = 0;
+  /// Merged from the per-worker buffers, sorted by elapsed_seconds.
   std::vector<ExecutionRecord> records;
 };
 
@@ -76,10 +93,20 @@ class ThreadPoolExecutor {
   ExecutorResult Run();
 
  private:
-  void WorkerLoop(int worker_index, ExecutorResult& result,
+  /// Per-worker tallies and records; owned by one thread while running,
+  /// merged into the ExecutorResult after the join (no sharing, no lock).
+  struct WorkerState {
+    std::vector<ExecutionRecord> records;
+    std::size_t completed = 0;
+    std::size_t lost = 0;
+  };
+
+  void WorkerLoop(int worker_index, WorkerState& state,
                   std::chrono::steady_clock::time_point start);
-  bool StopRequested(const ExecutorResult& result,
-                     std::chrono::steady_clock::time_point start) const;
+  bool StopRequested(std::chrono::steady_clock::time_point start) const;
+  /// Tops the prefetch buffer back up to options_.prefetch. Caller holds
+  /// mutex_ (the completion path calls it while the lock is already hot).
+  void RefillPrefetchLocked(std::chrono::steady_clock::time_point start);
 
   Scheduler& scheduler_;
   TrainFunction train_;
@@ -97,6 +124,11 @@ class ThreadPoolExecutor {
   bool shutting_down_ = false;
   int idle_workers_ = 0;
   int active_jobs_ = 0;
+  /// Jobs pulled ahead of demand (bounded by options_.prefetch).
+  std::deque<Job> prefetch_buffer_;
+  /// Pool-wide completion count for the max_jobs stop condition (the
+  /// per-worker tallies are not visible across threads until the join).
+  std::size_t completed_total_ = 0;
 };
 
 }  // namespace hypertune

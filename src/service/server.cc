@@ -1,5 +1,7 @@
 #include "service/server.h"
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -11,6 +13,7 @@ namespace hypertune {
 TuningServer::TuningServer(Scheduler& scheduler, ServerOptions options)
     : scheduler_(scheduler), options_(options) {
   HT_CHECK(options_.lease_timeout > 0);
+  HT_CHECK(options_.max_batch > 0);
 }
 
 Json TuningServer::Error(const std::string& text) {
@@ -26,9 +29,19 @@ Json TuningServer::Ack() {
   return reply;
 }
 
+Json TuningServer::NoJobReply() const {
+  Json reply = JsonObject{};
+  reply.Set("type", Json("no_job"));
+  // Synchronous tuners stall at rung barriers; tell the worker when to
+  // retry rather than leaving it to guess.
+  reply.Set("retry_after", Json(options_.lease_timeout / 4));
+  return reply;
+}
+
 ServerStats TuningServer::stats() const {
   ServerStats stats = stats_;
   stats.active_leases = leases_.size();
+  stats.deadline_heap_entries = deadlines_.size();
   return stats;
 }
 
@@ -45,13 +58,27 @@ Json LeaseArgs(std::uint64_t job_id, std::uint64_t worker, TrialId trial) {
 }  // namespace
 
 void TuningServer::Tick(double now) {
-  std::vector<std::uint64_t> expired;
-  for (const auto& [job_id, lease] : leases_) {
-    if (lease.deadline <= now) expired.push_back(job_id);
+  // Drain due heap entries, discarding stale ones (renewed leases leave
+  // their superseded deadlines behind; expired leases may leave renewal
+  // entries). The lease map is authoritative: an entry only expires a
+  // lease whose *current* deadline is due.
+  std::vector<std::pair<std::uint64_t, Lease>> expired;
+  while (!deadlines_.empty() && deadlines_.top().deadline <= now) {
+    const DeadlineEntry due = deadlines_.top();
+    deadlines_.pop();
+    const auto it = leases_.find(due.job_id);
+    if (it == leases_.end()) continue;      // lease reported or expired: stale
+    if (it->second.deadline > now) continue;  // renewed: stale entry
+    expired.emplace_back(due.job_id, std::move(it->second));
+    leases_.erase(it);
   }
-  for (std::uint64_t job_id : expired) {
+  if (expired.empty()) return;
+  // Process in ascending job id — the order the pre-heap full-scan server
+  // expired in — so traces and scheduler call sequences stay identical.
+  std::sort(expired.begin(), expired.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [job_id, lease] : expired) {
     // The worker is presumed dead or partitioned: its work is gone.
-    const Lease& lease = leases_.at(job_id);
     if (options_.telemetry != nullptr) {
       options_.telemetry->EventAt(
           now, "lease_expired", "lease",
@@ -59,39 +86,72 @@ void TuningServer::Tick(double now) {
       options_.telemetry->Count("server.leases_expired");
     }
     scheduler_.ReportLost(lease.job);
-    leases_.erase(job_id);
     ++stats_.leases_expired;
   }
 }
 
-Json TuningServer::HandleRequestJob(const Json& message, double now) {
-  const auto worker = static_cast<std::uint64_t>(message.at("worker").AsInt());
+std::optional<std::pair<std::uint64_t, Job>> TuningServer::GrantLease(
+    std::uint64_t worker, double now) {
   auto job = scheduler_.GetJob();
-  if (!job) {
-    Json reply = JsonObject{};
-    reply.Set("type", Json("no_job"));
-    // Synchronous tuners stall at rung barriers; tell the worker when to
-    // retry rather than leaving it to guess.
-    reply.Set("retry_after", Json(options_.lease_timeout / 4));
-    return reply;
-  }
+  if (!job) return std::nullopt;
   const std::uint64_t job_id = next_job_id_++;
-  leases_[job_id] = Lease{*job, worker, now + options_.lease_timeout};
+  const double deadline = now + options_.lease_timeout;
+  leases_[job_id] = Lease{*job, worker, deadline};
+  deadlines_.push({deadline, job_id});
   ++stats_.jobs_assigned;
   if (options_.telemetry != nullptr) {
     Json args = LeaseArgs(job_id, worker, job->trial_id);
     args.Set("rung", Json(job->rung));
-    args.Set("deadline", Json(now + options_.lease_timeout));
+    args.Set("deadline", Json(deadline));
     options_.telemetry->EventAt(now, "lease_granted", "lease",
                                 std::move(args));
     options_.telemetry->Count("server.jobs_assigned");
   }
+  return std::make_pair(job_id, *std::move(job));
+}
+
+Json TuningServer::HandleRequestJob(const Json& message, double now) {
+  const auto worker = static_cast<std::uint64_t>(message.at("worker").AsInt());
+  auto granted = GrantLease(worker, now);
+  if (!granted) return NoJobReply();
 
   Json reply = JsonObject{};
   reply.Set("type", Json("job"));
-  reply.Set("job_id", Json(static_cast<std::int64_t>(job_id)));
-  reply.Set("job", ToJson(*job));
+  reply.Set("job_id", Json(static_cast<std::int64_t>(granted->first)));
+  reply.Set("job", ToJson(granted->second));
   reply.Set("lease_timeout", Json(options_.lease_timeout));
+  return reply;
+}
+
+Json TuningServer::HandleRequestJobs(const Json& message, double now) {
+  const auto worker = static_cast<std::uint64_t>(message.at("worker").AsInt());
+  const auto requested = message.at("count").AsInt();
+  HT_CHECK_MSG(requested >= 1, "request_jobs count must be >= 1, got "
+                                   << requested);
+  const std::size_t count =
+      std::min(static_cast<std::size_t>(requested), options_.max_batch);
+
+  Json jobs = JsonArray{};
+  std::size_t granted_count = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto granted = GrantLease(worker, now);
+    if (!granted) break;  // scheduler dry (barrier stall / trial cap): stop
+    Json entry = JsonObject{};
+    entry.Set("job_id", Json(static_cast<std::int64_t>(granted->first)));
+    entry.Set("job", ToJson(granted->second));
+    jobs.PushBack(std::move(entry));
+    ++granted_count;
+  }
+  if (granted_count == 0) return NoJobReply();
+
+  Json reply = JsonObject{};
+  reply.Set("type", Json("jobs"));
+  reply.Set("jobs", std::move(jobs));
+  reply.Set("lease_timeout", Json(options_.lease_timeout));
+  // Short fill: tell the worker when to come back for the remainder.
+  if (granted_count < count) {
+    reply.Set("retry_after", Json(options_.lease_timeout / 4));
+  }
   return reply;
 }
 
@@ -125,6 +185,8 @@ Json TuningServer::HandleReport(const Json& message, double now) {
     options_.telemetry->Count("server.jobs_completed");
   }
   scheduler_.ReportResult(it->second.job, loss);
+  // The heap entry for this lease goes stale and is discarded when it
+  // surfaces — lazy deletion keeps reports O(log L)-free entirely.
   leases_.erase(it);
   ++stats_.jobs_completed;
   return Ack();
@@ -139,7 +201,11 @@ Json TuningServer::HandleHeartbeat(const Json& message, double now) {
     reply.Set("type", Json("lease_lost"));
     return reply;
   }
-  it->second.deadline = now + options_.lease_timeout;
+  const double deadline = now + options_.lease_timeout;
+  it->second.deadline = deadline;
+  // Lazy deletion: the previous entry stays in the heap and is skipped
+  // against the authoritative deadline when it comes due.
+  deadlines_.push({deadline, job_id});
   if (options_.telemetry != nullptr) {
     options_.telemetry->EventAt(
         now, "lease_renewed", "lease",
@@ -168,6 +234,7 @@ Json TuningServer::HandleMessage(const Json& message, double now) {
   try {
     const std::string& type = message.at("type").AsString();
     if (type == "request_job") return HandleRequestJob(message, now);
+    if (type == "request_jobs") return HandleRequestJobs(message, now);
     if (type == "report") return HandleReport(message, now);
     if (type == "heartbeat") return HandleHeartbeat(message, now);
     return malformed("unknown message type '" + type + "'");

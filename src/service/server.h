@@ -6,6 +6,9 @@
 //
 //   worker -> {"type":"request_job","worker":W}
 //   server <- {"type":"job","job_id":J,"job":{...}} | {"type":"no_job"}
+//   worker -> {"type":"request_jobs","worker":W,"count":K}   (batched lease)
+//   server <- {"type":"jobs","jobs":[{"job_id":J,"job":{...}},...]}
+//           | {"type":"no_job"}
 //   worker -> {"type":"heartbeat","worker":W,"job_id":J}   (extends lease)
 //   worker -> {"type":"report","worker":W,"job_id":J,"loss":L}
 //   server <- {"type":"ack"} | {"type":"error","message":...}
@@ -17,6 +20,17 @@
 // A.1). Late reports for expired leases are acknowledged but ignored
 // (at-most-once accounting).
 //
+// Scaling contract (Figure 5 regime — hundreds to thousands of workers on
+// one server): expiry checks ride a lazy-deletion deadline min-heap, so a
+// message costs O(log L) amortized in the number of live leases instead of
+// a full lease rescan; heartbeat renewals push a fresh heap entry and the
+// stale one is discarded against the authoritative lease map when it
+// surfaces. Batched `request_jobs` leases up to K jobs in one round-trip
+// (one expiry sweep, one reply array), cutting per-job protocol overhead
+// for prefetching workers. The single-job `request_job` path is
+// bit-compatible with the pre-heap server: same replies, same telemetry
+// events, same scheduler call sequence.
+//
 // The server is single-threaded and clock-agnostic: callers pass `now`
 // into every entry point, so it runs identically under the simulator's
 // virtual time, a test harness, or a wall-clock polling loop.
@@ -25,7 +39,9 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <queue>
 #include <string>
+#include <vector>
 
 #include "common/json.h"
 #include "core/scheduler.h"
@@ -37,6 +53,9 @@ class Telemetry;
 struct ServerOptions {
   /// A job lease lasts this long past the last heartbeat/assignment.
   double lease_timeout = 60;
+  /// Upper bound on `count` in a batched request_jobs message; larger
+  /// requests are clamped (a hostile client must not lease the world).
+  std::size_t max_batch = 1024;
   /// Optional observability sink (not owned; must outlive the server).
   /// When set, the server emits lease lifecycle events (granted / renewed /
   /// expired), report/stale-report/malformed-message events — all stamped
@@ -54,6 +73,9 @@ struct ServerStats {
   std::size_t stale_reports_ignored = 0;
   std::size_t malformed_messages = 0;
   std::size_t active_leases = 0;
+  /// Live + stale entries in the deadline heap (stale entries are lazily
+  /// discarded; the gap to active_leases measures renewal churn).
+  std::size_t deadline_heap_entries = 0;
 };
 
 class TuningServer {
@@ -66,7 +88,8 @@ class TuningServer {
   Json HandleMessage(const Json& message, double now);
 
   /// Expires overdue leases (call periodically; HandleMessage also calls
-  /// it, so a busy service needs no separate timer).
+  /// it, so a busy service needs no separate timer). O(E log L) for E
+  /// expiries — a no-op sweep touches only the heap top.
   void Tick(double now);
 
   ServerStats stats() const;
@@ -82,15 +105,36 @@ class TuningServer {
     double deadline = 0;
   };
 
+  /// One (deadline, job) entry in the lazy-deletion expiry heap. Renewals
+  /// push a fresh entry instead of re-keying; an entry is stale when its
+  /// lease is gone or carries a later authoritative deadline.
+  struct DeadlineEntry {
+    double deadline = 0;
+    std::uint64_t job_id = 0;
+    bool operator>(const DeadlineEntry& other) const {
+      if (deadline != other.deadline) return deadline > other.deadline;
+      return job_id > other.job_id;
+    }
+  };
+
   Json HandleRequestJob(const Json& message, double now);
+  Json HandleRequestJobs(const Json& message, double now);
   Json HandleReport(const Json& message, double now);
   Json HandleHeartbeat(const Json& message, double now);
+  /// Pulls one job from the scheduler and opens its lease (heap entry,
+  /// telemetry, stats). Shared by the single and batched request paths.
+  std::optional<std::pair<std::uint64_t, Job>> GrantLease(std::uint64_t worker,
+                                                          double now);
+  Json NoJobReply() const;
   static Json Error(const std::string& text);
   static Json Ack();
 
   Scheduler& scheduler_;
   ServerOptions options_;
-  std::map<std::uint64_t, Lease> leases_;  // job_id -> lease
+  std::map<std::uint64_t, Lease> leases_;  // job_id -> lease (authoritative)
+  std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>,
+                      std::greater<DeadlineEntry>>
+      deadlines_;
   std::uint64_t next_job_id_ = 1;
   ServerStats stats_;
 };

@@ -8,17 +8,26 @@
 namespace hypertune {
 
 SimulatedWorker::SimulatedWorker(std::uint64_t id, JobEnvironment& environment,
-                                 double heartbeat_interval)
+                                 double heartbeat_interval,
+                                 std::size_t prefetch)
     : id_(id), environment_(environment),
-      heartbeat_interval_(heartbeat_interval) {
+      heartbeat_interval_(heartbeat_interval),
+      prefetch_(std::max<std::size_t>(prefetch, 1)) {
   HT_CHECK(heartbeat_interval > 0);
 }
 
-void SimulatedWorker::OnTick(TuningServer& server, double now) {
-  if (crashed_) return;
+void SimulatedWorker::StartJob(Job job, std::uint64_t job_id, double now) {
+  finish_time_ = now + environment_.Duration(job.config, job.from_resource,
+                                             job.to_resource);
+  job_ = std::move(job);
+  job_id_ = job_id;
+  next_heartbeat_ = now + heartbeat_interval_;
+  next_action_ = std::min(finish_time_, next_heartbeat_);
+}
 
-  if (!job_) {
-    // Idle: ask for work.
+void SimulatedWorker::RequestWork(TuningServer& server, double now) {
+  if (prefetch_ <= 1) {
+    // Original single-job exchange, kept byte-identical for decision parity.
     Json request = JsonObject{};
     request.Set("type", Json("request_job"));
     request.Set("worker", Json(static_cast<std::int64_t>(id_)));
@@ -28,13 +37,72 @@ void SimulatedWorker::OnTick(TuningServer& server, double now) {
       return;
     }
     HT_CHECK(reply.at("type").AsString() == "job");
-    job_ = JobFromJson(reply.at("job"));
-    job_id_ = static_cast<std::uint64_t>(reply.at("job_id").AsInt());
-    finish_time_ = now + environment_.Duration(job_->config,
-                                               job_->from_resource,
-                                               job_->to_resource);
-    next_heartbeat_ = now + heartbeat_interval_;
-    next_action_ = std::min(finish_time_, next_heartbeat_);
+    StartJob(JobFromJson(reply.at("job")),
+             static_cast<std::uint64_t>(reply.at("job_id").AsInt()), now);
+    return;
+  }
+
+  Json request = JsonObject{};
+  request.Set("type", Json("request_jobs"));
+  request.Set("worker", Json(static_cast<std::int64_t>(id_)));
+  request.Set("count", Json(static_cast<std::int64_t>(prefetch_)));
+  const Json reply = server.HandleMessage(request, now);
+  if (reply.at("type").AsString() == "no_job") {
+    next_action_ = now + reply.at("retry_after").AsDouble();
+    return;
+  }
+  HT_CHECK(reply.at("type").AsString() == "jobs");
+  for (const auto& entry : reply.at("jobs").AsArray()) {
+    queue_.emplace_back(static_cast<std::uint64_t>(entry.at("job_id").AsInt()),
+                        JobFromJson(entry.at("job")));
+  }
+  HT_CHECK(!queue_.empty());
+  auto [job_id, job] = std::move(queue_.front());
+  queue_.pop_front();
+  StartJob(std::move(job), job_id, now);
+}
+
+void SimulatedWorker::SendHeartbeats(TuningServer& server, double now) {
+  Json heartbeat = JsonObject{};
+  heartbeat.Set("type", Json("heartbeat"));
+  heartbeat.Set("worker", Json(static_cast<std::int64_t>(id_)));
+  heartbeat.Set("job_id", Json(static_cast<std::int64_t>(job_id_)));
+  const Json reply = server.HandleMessage(heartbeat, now);
+  if (reply.at("type").AsString() == "lease_lost") {
+    // The server gave up on us (e.g. after a long stall): abandon the job.
+    job_.reset();
+    next_action_ = now;
+    return;
+  }
+  // Queued (leased-ahead) jobs must stay alive too: renew each, dropping
+  // any the server already declared lost.
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    Json renew = JsonObject{};
+    renew.Set("type", Json("heartbeat"));
+    renew.Set("worker", Json(static_cast<std::int64_t>(id_)));
+    renew.Set("job_id", Json(static_cast<std::int64_t>(it->first)));
+    const Json queued_reply = server.HandleMessage(renew, now);
+    if (queued_reply.at("type").AsString() == "lease_lost") {
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  next_heartbeat_ = now + heartbeat_interval_;
+}
+
+void SimulatedWorker::OnTick(TuningServer& server, double now) {
+  if (crashed_) return;
+
+  if (!job_) {
+    if (!queue_.empty()) {
+      // Run the next leased-ahead job without a server round-trip.
+      auto [job_id, job] = std::move(queue_.front());
+      queue_.pop_front();
+      StartJob(std::move(job), job_id, now);
+      return;
+    }
+    RequestWork(server, now);
     return;
   }
 
@@ -49,23 +117,13 @@ void SimulatedWorker::OnTick(TuningServer& server, double now) {
     (void)server.HandleMessage(report, now);
     job_.reset();
     ++jobs_completed_;
-    next_action_ = now;  // immediately ask for the next job
+    next_action_ = now;  // immediately start queued work or ask for more
     return;
   }
 
   if (now >= next_heartbeat_) {
-    Json heartbeat = JsonObject{};
-    heartbeat.Set("type", Json("heartbeat"));
-    heartbeat.Set("worker", Json(static_cast<std::int64_t>(id_)));
-    heartbeat.Set("job_id", Json(static_cast<std::int64_t>(job_id_)));
-    const Json reply = server.HandleMessage(heartbeat, now);
-    if (reply.at("type").AsString() == "lease_lost") {
-      // The server gave up on us (e.g. after a long stall): abandon the job.
-      job_.reset();
-      next_action_ = now;
-      return;
-    }
-    next_heartbeat_ = now + heartbeat_interval_;
+    SendHeartbeats(server, now);
+    if (!job_) return;  // lease lost; job abandoned
   }
   next_action_ = std::min(finish_time_, next_heartbeat_);
 }

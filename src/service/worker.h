@@ -2,10 +2,19 @@
 // half of the distributed shell. Drives training through a JobEnvironment
 // under virtual time, sends heartbeats while training, and can be crashed
 // mid-job to exercise the server's lease expiry.
+//
+// With `prefetch` > 1 the worker uses the batched `request_jobs` message to
+// lease several jobs per round-trip and runs them back to back, renewing
+// every held lease (running and queued) at each heartbeat — the client
+// side of the server's batched-lease fast path. The default (prefetch = 1)
+// keeps the original single-job `request_job` protocol exchange
+// byte-for-byte.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
+#include <utility>
 
 #include "common/json.h"
 #include "service/server.h"
@@ -16,7 +25,7 @@ namespace hypertune {
 class SimulatedWorker {
  public:
   SimulatedWorker(std::uint64_t id, JobEnvironment& environment,
-                  double heartbeat_interval);
+                  double heartbeat_interval, std::size_t prefetch = 1);
 
   /// Advances the worker to time `now`, exchanging whatever messages are
   /// due with the server (job requests, heartbeats, completion reports).
@@ -28,17 +37,27 @@ class SimulatedWorker {
 
   bool IsTraining() const { return job_.has_value(); }
   std::size_t jobs_completed() const { return jobs_completed_; }
+  std::size_t jobs_queued() const { return queue_.size(); }
   /// Earliest time this worker wants another OnTick (for harness loops).
   double next_action_time() const { return next_action_; }
 
  private:
+  void RequestWork(TuningServer& server, double now);
+  void StartJob(Job job, std::uint64_t job_id, double now);
+  /// Renews the lease of every held job (running first, then queued, in
+  /// acquisition order); drops queued jobs whose leases the server lost.
+  void SendHeartbeats(TuningServer& server, double now);
+
   std::uint64_t id_;
   JobEnvironment& environment_;
   double heartbeat_interval_;
+  std::size_t prefetch_;
   bool crashed_ = false;
 
   std::optional<Job> job_;
   std::uint64_t job_id_ = 0;
+  /// Leased-ahead jobs not yet running (batched protocol only).
+  std::deque<std::pair<std::uint64_t, Job>> queue_;
   double finish_time_ = 0;
   double next_heartbeat_ = 0;
   double next_action_ = 0;

@@ -88,10 +88,18 @@ DriverResult SimulationDriver::Run() {
     }
   };
 
+  // Reused across events: the span's track name ("t<trial>:r<rung>") is
+  // rebuilt in place instead of re-concatenated from temporaries.
+  std::string span_name;
+
   dispatch_idle_workers();
   while (!queue.empty()) {
-    const ActiveJob active = queue.top();
-    if (active.end > options_.time_limit) break;  // budget exhausted
+    if (queue.top().end > options_.time_limit) break;  // budget exhausted
+    // Move the event out of the heap: ActiveJob carries a whole Job
+    // (Configuration included), which at 500 workers made every pop a
+    // deep copy. top() is const-qualified only to protect heap order,
+    // which pop() is about to discard anyway.
+    ActiveJob active = std::move(const_cast<ActiveJob&>(queue.top()));
     queue.pop();
     now = active.end;
     if (telemetry != nullptr) telemetry->AdvanceTo(now);
@@ -127,9 +135,12 @@ DriverResult SimulationDriver::Run() {
       } else {
         args.Set("loss", Json(record.loss));
       }
-      telemetry->SpanAt(active.start, active.end - active.start,
-                        "t" + std::to_string(active.job.trial_id) + ":r" +
-                            std::to_string(active.job.rung),
+      span_name.clear();
+      span_name += 't';
+      span_name += std::to_string(active.job.trial_id);
+      span_name += ":r";
+      span_name += std::to_string(active.job.rung);
+      telemetry->SpanAt(active.start, active.end - active.start, span_name,
                         "worker", std::move(args), active.worker);
       telemetry->Count(active.dropped ? "driver.jobs_dropped"
                                       : "driver.jobs_completed");

@@ -190,6 +190,41 @@ TEST(Asha, MaxTrialsLimitsAndFinishes) {
   EXPECT_TRUE(asha.Finished());
 }
 
+TEST(Asha, FinishedMatchesPromotableTrialsOracle) {
+  // Regression for the O(1) Finished() rewrite: at every step of a seeded
+  // run, Finished() must agree with the answer the old O(n)-scan
+  // PromotableTrials-based check would have given.
+  auto options = ToyOptions();
+  options.R = 27;
+  options.max_trials = 30;
+  options.seed = 7;
+  AshaScheduler asha(MakeRandomSampler(UnitSpace()), options);
+  Rng loss_rng(11);
+  const auto oracle_finished = [&] {
+    if (asha.NumTrialsCreated() < options.max_trials) return false;
+    for (std::size_t k = 0; k < asha.NumRungs(); ++k) {
+      if (static_cast<int>(k) ==
+          static_cast<int>(asha.NumRungs()) - 1) {
+        continue;  // top rung never promotes
+      }
+      if (!asha.rung(k).PromotableTrials(options.eta).empty()) return false;
+    }
+    return true;
+  };
+  int steps = 0;
+  for (; steps < 200; ++steps) {
+    const auto job = asha.GetJob();
+    if (!job) break;
+    asha.ReportResult(*job, loss_rng.Uniform());
+    // No jobs in flight here, so the in-flight guard is inert and the two
+    // checks must coincide exactly.
+    ASSERT_EQ(asha.Finished(), oracle_finished()) << "step " << steps;
+  }
+  EXPECT_TRUE(asha.Finished());
+  EXPECT_TRUE(oracle_finished());
+  EXPECT_GT(steps, 30);  // promotions happened beyond the sampled cohort
+}
+
 TEST(Asha, InfiniteHorizonGrowsRungs) {
   auto options = ToyOptions();
   options.infinite_horizon = true;

@@ -75,6 +75,10 @@ TEST_P(RungDifferential, MatchesReferenceUnderRandomOps) {
     if (try_promote) {
       const auto real = rung.FirstPromotable(params.eta);
       const auto expected = reference.FirstPromotable(params.eta);
+      // The O(1) existence check must agree with the full query at every
+      // interleaving point (it backs Scheduler::Finished).
+      ASSERT_EQ(rung.HasPromotable(params.eta), expected.has_value())
+          << "step " << step;
       // Ties in the reference sort are broken by (loss, id) just like the
       // real set ordering, so answers must agree exactly.
       ASSERT_EQ(real.has_value(), expected.has_value()) << "step " << step;
@@ -103,6 +107,8 @@ TEST_P(RungDifferential, MatchesReferenceUnderRandomOps) {
   EXPECT_EQ(rung.PromotableTrials(params.eta),
             reference.Promotable(params.eta));
   EXPECT_EQ(rung.FirstPromotable(params.eta).has_value(),
+            reference.FirstPromotable(params.eta).has_value());
+  EXPECT_EQ(rung.HasPromotable(params.eta),
             reference.FirstPromotable(params.eta).has_value());
 }
 

@@ -138,6 +138,67 @@ TEST(Executor, SynchronousBarrierParksAndResumesWorkers) {
   EXPECT_EQ(result.jobs_completed, 8u + 4u + 2u);  // full bracket
 }
 
+TEST(Executor, PrefetchRunsCappedSearchToCompletion) {
+  RandomSearchOptions options;
+  options.R = 10;
+  options.max_trials = 20;
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), options);
+  ThreadPoolExecutor executor(
+      scheduler, [](const Job& job) { return job.config.GetDouble("x"); },
+      {.num_workers = 4, .prefetch = 4});
+  const auto result = executor.Run();
+  // The scheduler drains completely: buffered jobs are run, not dropped.
+  EXPECT_EQ(result.jobs_completed, 20u);
+  EXPECT_EQ(result.jobs_lost, 0u);
+  EXPECT_EQ(result.records.size(), 20u);
+  EXPECT_TRUE(scheduler.Finished());
+}
+
+TEST(Executor, PrefetchLeftoverBufferedJobsReportedLost) {
+  // Stopping at max_jobs can strand prefetched jobs in the buffer; they
+  // must go back to the scheduler as lost (lease-expiry accounting), not
+  // linger as running trials.
+  RandomSearchOptions options;
+  options.R = 10;  // unlimited trials
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), options);
+  ThreadPoolExecutor executor(
+      scheduler, [](const Job&) { return 0.5; },
+      {.num_workers = 4, .max_jobs = 25, .prefetch = 8});
+  const auto result = executor.Run();
+  EXPECT_GE(result.jobs_completed, 25u);
+  std::size_t lost_trials = 0;
+  std::size_t running_trials = 0;
+  for (const auto& trial : scheduler.trials()) {
+    lost_trials += trial.status == TrialStatus::kLost;
+    running_trials += trial.status == TrialStatus::kRunning;
+  }
+  EXPECT_EQ(lost_trials, result.jobs_lost);
+  EXPECT_EQ(running_trials, 0u);  // nothing stranded in-flight
+}
+
+TEST(Executor, PrefetchCrossesSynchronousBarrier) {
+  // Prefetching must not wedge at a rung barrier: the buffer simply runs
+  // dry until the last completion settles the rung and refills it.
+  ShaOptions options;
+  options.n = 8;
+  options.r = 1;
+  options.R = 4;
+  options.eta = 2;
+  options.spawn_new_brackets = false;
+  SyncShaScheduler sha(MakeRandomSampler(UnitSpace()), options);
+  ThreadPoolExecutor executor(
+      sha,
+      [](const Job& job) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        return job.config.GetDouble("x");
+      },
+      {.num_workers = 4, .prefetch = 2});
+  const auto result = executor.Run();
+  EXPECT_TRUE(sha.Finished());
+  EXPECT_EQ(result.jobs_completed, 8u + 4u + 2u);  // full bracket
+  EXPECT_EQ(result.jobs_lost, 0u);
+}
+
 TEST(Executor, RecordsHaveMonotoneTimestamps) {
   RandomSearchOptions options;
   options.R = 10;

@@ -281,6 +281,170 @@ TEST(Server, NoJobReplyCarriesRetryHint) {
   EXPECT_GT(reply.at("retry_after").AsDouble(), 0);
 }
 
+TEST(Server, ExpiryTiesProcessedInJobIdOrder) {
+  // Three leases granted at the same instant share a deadline; the heap
+  // must expire them in ascending job id — the order the old full-scan
+  // Tick produced — so traces stay decision-identical.
+  RandomSearchOptions options;
+  options.R = 10;
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), options);
+  auto telemetry = Telemetry::ForSimulation();
+  TuningServer server(scheduler,
+                      {.lease_timeout = 60, .telemetry = telemetry.get()});
+  std::vector<std::int64_t> job_ids;
+  for (std::uint64_t w = 1; w <= 3; ++w) {
+    job_ids.push_back(server.HandleMessage(RequestJob(w), 0).at("job_id")
+                          .AsInt());
+  }
+  server.Tick(61);
+  EXPECT_EQ(server.stats().leases_expired, 3u);
+  std::vector<std::int64_t> expired_order;
+  for (const auto& event : telemetry->tracer().Events()) {
+    if (event.name == "lease_expired") {
+      expired_order.push_back(event.args.at("job_id").AsInt());
+    }
+  }
+  EXPECT_EQ(expired_order, job_ids);  // ascending ids, tie on deadline
+}
+
+TEST(Server, RenewalLeavesStaleHeapEntryBehind) {
+  RandomSearchOptions options;
+  options.R = 10;
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), options);
+  TuningServer server(scheduler, {.lease_timeout = 60});
+  const auto job_id = server.HandleMessage(RequestJob(1), 0).at("job_id")
+                          .AsInt();
+  // Renewal pushes a second heap entry; the original one goes stale.
+  server.HandleMessage(Heartbeat(1, job_id), 50);
+  EXPECT_EQ(server.stats().deadline_heap_entries, 2u);
+  EXPECT_EQ(server.stats().active_leases, 1u);
+  // The stale entry (deadline 60) comes due and must be discarded against
+  // the authoritative deadline (110) instead of expiring the lease.
+  server.Tick(61);
+  EXPECT_EQ(server.stats().leases_expired, 0u);
+  EXPECT_EQ(server.stats().active_leases, 1u);
+  EXPECT_EQ(server.stats().deadline_heap_entries, 1u);  // stale one drained
+  // The renewed deadline is the real one.
+  server.Tick(111);
+  EXPECT_EQ(server.stats().leases_expired, 1u);
+  EXPECT_EQ(server.stats().deadline_heap_entries, 0u);
+}
+
+TEST(Server, ReportAfterRenewalConsumesLeaseCleanly) {
+  RandomSearchOptions options;
+  options.R = 10;
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), options);
+  TuningServer server(scheduler, {.lease_timeout = 60});
+  const auto job_id = server.HandleMessage(RequestJob(1), 0).at("job_id")
+                          .AsInt();
+  server.HandleMessage(Heartbeat(1, job_id), 50);
+  const Json ack = server.HandleMessage(Report(1, job_id, 0.2), 70);
+  EXPECT_EQ(ack.at("type").AsString(), "ack");
+  EXPECT_FALSE(ack.Has("stale"));
+  EXPECT_EQ(server.stats().jobs_completed, 1u);
+  EXPECT_EQ(server.stats().active_leases, 0u);
+  // Both heap entries (original + renewal) are now stale; a far-future
+  // sweep must drain them without expiring anything.
+  server.Tick(1e6);
+  EXPECT_EQ(server.stats().leases_expired, 0u);
+  EXPECT_EQ(server.stats().deadline_heap_entries, 0u);
+}
+
+Json RequestJobs(std::uint64_t worker, std::int64_t count) {
+  Json message = JsonObject{};
+  message.Set("type", Json("request_jobs"));
+  message.Set("worker", Json(static_cast<std::int64_t>(worker)));
+  message.Set("count", Json(count));
+  return message;
+}
+
+TEST(Server, BatchedRequestLeasesUpToCount) {
+  AshaOptions options;
+  options.r = 1;
+  options.R = 27;
+  options.eta = 3;
+  AshaScheduler asha(MakeRandomSampler(UnitSpace()), options);
+  TuningServer server(asha, {.lease_timeout = 60});
+  const Json reply = server.HandleMessage(RequestJobs(1, 5), 0);
+  ASSERT_EQ(reply.at("type").AsString(), "jobs");
+  ASSERT_EQ(reply.at("jobs").size(), 5u);
+  EXPECT_FALSE(reply.Has("retry_after"));  // full fill, no hint needed
+  EXPECT_EQ(server.stats().jobs_assigned, 5u);
+  EXPECT_EQ(server.stats().active_leases, 5u);
+  // Every batched lease is individually reportable.
+  for (const auto& entry : reply.at("jobs").AsArray()) {
+    const Json ack =
+        server.HandleMessage(Report(1, entry.at("job_id").AsInt(), 0.5), 10);
+    EXPECT_EQ(ack.at("type").AsString(), "ack");
+  }
+  EXPECT_EQ(server.stats().jobs_completed, 5u);
+  EXPECT_EQ(server.stats().active_leases, 0u);
+}
+
+TEST(Server, BatchedRequestPartialFillCarriesRetryHint) {
+  RandomSearchOptions options;
+  options.R = 10;
+  options.max_trials = 3;
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), options);
+  TuningServer server(scheduler, {.lease_timeout = 60});
+  const Json reply = server.HandleMessage(RequestJobs(1, 5), 0);
+  ASSERT_EQ(reply.at("type").AsString(), "jobs");
+  EXPECT_EQ(reply.at("jobs").size(), 3u);  // scheduler went dry mid-batch
+  EXPECT_GT(reply.at("retry_after").AsDouble(), 0);
+  // The tail of an exhausted scheduler is a plain no_job, same as the
+  // single-job path.
+  const Json tail = server.HandleMessage(RequestJobs(2, 5), 1);
+  EXPECT_EQ(tail.at("type").AsString(), "no_job");
+  EXPECT_GT(tail.at("retry_after").AsDouble(), 0);
+}
+
+TEST(Server, BatchedRequestCountClampedAndValidated) {
+  RandomSearchOptions options;
+  options.R = 10;
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), options);
+  TuningServer server(scheduler, {.lease_timeout = 60, .max_batch = 2});
+  // A hostile count is clamped to max_batch, not honored.
+  const Json reply = server.HandleMessage(RequestJobs(1, 1000000), 0);
+  ASSERT_EQ(reply.at("type").AsString(), "jobs");
+  EXPECT_EQ(reply.at("jobs").size(), 2u);
+  // count < 1 is malformed, with the usual error accounting.
+  EXPECT_EQ(server.HandleMessage(RequestJobs(1, 0), 1).at("type").AsString(),
+            "error");
+  EXPECT_EQ(server.stats().malformed_messages, 1u);
+}
+
+TEST(Service, PrefetchingWorkersDriveAshaToCompletion) {
+  // Same end-to-end harness as below, but workers lease 3 jobs per
+  // round-trip and keep queued leases alive via heartbeats.
+  AshaOptions options;
+  options.r = 1;
+  options.R = 27;
+  options.eta = 3;
+  options.max_trials = 40;
+  AshaScheduler asha(MakeRandomSampler(UnitSpace()), options);
+  TuningServer server(asha, {.lease_timeout = 30});
+  RankEnv env;
+  std::vector<SimulatedWorker> workers;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    workers.emplace_back(i, env, /*heartbeat_interval=*/5, /*prefetch=*/3);
+  }
+  for (double now = 0; now < 400; now += 0.5) {
+    for (auto& worker : workers) {
+      if (now >= worker.next_action_time()) worker.OnTick(server, now);
+    }
+  }
+  EXPECT_TRUE(asha.Finished());
+  // Queued leases were renewed while earlier jobs trained: nothing expired.
+  EXPECT_EQ(server.stats().leases_expired, 0u);
+  EXPECT_GT(server.stats().jobs_completed, 40u);
+  ASSERT_TRUE(server.Current().has_value());
+  bool full_training = false;
+  for (const auto& trial : asha.trials()) {
+    full_training |= trial.resource_trained >= 27;
+  }
+  EXPECT_TRUE(full_training);
+}
+
 TEST(Service, EndToEndVirtualTimeHarness) {
   // 8 simulated workers drive ASHA through the full protocol.
   AshaOptions options;

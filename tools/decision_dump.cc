@@ -1,0 +1,170 @@
+// Decision-identity dump: drives a scheduler through the simulator and
+// through the tuning-service protocol, printing every scheduling decision
+// (job hand-outs, completions, recommendations) plus the full telemetry
+// trace as deterministic JSONL on stdout.
+//
+// Hot-path PRs must not change scheduling behavior; diffing (or hashing)
+// this tool's output before and after a change proves byte-identity:
+//
+//   ./decision_dump asha 42 500 | sha256sum
+//
+// Usage: decision_dump <asha|sha|hyperband> <seed> <workers>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/asha.h"
+#include "core/async_hyperband.h"
+#include "core/sha.h"
+#include "service/server.h"
+#include "service/worker.h"
+#include "sim/driver.h"
+#include "telemetry/telemetry.h"
+
+namespace hypertune {
+namespace {
+
+SearchSpace DumpSpace() {
+  SearchSpace space;
+  space.Add("x", Domain::Continuous(0.0, 1.0));
+  space.Add("y", Domain::Continuous(-1.0, 1.0));
+  return space;
+}
+
+// Deterministic synthetic training: loss improves with resource, ordering
+// driven by the sampled point; durations vary per configuration so the
+// event queue sees distinct completion times.
+class DumpEnv final : public JobEnvironment {
+ public:
+  double Loss(const Configuration& config, Resource resource) override {
+    const double x = config.GetDouble("x");
+    const double y = config.GetDouble("y");
+    return x * x + 0.25 * y * y + 1.0 / (1.0 + resource);
+  }
+  double Duration(const Configuration& config, Resource from,
+                  Resource to) override {
+    return (to - from) * (0.5 + config.GetDouble("x"));
+  }
+};
+
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& kind,
+                                         std::uint64_t seed) {
+  if (kind == "asha") {
+    AshaOptions options;
+    options.r = 1;
+    options.R = 81;
+    options.eta = 3;
+    options.max_trials = 300;
+    options.seed = seed;
+    return std::make_unique<AshaScheduler>(MakeRandomSampler(DumpSpace()),
+                                           options);
+  }
+  if (kind == "sha") {
+    ShaOptions options;
+    options.n = 81;
+    options.r = 1;
+    options.R = 81;
+    options.eta = 3;
+    options.spawn_new_brackets = false;
+    options.seed = seed;
+    return std::make_unique<SyncShaScheduler>(MakeRandomSampler(DumpSpace()),
+                                              options);
+  }
+  if (kind == "hyperband") {
+    AsyncHyperbandOptions options;
+    options.n0 = 81;
+    options.r = 1;
+    options.R = 81;
+    options.eta = 3;
+    options.seed = seed;
+    return std::make_unique<AsyncHyperbandScheduler>(
+        MakeRandomSampler(DumpSpace()), options);
+  }
+  std::cerr << "unknown scheduler kind '" << kind << "'\n";
+  std::exit(2);
+}
+
+void DumpDriverRun(const std::string& kind, std::uint64_t seed, int workers) {
+  auto scheduler = MakeScheduler(kind, seed);
+  auto telemetry = Telemetry::ForSimulation();
+  scheduler->SetTelemetry(telemetry.get());
+  DumpEnv env;
+  DriverOptions options;
+  options.num_workers = workers;
+  options.time_limit = 1e6;
+  options.seed = seed;
+  options.max_completed_jobs = 2000;
+  options.telemetry = telemetry.get();
+  SimulationDriver driver(*scheduler, env, options);
+  const DriverResult result = driver.Run();
+
+  std::cout << "== driver " << kind << " seed=" << seed
+            << " workers=" << workers << "\n";
+  for (const auto& record : result.completions) {
+    Json line = JsonObject{};
+    line.Set("t", Json(record.time));
+    line.Set("trial", Json(record.trial_id));
+    line.Set("rung", Json(record.rung));
+    line.Set("bracket", Json(record.bracket));
+    line.Set("loss", Json(record.loss));
+    line.Set("dropped", Json(record.dropped));
+    std::cout << line.Dump() << "\n";
+  }
+  std::cout << telemetry->tracer().ToJsonl();
+}
+
+void DumpServiceRun(const std::string& kind, std::uint64_t seed, int workers) {
+  auto scheduler = MakeScheduler(kind, seed);
+  auto telemetry = Telemetry::ForSimulation();
+  scheduler->SetTelemetry(telemetry.get());
+  DumpEnv env;
+  TuningServer server(*scheduler,
+                      {.lease_timeout = 30, .telemetry = telemetry.get()});
+  std::vector<SimulatedWorker> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    pool.emplace_back(static_cast<std::uint64_t>(i), env,
+                      /*heartbeat_interval=*/5.0);
+  }
+  for (double now = 0; now < 2000; now += 0.25) {
+    for (auto& worker : pool) {
+      if (now >= worker.next_action_time()) worker.OnTick(server, now);
+    }
+    if (scheduler->Finished()) break;
+  }
+
+  std::cout << "== service " << kind << " seed=" << seed
+            << " workers=" << workers << "\n";
+  const auto stats = server.stats();
+  std::cout << "assigned=" << stats.jobs_assigned
+            << " completed=" << stats.jobs_completed
+            << " expired=" << stats.leases_expired << "\n";
+  for (const auto& trial : scheduler->trials()) {
+    Json line = JsonObject{};
+    line.Set("trial", Json(trial.id));
+    line.Set("resource", Json(trial.resource_trained));
+    line.Set("status", Json(static_cast<int>(trial.status)));
+    std::cout << line.Dump() << "\n";
+  }
+  std::cout << telemetry->tracer().ToJsonl();
+}
+
+}  // namespace
+}  // namespace hypertune
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    std::cerr << "usage: decision_dump <asha|sha|hyperband> <seed> <workers>\n";
+    return 2;
+  }
+  const std::string kind = argv[1];
+  const auto seed = static_cast<std::uint64_t>(std::strtoull(argv[2], nullptr, 10));
+  const int workers = std::atoi(argv[3]);
+  hypertune::DumpDriverRun(kind, seed, workers);
+  hypertune::DumpServiceRun(kind, seed, workers);
+  return 0;
+}
