@@ -48,8 +48,8 @@ double FirstFullCompletion(bool resume, double r, double R, double eta,
   SimulationDriver driver(asha, env, driver_options);
   const auto result = driver.Run();
   for (const auto& completion : result.completions) {
-    if (!completion.dropped && completion.to_resource >= R) {
-      return completion.time;
+    if (!completion.lost && completion.to_resource >= R) {
+      return completion.end_time;
     }
   }
   return -1;

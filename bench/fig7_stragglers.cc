@@ -41,7 +41,7 @@ double MeanFullCompletions(bool asha, double straggler_std,
     const auto result = driver.Run();
     double full = 0;
     for (const auto& completion : result.completions) {
-      full += !completion.dropped && completion.to_resource >= 256.0;
+      full += !completion.lost && completion.to_resource >= 256.0;
     }
     counts.push_back(full);
   }

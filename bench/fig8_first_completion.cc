@@ -41,8 +41,8 @@ double MeanFirstCompletion(bool asha, double straggler_std,
     const auto result = driver.Run();
     double first = kHorizon;  // cap when never finished
     for (const auto& completion : result.completions) {
-      if (!completion.dropped && completion.to_resource >= 256.0) {
-        first = completion.time;
+      if (!completion.lost && completion.to_resource >= 256.0) {
+        first = completion.end_time;
         break;
       }
     }

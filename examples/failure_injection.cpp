@@ -51,10 +51,10 @@ Outcome Run(bool use_asha, double straggler_std, double drop_probability) {
   Outcome outcome;
   outcome.dropped = result.jobs_dropped;
   for (const auto& completion : result.completions) {
-    if (!completion.dropped && completion.to_resource >= 256) {
+    if (!completion.lost && completion.to_resource >= 256) {
       ++outcome.full_trainings;
       if (outcome.first_completion < 0) {
-        outcome.first_completion = completion.time;
+        outcome.first_completion = completion.end_time;
       }
     }
   }

@@ -1,5 +1,7 @@
 #include "analysis/export.h"
 
+#include <cstdio>
+
 #include "common/check.h"
 #include "common/table.h"
 
@@ -13,22 +15,73 @@ Json SeriesToJson(const std::vector<double>& xs) {
   return array;
 }
 
+/// Round-trippable double cell ("%.17g", same fidelity as the JSON dumper —
+/// FormatDouble's fixed precision would truncate timestamps).
+std::string NumberCell(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
 }  // namespace
+
+Json ToJson(const RunRecord& record) {
+  Json entry = JsonObject{};
+  entry.Set("time", Json(record.end_time));
+  entry.Set("trial", Json(record.trial_id));
+  entry.Set("from", Json(record.from_resource));
+  entry.Set("to", Json(record.to_resource));
+  entry.Set("loss", Json(record.loss));
+  entry.Set("rung", Json(record.rung));
+  entry.Set("bracket", Json(record.bracket));
+  entry.Set("dropped", Json(record.lost));
+  entry.Set("start", Json(record.start_time));
+  entry.Set("queue_wait", Json(record.queue_wait));
+  entry.Set("worker", Json(record.worker));
+  return entry;
+}
+
+RunRecord RunRecordFromJson(const Json& json) {
+  RunRecord record;
+  record.end_time = json.at("time").AsDouble();
+  record.trial_id = json.at("trial").AsInt();
+  record.from_resource = json.at("from").AsDouble();
+  record.to_resource = json.at("to").AsDouble();
+  record.loss = json.at("loss").AsDouble();
+  record.rung = static_cast<int>(json.at("rung").AsInt());
+  record.bracket = static_cast<int>(json.at("bracket").AsInt());
+  record.lost = json.at("dropped").AsBool();
+  // Pre-unification documents lack the lifecycle-era fields; default them.
+  if (json.Has("start")) record.start_time = json.at("start").AsDouble();
+  if (json.Has("queue_wait")) {
+    record.queue_wait = json.at("queue_wait").AsDouble();
+  }
+  if (json.Has("worker")) {
+    record.worker = static_cast<int>(json.at("worker").AsInt());
+  }
+  return record;
+}
+
+std::string RunRecordsCsv(const std::vector<RunRecord>& records) {
+  TextTable table({"time", "trial", "from", "to", "loss", "rung", "bracket",
+                   "dropped", "start", "queue_wait", "worker"});
+  for (const auto& record : records) {
+    table.AddRow({NumberCell(record.end_time), std::to_string(record.trial_id),
+                  NumberCell(record.from_resource),
+                  NumberCell(record.to_resource), NumberCell(record.loss),
+                  std::to_string(record.rung), std::to_string(record.bracket),
+                  record.lost ? "1" : "0", NumberCell(record.start_time),
+                  NumberCell(record.queue_wait),
+                  std::to_string(record.worker)});
+  }
+  return table.ToCsv();
+}
 
 Json ToJson(const DriverResult& result) {
   Json json = JsonObject{};
   Json completions = JsonArray{};
   for (const auto& record : result.completions) {
-    Json entry = JsonObject{};
-    entry.Set("time", Json(record.time));
-    entry.Set("trial", Json(record.trial_id));
-    entry.Set("from", Json(record.from_resource));
-    entry.Set("to", Json(record.to_resource));
-    entry.Set("loss", Json(record.loss));
-    entry.Set("rung", Json(record.rung));
-    entry.Set("bracket", Json(record.bracket));
-    entry.Set("dropped", Json(record.dropped));
-    completions.PushBack(std::move(entry));
+    completions.PushBack(ToJson(record));
   }
   json.Set("completions", std::move(completions));
 
@@ -52,16 +105,7 @@ Json ToJson(const DriverResult& result) {
 DriverResult DriverResultFromJson(const Json& json) {
   DriverResult result;
   for (const auto& entry : json.at("completions").AsArray()) {
-    CompletionRecord record;
-    record.time = entry.at("time").AsDouble();
-    record.trial_id = entry.at("trial").AsInt();
-    record.from_resource = entry.at("from").AsDouble();
-    record.to_resource = entry.at("to").AsDouble();
-    record.loss = entry.at("loss").AsDouble();
-    record.rung = static_cast<int>(entry.at("rung").AsInt());
-    record.bracket = static_cast<int>(entry.at("bracket").AsInt());
-    record.dropped = entry.at("dropped").AsBool();
-    result.completions.push_back(record);
+    result.completions.push_back(RunRecordFromJson(entry));
   }
   for (const auto& entry : json.at("recommendations").AsArray()) {
     RecommendationPoint rec;

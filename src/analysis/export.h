@@ -1,7 +1,7 @@
-// JSON export/import of tuning artifacts: configurations, trials, driver
-// runs, and aggregated experiment results. The "ML glue" layer — results
-// can be archived, diffed, and re-loaded for offline analysis without
-// rerunning simulations.
+// JSON/CSV export and import of tuning artifacts: configurations, trials,
+// run records, driver runs, and aggregated experiment results. The "ML
+// glue" layer — results can be archived, diffed, and re-loaded for offline
+// analysis without rerunning simulations.
 #pragma once
 
 #include <string>
@@ -10,6 +10,7 @@
 #include "analysis/experiment.h"
 #include "common/json.h"
 #include "core/trial_json.h"
+#include "lifecycle/run_record.h"
 #include "searchspace/config_json.h"
 #include "sim/driver.h"
 
@@ -18,6 +19,21 @@ namespace hypertune {
 // Configuration / Trial / TrialBank JSON conversions come from
 // searchspace/config_json.h and core/trial_json.h (re-exported here for
 // convenience).
+
+/// RunRecord -> JSON. Keys kept compatible with the legacy per-backend
+/// record exports: "time" is the record's end_time and "dropped" its lost
+/// flag; the lifecycle-era fields (start, queue_wait, worker) ride along
+/// as additional keys.
+Json ToJson(const RunRecord& record);
+/// Inverse of ToJson(RunRecord). The lifecycle-era keys are optional so
+/// documents written before the unified record still load.
+RunRecord RunRecordFromJson(const Json& json);
+
+/// RunRecords -> CSV. The first eight columns
+/// (time,trial,from,to,loss,rung,bracket,dropped) match the legacy
+/// completion-record layout so existing notebooks keep parsing; the
+/// lifecycle-era columns (start,queue_wait,worker) are appended after.
+std::string RunRecordsCsv(const std::vector<RunRecord>& records);
 
 /// Driver run -> JSON (completions + recommendation history + totals).
 Json ToJson(const DriverResult& result);

@@ -1,4 +1,4 @@
-#include "sim/hazards.h"
+#include "lifecycle/hazards.h"
 
 #include <cmath>
 
@@ -28,6 +28,21 @@ std::optional<double> HazardModel::DropTime(double duration, Rng& rng) const {
   const double t = rng.Exponential(drop_rate_);
   if (t < duration) return t;
   return std::nullopt;
+}
+
+HazardInjector::HazardInjector(HazardOptions options, std::uint64_t seed)
+    : model_(options), rng_(seed) {}
+
+bool HazardInjector::enabled() const {
+  const HazardOptions& options = model_.options();
+  return options.straggler_std > 0.0 || options.drop_probability > 0.0;
+}
+
+HazardPlan HazardInjector::Plan(double base_duration) {
+  HazardPlan plan;
+  plan.duration = base_duration * model_.StragglerMultiplier(rng_);
+  plan.drop_after = model_.DropTime(plan.duration, rng_);
+  return plan;
 }
 
 }  // namespace hypertune

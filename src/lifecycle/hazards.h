@@ -1,0 +1,85 @@
+// Failure injection, following Appendix A.1:
+//   * stragglers — a job's expected duration is multiplied by (1 + |z|),
+//     z ~ N(0, straggler_std);
+//   * dropped jobs — each running job is dropped with probability
+//     `drop_probability` per unit of virtual time (so a job of length d
+//     survives with probability (1 - p)^d).
+//
+// HazardModel holds the distributions; HazardInjector adds the per-run RNG
+// stream and the per-job draw protocol, so the same hazard process can be
+// injected into any backend: the SimulationDriver (virtual durations), the
+// ThreadPoolExecutor (virtual base durations derived from the job's
+// resource increment, optionally scaled into real delays), and the
+// SimulatedWorker fleet driving a TuningServer (abandoned jobs whose leases
+// expire). Formerly src/sim/hazards.* — hoisted here because hazards are a
+// property of the trial lifecycle, not of any one backend.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.h"
+
+namespace hypertune {
+
+struct HazardOptions {
+  /// Standard deviation of the half-normal straggler multiplier; 0 disables.
+  double straggler_std = 0.0;
+  /// Per-time-unit drop probability in [0, 1); 0 disables.
+  double drop_probability = 0.0;
+};
+
+class HazardModel {
+ public:
+  explicit HazardModel(HazardOptions options);
+
+  /// Multiplier >= 1 applied to a job's base duration.
+  double StragglerMultiplier(Rng& rng) const;
+
+  /// Time (from job start) at which the job is dropped, or nullopt if it
+  /// survives the full `duration`. The drop clock is exponential with rate
+  /// -ln(1 - p), the continuous-time equivalent of a per-unit Bernoulli.
+  std::optional<double> DropTime(double duration, Rng& rng) const;
+
+  const HazardOptions& options() const { return options_; }
+
+ private:
+  HazardOptions options_;
+  double drop_rate_ = 0.0;  // -ln(1 - p)
+};
+
+/// The fate drawn for one job before it runs.
+struct HazardPlan {
+  /// Straggler-inflated duration (== base duration when stragglers are off).
+  double duration = 0;
+  /// Time from start at which the job is lost; nullopt when it survives.
+  std::optional<double> drop_after;
+
+  bool dropped() const { return drop_after.has_value(); }
+  /// When the job stops occupying its worker: drop time or full duration.
+  double end_after() const { return drop_after ? *drop_after : duration; }
+};
+
+/// One seeded hazard stream shared by a run. Draw order per job — straggler
+/// multiplier, then drop clock — is part of the decision-identity contract:
+/// two backends leasing the same job sequence from the same seed draw the
+/// same fates. Disabled hazards consume no randomness, so a hazard-free run
+/// is bit-identical to one with no injector at all.
+class HazardInjector {
+ public:
+  HazardInjector(HazardOptions options, std::uint64_t seed);
+
+  /// True when any hazard is active (callers may skip planning entirely).
+  bool enabled() const;
+
+  /// Draws the next job's fate from a base (straggler-free) duration.
+  HazardPlan Plan(double base_duration);
+
+  const HazardOptions& options() const { return model_.options(); }
+
+ private:
+  HazardModel model_;
+  Rng rng_;
+};
+
+}  // namespace hypertune

@@ -1,0 +1,142 @@
+#include "lifecycle/lifecycle.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "telemetry/telemetry.h"
+
+namespace hypertune {
+
+void ValidateReportedLoss(double loss) {
+  HT_CHECK_MSG(std::isfinite(loss),
+               "reported loss must be finite, got " << loss);
+}
+
+void AppendJobSpanName(std::string& out, const Job& job) {
+  out.clear();
+  out += 't';
+  out += std::to_string(job.trial_id);
+  out += ":r";
+  out += std::to_string(job.rung);
+}
+
+void EmitJobSpan(Telemetry* telemetry, SpanProfile profile, const Job& job,
+                 bool lost, double loss, const RunTiming& timing,
+                 std::string* scratch) {
+  if (telemetry == nullptr) return;
+  Json args = JsonObject{};
+  args.Set("trial", Json(job.trial_id));
+  args.Set("rung", Json(job.rung));
+  if (profile == SpanProfile::kFull) {
+    args.Set("bracket", Json(job.bracket));
+    args.Set("from_resource", Json(job.from_resource));
+    args.Set("to_resource", Json(job.to_resource));
+    if (lost) {
+      args.Set("dropped", Json(true));
+    } else {
+      args.Set("loss", Json(loss));
+    }
+  } else {
+    args.Set("to_resource", Json(job.to_resource));
+    if (lost) {
+      args.Set("lost", Json(true));
+    } else {
+      args.Set("loss", Json(loss));
+    }
+  }
+  std::string local;
+  std::string& name = scratch != nullptr ? *scratch : local;
+  AppendJobSpanName(name, job);
+  telemetry->SpanAt(timing.start, timing.end - timing.start, name, "worker",
+                    std::move(args), timing.worker);
+}
+
+TrialLifecycle::TrialLifecycle(Scheduler& scheduler, LifecycleOptions options)
+    : scheduler_(scheduler), options_(options) {}
+
+std::optional<LeasedJob> TrialLifecycle::Acquire() {
+  auto job = scheduler_.GetJob();
+  if (!job) return std::nullopt;
+  LeasedJob leased;
+  leased.lease_id = next_lease_id_++;
+  leased.job = *std::move(job);
+  pending_.insert(leased.lease_id);
+  return leased;
+}
+
+void TrialLifecycle::NoteRecommendation(double now) {
+  const auto rec = scheduler_.Current();
+  if (!rec) return;
+  if (!recommendations_.empty()) {
+    const auto& last = recommendations_.back();
+    if (last.trial_id == rec->trial_id && last.loss == rec->loss) return;
+  }
+  recommendations_.push_back({now, rec->trial_id, rec->loss, rec->resource});
+  if (options_.emit_recommendation_events && options_.telemetry != nullptr) {
+    Json args = JsonObject{};
+    args.Set("trial", Json(rec->trial_id));
+    args.Set("loss", Json(rec->loss));
+    args.Set("resource", Json(rec->resource));
+    options_.telemetry->EventAt(now, "recommendation", "job",
+                                std::move(args));
+  }
+}
+
+void TrialLifecycle::Resolve(const LeasedJob& lease, bool lost, double loss,
+                             const RunTiming& timing) {
+  // The one guard that makes every backend's accounting sound: each lease
+  // resolves exactly once. A second Complete, a Complete after a Lose, or a
+  // resolve of a lease this lifecycle never issued all trip here.
+  HT_CHECK_MSG(pending_.erase(lease.lease_id) == 1,
+               "lease " << lease.lease_id << " (trial " << lease.job.trial_id
+                        << ") already resolved or never acquired");
+  if (lost) {
+    scheduler_.ReportLost(lease.job);
+    ++lost_;
+  } else {
+    scheduler_.ReportResult(lease.job, loss);
+    ++completed_;
+  }
+  if (options_.telemetry != nullptr) {
+    if (options_.emit_spans) {
+      EmitJobSpan(options_.telemetry, options_.span_profile, lease.job, lost,
+                  loss, timing, &span_name_);
+    }
+    const char* const counter_name =
+        lost ? options_.lost_counter : options_.completed_counter;
+    if (counter_name != nullptr) {
+      Counter*& counter = lost ? lost_counter_ : completed_counter_;
+      if (counter == nullptr) {
+        counter = &options_.telemetry->metrics().counter(counter_name);
+      }
+      counter->Increment();
+    }
+  }
+  RunRecord record;
+  record.trial_id = lease.job.trial_id;
+  record.rung = lease.job.rung;
+  record.bracket = lease.job.bracket;
+  record.from_resource = lease.job.from_resource;
+  record.to_resource = lease.job.to_resource;
+  record.loss = lost ? 0 : loss;
+  record.lost = lost;
+  record.start_time = timing.start;
+  record.end_time = timing.end;
+  record.queue_wait = timing.queue_wait;
+  record.worker = timing.worker;
+  record.lease_id = lease.lease_id;
+  records_.push_back(record);
+  if (options_.track_recommendations) NoteRecommendation(timing.end);
+}
+
+void TrialLifecycle::Complete(const LeasedJob& lease, double loss,
+                              const RunTiming& timing) {
+  ValidateReportedLoss(loss);
+  Resolve(lease, /*lost=*/false, loss, timing);
+}
+
+void TrialLifecycle::Lose(const LeasedJob& lease, const RunTiming& timing) {
+  Resolve(lease, /*lost=*/true, /*loss=*/0, timing);
+}
+
+}  // namespace hypertune

@@ -1,0 +1,153 @@
+// The shared trial-lifecycle core: the lease → run → outcome state machine
+// every execution backend adapts.
+//
+// Algorithm 2 of the paper describes one job lifecycle — a free worker
+// leases a job, runs it, and either reports a loss or loses the job — and
+// the repo used to implement it three times (SimulationDriver,
+// ThreadPoolExecutor, TuningServer), each with its own record type and its
+// own (or missing) outcome guards. TrialLifecycle implements it once:
+//
+//   * leasing: Acquire() pulls the next job from the Scheduler and opens a
+//     lease with a dense id (1, 2, ...);
+//   * outcome validation: every lease resolves exactly once — a double
+//     report, a report after a loss, or a resolve of an unknown lease is a
+//     CheckError; losses must be finite;
+//   * recording: each resolution appends one RunRecord;
+//   * incumbent trajectory: after each resolution the scheduler's current
+//     recommendation is recorded whenever it changes (optionally emitted as
+//     a "recommendation" trace instant);
+//   * telemetry: job spans are named and emitted here (see EmitJobSpan),
+//     either inside Complete/Lose (single-threaded backends) or by the
+//     backend outside its serialization lock (the thread pool).
+//
+// Thread-safety: TrialLifecycle has the same contract as Scheduler — NOT
+// thread-safe; concurrent backends serialize Acquire/Complete/Lose behind
+// the same lock that guards their scheduler calls. EmitJobSpan is a free
+// function touching only the (thread-safe) Telemetry sink, so it may be
+// called outside that lock. See DESIGN.md §6 for the full contract.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "lifecycle/run_record.h"
+
+namespace hypertune {
+
+class Telemetry;
+class Counter;
+
+/// A job pulled from the scheduler together with its open lease.
+struct LeasedJob {
+  std::uint64_t lease_id = 0;
+  Job job;
+};
+
+/// When and where a leased job executed, in the backend's clock domain.
+struct RunTiming {
+  double start = 0;
+  double end = 0;
+  double queue_wait = 0;
+  int worker = -1;
+};
+
+/// Which argument set a job span carries. Backends historically emitted
+/// slightly different sets; decision-identity dumps pin them, so the
+/// profile is explicit rather than silently unified.
+enum class SpanProfile {
+  /// trial, rung, bracket, from_resource, to_resource, loss | dropped
+  /// (the simulator's profile).
+  kFull,
+  /// trial, rung, to_resource, loss | lost (the thread pool's profile).
+  kCompact,
+};
+
+struct LifecycleOptions {
+  /// Optional observability sink (not owned; must outlive the lifecycle).
+  Telemetry* telemetry = nullptr;
+  /// Emit one job span per resolution inside Complete/Lose. Backends that
+  /// must emit outside their lock leave this off and call EmitJobSpan
+  /// themselves.
+  bool emit_spans = false;
+  SpanProfile span_profile = SpanProfile::kFull;
+  /// Counter bumped per completion / loss (null disables). Resolved
+  /// lazily on first use so an all-zero counter never appears in metrics
+  /// snapshots (preserving pre-refactor output).
+  const char* completed_counter = nullptr;
+  const char* lost_counter = nullptr;
+  /// Record the scheduler's recommendation after each resolution whenever
+  /// it changes (the incumbent trajectory the paper's figures plot).
+  bool track_recommendations = false;
+  /// Additionally emit a "recommendation" trace instant on each change.
+  bool emit_recommendation_events = false;
+};
+
+/// Rejects non-finite losses (NaN, +/-inf) with a CheckError. Exposed so
+/// protocol layers can validate before mutating any state.
+void ValidateReportedLoss(double loss);
+
+/// Appends the canonical span name "t<trial>:r<rung>" to `out` (cleared
+/// first) without allocating temporaries — hot paths reuse one buffer.
+void AppendJobSpanName(std::string& out, const Job& job);
+
+/// Emits one job span on the executing worker's track. `scratch` (optional)
+/// is reused for the span name. Safe to call from any thread.
+void EmitJobSpan(Telemetry* telemetry, SpanProfile profile, const Job& job,
+                 bool lost, double loss, const RunTiming& timing,
+                 std::string* scratch = nullptr);
+
+class TrialLifecycle {
+ public:
+  TrialLifecycle(Scheduler& scheduler, LifecycleOptions options);
+
+  /// Pulls the next job from the scheduler and opens its lease; nullopt
+  /// when the scheduler has no work right now.
+  std::optional<LeasedJob> Acquire();
+
+  /// Resolves a lease with a (finite) loss: validates exactly-once,
+  /// reports to the scheduler, records, and updates the recommendation
+  /// trajectory. CheckError on double-resolve or non-finite loss.
+  void Complete(const LeasedJob& lease, double loss, const RunTiming& timing);
+
+  /// Resolves a lease as lost (drop, crash, lease expiry, stranded
+  /// prefetch). Same exactly-once guard as Complete.
+  void Lose(const LeasedJob& lease, const RunTiming& timing);
+
+  std::size_t completed_jobs() const { return completed_; }
+  std::size_t lost_jobs() const { return lost_; }
+  /// Leases acquired but not yet resolved.
+  std::size_t pending_leases() const { return pending_.size(); }
+
+  const std::vector<RunRecord>& records() const { return records_; }
+  std::vector<RunRecord> TakeRecords() { return std::move(records_); }
+  const std::vector<RecommendationPoint>& recommendations() const {
+    return recommendations_;
+  }
+  std::vector<RecommendationPoint> TakeRecommendations() {
+    return std::move(recommendations_);
+  }
+
+ private:
+  void Resolve(const LeasedJob& lease, bool lost, double loss,
+               const RunTiming& timing);
+  void NoteRecommendation(double now);
+
+  Scheduler& scheduler_;
+  LifecycleOptions options_;
+  std::unordered_set<std::uint64_t> pending_;
+  std::uint64_t next_lease_id_ = 1;
+  std::vector<RunRecord> records_;
+  std::vector<RecommendationPoint> recommendations_;
+  std::size_t completed_ = 0;
+  std::size_t lost_ = 0;
+  // Lazily resolved instruments (see LifecycleOptions).
+  Counter* completed_counter_ = nullptr;
+  Counter* lost_counter_ = nullptr;
+  std::string span_name_;  // reused across emissions
+};
+
+}  // namespace hypertune

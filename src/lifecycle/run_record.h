@@ -1,0 +1,56 @@
+// The one record type every execution backend produces.
+//
+// The paper evaluates one job lifecycle — lease → run → report-or-lose
+// (Algorithm 2) — and each of our backends (SimulationDriver,
+// ThreadPoolExecutor, TuningServer) used to define its own completion
+// struct for it. RunRecord replaces all of them: a backend-agnostic account
+// of one leased job, whether it finished with a loss or was lost to a drop,
+// crash, or lease expiry. Times are in the backend's own clock domain
+// (virtual time for the simulator and service harness, seconds since run
+// start for the thread pool); everything else is identical across backends,
+// which is what lets src/analysis and tools/decision_dump consume a single
+// type.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace hypertune {
+
+/// One resolved lease: a job that completed with a loss or was lost.
+struct RunRecord {
+  TrialId trial_id = -1;
+  int rung = 0;
+  /// Early-stopping rate s of the owning bracket (Hyperband family).
+  int bracket = 0;
+  Resource from_resource = 0;
+  Resource to_resource = 0;
+  /// Validation loss at to_resource; meaningless when `lost`.
+  double loss = 0;
+  /// True when the job never reported: dropped by a hazard, crashed worker,
+  /// expired lease, or stranded in a prefetch buffer at shutdown.
+  bool lost = false;
+  /// When the job started executing (backend clock).
+  double start_time = 0;
+  /// When the outcome landed (backend clock). Records sort by this.
+  double end_time = 0;
+  /// How long the executing worker sat idle before starting this job
+  /// (promotion stalls, rung barriers). Zero where the backend has no
+  /// queue-wait notion (the service protocol).
+  double queue_wait = 0;
+  /// Executing worker index/id; -1 when unknown (e.g. never dispatched).
+  int worker = -1;
+  /// Lease that produced this record (unique within a run, dense from 1).
+  std::uint64_t lease_id = 0;
+};
+
+/// Snapshot of the scheduler's recommendation whenever it changes.
+struct RecommendationPoint {
+  double time = 0;
+  TrialId trial_id = -1;
+  double loss = 0;
+  Resource resource = 0;
+};
+
+}  // namespace hypertune

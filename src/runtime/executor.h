@@ -5,26 +5,37 @@
 // implementation drove 25-500 actual workers. The tuners are agnostic to
 // the executor: the same Scheduler object can be driven by the
 // deterministic SimulationDriver (for experiments) or by this pool (for
-// real tuning), because both speak the pull-based GetJob/Report protocol.
+// real tuning), because both adapt the same trial-lifecycle core
+// (src/lifecycle): TrialLifecycle owns leasing, exactly-once outcome
+// validation, and RunRecord bookkeeping; this executor contributes threads,
+// the wall clock, and the low-contention serialization around the core.
 //
-// Concurrency contract: Scheduler implementations are NOT thread-safe; the
-// executor serializes all GetJob/Report calls behind one mutex and runs the
-// (expensive) training function outside it, so scheduler work never blocks
-// training and vice versa. The critical section is kept minimal: records
-// accumulate in per-worker buffers merged (and time-sorted) after the
-// threads join, telemetry JSON is built outside the lock, and a completion
-// wakes exactly one parked worker (there is at most one new job to hand
-// out per completion; a 50 ms timed wait backstops promotion bursts).
-// Workers with no available job park on a condition variable.
+// Concurrency contract: Scheduler and TrialLifecycle are NOT thread-safe;
+// the executor serializes all Acquire/Complete/Lose calls behind one mutex
+// and runs the (expensive) training function outside it, so scheduler work
+// never blocks training and vice versa. The critical section is kept
+// minimal: training, telemetry JSON (EmitJobSpan is lock-free against the
+// lifecycle), and timing run unlocked; wakeups are targeted notify_one
+// chained through an idle count. Workers with no available job park on a
+// condition variable.
 //
-// With `prefetch` > 0 the executor keeps up to that many jobs pulled ahead
-// in a shared buffer, refilled while the completion lock is already held —
-// a free worker then dequeues without paying a scheduler call. Prefetching
-// changes *when* jobs are drawn from the scheduler (they are leased
-// earlier), so it is off by default; runs that must be decision-comparable
-// to the simulator leave it off. Jobs still buffered at shutdown are
-// returned to the scheduler as lost (they were leased but never trained)
-// and counted in ExecutorResult::jobs_lost.
+// With `prefetch` > 0 the executor keeps up to that many leased jobs pulled
+// ahead in a shared buffer, refilled while the completion lock is already
+// held — a free worker then dequeues without paying a scheduler call.
+// Prefetching changes *when* jobs are leased, so it is off by default; runs
+// that must be decision-comparable to the simulator leave it off. Jobs
+// still buffered at shutdown are resolved through TrialLifecycle::Lose
+// (they were leased but never trained) and counted in
+// ExecutorResult::jobs_lost.
+//
+// Hazard injection (paper §4.2 / Appendix A.1) works on this real backend
+// too: when `hazards` is set, each leased job draws a straggler/drop fate
+// from a seeded HazardInjector at acquisition time (under the lock, so the
+// draw order is the lease order — with one worker it matches the simulator
+// exactly). A dropped job is treated as preempted: the training function
+// never runs and the job is reported lost. `hazard_time_scale` optionally
+// converts the plan's virtual durations into real injected delays so
+// stragglers are observable in wall-clock terms.
 #pragma once
 
 #include <chrono>
@@ -35,6 +46,9 @@
 #include <vector>
 
 #include "core/scheduler.h"
+#include "lifecycle/hazards.h"
+#include "lifecycle/lifecycle.h"
+#include "lifecycle/run_record.h"
 
 namespace hypertune {
 
@@ -57,6 +71,21 @@ struct ExecutorOptions {
   /// Jobs to keep pulled ahead of demand in a shared buffer (0 = fetch on
   /// demand). See the prefetch paragraph in the file comment.
   int prefetch = 0;
+  /// Straggler/drop injection for this real backend (both disabled by
+  /// default). See the hazard paragraph in the file comment.
+  HazardOptions hazards;
+  /// Seed for the hazard stream (independent of the scheduler's stream);
+  /// matches DriverOptions::seed's default so the same seed reproduces the
+  /// simulator's fates.
+  std::uint64_t hazard_seed = 99;
+  /// Base (virtual) duration fed to the hazard model for each job; null
+  /// uses the job's resource increment (to - from), the simulator's
+  /// convention for environments whose Duration is the resource delta.
+  std::function<double(const Job&)> hazard_duration;
+  /// Seconds of real injected delay per virtual hazard time unit. Zero (the
+  /// default) injects only the accounting (drops); > 0 also sleeps the
+  /// straggler inflation and the dropped jobs' partial runtimes.
+  double hazard_time_scale = 0;
   /// Optional observability sink (not owned; must outlive the executor).
   /// When set, each worker emits a per-job span on its own trace track,
   /// counts completions/losses, and feeds two histograms:
@@ -66,21 +95,16 @@ struct ExecutorOptions {
   Telemetry* telemetry = nullptr;
 };
 
-/// One completed (or lost) job with a wall-clock timestamp.
-struct ExecutionRecord {
-  double elapsed_seconds = 0;
-  TrialId trial_id = -1;
-  Resource to_resource = 0;
-  double loss = 0;
-  bool lost = false;
-};
-
 struct ExecutorResult {
   std::size_t jobs_completed = 0;
   std::size_t jobs_lost = 0;
   double elapsed_seconds = 0;
-  /// Merged from the per-worker buffers, sorted by elapsed_seconds.
-  std::vector<ExecutionRecord> records;
+  /// One RunRecord per resolved lease (times are seconds since run start),
+  /// sorted by end_time.
+  std::vector<RunRecord> records;
+  /// Incumbent trajectory (recommendation changes), timestamped in seconds
+  /// since run start.
+  std::vector<RecommendationPoint> recommendations;
 };
 
 class ThreadPoolExecutor {
@@ -93,17 +117,20 @@ class ThreadPoolExecutor {
   ExecutorResult Run();
 
  private:
-  /// Per-worker tallies and records; owned by one thread while running,
-  /// merged into the ExecutorResult after the join (no sharing, no lock).
-  struct WorkerState {
-    std::vector<ExecutionRecord> records;
-    std::size_t completed = 0;
-    std::size_t lost = 0;
+  /// A leased job plus its hazard fate (a no-op plan when hazards are off).
+  struct PendingJob {
+    LeasedJob lease;
+    HazardPlan plan;
+    /// Straggler-free duration the plan was drawn from (plan.duration -
+    /// plan_base is the inflation a straggler adds).
+    double plan_base = 0;
   };
 
-  void WorkerLoop(int worker_index, WorkerState& state,
+  void WorkerLoop(int worker_index,
                   std::chrono::steady_clock::time_point start);
   bool StopRequested(std::chrono::steady_clock::time_point start) const;
+  /// Leases the next job and draws its hazard fate. Caller holds mutex_.
+  std::optional<PendingJob> AcquireLocked();
   /// Tops the prefetch buffer back up to options_.prefetch. Caller holds
   /// mutex_ (the completion path calls it while the lock is already hot).
   void RefillPrefetchLocked(std::chrono::steady_clock::time_point start);
@@ -111,6 +138,7 @@ class ThreadPoolExecutor {
   Scheduler& scheduler_;
   TrainFunction train_;
   ExecutorOptions options_;
+  HazardInjector hazards_;
 
   // Instruments resolved once at construction (null when telemetry is off)
   // so the worker hot path never takes the registry's registration lock.
@@ -124,11 +152,11 @@ class ThreadPoolExecutor {
   bool shutting_down_ = false;
   int idle_workers_ = 0;
   int active_jobs_ = 0;
-  /// Jobs pulled ahead of demand (bounded by options_.prefetch).
-  std::deque<Job> prefetch_buffer_;
-  /// Pool-wide completion count for the max_jobs stop condition (the
-  /// per-worker tallies are not visible across threads until the join).
-  std::size_t completed_total_ = 0;
+  /// Jobs leased ahead of demand (bounded by options_.prefetch).
+  std::deque<PendingJob> prefetch_buffer_;
+  /// The shared lease→run→outcome core; guarded by mutex_ (same contract
+  /// as the scheduler it wraps).
+  TrialLifecycle lifecycle_;
 };
 
 }  // namespace hypertune

@@ -11,7 +11,14 @@
 namespace hypertune {
 
 TuningServer::TuningServer(Scheduler& scheduler, ServerOptions options)
-    : scheduler_(scheduler), options_(options) {
+    : scheduler_(scheduler),
+      options_(options),
+      // The lifecycle core contributes leasing (the protocol's job ids ARE
+      // its lease ids), exactly-once outcome validation, and RunRecords.
+      // The server emits its own protocol-level telemetry (lease_granted /
+      // job_reported / lease_expired events and server.* counters), so the
+      // core's span/counter emission stays off.
+      lifecycle_(scheduler, LifecycleOptions{}) {
   HT_CHECK(options_.lease_timeout > 0);
   HT_CHECK(options_.max_batch > 0);
 }
@@ -82,32 +89,36 @@ void TuningServer::Tick(double now) {
     if (options_.telemetry != nullptr) {
       options_.telemetry->EventAt(
           now, "lease_expired", "lease",
-          LeaseArgs(job_id, lease.worker, lease.job.trial_id));
+          LeaseArgs(job_id, lease.worker, lease.leased.job.trial_id));
       options_.telemetry->Count("server.leases_expired");
     }
-    scheduler_.ReportLost(lease.job);
+    lifecycle_.Lose(lease.leased, RunTiming{lease.granted_at, now, 0,
+                                            static_cast<int>(lease.worker)});
     ++stats_.leases_expired;
   }
 }
 
 std::optional<std::pair<std::uint64_t, Job>> TuningServer::GrantLease(
     std::uint64_t worker, double now) {
-  auto job = scheduler_.GetJob();
-  if (!job) return std::nullopt;
-  const std::uint64_t job_id = next_job_id_++;
+  auto leased = lifecycle_.Acquire();
+  if (!leased) return std::nullopt;
+  // Lease ids are dense from 1 in grant order — exactly the job-id sequence
+  // the pre-lifecycle server minted itself, so the wire format is unchanged.
+  const std::uint64_t job_id = leased->lease_id;
+  const Job job = leased->job;
   const double deadline = now + options_.lease_timeout;
-  leases_[job_id] = Lease{*job, worker, deadline};
+  leases_[job_id] = Lease{*std::move(leased), worker, deadline, now};
   deadlines_.push({deadline, job_id});
   ++stats_.jobs_assigned;
   if (options_.telemetry != nullptr) {
-    Json args = LeaseArgs(job_id, worker, job->trial_id);
-    args.Set("rung", Json(job->rung));
+    Json args = LeaseArgs(job_id, worker, job.trial_id);
+    args.Set("rung", Json(job.rung));
     args.Set("deadline", Json(deadline));
     options_.telemetry->EventAt(now, "lease_granted", "lease",
                                 std::move(args));
     options_.telemetry->Count("server.jobs_assigned");
   }
-  return std::make_pair(job_id, *std::move(job));
+  return std::make_pair(job_id, job);
 }
 
 Json TuningServer::HandleRequestJob(const Json& message, double now) {
@@ -161,7 +172,9 @@ Json TuningServer::HandleReport(const Json& message, double now) {
   if (it == leases_.end()) {
     // Lease already expired (we reported the job lost) or never existed:
     // acknowledge so the worker moves on, but ignore the data — the
-    // scheduler already accounted for this job.
+    // scheduler already accounted for this job. Stale reports never reach
+    // the lifecycle core, so its exactly-once guard is defense in depth
+    // here, not the front line.
     ++stats_.stale_reports_ignored;
     if (options_.telemetry != nullptr) {
       Json args = JsonObject{};
@@ -175,16 +188,21 @@ Json TuningServer::HandleReport(const Json& message, double now) {
     return reply;
   }
   // Validate the payload *before* mutating lease state, so a report missing
-  // its loss leaves the lease intact for the worker's retry.
+  // its loss — or carrying a non-finite one — leaves the lease intact for
+  // the worker's retry and earns an error reply, not a crash.
   const double loss = message.at("loss").AsDouble();
+  ValidateReportedLoss(loss);
   if (options_.telemetry != nullptr) {
-    Json args = LeaseArgs(job_id, it->second.worker, it->second.job.trial_id);
+    Json args =
+        LeaseArgs(job_id, it->second.worker, it->second.leased.job.trial_id);
     args.Set("loss", Json(loss));
     options_.telemetry->EventAt(now, "job_reported", "lease",
                                 std::move(args));
     options_.telemetry->Count("server.jobs_completed");
   }
-  scheduler_.ReportResult(it->second.job, loss);
+  lifecycle_.Complete(it->second.leased, loss,
+                      RunTiming{it->second.granted_at, now, 0,
+                                static_cast<int>(it->second.worker)});
   // The heap entry for this lease goes stale and is discarded when it
   // surfaces — lazy deletion keeps reports O(log L)-free entirely.
   leases_.erase(it);
@@ -209,7 +227,7 @@ Json TuningServer::HandleHeartbeat(const Json& message, double now) {
   if (options_.telemetry != nullptr) {
     options_.telemetry->EventAt(
         now, "lease_renewed", "lease",
-        LeaseArgs(job_id, it->second.worker, it->second.job.trial_id));
+        LeaseArgs(job_id, it->second.worker, it->second.leased.job.trial_id));
     options_.telemetry->Count("server.leases_renewed");
   }
   return Ack();

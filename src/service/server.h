@@ -20,6 +20,13 @@
 // A.1). Late reports for expired leases are acknowledged but ignored
 // (at-most-once accounting).
 //
+// The server is an adapter over the shared trial-lifecycle core
+// (src/lifecycle): TrialLifecycle issues the lease ids (== the protocol's
+// job ids), guards every outcome (a lease resolves exactly once; losses
+// are finite), and records one RunRecord per resolved job — the server
+// contributes the wire format, the deadline bookkeeping, and the
+// lease-lifecycle telemetry events. run_records() exposes the unified log.
+//
 // Scaling contract (Figure 5 regime — hundreds to thousands of workers on
 // one server): expiry checks ride a lazy-deletion deadline min-heap, so a
 // message costs O(log L) amortized in the number of live leases instead of
@@ -45,6 +52,8 @@
 
 #include "common/json.h"
 #include "core/scheduler.h"
+#include "lifecycle/lifecycle.h"
+#include "lifecycle/run_record.h"
 
 namespace hypertune {
 
@@ -98,11 +107,20 @@ class TuningServer {
   /// to a "best configuration so far" query).
   std::optional<Recommendation> Current() const { return scheduler_.Current(); }
 
+  /// The unified lifecycle log: one RunRecord per resolved lease (reported
+  /// jobs and expired leases), timestamped in protocol time. start_time is
+  /// the grant time, end_time the report/expiry time.
+  const std::vector<RunRecord>& run_records() const {
+    return lifecycle_.records();
+  }
+
  private:
   struct Lease {
-    Job job;
+    LeasedJob leased;
     std::uint64_t worker = 0;
     double deadline = 0;
+    /// When the lease was granted (RunRecord::start_time).
+    double granted_at = 0;
   };
 
   /// One (deadline, job) entry in the lazy-deletion expiry heap. Renewals
@@ -121,8 +139,9 @@ class TuningServer {
   Json HandleRequestJobs(const Json& message, double now);
   Json HandleReport(const Json& message, double now);
   Json HandleHeartbeat(const Json& message, double now);
-  /// Pulls one job from the scheduler and opens its lease (heap entry,
-  /// telemetry, stats). Shared by the single and batched request paths.
+  /// Leases one job from the lifecycle core and opens its server lease
+  /// (heap entry, telemetry, stats). Shared by the single and batched
+  /// request paths. The protocol job id IS the lifecycle lease id.
   std::optional<std::pair<std::uint64_t, Job>> GrantLease(std::uint64_t worker,
                                                           double now);
   Json NoJobReply() const;
@@ -131,11 +150,13 @@ class TuningServer {
 
   Scheduler& scheduler_;
   ServerOptions options_;
+  /// The shared lease→run→outcome core (leasing, exactly-once validation,
+  /// RunRecords). Single-threaded like the server itself.
+  TrialLifecycle lifecycle_;
   std::map<std::uint64_t, Lease> leases_;  // job_id -> lease (authoritative)
   std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>,
                       std::greater<DeadlineEntry>>
       deadlines_;
-  std::uint64_t next_job_id_ = 1;
   ServerStats stats_;
 };
 

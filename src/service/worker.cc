@@ -9,20 +9,29 @@ namespace hypertune {
 
 SimulatedWorker::SimulatedWorker(std::uint64_t id, JobEnvironment& environment,
                                  double heartbeat_interval,
-                                 std::size_t prefetch)
+                                 std::size_t prefetch, HazardInjector* hazards)
     : id_(id), environment_(environment),
       heartbeat_interval_(heartbeat_interval),
-      prefetch_(std::max<std::size_t>(prefetch, 1)) {
+      prefetch_(std::max<std::size_t>(prefetch, 1)),
+      hazards_(hazards) {
   HT_CHECK(heartbeat_interval > 0);
 }
 
 void SimulatedWorker::StartJob(Job job, std::uint64_t job_id, double now) {
-  finish_time_ = now + environment_.Duration(job.config, job.from_resource,
-                                             job.to_resource);
+  double duration = environment_.Duration(job.config, job.from_resource,
+                                          job.to_resource);
+  drop_time_.reset();
+  if (hazards_ != nullptr && hazards_->enabled()) {
+    const HazardPlan plan = hazards_->Plan(duration);
+    duration = plan.duration;
+    if (plan.dropped()) drop_time_ = now + *plan.drop_after;
+  }
+  finish_time_ = now + duration;
   job_ = std::move(job);
   job_id_ = job_id;
   next_heartbeat_ = now + heartbeat_interval_;
   next_action_ = std::min(finish_time_, next_heartbeat_);
+  if (drop_time_) next_action_ = std::min(next_action_, *drop_time_);
 }
 
 void SimulatedWorker::RequestWork(TuningServer& server, double now) {
@@ -71,6 +80,7 @@ void SimulatedWorker::SendHeartbeats(TuningServer& server, double now) {
   if (reply.at("type").AsString() == "lease_lost") {
     // The server gave up on us (e.g. after a long stall): abandon the job.
     job_.reset();
+    drop_time_.reset();
     next_action_ = now;
     return;
   }
@@ -106,6 +116,18 @@ void SimulatedWorker::OnTick(TuningServer& server, double now) {
     return;
   }
 
+  if (drop_time_ && now >= *drop_time_) {
+    // The injected hazard preempted this job mid-run. Abandon it silently —
+    // no report, no more heartbeats for this lease — so the server's lease
+    // expiry turns it into a lost job, the same accounting a real preempted
+    // worker produces. The worker itself lives on and picks up new work.
+    job_.reset();
+    drop_time_.reset();
+    ++jobs_dropped_;
+    next_action_ = now;
+    return;
+  }
+
   if (now >= finish_time_) {
     // Training finished: evaluate and report.
     const double loss = environment_.Loss(job_->config, job_->to_resource);
@@ -116,6 +138,7 @@ void SimulatedWorker::OnTick(TuningServer& server, double now) {
     report.Set("loss", Json(loss));
     (void)server.HandleMessage(report, now);
     job_.reset();
+    drop_time_.reset();
     ++jobs_completed_;
     next_action_ = now;  // immediately start queued work or ask for more
     return;
@@ -126,6 +149,7 @@ void SimulatedWorker::OnTick(TuningServer& server, double now) {
     if (!job_) return;  // lease lost; job abandoned
   }
   next_action_ = std::min(finish_time_, next_heartbeat_);
+  if (drop_time_) next_action_ = std::min(next_action_, *drop_time_);
 }
 
 }  // namespace hypertune

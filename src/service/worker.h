@@ -9,6 +9,13 @@
 // side of the server's batched-lease fast path. The default (prefetch = 1)
 // keeps the original single-job `request_job` protocol exchange
 // byte-for-byte.
+//
+// Hazard injection (paper Appendix A.1) works on this backend too: give the
+// worker a HazardInjector and each started job draws a straggler/drop fate
+// — stragglers stretch the job's virtual duration; a dropped job is
+// abandoned mid-run *without* telling the server, so its lease expires and
+// the scheduler sees a lost job, exactly the failure mode a preempted
+// cloud worker produces.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +24,7 @@
 #include <utility>
 
 #include "common/json.h"
+#include "lifecycle/hazards.h"
 #include "service/server.h"
 #include "sim/environment.h"
 
@@ -24,8 +32,12 @@ namespace hypertune {
 
 class SimulatedWorker {
  public:
+  /// `hazards` (optional, not owned, may be shared between workers) injects
+  /// straggler/drop fates into each started job; fates are drawn in job
+  /// start order, so a virtual-time harness replays them deterministically.
   SimulatedWorker(std::uint64_t id, JobEnvironment& environment,
-                  double heartbeat_interval, std::size_t prefetch = 1);
+                  double heartbeat_interval, std::size_t prefetch = 1,
+                  HazardInjector* hazards = nullptr);
 
   /// Advances the worker to time `now`, exchanging whatever messages are
   /// due with the server (job requests, heartbeats, completion reports).
@@ -37,6 +49,9 @@ class SimulatedWorker {
 
   bool IsTraining() const { return job_.has_value(); }
   std::size_t jobs_completed() const { return jobs_completed_; }
+  /// Jobs abandoned mid-run by an injected drop (their leases expire
+  /// server-side; the server accounts them as lost).
+  std::size_t jobs_dropped() const { return jobs_dropped_; }
   std::size_t jobs_queued() const { return queue_.size(); }
   /// Earliest time this worker wants another OnTick (for harness loops).
   double next_action_time() const { return next_action_; }
@@ -52,6 +67,7 @@ class SimulatedWorker {
   JobEnvironment& environment_;
   double heartbeat_interval_;
   std::size_t prefetch_;
+  HazardInjector* hazards_;
   bool crashed_ = false;
 
   std::optional<Job> job_;
@@ -59,9 +75,12 @@ class SimulatedWorker {
   /// Leased-ahead jobs not yet running (batched protocol only).
   std::deque<std::pair<std::uint64_t, Job>> queue_;
   double finish_time_ = 0;
+  /// When the running job's injected drop fires (unset: no drop planned).
+  std::optional<double> drop_time_;
   double next_heartbeat_ = 0;
   double next_action_ = 0;
   std::size_t jobs_completed_ = 0;
+  std::size_t jobs_dropped_ = 0;
 };
 
 }  // namespace hypertune

@@ -2,9 +2,9 @@
 
 #include <queue>
 #include <set>
-#include <string>
 
 #include "common/check.h"
+#include "lifecycle/lifecycle.h"
 #include "telemetry/telemetry.h"
 
 namespace hypertune {
@@ -12,10 +12,11 @@ namespace hypertune {
 namespace {
 
 struct ActiveJob {
-  Job job;
+  LeasedJob lease;
   double start = 0;
   double end = 0;
   bool dropped = false;
+  double queue_wait = 0;      // worker idle time before this job started
   int worker = 0;             // virtual worker executing this job
   std::uint64_t seq = 0;      // FIFO tie-break for equal event times
 
@@ -36,61 +37,51 @@ SimulationDriver::SimulationDriver(Scheduler& scheduler,
 }
 
 DriverResult SimulationDriver::Run() {
-  Rng hazard_rng(options_.seed);
-  const HazardModel hazards(options_.hazards);
+  HazardInjector hazards(options_.hazards, options_.seed);
   DriverResult result;
   Telemetry* const telemetry = options_.telemetry;
+  TrialLifecycle lifecycle(scheduler_,
+                           {.telemetry = telemetry,
+                            .emit_spans = true,
+                            .span_profile = SpanProfile::kFull,
+                            .completed_counter = "driver.jobs_completed",
+                            .lost_counter = "driver.jobs_dropped",
+                            .track_recommendations = true,
+                            .emit_recommendation_events = true});
 
   std::priority_queue<ActiveJob, std::vector<ActiveJob>, std::greater<>> queue;
   double now = 0;
   std::uint64_t seq = 0;
   // Lowest-index-first worker assignment keeps trace tracks deterministic.
   std::set<int> idle_workers;
+  // When each worker last became free (for RunRecord::queue_wait).
+  std::vector<double> free_since(
+      static_cast<std::size_t>(options_.num_workers), 0.0);
   for (int w = 0; w < options_.num_workers; ++w) idle_workers.insert(w);
 
   auto dispatch_idle_workers = [&] {
     while (!idle_workers.empty()) {
       if (telemetry != nullptr) telemetry->AdvanceTo(now);
-      auto job = scheduler_.GetJob();
-      if (!job) break;  // no work right now; retry after the next event
-      const double base = environment_.Duration(job->config, job->from_resource,
-                                                job->to_resource);
+      auto leased = lifecycle.Acquire();
+      if (!leased) break;  // no work right now; retry after the next event
+      const double base = environment_.Duration(leased->job.config,
+                                                leased->job.from_resource,
+                                                leased->job.to_resource);
       HT_CHECK_MSG(base > 0, "job duration must be positive, got " << base);
-      const double duration = base * hazards.StragglerMultiplier(hazard_rng);
-      const auto drop_after = hazards.DropTime(duration, hazard_rng);
+      const HazardPlan plan = hazards.Plan(base);
       ActiveJob active;
-      active.job = std::move(*job);
+      active.lease = *std::move(leased);
       active.start = now;
-      active.end = now + (drop_after ? *drop_after : duration);
-      active.dropped = drop_after.has_value();
+      active.end = now + plan.end_after();
+      active.dropped = plan.dropped();
       active.worker = *idle_workers.begin();
+      active.queue_wait =
+          now - free_since[static_cast<std::size_t>(active.worker)];
       active.seq = seq++;
       idle_workers.erase(idle_workers.begin());
       queue.push(std::move(active));
     }
   };
-
-  auto note_recommendation = [&] {
-    const auto rec = scheduler_.Current();
-    if (!rec) return;
-    if (!result.recommendations.empty()) {
-      const auto& last = result.recommendations.back();
-      if (last.trial_id == rec->trial_id && last.loss == rec->loss) return;
-    }
-    result.recommendations.push_back(
-        {now, rec->trial_id, rec->loss, rec->resource});
-    if (telemetry != nullptr) {
-      Json args = JsonObject{};
-      args.Set("trial", Json(rec->trial_id));
-      args.Set("loss", Json(rec->loss));
-      args.Set("resource", Json(rec->resource));
-      telemetry->EventAt(now, "recommendation", "job", std::move(args));
-    }
-  };
-
-  // Reused across events: the span's track name ("t<trial>:r<rung>") is
-  // rebuilt in place instead of re-concatenated from temporaries.
-  std::string span_name;
 
   dispatch_idle_workers();
   while (!queue.empty()) {
@@ -104,52 +95,21 @@ DriverResult SimulationDriver::Run() {
     now = active.end;
     if (telemetry != nullptr) telemetry->AdvanceTo(now);
     idle_workers.insert(active.worker);
+    free_since[static_cast<std::size_t>(active.worker)] = now;
     result.busy_time += active.end - active.start;
 
-    CompletionRecord record;
-    record.time = now;
-    record.trial_id = active.job.trial_id;
-    record.from_resource = active.job.from_resource;
-    record.to_resource = active.job.to_resource;
-    record.rung = active.job.rung;
-    record.bracket = active.job.bracket;
-    record.dropped = active.dropped;
-
+    const RunTiming timing{active.start, active.end, active.queue_wait,
+                           active.worker};
     if (active.dropped) {
-      scheduler_.ReportLost(active.job);
-      ++result.jobs_dropped;
+      lifecycle.Lose(active.lease, timing);
     } else {
-      record.loss = environment_.Loss(active.job.config, active.job.to_resource);
-      scheduler_.ReportResult(active.job, record.loss);
-      ++result.jobs_completed;
+      const double loss = environment_.Loss(active.lease.job.config,
+                                            active.lease.job.to_resource);
+      lifecycle.Complete(active.lease, loss, timing);
     }
-    if (telemetry != nullptr) {
-      Json args = JsonObject{};
-      args.Set("trial", Json(active.job.trial_id));
-      args.Set("rung", Json(active.job.rung));
-      args.Set("bracket", Json(active.job.bracket));
-      args.Set("from_resource", Json(active.job.from_resource));
-      args.Set("to_resource", Json(active.job.to_resource));
-      if (active.dropped) {
-        args.Set("dropped", Json(true));
-      } else {
-        args.Set("loss", Json(record.loss));
-      }
-      span_name.clear();
-      span_name += 't';
-      span_name += std::to_string(active.job.trial_id);
-      span_name += ":r";
-      span_name += std::to_string(active.job.rung);
-      telemetry->SpanAt(active.start, active.end - active.start, span_name,
-                        "worker", std::move(args), active.worker);
-      telemetry->Count(active.dropped ? "driver.jobs_dropped"
-                                      : "driver.jobs_completed");
-    }
-    result.completions.push_back(record);
-    note_recommendation();
 
     if (options_.max_completed_jobs > 0 &&
-        result.jobs_completed >= options_.max_completed_jobs) {
+        lifecycle.completed_jobs() >= options_.max_completed_jobs) {
       break;
     }
     if (scheduler_.Finished()) break;
@@ -157,6 +117,10 @@ DriverResult SimulationDriver::Run() {
   }
 
   result.end_time = now;
+  result.jobs_completed = lifecycle.completed_jobs();
+  result.jobs_dropped = lifecycle.lost_jobs();
+  result.completions = lifecycle.TakeRecords();
+  result.recommendations = lifecycle.TakeRecommendations();
   if (telemetry != nullptr) {
     auto& metrics = telemetry->metrics();
     metrics.gauge("driver.end_time").Set(result.end_time);

@@ -7,14 +7,21 @@
 // same information — job hand-outs, completion times, losses — so their
 // relative behaviour (promotion stalls, straggler sensitivity, linear
 // scaling) is preserved while runs stay deterministic and fast.
+//
+// The driver is a thin adapter over the shared trial-lifecycle core
+// (src/lifecycle): TrialLifecycle owns leasing, outcome validation,
+// RunRecord/recommendation recording, and job-span emission; the driver
+// contributes what is backend-specific — virtual time, the event queue,
+// and deterministic lowest-free-index worker assignment.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "core/scheduler.h"
+#include "lifecycle/hazards.h"
+#include "lifecycle/run_record.h"
 #include "sim/environment.h"
-#include "sim/hazards.h"
 
 namespace hypertune {
 
@@ -38,28 +45,10 @@ struct DriverOptions {
   Telemetry* telemetry = nullptr;
 };
 
-/// One finished (or dropped) job.
-struct CompletionRecord {
-  double time = 0;
-  TrialId trial_id = -1;
-  Resource from_resource = 0;
-  Resource to_resource = 0;
-  double loss = 0;
-  int rung = 0;
-  int bracket = 0;
-  bool dropped = false;
-};
-
-/// Snapshot of the scheduler's recommendation whenever it changes.
-struct RecommendationPoint {
-  double time = 0;
-  TrialId trial_id = -1;
-  double loss = 0;
-  Resource resource = 0;
-};
-
 struct DriverResult {
-  std::vector<CompletionRecord> completions;
+  /// One record per resolved job (completions and hazard drops), in
+  /// virtual-completion order.
+  std::vector<RunRecord> completions;
   std::vector<RecommendationPoint> recommendations;
   double end_time = 0;
   /// Total worker-busy virtual time (for utilization checks).

@@ -72,9 +72,9 @@ TEST(Export, DriverResultRoundTrip) {
       DriverResultFromJson(Json::Parse(ToJson(original).Dump()));
   ASSERT_EQ(back.completions.size(), original.completions.size());
   for (std::size_t i = 0; i < back.completions.size(); ++i) {
-    EXPECT_DOUBLE_EQ(back.completions[i].time, original.completions[i].time);
+    EXPECT_DOUBLE_EQ(back.completions[i].end_time, original.completions[i].end_time);
     EXPECT_EQ(back.completions[i].trial_id, original.completions[i].trial_id);
-    EXPECT_EQ(back.completions[i].dropped, original.completions[i].dropped);
+    EXPECT_EQ(back.completions[i].lost, original.completions[i].lost);
     EXPECT_DOUBLE_EQ(back.completions[i].loss, original.completions[i].loss);
   }
   ASSERT_EQ(back.recommendations.size(), original.recommendations.size());

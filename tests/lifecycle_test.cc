@@ -1,0 +1,481 @@
+// The shared trial-lifecycle core: exactly-once outcome validation, record
+// and recommendation bookkeeping, backend-agnostic hazard injection, and
+// the cross-backend properties the unification guarantees — a lost job's
+// loss never reaches the scheduler on any backend, and hazard fates drawn
+// from the same seed produce the same drop/straggler decisions on the
+// simulator and the real thread-pool executor.
+#include "lifecycle/lifecycle.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "core/random_search.h"
+#include "lifecycle/hazards.h"
+#include "runtime/executor.h"
+#include "service/server.h"
+#include "service/worker.h"
+#include "sim/driver.h"
+
+namespace hypertune {
+namespace {
+
+SearchSpace UnitSpace() {
+  SearchSpace space;
+  space.Add("x", Domain::Continuous(0.0, 1.0));
+  return space;
+}
+
+RandomSearchOptions CappedSearch(int trials) {
+  RandomSearchOptions options;
+  options.R = 10;
+  options.max_trials = trials;
+  return options;
+}
+
+/// Forwards to an inner scheduler while recording, per job tag-equivalent
+/// (trial id + rung), how it was resolved — the end-to-end witness that a
+/// backend reports each leased job exactly once and never both ways.
+class SpyScheduler final : public Scheduler {
+ public:
+  explicit SpyScheduler(Scheduler& inner) : inner_(inner) {}
+
+  std::optional<Job> GetJob() override {
+    auto job = inner_.GetJob();
+    if (job) ++leased_;
+    return job;
+  }
+  void ReportResult(const Job& job, double loss) override {
+    results_.push_back({job.trial_id, loss});
+    inner_.ReportResult(job, loss);
+  }
+  void ReportLost(const Job& job) override {
+    losses_.push_back(job.trial_id);
+    inner_.ReportLost(job);
+  }
+  bool Finished() const override { return inner_.Finished(); }
+  std::optional<Recommendation> Current() const override {
+    return inner_.Current();
+  }
+  const TrialBank& trials() const override { return inner_.trials(); }
+  std::string name() const override { return inner_.name(); }
+
+  std::size_t leased() const { return leased_; }
+  const std::vector<std::pair<TrialId, double>>& results() const {
+    return results_;
+  }
+  const std::vector<TrialId>& losses() const { return losses_; }
+
+ private:
+  Scheduler& inner_;
+  std::size_t leased_ = 0;
+  std::vector<std::pair<TrialId, double>> results_;
+  std::vector<TrialId> losses_;
+};
+
+class LinearEnv final : public JobEnvironment {
+ public:
+  double Loss(const Configuration& config, Resource resource) override {
+    (void)resource;
+    return config.GetDouble("x");
+  }
+  double Duration(const Configuration&, Resource from, Resource to) override {
+    return to - from;
+  }
+};
+
+TEST(Lifecycle, EveryLeaseResolvesExactlyOnce) {
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()),
+                                  CappedSearch(12));
+  SpyScheduler spy(scheduler);
+  TrialLifecycle lifecycle(spy, {});
+  std::uint64_t expected_lease = 1;
+  while (auto leased = lifecycle.Acquire()) {
+    // Lease ids are dense, in lease order (the service reuses them as
+    // protocol job ids).
+    EXPECT_EQ(leased->lease_id, expected_lease++);
+    EXPECT_EQ(lifecycle.pending_leases(), 1u);
+    lifecycle.Complete(*leased, 0.5, {0, 1, 0, 0});
+  }
+  EXPECT_EQ(lifecycle.pending_leases(), 0u);
+  EXPECT_EQ(lifecycle.completed_jobs(), 12u);
+  EXPECT_EQ(lifecycle.lost_jobs(), 0u);
+  EXPECT_EQ(lifecycle.records().size(), 12u);
+  EXPECT_EQ(spy.leased(), 12u);
+  EXPECT_EQ(spy.results().size(), 12u);
+  EXPECT_TRUE(spy.losses().empty());
+}
+
+TEST(Lifecycle, DoubleCompleteThrows) {
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()),
+                                  CappedSearch(4));
+  TrialLifecycle lifecycle(scheduler, {});
+  const auto leased = lifecycle.Acquire();
+  ASSERT_TRUE(leased.has_value());
+  lifecycle.Complete(*leased, 0.5, {0, 1, 0, 0});
+  EXPECT_THROW(lifecycle.Complete(*leased, 0.5, {0, 2, 0, 0}), CheckError);
+  EXPECT_EQ(lifecycle.completed_jobs(), 1u);
+  EXPECT_EQ(lifecycle.records().size(), 1u);
+}
+
+TEST(Lifecycle, CompleteAfterLoseThrows) {
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()),
+                                  CappedSearch(4));
+  SpyScheduler spy(scheduler);
+  TrialLifecycle lifecycle(spy, {});
+  const auto leased = lifecycle.Acquire();
+  ASSERT_TRUE(leased.has_value());
+  lifecycle.Lose(*leased, {0, 1, 0, 0});
+  // A loss after the drop must never reach the scheduler.
+  EXPECT_THROW(lifecycle.Complete(*leased, 0.4, {0, 2, 0, 0}), CheckError);
+  EXPECT_TRUE(spy.results().empty());
+  EXPECT_EQ(spy.losses().size(), 1u);
+  EXPECT_EQ(lifecycle.lost_jobs(), 1u);
+}
+
+TEST(Lifecycle, UnknownLeaseThrows) {
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()),
+                                  CappedSearch(4));
+  TrialLifecycle lifecycle(scheduler, {});
+  LeasedJob forged;
+  forged.lease_id = 17;
+  EXPECT_THROW(lifecycle.Complete(forged, 0.5, {0, 1, 0, 0}), CheckError);
+  EXPECT_THROW(lifecycle.Lose(forged, {0, 1, 0, 0}), CheckError);
+}
+
+TEST(Lifecycle, NonFiniteLossRejectedLeaseSurvives) {
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()),
+                                  CappedSearch(4));
+  TrialLifecycle lifecycle(scheduler, {});
+  const auto leased = lifecycle.Acquire();
+  ASSERT_TRUE(leased.has_value());
+  // Validation happens before any state mutation: the lease stays pending,
+  // so the backend can retry with a sane value.
+  EXPECT_THROW(
+      lifecycle.Complete(*leased, std::numeric_limits<double>::quiet_NaN(),
+                         {0, 1, 0, 0}),
+      CheckError);
+  EXPECT_THROW(
+      lifecycle.Complete(*leased, std::numeric_limits<double>::infinity(),
+                         {0, 1, 0, 0}),
+      CheckError);
+  EXPECT_EQ(lifecycle.pending_leases(), 1u);
+  lifecycle.Complete(*leased, 0.25, {0, 1, 0, 0});
+  EXPECT_EQ(lifecycle.completed_jobs(), 1u);
+}
+
+TEST(Lifecycle, RecordsCarryJobAndTiming) {
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()),
+                                  CappedSearch(2));
+  TrialLifecycle lifecycle(scheduler, {});
+  const auto leased = lifecycle.Acquire();
+  ASSERT_TRUE(leased.has_value());
+  lifecycle.Complete(*leased, 0.125, {1.5, 4.25, 0.5, 3});
+  ASSERT_EQ(lifecycle.records().size(), 1u);
+  const RunRecord& record = lifecycle.records()[0];
+  EXPECT_EQ(record.trial_id, leased->job.trial_id);
+  EXPECT_EQ(record.rung, leased->job.rung);
+  EXPECT_DOUBLE_EQ(record.to_resource, leased->job.to_resource);
+  EXPECT_DOUBLE_EQ(record.loss, 0.125);
+  EXPECT_FALSE(record.lost);
+  EXPECT_DOUBLE_EQ(record.start_time, 1.5);
+  EXPECT_DOUBLE_EQ(record.end_time, 4.25);
+  EXPECT_DOUBLE_EQ(record.queue_wait, 0.5);
+  EXPECT_EQ(record.worker, 3);
+  EXPECT_EQ(record.lease_id, leased->lease_id);
+}
+
+TEST(Lifecycle, RecommendationTrajectoryRecordsChangesOnly) {
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()),
+                                  CappedSearch(20));
+  TrialLifecycle lifecycle(scheduler, {.track_recommendations = true});
+  double t = 0;
+  while (auto leased = lifecycle.Acquire()) {
+    t += 1;
+    lifecycle.Complete(*leased, leased->job.config.GetDouble("x"), {t - 1, t});
+  }
+  const auto& recs = lifecycle.recommendations();
+  ASSERT_FALSE(recs.empty());
+  EXPECT_LE(recs.size(), lifecycle.records().size());
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_LT(recs[i].loss, recs[i - 1].loss);  // incumbent only improves
+  }
+}
+
+TEST(HazardInjector, DisabledPlanIsIdentity) {
+  HazardInjector injector({}, 7);
+  EXPECT_FALSE(injector.enabled());
+  const HazardPlan plan = injector.Plan(12.5);
+  EXPECT_DOUBLE_EQ(plan.duration, 12.5);
+  EXPECT_FALSE(plan.dropped());
+  EXPECT_DOUBLE_EQ(plan.end_after(), 12.5);
+}
+
+TEST(HazardInjector, StragglerOnlyInflatesDuration) {
+  HazardOptions options;
+  options.straggler_std = 1.0;
+  HazardInjector injector(options, 11);
+  ASSERT_TRUE(injector.enabled());
+  bool inflated = false;
+  for (int i = 0; i < 200; ++i) {
+    const HazardPlan plan = injector.Plan(5.0);
+    EXPECT_GE(plan.duration, 5.0);
+    EXPECT_FALSE(plan.dropped());
+    inflated |= plan.duration > 5.0;
+  }
+  EXPECT_TRUE(inflated);
+}
+
+TEST(HazardInjector, DropsLandStrictlyInsideTheRun) {
+  HazardOptions options;
+  options.drop_probability = 0.05;
+  HazardInjector injector(options, 13);
+  int drops = 0;
+  for (int i = 0; i < 500; ++i) {
+    const HazardPlan plan = injector.Plan(20.0);
+    if (plan.dropped()) {
+      ++drops;
+      EXPECT_GT(*plan.drop_after, 0.0);
+      EXPECT_LT(*plan.drop_after, plan.duration);
+      EXPECT_DOUBLE_EQ(plan.end_after(), *plan.drop_after);
+    }
+  }
+  EXPECT_GT(drops, 0);
+}
+
+TEST(HazardInjector, SameSeedReplaysIdenticalFates) {
+  HazardOptions options;
+  options.straggler_std = 0.5;
+  options.drop_probability = 0.02;
+  HazardInjector a(options, 99);
+  HazardInjector b(options, 99);
+  for (int i = 0; i < 300; ++i) {
+    const HazardPlan pa = a.Plan(3.0 + i % 7);
+    const HazardPlan pb = b.Plan(3.0 + i % 7);
+    EXPECT_DOUBLE_EQ(pa.duration, pb.duration);
+    ASSERT_EQ(pa.dropped(), pb.dropped());
+    if (pa.dropped()) {
+      EXPECT_DOUBLE_EQ(*pa.drop_after, *pb.drop_after);
+    }
+  }
+}
+
+TEST(ExecutorHazards, DropAccountingMatchesSimulatorForSameSeed) {
+  // One worker on each backend: the lease order — and with it the
+  // fate-draw order — is the same sequential order, so the same seed must
+  // produce the same per-job complete/drop decisions and losses.
+  constexpr std::uint64_t kSeed = 77;
+  HazardOptions hazards;
+  hazards.straggler_std = 0.4;
+  hazards.drop_probability = 0.01;
+
+  RandomSearchScheduler sim_scheduler(MakeRandomSampler(UnitSpace()),
+                                      CappedSearch(60));
+  LinearEnv env;
+  DriverOptions driver_options;
+  driver_options.num_workers = 1;
+  driver_options.seed = kSeed;
+  driver_options.hazards = hazards;
+  SimulationDriver driver(sim_scheduler, env, driver_options);
+  const DriverResult sim = driver.Run();
+
+  RandomSearchScheduler exec_scheduler(MakeRandomSampler(UnitSpace()),
+                                       CappedSearch(60));
+  ExecutorOptions executor_options;
+  executor_options.num_workers = 1;
+  executor_options.hazards = hazards;
+  executor_options.hazard_seed = kSeed;
+  executor_options.hazard_duration = [&env](const Job& job) {
+    return env.Duration(job.config, job.from_resource, job.to_resource);
+  };
+  ThreadPoolExecutor executor(
+      exec_scheduler,
+      [&env](const Job& job) { return env.Loss(job.config, job.to_resource); },
+      executor_options);
+  const ExecutorResult real = executor.Run();
+
+  EXPECT_EQ(real.jobs_completed, sim.jobs_completed);
+  EXPECT_EQ(real.jobs_lost, sim.jobs_dropped);
+  ASSERT_EQ(real.records.size(), sim.completions.size());
+  for (std::size_t i = 0; i < real.records.size(); ++i) {
+    EXPECT_EQ(real.records[i].trial_id, sim.completions[i].trial_id);
+    EXPECT_EQ(real.records[i].lost, sim.completions[i].lost);
+    EXPECT_DOUBLE_EQ(real.records[i].loss, sim.completions[i].loss);
+  }
+  // The run actually exercised both outcomes.
+  EXPECT_GT(sim.jobs_dropped, 0u);
+  EXPECT_GT(sim.jobs_completed, 0u);
+}
+
+TEST(ExecutorHazards, DroppedJobsNeverTrain) {
+  HazardOptions hazards;
+  hazards.drop_probability = 0.05;  // ~40% of 10-unit jobs drop
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()),
+                                  CappedSearch(40));
+  std::atomic<int> trained{0};
+  ExecutorOptions options;
+  options.num_workers = 4;
+  options.hazards = hazards;
+  ThreadPoolExecutor executor(
+      scheduler,
+      [&](const Job&) {
+        ++trained;
+        return 0.5;
+      },
+      options);
+  const ExecutorResult result = executor.Run();
+  EXPECT_EQ(result.jobs_completed + result.jobs_lost, 40u);
+  EXPECT_GT(result.jobs_lost, 0u);
+  // A dropped job is preempted before training lands: the train function
+  // runs only for completed jobs.
+  EXPECT_EQ(static_cast<std::size_t>(trained.load()), result.jobs_completed);
+  // And the scheduler's books agree.
+  std::size_t lost_trials = 0;
+  for (const auto& trial : scheduler.trials()) {
+    lost_trials += trial.status == TrialStatus::kLost;
+  }
+  EXPECT_EQ(lost_trials, result.jobs_lost);
+}
+
+TEST(ExecutorHazards, TimeScaleInjectsRealStragglerDelay) {
+  // With a time scale, straggler inflation becomes actual wall-clock sleep.
+  // Replay the injector stream to compute the delay the executor must have
+  // injected, then check the run took at least that long.
+  constexpr std::uint64_t kSeed = 5;
+  constexpr double kScale = 1e-3;  // 1 virtual unit = 1ms
+  HazardOptions hazards;
+  hazards.straggler_std = 1.0;
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()),
+                                  CappedSearch(10));
+  ExecutorOptions options;
+  options.num_workers = 1;
+  options.hazards = hazards;
+  options.hazard_seed = kSeed;
+  options.hazard_time_scale = kScale;
+  ThreadPoolExecutor executor(
+      scheduler, [](const Job&) { return 0.5; }, options);
+  const ExecutorResult result = executor.Run();
+  ASSERT_EQ(result.jobs_completed, 10u);
+
+  HazardInjector replay(hazards, kSeed);
+  double expected_delay = 0;
+  for (int i = 0; i < 10; ++i) {
+    expected_delay += (replay.Plan(10.0).duration - 10.0) * kScale;
+  }
+  EXPECT_GT(expected_delay, 0.0);
+  EXPECT_GE(result.elapsed_seconds, expected_delay * 0.9);
+}
+
+TEST(ServerHazards, InjectedDropsBecomeExpiredLeases) {
+  // The service path: a worker whose job draws a drop abandons it silently;
+  // the server's lease expiry turns that into a lost job for the scheduler.
+  RandomSearchOptions search = CappedSearch(40);
+  search.seed = 3;
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), search);
+  LinearEnv env;
+  TuningServer server(scheduler, {.lease_timeout = 20});
+  HazardOptions hazards;
+  hazards.drop_probability = 0.05;
+  HazardInjector injector(hazards, 21);
+  std::vector<SimulatedWorker> pool;
+  for (int i = 0; i < 4; ++i) {
+    pool.emplace_back(static_cast<std::uint64_t>(i), env,
+                      /*heartbeat_interval=*/5.0, /*prefetch=*/1, &injector);
+  }
+  double now = 0;
+  for (; now < 1000; now += 0.5) {
+    for (auto& worker : pool) {
+      if (now >= worker.next_action_time()) worker.OnTick(server, now);
+    }
+  }
+  server.Tick(now + 100);  // flush any still-pending abandoned leases
+
+  std::size_t dropped = 0;
+  for (const auto& worker : pool) dropped += worker.jobs_dropped();
+  ASSERT_GT(dropped, 0u);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.leases_expired, dropped);
+  EXPECT_EQ(stats.jobs_completed + stats.leases_expired, 40u);
+
+  // The unified record log agrees with the protocol stats.
+  std::size_t lost_records = 0;
+  for (const auto& record : server.run_records()) {
+    lost_records += record.lost;
+    EXPECT_GE(record.end_time, record.start_time);
+  }
+  EXPECT_EQ(lost_records, stats.leases_expired);
+  EXPECT_EQ(server.run_records().size(),
+            stats.jobs_completed + stats.leases_expired);
+}
+
+TEST(Server, NonFiniteLossReportRejectedLeaseIntact) {
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()),
+                                  CappedSearch(4));
+  TuningServer server(scheduler, {.lease_timeout = 30});
+  Json request = JsonObject{};
+  request.Set("type", Json("request_job"));
+  request.Set("worker", Json(std::int64_t{0}));
+  const Json granted = server.HandleMessage(request, 0);
+  ASSERT_EQ(granted.at("type").AsString(), "job");
+  const std::int64_t job_id = granted.at("job_id").AsInt();
+
+  Json bad = JsonObject{};
+  bad.Set("type", Json("report"));
+  bad.Set("worker", Json(std::int64_t{0}));
+  bad.Set("job_id", Json(job_id));
+  bad.Set("loss", Json(std::numeric_limits<double>::quiet_NaN()));
+  const Json rejected = server.HandleMessage(bad, 1);
+  EXPECT_EQ(rejected.at("type").AsString(), "error");
+  EXPECT_EQ(server.stats().jobs_completed, 0u);
+  EXPECT_EQ(server.stats().active_leases, 1u);  // lease survives the retry
+
+  Json good = JsonObject{};
+  good.Set("type", Json("report"));
+  good.Set("worker", Json(std::int64_t{0}));
+  good.Set("job_id", Json(job_id));
+  good.Set("loss", Json(0.5));
+  const Json accepted = server.HandleMessage(good, 2);
+  EXPECT_EQ(accepted.at("type").AsString(), "ack");
+  EXPECT_EQ(server.stats().jobs_completed, 1u);
+  ASSERT_EQ(server.run_records().size(), 1u);
+  EXPECT_DOUBLE_EQ(server.run_records()[0].loss, 0.5);
+  EXPECT_DOUBLE_EQ(server.run_records()[0].start_time, 0.0);
+  EXPECT_DOUBLE_EQ(server.run_records()[0].end_time, 2.0);
+}
+
+TEST(Server, DoubleReportIsStaleNotDoubleCounted) {
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()),
+                                  CappedSearch(4));
+  SpyScheduler spy(scheduler);
+  TuningServer server(spy, {.lease_timeout = 30});
+  Json request = JsonObject{};
+  request.Set("type", Json("request_job"));
+  request.Set("worker", Json(std::int64_t{0}));
+  const Json granted = server.HandleMessage(request, 0);
+  ASSERT_EQ(granted.at("type").AsString(), "job");
+  const std::int64_t job_id = granted.at("job_id").AsInt();
+
+  Json report = JsonObject{};
+  report.Set("type", Json("report"));
+  report.Set("worker", Json(std::int64_t{0}));
+  report.Set("job_id", Json(job_id));
+  report.Set("loss", Json(0.5));
+  EXPECT_EQ(server.HandleMessage(report, 1).at("type").AsString(), "ack");
+  // A duplicate (e.g. a retry after a lost ack) is acknowledged as stale and
+  // never reaches the scheduler a second time.
+  const Json duplicate = server.HandleMessage(report, 2);
+  EXPECT_EQ(duplicate.at("type").AsString(), "ack");
+  EXPECT_TRUE(duplicate.at("stale").AsBool());
+  EXPECT_EQ(spy.results().size(), 1u);
+  EXPECT_EQ(server.stats().jobs_completed, 1u);
+  EXPECT_EQ(server.stats().stale_reports_ignored, 1u);
+  EXPECT_EQ(server.run_records().size(), 1u);
+}
+
+}  // namespace
+}  // namespace hypertune

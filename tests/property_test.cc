@@ -220,7 +220,7 @@ TEST_P(HazardRobustness, AshaCompletesAtLeastAsManyFullTrainingsAsSha) {
     const auto result = driver.Run();
     std::size_t full = 0;
     for (const auto& completion : result.completions) {
-      full += !completion.dropped && completion.to_resource >= 64.0;
+      full += !completion.lost && completion.to_resource >= 64.0;
     }
     return full;
   };

@@ -208,8 +208,8 @@ TEST(Executor, RecordsHaveMonotoneTimestamps) {
       scheduler, [](const Job&) { return 0.1; }, {.num_workers = 4});
   const auto result = executor.Run();
   for (std::size_t i = 1; i < result.records.size(); ++i) {
-    EXPECT_GE(result.records[i].elapsed_seconds,
-              result.records[i - 1].elapsed_seconds);
+    EXPECT_GE(result.records[i].end_time,
+              result.records[i - 1].end_time);
   }
 }
 

@@ -8,7 +8,7 @@
 #include "core/asha.h"
 #include "core/random_search.h"
 #include "core/sha.h"
-#include "sim/hazards.h"
+#include "lifecycle/hazards.h"
 
 namespace hypertune {
 namespace {
@@ -103,7 +103,7 @@ TEST(Driver, SingleWorkerSequentialTimes) {
   const auto result = driver.Run();
   ASSERT_EQ(result.completions.size(), 5u);
   for (std::size_t i = 0; i < 5; ++i) {
-    EXPECT_DOUBLE_EQ(result.completions[i].time, 10.0 * (i + 1));
+    EXPECT_DOUBLE_EQ(result.completions[i].end_time, 10.0 * (i + 1));
   }
   EXPECT_DOUBLE_EQ(result.end_time, 50.0);
   EXPECT_DOUBLE_EQ(result.busy_time, 50.0);
@@ -199,9 +199,9 @@ TEST(Driver, DeterministicAcrossRuns) {
   const auto b = run_once();
   ASSERT_EQ(a.completions.size(), b.completions.size());
   for (std::size_t i = 0; i < a.completions.size(); ++i) {
-    EXPECT_DOUBLE_EQ(a.completions[i].time, b.completions[i].time);
+    EXPECT_DOUBLE_EQ(a.completions[i].end_time, b.completions[i].end_time);
     EXPECT_EQ(a.completions[i].trial_id, b.completions[i].trial_id);
-    EXPECT_EQ(a.completions[i].dropped, b.completions[i].dropped);
+    EXPECT_EQ(a.completions[i].lost, b.completions[i].lost);
   }
 }
 
@@ -219,8 +219,8 @@ TEST(Driver, StragglersDelaySyncShaMoreThanAsha) {
     SimulationDriver driver(scheduler, env, options);
     const auto result = driver.Run();
     for (const auto& completion : result.completions) {
-      if (!completion.dropped && completion.to_resource >= 81.0) {
-        return completion.time;
+      if (!completion.lost && completion.to_resource >= 81.0) {
+        return completion.end_time;
       }
     }
     return options.time_limit * 2;  // never

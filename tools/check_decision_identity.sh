@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Decision-identity gate: proves a change did not alter scheduling behavior.
+#
+#   tools/check_decision_identity.sh <path-to-decision_dump> [golden-file]
+#
+# Two layers:
+#  1. Golden digests — every committed config (scheduler kind x seed x
+#     worker count) is dumped and its sha256 compared against
+#     tools/golden/decision_digests.txt. These runs are pure arithmetic
+#     (no libm calls), so the digests are stable across compilers and
+#     optimization levels; an intentional behavior change must regenerate
+#     the golden file (rerun the loop below and commit the new digests).
+#  2. Hazard parity — decision_dump --hazards is self-verifying: it replays
+#     one seeded hazard stream through the simulator and the real
+#     ThreadPoolExecutor and exits nonzero if any per-job complete/drop
+#     decision diverges. Hazard draws go through libm (log/exp), so these
+#     runs are checked by the tool's own cross-backend comparison rather
+#     than by committed digests.
+set -u
+
+DUMP=${1:?usage: check_decision_identity.sh <decision_dump-binary> [golden-file]}
+GOLDEN=${2:-"$(dirname "$0")/golden/decision_digests.txt"}
+
+if [[ ! -x "$DUMP" ]]; then
+  echo "error: '$DUMP' is not an executable decision_dump binary" >&2
+  exit 2
+fi
+if [[ ! -r "$GOLDEN" ]]; then
+  echo "error: golden digest file '$GOLDEN' not found" >&2
+  exit 2
+fi
+
+failures=0
+
+while read -r digest kind seed workers; do
+  [[ -z "$digest" || "$digest" == \#* ]] && continue
+  actual=$("$DUMP" "$kind" "$seed" "$workers" | sha256sum | cut -d' ' -f1)
+  if [[ "$actual" == "$digest" ]]; then
+    echo "OK      $kind seed=$seed workers=$workers"
+  else
+    echo "DIFF    $kind seed=$seed workers=$workers"
+    echo "        golden $digest"
+    echo "        actual $actual"
+    failures=$((failures + 1))
+  fi
+done < "$GOLDEN"
+
+for kind in asha sha hyperband; do
+  if out=$("$DUMP" "$kind" 42 8 --hazards 0.5,0.002); then
+    echo "OK      $kind hazard parity ($(grep -o 'parity=OK jobs=[0-9]*' <<<"$out"))"
+  else
+    echo "FAIL    $kind hazard parity (simulator vs executor diverged)"
+    grep 'parity=' <<<"$out" || true
+    failures=$((failures + 1))
+  fi
+done
+
+if (( failures > 0 )); then
+  echo "decision identity check FAILED: $failures mismatch(es)"
+  exit 1
+fi
+echo "decision identity check passed"

@@ -8,7 +8,17 @@
 //
 //   ./decision_dump asha 42 500 | sha256sum
 //
+// With --hazards the dump additionally exercises straggler/drop injection
+// on all three backends: a hazard run through the simulator, one through
+// the service protocol (workers carrying a HazardInjector), and a
+// single-worker parity section proving the real ThreadPoolExecutor makes
+// the *same* per-job complete/drop decisions as the simulator for the same
+// seed (wall-clock timestamps are deliberately excluded, so this section is
+// deterministic too). The parity check is self-verifying: a divergence
+// prints the first mismatching job and exits nonzero.
+//
 // Usage: decision_dump <asha|sha|hyperband> <seed> <workers>
+//                      [--hazards <straggler_std>,<drop_prob>]
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +30,8 @@
 #include "core/asha.h"
 #include "core/async_hyperband.h"
 #include "core/sha.h"
+#include "lifecycle/hazards.h"
+#include "runtime/executor.h"
 #include "service/server.h"
 #include "service/worker.h"
 #include "sim/driver.h"
@@ -88,47 +100,64 @@ std::unique_ptr<Scheduler> MakeScheduler(const std::string& kind,
   std::exit(2);
 }
 
-void DumpDriverRun(const std::string& kind, std::uint64_t seed, int workers) {
+DriverResult RunDriver(const std::string& kind, std::uint64_t seed,
+                       int workers, const HazardOptions& hazards,
+                       Telemetry* telemetry) {
   auto scheduler = MakeScheduler(kind, seed);
-  auto telemetry = Telemetry::ForSimulation();
-  scheduler->SetTelemetry(telemetry.get());
+  scheduler->SetTelemetry(telemetry);
   DumpEnv env;
   DriverOptions options;
   options.num_workers = workers;
   options.time_limit = 1e6;
   options.seed = seed;
   options.max_completed_jobs = 2000;
-  options.telemetry = telemetry.get();
+  options.hazards = hazards;
+  options.telemetry = telemetry;
   SimulationDriver driver(*scheduler, env, options);
-  const DriverResult result = driver.Run();
+  return driver.Run();
+}
 
-  std::cout << "== driver " << kind << " seed=" << seed
-            << " workers=" << workers << "\n";
-  for (const auto& record : result.completions) {
+void PrintRecords(const std::vector<RunRecord>& records) {
+  for (const auto& record : records) {
     Json line = JsonObject{};
-    line.Set("t", Json(record.time));
+    line.Set("t", Json(record.end_time));
     line.Set("trial", Json(record.trial_id));
     line.Set("rung", Json(record.rung));
     line.Set("bracket", Json(record.bracket));
     line.Set("loss", Json(record.loss));
-    line.Set("dropped", Json(record.dropped));
+    line.Set("dropped", Json(record.lost));
     std::cout << line.Dump() << "\n";
   }
+}
+
+void DumpDriverRun(const std::string& kind, std::uint64_t seed, int workers) {
+  auto telemetry = Telemetry::ForSimulation();
+  const DriverResult result =
+      RunDriver(kind, seed, workers, HazardOptions{}, telemetry.get());
+
+  std::cout << "== driver " << kind << " seed=" << seed
+            << " workers=" << workers << "\n";
+  PrintRecords(result.completions);
   std::cout << telemetry->tracer().ToJsonl();
 }
 
-void DumpServiceRun(const std::string& kind, std::uint64_t seed, int workers) {
+void DumpServiceRun(const std::string& kind, std::uint64_t seed, int workers,
+                    const HazardOptions& hazards) {
   auto scheduler = MakeScheduler(kind, seed);
   auto telemetry = Telemetry::ForSimulation();
   scheduler->SetTelemetry(telemetry.get());
   DumpEnv env;
   TuningServer server(*scheduler,
                       {.lease_timeout = 30, .telemetry = telemetry.get()});
+  // One injector shared by the pool: fates are drawn in job start order,
+  // which the virtual-time loop below makes deterministic.
+  HazardInjector injector(hazards, seed);
   std::vector<SimulatedWorker> pool;
   pool.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
     pool.emplace_back(static_cast<std::uint64_t>(i), env,
-                      /*heartbeat_interval=*/5.0);
+                      /*heartbeat_interval=*/5.0, /*prefetch=*/1,
+                      injector.enabled() ? &injector : nullptr);
   }
   for (double now = 0; now < 2000; now += 0.25) {
     for (auto& worker : pool) {
@@ -153,18 +182,116 @@ void DumpServiceRun(const std::string& kind, std::uint64_t seed, int workers) {
   std::cout << telemetry->tracer().ToJsonl();
 }
 
+/// Runs the same seeded hazard stream through the simulator and the real
+/// ThreadPoolExecutor (one worker each, so the lease order — and with it
+/// the fate-draw order — is the same sequential order on both) and checks
+/// the per-job decision sequences match: same trial, rung, outcome, and
+/// loss for every resolved lease. Returns false on divergence.
+bool DumpHazardParity(const std::string& kind, std::uint64_t seed,
+                      const HazardOptions& hazards) {
+  const DriverResult sim =
+      RunDriver(kind, seed, /*workers=*/1, hazards, /*telemetry=*/nullptr);
+
+  auto scheduler = MakeScheduler(kind, seed);
+  DumpEnv env;
+  ExecutorOptions options;
+  options.num_workers = 1;
+  options.max_jobs = 2000;
+  options.hazards = hazards;
+  options.hazard_seed = seed;
+  options.hazard_duration = [&env](const Job& job) {
+    return env.Duration(job.config, job.from_resource, job.to_resource);
+  };
+  ThreadPoolExecutor executor(
+      *scheduler, [&env](const Job& job) {
+        return env.Loss(job.config, job.to_resource);
+      },
+      options);
+  const ExecutorResult real = executor.Run();
+
+  std::cout << "== hazard-parity " << kind << " seed=" << seed
+            << " straggler=" << hazards.straggler_std
+            << " drop=" << hazards.drop_probability << "\n";
+  std::cout << "sim: completed=" << sim.jobs_completed
+            << " dropped=" << sim.jobs_dropped << "\n";
+  std::cout << "executor: completed=" << real.jobs_completed
+            << " lost=" << real.jobs_lost << "\n";
+  // The decision sequence, stripped of timestamps (the executor's are wall
+  // clock): one line per resolved lease, in lease order.
+  for (const auto& record : sim.completions) {
+    Json line = JsonObject{};
+    line.Set("trial", Json(record.trial_id));
+    line.Set("rung", Json(record.rung));
+    line.Set("bracket", Json(record.bracket));
+    line.Set("loss", Json(record.loss));
+    line.Set("dropped", Json(record.lost));
+    std::cout << line.Dump() << "\n";
+  }
+  if (sim.completions.size() != real.records.size()) {
+    std::cout << "parity=MISMATCH sim_jobs=" << sim.completions.size()
+              << " executor_jobs=" << real.records.size() << "\n";
+    return false;
+  }
+  for (std::size_t i = 0; i < sim.completions.size(); ++i) {
+    const RunRecord& a = sim.completions[i];
+    const RunRecord& b = real.records[i];
+    if (a.trial_id != b.trial_id || a.rung != b.rung || a.lost != b.lost ||
+        a.loss != b.loss) {
+      std::cout << "parity=MISMATCH job=" << i << " sim_trial=" << a.trial_id
+                << " exec_trial=" << b.trial_id << " sim_lost=" << a.lost
+                << " exec_lost=" << b.lost << "\n";
+      return false;
+    }
+  }
+  std::cout << "parity=OK jobs=" << sim.completions.size() << "\n";
+  return true;
+}
+
+bool DumpHazardRuns(const std::string& kind, std::uint64_t seed, int workers,
+                    const HazardOptions& hazards) {
+  auto telemetry = Telemetry::ForSimulation();
+  const DriverResult result =
+      RunDriver(kind, seed, workers, hazards, telemetry.get());
+  std::cout << "== hazard-driver " << kind << " seed=" << seed
+            << " workers=" << workers
+            << " straggler=" << hazards.straggler_std
+            << " drop=" << hazards.drop_probability << "\n";
+  PrintRecords(result.completions);
+  std::cout << "completed=" << result.jobs_completed
+            << " dropped=" << result.jobs_dropped << "\n";
+
+  DumpServiceRun(kind, seed, workers, hazards);
+  return DumpHazardParity(kind, seed, hazards);
+}
+
 }  // namespace
 }  // namespace hypertune
 
 int main(int argc, char** argv) {
-  if (argc != 4) {
-    std::cerr << "usage: decision_dump <asha|sha|hyperband> <seed> <workers>\n";
+  if (argc != 4 && argc != 6) {
+    std::cerr << "usage: decision_dump <asha|sha|hyperband> <seed> <workers>"
+                 " [--hazards <straggler_std>,<drop_prob>]\n";
     return 2;
   }
   const std::string kind = argv[1];
   const auto seed = static_cast<std::uint64_t>(std::strtoull(argv[2], nullptr, 10));
   const int workers = std::atoi(argv[3]);
+  if (argc == 6) {
+    if (std::string(argv[4]) != "--hazards") {
+      std::cerr << "unknown flag '" << argv[4] << "'\n";
+      return 2;
+    }
+    hypertune::HazardOptions hazards;
+    char* rest = nullptr;
+    hazards.straggler_std = std::strtod(argv[5], &rest);
+    if (rest == nullptr || *rest != ',') {
+      std::cerr << "--hazards wants <straggler_std>,<drop_prob>\n";
+      return 2;
+    }
+    hazards.drop_probability = std::strtod(rest + 1, nullptr);
+    return hypertune::DumpHazardRuns(kind, seed, workers, hazards) ? 0 : 1;
+  }
   hypertune::DumpDriverRun(kind, seed, workers);
-  hypertune::DumpServiceRun(kind, seed, workers);
+  hypertune::DumpServiceRun(kind, seed, workers, hypertune::HazardOptions{});
   return 0;
 }
