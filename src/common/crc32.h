@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3, the zlib polynomial) over arbitrary bytes.
+//
+// Used to frame write-ahead-journal records (src/durability): each frame
+// stores the CRC of its payload, so a torn or bit-rotted tail is detected
+// by checksum mismatch rather than parsed as garbage. Table-driven,
+// dependency-free, byte-order independent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hypertune {
+
+/// CRC-32 of `size` bytes starting at `data` (initial value 0).
+std::uint32_t Crc32(const void* data, std::size_t size);
+
+inline std::uint32_t Crc32(std::string_view bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+}  // namespace hypertune

@@ -74,6 +74,17 @@ class Rng {
     has_spare_normal_ = false;
   }
 
+  /// Box-Muller spare accessors, for snapshots that must reproduce the
+  /// normal-draw sequence bit-for-bit (the durability layer's hazard
+  /// stream). set_state() alone drops the spare; restoring it afterwards
+  /// makes the round-trip exact.
+  bool has_spare_normal() const { return has_spare_normal_; }
+  double spare_normal() const { return spare_normal_; }
+  void set_spare_normal(bool has_spare, double spare) {
+    has_spare_normal_ = has_spare;
+    spare_normal_ = spare;
+  }
+
  private:
   std::array<std::uint64_t, 4> s_;
   // Box–Muller produces pairs; cache the spare.

@@ -92,10 +92,24 @@ bool WriteFile(const std::string& path, const std::string& content) {
     std::filesystem::create_directories(parent, ec);
     if (ec) return false;
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return false;
-  out << content;
-  return static_cast<bool>(out);
+  // Write-then-rename: the destination is only ever replaced by a fully
+  // written file, so a crash mid-write can't leave a torn export behind.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << content;
+    if (!out) {
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
 }
 
 }  // namespace hypertune

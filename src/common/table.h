@@ -35,9 +35,12 @@ class TextTable {
 /// Fixed-precision double formatting ("%.*f") without locale surprises.
 std::string FormatDouble(double value, int precision = 4);
 
-/// Writes `content` to `path`, creating parent directories if needed.
-/// Returns false (and leaves the filesystem untouched) on failure; bench
-/// binaries treat output files as best-effort and still print to stdout.
+/// Writes `content` to `path` atomically (write to a sibling temp file,
+/// then rename over the target), creating parent directories if needed. A
+/// crash mid-write leaves either the old file or the new one, never a torn
+/// half — results exports and telemetry dumps stay loadable. Returns false
+/// (and leaves the destination untouched) on failure; bench binaries treat
+/// output files as best-effort and still print to stdout.
 bool WriteFile(const std::string& path, const std::string& content);
 
 }  // namespace hypertune

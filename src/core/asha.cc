@@ -66,6 +66,7 @@ Job AshaScheduler::MakeJob(TrialId id, int rung) {
   trial.status = TrialStatus::kRunning;
   ++jobs_in_flight_;
   resource_dispatched_ += job.to_resource - job.from_resource;
+  in_flight_[id] = job;
   return job;
 }
 
@@ -115,6 +116,7 @@ std::optional<Job> AshaScheduler::GetJob() {
 void AshaScheduler::ReportResult(const Job& job, double loss) {
   HT_CHECK(jobs_in_flight_ > 0);
   --jobs_in_flight_;
+  in_flight_.erase(job.trial_id);
   Trial& trial = bank_->Get(job.trial_id);
   bank_->RecordObservation(job.trial_id, job.to_resource, loss);
   rungs_.at(static_cast<std::size_t>(job.rung)).Record(job.trial_id, loss);
@@ -137,6 +139,7 @@ void AshaScheduler::ReportResult(const Job& job, double loss) {
 void AshaScheduler::ReportLost(const Job& job) {
   HT_CHECK(jobs_in_flight_ > 0);
   --jobs_in_flight_;
+  in_flight_.erase(job.trial_id);
   // The configuration's work is gone; ASHA simply moves on (the robustness
   // property evaluated in Appendix A.1). If the trial had been promoted its
   // promotion mark stays — the slot is lost, not recycled.
@@ -169,7 +172,13 @@ std::optional<Recommendation> AshaScheduler::Current() const {
   return incumbent_.Current();
 }
 
-Json AshaScheduler::Snapshot() const {
+Json AshaScheduler::Snapshot() const { return SnapshotState(true); }
+
+void AshaScheduler::Restore(const Json& snapshot, RestorePolicy policy) {
+  RestoreState(snapshot, policy, true);
+}
+
+Json AshaScheduler::SnapshotState(bool include_bank) const {
   Json json = JsonObject{};
   // Bracket identity, validated on Restore.
   Json bracket = JsonObject{};
@@ -180,7 +189,7 @@ Json AshaScheduler::Snapshot() const {
   bracket.Set("infinite_horizon", Json(options_.infinite_horizon));
   json.Set("bracket", std::move(bracket));
 
-  json.Set("trials", ToJson(*bank_));
+  if (include_bank) json.Set("trials", ToJson(*bank_));
   Json rungs = JsonArray{};
   for (const auto& rung : rungs_) {
     Json entry = JsonObject{};
@@ -199,6 +208,13 @@ Json AshaScheduler::Snapshot() const {
   }
   json.Set("rungs", std::move(rungs));
 
+  Json in_flight = JsonArray{};
+  for (const auto& [id, job] : in_flight_) {
+    (void)id;
+    in_flight.PushBack(ToJson(job));
+  }
+  json.Set("in_flight", std::move(in_flight));
+
   json.Set("trials_created", Json(trials_created_));
   json.Set("resource_dispatched", Json(resource_dispatched_));
   if (const auto rec = incumbent_.Current()) {
@@ -216,9 +232,14 @@ Json AshaScheduler::Snapshot() const {
   return json;
 }
 
-void AshaScheduler::Restore(const Json& snapshot) {
-  HT_CHECK_MSG(bank_->size() == 0 && jobs_in_flight_ == 0,
+void AshaScheduler::RestoreState(const Json& snapshot, RestorePolicy policy,
+                                 bool restore_bank) {
+  HT_CHECK_MSG(trials_created_ == 0 && jobs_in_flight_ == 0,
                "Restore requires a freshly constructed scheduler");
+  if (restore_bank) {
+    HT_CHECK_MSG(bank_->size() == 0,
+                 "Restore requires an untouched trial bank");
+  }
   const Json& bracket = snapshot.at("bracket");
   HT_CHECK_MSG(bracket.at("r").AsDouble() == options_.r &&
                    bracket.at("R").AsDouble() == options_.R &&
@@ -228,14 +249,7 @@ void AshaScheduler::Restore(const Json& snapshot) {
                        options_.infinite_horizon,
                "snapshot bracket options do not match this scheduler");
 
-  *bank_ = TrialBankFromJson(snapshot.at("trials"));
-  // Jobs in flight at snapshot time died with the service.
-  for (TrialId id = 0; id < static_cast<TrialId>(bank_->size()); ++id) {
-    Trial& trial = bank_->Get(id);
-    if (trial.status == TrialStatus::kRunning) {
-      trial.status = TrialStatus::kLost;
-    }
-  }
+  if (restore_bank) *bank_ = TrialBankFromJson(snapshot.at("trials"));
 
   const auto& rungs = snapshot.at("rungs").AsArray();
   rungs_.assign(std::max<std::size_t>(rungs.size(), 1), Rung{});
@@ -253,6 +267,14 @@ void AshaScheduler::Restore(const Json& snapshot) {
     }
   }
 
+  if (snapshot.Has("in_flight")) {
+    for (const auto& entry : snapshot.at("in_flight").AsArray()) {
+      Job job = JobFromJson(entry);
+      in_flight_[job.trial_id] = job;
+      ++jobs_in_flight_;
+    }
+  }
+
   trials_created_ = snapshot.at("trials_created").AsInt();
   resource_dispatched_ = snapshot.at("resource_dispatched").AsDouble();
   if (snapshot.Has("incumbent")) {
@@ -267,6 +289,16 @@ void AshaScheduler::Restore(const Json& snapshot) {
     rng_state[i] = static_cast<std::uint64_t>(words[i].AsInt());
   }
   rng_.set_state(rng_state);
+
+  if (policy == RestorePolicy::kDropInFlight) {
+    // The workers died with the service: resolve every in-flight job as
+    // lost, in ascending trial order for determinism.
+    while (!in_flight_.empty()) {
+      // Copy: ReportLost erases this map entry and keeps using the job.
+      const Job job = in_flight_.begin()->second;
+      ReportLost(job);
+    }
+  }
 }
 
 }  // namespace hypertune

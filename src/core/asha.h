@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -83,16 +84,22 @@ class AshaScheduler final : public Scheduler {
   std::int64_t NumTrialsCreated() const { return trials_created_; }
 
   /// Service-style crash recovery: captures trials, rung results, promotion
-  /// marks, counters, and the sampling RNG as a JSON document. In-flight
-  /// jobs are not captured — their trials are marked lost on Restore,
-  /// exactly as if the workers died with the service process.
-  Json Snapshot() const;
+  /// marks, in-flight jobs, counters, and the sampling RNG as a JSON
+  /// document. With RestorePolicy::kDropInFlight (the default) in-flight
+  /// jobs are resolved as lost on Restore, exactly as if the workers died
+  /// with the service process; kKeepInFlight leaves them open for a
+  /// durability layer to settle.
+  bool SupportsSnapshot() const override { return true; }
+  Json Snapshot() const override;
+  void Restore(const Json& snapshot, RestorePolicy policy) override;
+  using Scheduler::Restore;
 
-  /// Restores a snapshot into a freshly constructed scheduler with
-  /// identical bracket options (validated) and an untouched trial bank.
-  /// After Restore the scheduler continues deterministically from the
-  /// snapshot point.
-  void Restore(const Json& snapshot);
+  /// Composite-scheduler hooks (asynchronous Hyperband): snapshot without
+  /// the shared trial bank / restore assuming the composite already
+  /// restored it. Everyone else wants Snapshot()/Restore().
+  Json SnapshotState(bool include_bank) const;
+  void RestoreState(const Json& snapshot, RestorePolicy policy,
+                    bool restore_bank);
 
  private:
   bool IsTopRung(int k) const;
@@ -110,6 +117,10 @@ class AshaScheduler final : public Scheduler {
   std::int64_t trials_created_ = 0;
   std::int64_t jobs_in_flight_ = 0;
   double resource_dispatched_ = 0;
+  /// The jobs behind jobs_in_flight_, keyed by trial (a trial has at most
+  /// one job in flight). Carried so Snapshot can capture them and Restore
+  /// can resolve or re-open them.
+  std::map<TrialId, Job> in_flight_;
 };
 
 }  // namespace hypertune

@@ -3,7 +3,9 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/json.h"
 #include "core/geometry.h"
+#include "core/trial_json.h"
 
 namespace hypertune {
 
@@ -72,6 +74,57 @@ void AsyncHyperbandScheduler::ReportLost(const Job& job) {
 
 std::optional<Recommendation> AsyncHyperbandScheduler::Current() const {
   return incumbent_.Current();
+}
+
+Json AsyncHyperbandScheduler::Snapshot() const {
+  Json json = JsonObject{};
+  json.Set("num_brackets", Json(static_cast<std::int64_t>(brackets_.size())));
+  json.Set("trials", ToJson(*bank_));
+  Json brackets = JsonArray{};
+  for (const auto& bracket : brackets_) {
+    brackets.PushBack(bracket->SnapshotState(/*include_bank=*/false));
+  }
+  json.Set("brackets", std::move(brackets));
+  Json thresholds = JsonArray{};
+  for (double threshold : budget_threshold_) {
+    thresholds.PushBack(Json(threshold));
+  }
+  json.Set("budget_threshold", std::move(thresholds));
+  json.Set("current", Json(current_));
+  if (const auto rec = incumbent_.Current()) {
+    Json entry = JsonObject{};
+    entry.Set("trial", Json(rec->trial_id));
+    entry.Set("loss", Json(rec->loss));
+    entry.Set("resource", Json(rec->resource));
+    json.Set("incumbent", std::move(entry));
+  }
+  return json;
+}
+
+void AsyncHyperbandScheduler::Restore(const Json& snapshot,
+                                      RestorePolicy policy) {
+  HT_CHECK_MSG(bank_->size() == 0,
+               "Restore requires a freshly constructed scheduler");
+  HT_CHECK_MSG(snapshot.at("num_brackets").AsInt() ==
+                   static_cast<std::int64_t>(brackets_.size()),
+               "snapshot bracket count does not match this scheduler");
+  *bank_ = TrialBankFromJson(snapshot.at("trials"));
+  const auto& brackets = snapshot.at("brackets").AsArray();
+  HT_CHECK(brackets.size() == brackets_.size());
+  for (std::size_t s = 0; s < brackets.size(); ++s) {
+    brackets_[s]->RestoreState(brackets[s], policy, /*restore_bank=*/false);
+  }
+  const auto& thresholds = snapshot.at("budget_threshold").AsArray();
+  HT_CHECK(thresholds.size() == budget_threshold_.size());
+  for (std::size_t s = 0; s < thresholds.size(); ++s) {
+    budget_threshold_[s] = thresholds[s].AsDouble();
+  }
+  current_ = static_cast<int>(snapshot.at("current").AsInt());
+  if (snapshot.Has("incumbent")) {
+    const Json& rec = snapshot.at("incumbent");
+    incumbent_.Offer(rec.at("trial").AsInt(), rec.at("loss").AsDouble(),
+                     rec.at("resource").AsDouble());
+  }
 }
 
 }  // namespace hypertune

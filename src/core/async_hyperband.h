@@ -48,6 +48,14 @@ class AsyncHyperbandScheduler final : public Scheduler {
   std::size_t NumBrackets() const { return brackets_.size(); }
   const AshaScheduler& bracket(std::size_t s) const { return *brackets_.at(s); }
 
+  /// Crash recovery: the shared trial bank, each ASHA bracket's state (bank
+  /// omitted), the budget rotation thresholds, and the incumbent. The fixed
+  /// bracket set and per-bracket budgets are re-derived by the constructor.
+  bool SupportsSnapshot() const override { return true; }
+  Json Snapshot() const override;
+  void Restore(const Json& snapshot, RestorePolicy policy) override;
+  using Scheduler::Restore;
+
  private:
   void AdvanceBracketIfDepleted();
 

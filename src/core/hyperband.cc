@@ -3,7 +3,9 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/json.h"
 #include "core/geometry.h"
+#include "core/trial_json.h"
 
 namespace hypertune {
 
@@ -32,11 +34,16 @@ int HyperbandScheduler::CurrentBracket() const {
 
 void HyperbandScheduler::StartNextBracketIfNeeded() {
   if (!brackets_run_.empty() && !brackets_run_.back()->Finished()) return;
-  const auto next_index = brackets_run_.size();
-  const int s = static_cast<int>(next_index % static_cast<std::size_t>(s_max_ + 1));
-  if (!options_.loop_forever && next_index > static_cast<std::size_t>(s_max_)) {
+  if (!options_.loop_forever &&
+      brackets_run_.size() > static_cast<std::size_t>(s_max_)) {
     return;  // one full pass done
   }
+  PushBracket();
+}
+
+void HyperbandScheduler::PushBracket() {
+  const auto next_index = brackets_run_.size();
+  const int s = static_cast<int>(next_index % static_cast<std::size_t>(s_max_ + 1));
   ShaOptions sha;
   sha.n = std::max<std::size_t>(
       1, static_cast<std::size_t>(static_cast<double>(options_.n0) *
@@ -101,6 +108,71 @@ bool HyperbandScheduler::Finished() const {
 
 std::optional<Recommendation> HyperbandScheduler::Current() const {
   return incumbent_.Current();
+}
+
+Json HyperbandScheduler::Snapshot() const {
+  Json json = JsonObject{};
+  Json opts = JsonObject{};
+  opts.Set("n0", Json(static_cast<std::int64_t>(options_.n0)));
+  opts.Set("r", Json(options_.r));
+  opts.Set("R", Json(options_.R));
+  opts.Set("eta", Json(options_.eta));
+  opts.Set("incumbent_policy",
+           Json(static_cast<std::int64_t>(options_.incumbent_policy)));
+  opts.Set("loop_forever", Json(options_.loop_forever));
+  // Unlike ASHA (whose RNG state is captured directly), future brackets
+  // derive their seeds from the base seed — it is part of the identity.
+  opts.Set("seed", Json(static_cast<std::int64_t>(options_.seed)));
+  json.Set("options", std::move(opts));
+
+  json.Set("trials", ToJson(*bank_));
+  Json brackets = JsonArray{};
+  for (const auto& bracket : brackets_run_) {
+    brackets.PushBack(bracket->SnapshotState(/*include_bank=*/false));
+  }
+  json.Set("brackets", std::move(brackets));
+  if (const auto rec = incumbent_.Current()) {
+    Json entry = JsonObject{};
+    entry.Set("trial", Json(rec->trial_id));
+    entry.Set("loss", Json(rec->loss));
+    entry.Set("resource", Json(rec->resource));
+    json.Set("incumbent", std::move(entry));
+  }
+  return json;
+}
+
+void HyperbandScheduler::Restore(const Json& snapshot, RestorePolicy policy) {
+  HT_CHECK_MSG(bank_->size() == 0 && brackets_run_.size() == 1 &&
+                   brackets_run_[0]->NumBracketInstances() == 0,
+               "Restore requires a freshly constructed scheduler");
+  const Json& opts = snapshot.at("options");
+  HT_CHECK_MSG(
+      opts.at("n0").AsInt() == static_cast<std::int64_t>(options_.n0) &&
+          opts.at("r").AsDouble() == options_.r &&
+          opts.at("R").AsDouble() == options_.R &&
+          opts.at("eta").AsDouble() == options_.eta &&
+          opts.at("incumbent_policy").AsInt() ==
+              static_cast<std::int64_t>(options_.incumbent_policy) &&
+          opts.at("loop_forever").AsBool() == options_.loop_forever &&
+          opts.at("seed").AsInt() ==
+              static_cast<std::int64_t>(options_.seed),
+      "snapshot options do not match this scheduler");
+
+  *bank_ = TrialBankFromJson(snapshot.at("trials"));
+  // Rebuild each bracket with its original deterministic options, then
+  // restore its state (the bank is shared, restored once above).
+  brackets_run_.clear();
+  seed_counter_ = options_.seed;
+  for (const auto& child : snapshot.at("brackets").AsArray()) {
+    PushBracket();
+    brackets_run_.back()->RestoreState(child, policy,
+                                       /*restore_bank=*/false);
+  }
+  if (snapshot.Has("incumbent")) {
+    const Json& rec = snapshot.at("incumbent");
+    incumbent_.Offer(rec.at("trial").AsInt(), rec.at("loss").AsDouble(),
+                     rec.at("resource").AsDouble());
+  }
 }
 
 }  // namespace hypertune

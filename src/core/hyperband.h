@@ -54,8 +54,21 @@ class HyperbandScheduler final : public Scheduler {
   int CurrentBracket() const;
   std::size_t NumBracketsCompleted() const { return brackets_run_.size() - 1; }
 
+  /// Crash recovery: the shared trial bank, every bracket run so far (each
+  /// a SyncShaScheduler snapshot, bank omitted), and the wrapper-level
+  /// incumbent. Brackets are reconstructed with their original options and
+  /// seeds, then restored in order.
+  bool SupportsSnapshot() const override { return true; }
+  Json Snapshot() const override;
+  void Restore(const Json& snapshot, RestorePolicy policy) override;
+  using Scheduler::Restore;
+
  private:
   void StartNextBracketIfNeeded();
+  /// Appends bracket #brackets_run_.size() with its deterministic options
+  /// (early-stopping rate, cohort size, seed). Shared by the live path and
+  /// Restore, so restored brackets are reconstructed bit-identically.
+  void PushBracket();
 
   std::shared_ptr<ConfigSampler> sampler_;
   HyperbandOptions options_;

@@ -1,6 +1,10 @@
 #include "core/random_search.h"
 
+#include <array>
+
 #include "common/check.h"
+#include "common/json.h"
+#include "core/trial_json.h"
 
 namespace hypertune {
 
@@ -29,12 +33,14 @@ std::optional<Job> RandomSearchScheduler::GetJob() {
   job.config = trial.config;
   job.from_resource = 0;
   job.to_resource = options_.R;
+  in_flight_[id] = job;
   return job;
 }
 
 void RandomSearchScheduler::ReportResult(const Job& job, double loss) {
   HT_CHECK(jobs_in_flight_ > 0);
   --jobs_in_flight_;
+  in_flight_.erase(job.trial_id);
   bank_->RecordObservation(job.trial_id, job.to_resource, loss);
   bank_->Get(job.trial_id).status = TrialStatus::kCompleted;
   incumbent_.Offer(job.trial_id, loss, job.to_resource);
@@ -44,6 +50,7 @@ void RandomSearchScheduler::ReportResult(const Job& job, double loss) {
 void RandomSearchScheduler::ReportLost(const Job& job) {
   HT_CHECK(jobs_in_flight_ > 0);
   --jobs_in_flight_;
+  in_flight_.erase(job.trial_id);
   bank_->Get(job.trial_id).status = TrialStatus::kLost;
 }
 
@@ -54,6 +61,68 @@ bool RandomSearchScheduler::Finished() const {
 
 std::optional<Recommendation> RandomSearchScheduler::Current() const {
   return incumbent_.Current();
+}
+
+Json RandomSearchScheduler::Snapshot() const {
+  Json json = JsonObject{};
+  json.Set("R", Json(options_.R));
+  json.Set("max_trials", Json(options_.max_trials));
+  json.Set("trials", ToJson(*bank_));
+  Json in_flight = JsonArray{};
+  for (const auto& [id, job] : in_flight_) {
+    (void)id;
+    in_flight.PushBack(ToJson(job));
+  }
+  json.Set("in_flight", std::move(in_flight));
+  json.Set("trials_created", Json(trials_created_));
+  if (const auto rec = incumbent_.Current()) {
+    Json entry = JsonObject{};
+    entry.Set("trial", Json(rec->trial_id));
+    entry.Set("loss", Json(rec->loss));
+    entry.Set("resource", Json(rec->resource));
+    json.Set("incumbent", std::move(entry));
+  }
+  Json rng_state = JsonArray{};
+  for (std::uint64_t word : rng_.state()) {
+    rng_state.PushBack(Json(static_cast<std::int64_t>(word)));
+  }
+  json.Set("rng", std::move(rng_state));
+  return json;
+}
+
+void RandomSearchScheduler::Restore(const Json& snapshot,
+                                    RestorePolicy policy) {
+  HT_CHECK_MSG(bank_->size() == 0 && jobs_in_flight_ == 0,
+               "Restore requires a freshly constructed scheduler");
+  HT_CHECK_MSG(snapshot.at("R").AsDouble() == options_.R &&
+                   snapshot.at("max_trials").AsInt() == options_.max_trials,
+               "snapshot options do not match this scheduler");
+  *bank_ = TrialBankFromJson(snapshot.at("trials"));
+  for (const auto& entry : snapshot.at("in_flight").AsArray()) {
+    Job job = JobFromJson(entry);
+    in_flight_[job.trial_id] = job;
+    ++jobs_in_flight_;
+  }
+  trials_created_ = snapshot.at("trials_created").AsInt();
+  if (snapshot.Has("incumbent")) {
+    const Json& rec = snapshot.at("incumbent");
+    incumbent_.Offer(rec.at("trial").AsInt(), rec.at("loss").AsDouble(),
+                     rec.at("resource").AsDouble());
+  }
+  std::array<std::uint64_t, 4> rng_state{};
+  const auto& words = snapshot.at("rng").AsArray();
+  HT_CHECK(words.size() == rng_state.size());
+  for (std::size_t i = 0; i < rng_state.size(); ++i) {
+    rng_state[i] = static_cast<std::uint64_t>(words[i].AsInt());
+  }
+  rng_.set_state(rng_state);
+  if (policy == RestorePolicy::kDropInFlight) {
+    while (!in_flight_.empty()) {
+      // Copy: ReportLost erases this map entry and keeps using the job.
+      const Job job = in_flight_.begin()->second;
+      ReportLost(job);
+    }
+  }
 }
 
 }  // namespace hypertune

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 
 #include "common/rng.h"
@@ -33,6 +34,13 @@ class RandomSearchScheduler final : public Scheduler {
   const TrialBank& trials() const override { return *bank_; }
   std::string name() const override { return "Random"; }
 
+  /// Crash recovery: trials, in-flight jobs, counters, incumbent, and the
+  /// sampling RNG (see Scheduler::Snapshot).
+  bool SupportsSnapshot() const override { return true; }
+  Json Snapshot() const override;
+  void Restore(const Json& snapshot, RestorePolicy policy) override;
+  using Scheduler::Restore;
+
  private:
   std::shared_ptr<ConfigSampler> sampler_;
   RandomSearchOptions options_;
@@ -41,6 +49,7 @@ class RandomSearchScheduler final : public Scheduler {
   Rng rng_;
   std::int64_t trials_created_ = 0;
   std::int64_t jobs_in_flight_ = 0;
+  std::map<TrialId, Job> in_flight_;
 };
 
 }  // namespace hypertune

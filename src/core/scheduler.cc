@@ -1,0 +1,18 @@
+#include "core/scheduler.h"
+
+#include "common/check.h"
+#include "common/json.h"
+
+namespace hypertune {
+
+Json Scheduler::Snapshot() const {
+  throw CheckError("scheduler '" + name() + "' does not support Snapshot()");
+}
+
+void Scheduler::Restore(const Json& snapshot, RestorePolicy policy) {
+  (void)snapshot;
+  (void)policy;
+  throw CheckError("scheduler '" + name() + "' does not support Restore()");
+}
+
+}  // namespace hypertune

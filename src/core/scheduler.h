@@ -15,7 +15,22 @@
 
 namespace hypertune {
 
+class Json;
 class Telemetry;
+
+/// What Restore does with jobs that were in flight when the snapshot was
+/// taken (see DESIGN.md §7, "Durability contract").
+enum class RestorePolicy {
+  /// The workers died with the service: every in-flight job is resolved as
+  /// lost (ReportLost) immediately after the state is rebuilt. This is the
+  /// standalone-snapshot contract — the restored scheduler owes nothing to
+  /// any lease.
+  kDropInFlight,
+  /// A durability layer (src/durability) still holds the leases: in-flight
+  /// jobs stay in flight, and the layer later resolves each one — either by
+  /// replaying journaled outcomes or by re-expiring the lease.
+  kKeepInFlight,
+};
 
 /// Tuner-side overhead accounting: real wall-clock spent fitting the
 /// tuner's surrogate model (GP, KDE, ...) and how often each fit path ran.
@@ -65,6 +80,27 @@ class Scheduler {
 
   /// Short human-readable name for reports ("ASHA", "SHA", ...).
   virtual std::string name() const = 0;
+
+  /// True when this scheduler implements Snapshot/Restore. The successive-
+  /// halving family (ASHA, SHA, both Hyperbands) and random search do;
+  /// schedulers without support throw CheckError from Snapshot/Restore.
+  virtual bool SupportsSnapshot() const { return false; }
+
+  /// Service-style crash recovery: captures the scheduler's complete state
+  /// (trials, rung results, promotion marks, in-flight jobs, counters, the
+  /// sampling RNG) as a JSON document that Restore round-trips.
+  virtual Json Snapshot() const;
+
+  /// Restores a snapshot into a freshly constructed scheduler with
+  /// identical options (validated) and an untouched trial bank. After
+  /// Restore the scheduler continues deterministically from the snapshot
+  /// point; `policy` decides the fate of jobs in flight at snapshot time.
+  virtual void Restore(const Json& snapshot, RestorePolicy policy);
+
+  /// Restore with the standalone contract (in-flight jobs are lost).
+  void Restore(const Json& snapshot) {
+    Restore(snapshot, RestorePolicy::kDropInFlight);
+  }
 };
 
 }  // namespace hypertune

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -65,6 +66,23 @@ class SyncShaScheduler final : public Scheduler {
   /// Resource units dispatched so far across all bracket instances.
   double ResourceDispatched() const { return resource_dispatched_; }
 
+  /// Crash recovery: bracket instances (queues, dispatch cursors, rung
+  /// results, promotion marks, frontiers), in-flight jobs, counters, the
+  /// incumbent, and the sampling RNG. With kDropInFlight, dropping the
+  /// in-flight jobs runs through ReportLost — shrinking rungs and settling
+  /// frontiers exactly as live worker deaths would.
+  bool SupportsSnapshot() const override { return true; }
+  Json Snapshot() const override;
+  void Restore(const Json& snapshot, RestorePolicy policy) override;
+  using Scheduler::Restore;
+
+  /// Composite-scheduler hooks (synchronous Hyperband): snapshot without
+  /// the shared trial bank / restore assuming the composite already
+  /// restored it.
+  Json SnapshotState(bool include_bank) const;
+  void RestoreState(const Json& snapshot, RestorePolicy policy,
+                    bool restore_bank);
+
  private:
   /// One in-flight copy of the bracket.
   struct BracketInstance {
@@ -97,6 +115,9 @@ class SyncShaScheduler final : public Scheduler {
   Rng rng_;
   std::size_t completed_brackets_ = 0;
   double resource_dispatched_ = 0;
+  /// Jobs dispatched but not yet reported, keyed by trial (a trial runs in
+  /// exactly one instance at a time). Captured by Snapshot.
+  std::map<TrialId, Job> in_flight_;
 };
 
 }  // namespace hypertune

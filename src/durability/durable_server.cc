@@ -1,0 +1,230 @@
+#include "durability/durable_server.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/table.h"
+
+namespace hypertune {
+
+namespace {
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  HT_CHECK_MSG(in.good(), "cannot read '" << path << "'");
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+std::string GenerationName(const char* prefix, std::uint64_t generation,
+                           const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%06llu%s", prefix,
+                static_cast<unsigned long long>(generation), suffix);
+  return buf;
+}
+
+/// Parses "<prefix>NNNNNN<suffix>" into NNNNNN, or nullopt.
+std::optional<std::uint64_t> ParseGeneration(const std::string& name,
+                                             std::string_view prefix,
+                                             std::string_view suffix) {
+  if (name.size() != prefix.size() + 6 + suffix.size()) return std::nullopt;
+  if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t generation = 0;
+  for (std::size_t i = prefix.size(); i < prefix.size() + 6; ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    generation = generation * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return generation;
+}
+
+}  // namespace
+
+ServerOptions DurableServer::WithJournal(ServerOptions options,
+                                         LeaseEventSink* sink) {
+  HT_CHECK_MSG(options.journal == nullptr,
+               "DurableServer installs its own journal sink");
+  options.journal = sink;
+  return options;
+}
+
+DurableServer::DurableServer(Scheduler& scheduler,
+                             ServerOptions server_options,
+                             DurabilityOptions durability)
+    : server_(scheduler, WithJournal(std::move(server_options), this)),
+      durability_(std::move(durability)) {
+  HT_CHECK_MSG(!durability_.dir.empty(), "DurabilityOptions::dir is required");
+  HT_CHECK(durability_.snapshot_every > 0);
+  std::filesystem::create_directories(durability_.dir);
+  recovered_ = Recover();
+  if (!recovered_) {
+    // Fresh start: generation 0 has no snapshot, only a journal.
+    writer_.emplace(JournalWriter::Create(
+        JournalPath(0), WalWriteOptions{durability_.sync,
+                                        durability_.sync_every}));
+  }
+}
+
+std::string DurableServer::SnapshotPath(std::uint64_t generation) const {
+  return (std::filesystem::path(durability_.dir) /
+          GenerationName("snapshot-", generation, ".json"))
+      .string();
+}
+
+std::string DurableServer::JournalPath(std::uint64_t generation) const {
+  return (std::filesystem::path(durability_.dir) /
+          GenerationName("wal-", generation, ".log"))
+      .string();
+}
+
+bool DurableServer::Recover() {
+  // The highest generation wins, whether it is identified by its snapshot
+  // or its journal: a crash between writing snapshot-(g+1) and creating
+  // wal-(g+1) leaves the snapshot as the only witness of the generation.
+  std::optional<std::uint64_t> latest;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(durability_.dir)) {
+    const std::string name = entry.path().filename().string();
+    auto generation = ParseGeneration(name, "snapshot-", ".json");
+    if (!generation) generation = ParseGeneration(name, "wal-", ".log");
+    if (!generation) continue;
+    if (!latest || *generation > *latest) latest = *generation;
+  }
+  if (!latest) return false;
+
+  generation_ = *latest;
+  const std::string snapshot_path = SnapshotPath(generation_);
+  if (std::filesystem::exists(snapshot_path)) {
+    server_.Restore(Json::Parse(ReadWholeFile(snapshot_path)));
+  } else {
+    HT_CHECK_MSG(generation_ == 0,
+                 "generation " << generation_
+                               << " has a journal but no snapshot");
+  }
+
+  const WalWriteOptions wal_options{durability_.sync, durability_.sync_every};
+  const std::string journal_path = JournalPath(generation_);
+  if (!std::filesystem::exists(journal_path)) {
+    // Crash window between snapshot write and journal creation: the
+    // snapshot already holds everything, so the generation starts with an
+    // empty journal.
+    writer_.emplace(JournalWriter::Create(journal_path, wal_options));
+    return true;
+  }
+
+  JournalReadResult journal = ReadJournal(journal_path);
+  journal_tail_truncated_ = journal.truncated_tail;
+  for (const std::string& payload : journal.payloads) {
+    server_.ReplayJournalEvent(Json::Parse(payload));
+    ++replayed_events_;
+  }
+  // Reopen for appending; a torn tail is truncated here, so the events the
+  // crash half-wrote never exist as far as any future reader can tell.
+  writer_.emplace(
+      JournalWriter::Append(journal_path, wal_options, journal.valid_bytes));
+  return true;
+}
+
+Json DurableServer::HandleMessage(const Json& message, double now) {
+  Json reply = server_.HandleMessage(message, now);
+  MaybeSnapshot();
+  return reply;
+}
+
+void DurableServer::Tick(double now) {
+  server_.Tick(now);
+  MaybeSnapshot();
+}
+
+void DurableServer::JournalRecord(Json record) {
+  if (!writer_) return;  // only during recovery, which never journals
+  writer_->Append(record.Dump());
+  ++records_since_snapshot_;
+}
+
+void DurableServer::JournalAuxiliary(const Json& event) {
+  HT_CHECK_MSG(event.Has("kind") && event.at("kind").AsString() == "hazard",
+               "auxiliary journal records must carry kind \"hazard\"");
+  JournalRecord(event);
+}
+
+void DurableServer::MaybeSnapshot() {
+  if (records_since_snapshot_ >= durability_.snapshot_every) TakeSnapshot();
+}
+
+void DurableServer::TakeSnapshot() {
+  HT_CHECK(writer_.has_value());
+  // Make the current journal durable before superseding it: until the new
+  // generation's files both exist, recovery still runs through this one.
+  writer_->Sync();
+  const std::uint64_t next = generation_ + 1;
+  HT_CHECK_MSG(WriteFile(SnapshotPath(next), server_.Snapshot().Dump()),
+               "cannot write snapshot " << SnapshotPath(next));
+  writer_.emplace(JournalWriter::Create(
+      JournalPath(next),
+      WalWriteOptions{durability_.sync, durability_.sync_every}));
+  generation_ = next;
+  records_since_snapshot_ = 0;
+  PruneBefore(next);
+}
+
+void DurableServer::PruneBefore(std::uint64_t keep) {
+  std::error_code ec;
+  std::vector<std::filesystem::path> stale;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(durability_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    auto generation = ParseGeneration(name, "snapshot-", ".json");
+    if (!generation) generation = ParseGeneration(name, "wal-", ".log");
+    if (generation && *generation < keep) stale.push_back(entry.path());
+  }
+  for (const auto& path : stale) std::filesystem::remove(path, ec);
+}
+
+void DurableServer::OnGrant(std::uint64_t job_id, std::uint64_t worker,
+                            const Job& job, double now) {
+  Json record = JsonObject{};
+  record.Set("kind", Json("grant"));
+  record.Set("job_id", Json(static_cast<std::int64_t>(job_id)));
+  record.Set("worker", Json(static_cast<std::int64_t>(worker)));
+  // The job itself is re-derived from the restored scheduler on replay;
+  // the trial id rides along so divergence fails loudly.
+  record.Set("trial", Json(job.trial_id));
+  record.Set("now", Json(now));
+  JournalRecord(std::move(record));
+}
+
+void DurableServer::OnReport(std::uint64_t job_id, double loss, double now) {
+  Json record = JsonObject{};
+  record.Set("kind", Json("report"));
+  record.Set("job_id", Json(static_cast<std::int64_t>(job_id)));
+  record.Set("loss", Json(loss));
+  record.Set("now", Json(now));
+  JournalRecord(std::move(record));
+}
+
+void DurableServer::OnRenew(std::uint64_t job_id, double now) {
+  Json record = JsonObject{};
+  record.Set("kind", Json("renew"));
+  record.Set("job_id", Json(static_cast<std::int64_t>(job_id)));
+  record.Set("now", Json(now));
+  JournalRecord(std::move(record));
+}
+
+void DurableServer::OnExpire(std::uint64_t job_id, double now) {
+  Json record = JsonObject{};
+  record.Set("kind", Json("expire"));
+  record.Set("job_id", Json(static_cast<std::int64_t>(job_id)));
+  record.Set("now", Json(now));
+  JournalRecord(std::move(record));
+}
+
+}  // namespace hypertune

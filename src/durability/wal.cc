@@ -1,0 +1,169 @@
+#include "durability/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/crc32.h"
+
+namespace hypertune {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'T', 'W', 'A', 'L', '0', '0', '1'};
+constexpr std::size_t kFrameHeader = 8;  // u32 length + u32 crc
+
+void PutU32(unsigned char* out, std::uint32_t value) {
+  out[0] = static_cast<unsigned char>(value & 0xFF);
+  out[1] = static_cast<unsigned char>((value >> 8) & 0xFF);
+  out[2] = static_cast<unsigned char>((value >> 16) & 0xFF);
+  out[3] = static_cast<unsigned char>((value >> 24) & 0xFF);
+}
+
+std::uint32_t GetU32(const unsigned char* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+void WriteAll(int fd, const void* data, std::size_t size,
+              const char* what) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  while (size > 0) {
+    const ssize_t written = ::write(fd, bytes, size);
+    HT_CHECK_MSG(written > 0, "journal write failed (" << what << "): "
+                                  << std::strerror(errno));
+    bytes += written;
+    size -= static_cast<std::size_t>(written);
+  }
+}
+
+}  // namespace
+
+std::string_view JournalMagic() { return {kMagic, sizeof(kMagic)}; }
+
+JournalWriter::JournalWriter(int fd, WalWriteOptions options)
+    : fd_(fd), options_(options) {
+  HT_CHECK(options_.sync != SyncPolicy::kEveryN || options_.sync_every > 0);
+}
+
+JournalWriter JournalWriter::Create(const std::string& path,
+                                    WalWriteOptions options) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  HT_CHECK_MSG(fd >= 0, "cannot create journal '" << path
+                            << "': " << std::strerror(errno));
+  JournalWriter writer(fd, options);
+  WriteAll(fd, kMagic, sizeof(kMagic), "header");
+  return writer;
+}
+
+JournalWriter JournalWriter::Append(const std::string& path,
+                                    WalWriteOptions options,
+                                    std::uint64_t valid_bytes) {
+  HT_CHECK(valid_bytes >= sizeof(kMagic));
+  const int fd = ::open(path.c_str(), O_WRONLY, 0644);
+  HT_CHECK_MSG(fd >= 0, "cannot open journal '" << path
+                            << "': " << std::strerror(errno));
+  // Drop any torn tail first: appending after garbage would strand every
+  // subsequent frame behind an unreadable one.
+  HT_CHECK_MSG(::ftruncate(fd, static_cast<off_t>(valid_bytes)) == 0,
+               "cannot truncate journal '" << path
+                                           << "': " << std::strerror(errno));
+  HT_CHECK_MSG(::lseek(fd, 0, SEEK_END) >= 0,
+               "cannot seek journal '" << path
+                                       << "': " << std::strerror(errno));
+  return JournalWriter(fd, options);
+}
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      options_(other.options_),
+      frames_written_(other.frames_written_),
+      frames_since_sync_(other.frames_since_sync_) {}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    options_ = other.options_;
+    frames_written_ = other.frames_written_;
+    frames_since_sync_ = other.frames_since_sync_;
+  }
+  return *this;
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ < 0) return;
+  if (options_.sync != SyncPolicy::kNone) ::fsync(fd_);
+  ::close(fd_);
+}
+
+void JournalWriter::Append(std::string_view payload) {
+  HT_CHECK(fd_ >= 0);
+  unsigned char header[kFrameHeader];
+  PutU32(header, static_cast<std::uint32_t>(payload.size()));
+  PutU32(header + 4, Crc32(payload));
+  // One write per frame (header + payload) so a crash tears at most the
+  // frame being appended, never an earlier one.
+  std::string frame;
+  frame.reserve(kFrameHeader + payload.size());
+  frame.append(reinterpret_cast<const char*>(header), kFrameHeader);
+  frame.append(payload.data(), payload.size());
+  WriteAll(fd_, frame.data(), frame.size(), "frame");
+  ++frames_written_;
+  switch (options_.sync) {
+    case SyncPolicy::kNone:
+      break;
+    case SyncPolicy::kEveryN:
+      if (++frames_since_sync_ >= options_.sync_every) Sync();
+      break;
+    case SyncPolicy::kAlways:
+      Sync();
+      break;
+  }
+}
+
+void JournalWriter::Sync() {
+  HT_CHECK(fd_ >= 0);
+  HT_CHECK_MSG(::fsync(fd_) == 0,
+               "journal fsync failed: " << std::strerror(errno));
+  frames_since_sync_ = 0;
+}
+
+JournalReadResult ReadJournal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  HT_CHECK_MSG(in.good(), "cannot read journal '" << path << "'");
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  HT_CHECK_MSG(bytes.size() >= sizeof(kMagic) &&
+                   std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0,
+               "'" << path << "' is not a write-ahead journal");
+
+  JournalReadResult result;
+  std::size_t offset = sizeof(kMagic);
+  result.valid_bytes = offset;
+  while (offset < bytes.size()) {
+    if (bytes.size() - offset < kFrameHeader) break;  // torn frame header
+    const auto* frame =
+        reinterpret_cast<const unsigned char*>(bytes.data() + offset);
+    const std::uint32_t length = GetU32(frame);
+    const std::uint32_t crc = GetU32(frame + 4);
+    if (bytes.size() - offset - kFrameHeader < length) break;  // torn payload
+    const std::string_view payload(bytes.data() + offset + kFrameHeader,
+                                   length);
+    if (Crc32(payload) != crc) break;  // bit rot or torn overwrite
+    result.payloads.emplace_back(payload);
+    offset += kFrameHeader + length;
+    result.valid_bytes = offset;
+  }
+  result.truncated_tail = result.valid_bytes < bytes.size();
+  return result;
+}
+
+}  // namespace hypertune

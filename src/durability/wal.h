@@ -1,0 +1,103 @@
+// The write-ahead journal: an append-only log of scheduler-mutating events.
+//
+// File layout:
+//
+//   [8-byte magic "HTWAL001"]
+//   [frame]*          frame = u32 LE payload length
+//                           | u32 LE CRC-32 of the payload
+//                           | payload bytes (a compact JSON event)
+//
+// The CRC frames are what make recovery safe: a crash mid-append leaves a
+// torn tail (short header, short payload, or checksum mismatch), and the
+// reader detects it and reports the last valid byte offset instead of
+// parsing garbage. Recovery truncates the file there and appends onward —
+// the contract tests/durability_test.cc pins down to the byte.
+//
+// Durability is tunable per deployment (SyncPolicy): fsync never (the OS
+// page cache decides), every N frames (bounded loss window), or on every
+// frame (no loss, one fsync per scheduler mutation). See
+// bench/micro_durability.cc for what each costs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hypertune {
+
+/// When the journal writer fsyncs.
+enum class SyncPolicy {
+  /// Never fsync explicitly; a machine crash can lose buffered frames (a
+  /// process crash cannot — frames are written straight to the fd).
+  kNone,
+  /// fsync every `sync_every` frames: bounded loss window, amortized cost.
+  kEveryN,
+  /// fsync after every frame: no loss window, one fsync per mutation.
+  kAlways,
+};
+
+struct WalWriteOptions {
+  SyncPolicy sync = SyncPolicy::kEveryN;
+  /// Frames between fsyncs under SyncPolicy::kEveryN.
+  std::size_t sync_every = 64;
+};
+
+/// Append-only journal writer over a POSIX fd. Move-only; the destructor
+/// syncs (per policy) and closes. Throws CheckError on I/O failure — a
+/// journal that silently drops events is worse than a dead server.
+class JournalWriter {
+ public:
+  /// Creates a fresh journal (truncating any existing file) and writes the
+  /// header.
+  static JournalWriter Create(const std::string& path,
+                              WalWriteOptions options);
+  /// Opens an existing journal for appending at `valid_bytes` (as reported
+  /// by ReadJournal), truncating any torn tail past it first.
+  static JournalWriter Append(const std::string& path,
+                              WalWriteOptions options,
+                              std::uint64_t valid_bytes);
+
+  JournalWriter(JournalWriter&& other) noexcept;
+  JournalWriter& operator=(JournalWriter&& other) noexcept;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+  ~JournalWriter();
+
+  /// Appends one CRC-framed payload and applies the sync policy.
+  void Append(std::string_view payload);
+
+  /// Forces an fsync now (e.g. right before taking a snapshot).
+  void Sync();
+
+  std::size_t frames_written() const { return frames_written_; }
+
+ private:
+  JournalWriter(int fd, WalWriteOptions options);
+
+  int fd_ = -1;
+  WalWriteOptions options_;
+  std::size_t frames_written_ = 0;
+  std::size_t frames_since_sync_ = 0;
+};
+
+/// What ReadJournal recovered from a journal file.
+struct JournalReadResult {
+  /// Every fully valid frame payload, in append order.
+  std::vector<std::string> payloads;
+  /// Byte offset just past the last valid frame (>= header size). The file
+  /// is safe to truncate here and append onward.
+  std::uint64_t valid_bytes = 0;
+  /// True when bytes past valid_bytes were torn or checksum-corrupt (they
+  /// are ignored, never parsed).
+  bool truncated_tail = false;
+};
+
+/// Reads a journal, stopping at the first torn or corrupt frame. Throws
+/// CheckError when the file is missing or its header is not a journal's.
+JournalReadResult ReadJournal(const std::string& path);
+
+/// The 8-byte journal file magic ("HTWAL001").
+std::string_view JournalMagic();
+
+}  // namespace hypertune

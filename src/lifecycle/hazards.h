@@ -16,11 +16,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 
 #include "common/rng.h"
 
 namespace hypertune {
+
+class Json;
 
 struct HazardOptions {
   /// Standard deviation of the half-normal straggler multiplier; 0 disables.
@@ -77,9 +80,25 @@ class HazardInjector {
 
   const HazardOptions& options() const { return model_.options(); }
 
+  /// Crash recovery: the RNG stream, including the cached Box-Muller spare
+  /// so the post-restore normal-draw sequence is bit-identical.
+  Json Snapshot() const;
+  void Restore(const Json& snapshot);
+
+  /// Observer invoked after each Plan() draw with the base duration and
+  /// the fate. The durability layer journals these as audit records (fates
+  /// live worker-side and survive a server crash, so they are never
+  /// replayed — but a post-mortem can reconstruct the full failure story).
+  using PlanObserver =
+      std::function<void(double base_duration, const HazardPlan& plan)>;
+  void SetPlanObserver(PlanObserver observer) {
+    observer_ = std::move(observer);
+  }
+
  private:
   HazardModel model_;
   Rng rng_;
+  PlanObserver observer_;
 };
 
 }  // namespace hypertune

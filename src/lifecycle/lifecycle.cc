@@ -1,11 +1,54 @@
 #include "lifecycle/lifecycle.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
+#include "common/json.h"
 #include "telemetry/telemetry.h"
 
 namespace hypertune {
+
+namespace {
+
+// Local (internal-linkage) serializers: src/analysis owns the public
+// RunRecord JSON wire format for exports; these carry every field —
+// including lease_id, which exports omit — for snapshot round-trips.
+Json RecordToJson(const RunRecord& record) {
+  Json entry = JsonObject{};
+  entry.Set("trial", Json(record.trial_id));
+  entry.Set("rung", Json(record.rung));
+  entry.Set("bracket", Json(record.bracket));
+  entry.Set("from", Json(record.from_resource));
+  entry.Set("to", Json(record.to_resource));
+  entry.Set("loss", Json(record.loss));
+  entry.Set("lost", Json(record.lost));
+  entry.Set("start", Json(record.start_time));
+  entry.Set("end", Json(record.end_time));
+  entry.Set("queue_wait", Json(record.queue_wait));
+  entry.Set("worker", Json(record.worker));
+  entry.Set("lease", Json(static_cast<std::int64_t>(record.lease_id)));
+  return entry;
+}
+
+RunRecord RecordFromJson(const Json& json) {
+  RunRecord record;
+  record.trial_id = json.at("trial").AsInt();
+  record.rung = static_cast<int>(json.at("rung").AsInt());
+  record.bracket = static_cast<int>(json.at("bracket").AsInt());
+  record.from_resource = json.at("from").AsDouble();
+  record.to_resource = json.at("to").AsDouble();
+  record.loss = json.at("loss").AsDouble();
+  record.lost = json.at("lost").AsBool();
+  record.start_time = json.at("start").AsDouble();
+  record.end_time = json.at("end").AsDouble();
+  record.queue_wait = json.at("queue_wait").AsDouble();
+  record.worker = static_cast<int>(json.at("worker").AsInt());
+  record.lease_id = static_cast<std::uint64_t>(json.at("lease").AsInt());
+  return record;
+}
+
+}  // namespace
 
 void ValidateReportedLoss(double loss) {
   HT_CHECK_MSG(std::isfinite(loss),
@@ -137,6 +180,58 @@ void TrialLifecycle::Complete(const LeasedJob& lease, double loss,
 
 void TrialLifecycle::Lose(const LeasedJob& lease, const RunTiming& timing) {
   Resolve(lease, /*lost=*/true, /*loss=*/0, timing);
+}
+
+Json TrialLifecycle::Snapshot() const {
+  Json json = JsonObject{};
+  // Sorted so the snapshot is deterministic (pending_ is an unordered set).
+  std::vector<std::uint64_t> pending(pending_.begin(), pending_.end());
+  std::sort(pending.begin(), pending.end());
+  Json pending_json = JsonArray{};
+  for (std::uint64_t id : pending) {
+    pending_json.PushBack(Json(static_cast<std::int64_t>(id)));
+  }
+  json.Set("pending", std::move(pending_json));
+  json.Set("next_lease_id", Json(static_cast<std::int64_t>(next_lease_id_)));
+  Json records = JsonArray{};
+  for (const auto& record : records_) records.PushBack(RecordToJson(record));
+  json.Set("records", std::move(records));
+  Json recommendations = JsonArray{};
+  for (const auto& rec : recommendations_) {
+    Json entry = JsonObject{};
+    entry.Set("time", Json(rec.time));
+    entry.Set("trial", Json(rec.trial_id));
+    entry.Set("loss", Json(rec.loss));
+    entry.Set("resource", Json(rec.resource));
+    recommendations.PushBack(std::move(entry));
+  }
+  json.Set("recommendations", std::move(recommendations));
+  json.Set("completed", Json(static_cast<std::int64_t>(completed_)));
+  json.Set("lost", Json(static_cast<std::int64_t>(lost_)));
+  return json;
+}
+
+void TrialLifecycle::Restore(const Json& snapshot) {
+  HT_CHECK_MSG(next_lease_id_ == 1 && pending_.empty() && records_.empty(),
+               "Restore requires a freshly constructed lifecycle");
+  for (const auto& id : snapshot.at("pending").AsArray()) {
+    pending_.insert(static_cast<std::uint64_t>(id.AsInt()));
+  }
+  next_lease_id_ =
+      static_cast<std::uint64_t>(snapshot.at("next_lease_id").AsInt());
+  for (const auto& entry : snapshot.at("records").AsArray()) {
+    records_.push_back(RecordFromJson(entry));
+  }
+  for (const auto& entry : snapshot.at("recommendations").AsArray()) {
+    RecommendationPoint rec;
+    rec.time = entry.at("time").AsDouble();
+    rec.trial_id = entry.at("trial").AsInt();
+    rec.loss = entry.at("loss").AsDouble();
+    rec.resource = entry.at("resource").AsDouble();
+    recommendations_.push_back(rec);
+  }
+  completed_ = static_cast<std::size_t>(snapshot.at("completed").AsInt());
+  lost_ = static_cast<std::size_t>(snapshot.at("lost").AsInt());
 }
 
 }  // namespace hypertune

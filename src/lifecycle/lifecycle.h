@@ -131,6 +131,16 @@ class TrialLifecycle {
     return std::move(recommendations_);
   }
 
+  /// Crash recovery: open lease ids, the dense lease-id counter, resolved
+  /// records, the recommendation trajectory, and the outcome counts. The
+  /// jobs behind open leases are not stored here — the scheduler snapshots
+  /// them (Scheduler::Snapshot) and the backend re-associates lease ids to
+  /// jobs on restore.
+  Json Snapshot() const;
+  /// Restores into a freshly constructed lifecycle (no leases issued).
+  /// Does not touch the scheduler — restore it separately.
+  void Restore(const Json& snapshot);
+
  private:
   void Resolve(const LeasedJob& lease, bool lost, double loss,
                const RunTiming& timing);

@@ -18,7 +18,9 @@ TuningServer::TuningServer(Scheduler& scheduler, ServerOptions options)
       // The server emits its own protocol-level telemetry (lease_granted /
       // job_reported / lease_expired events and server.* counters), so the
       // core's span/counter emission stays off.
-      lifecycle_(scheduler, LifecycleOptions{}) {
+      lifecycle_(scheduler,
+                 LifecycleOptions{
+                     .track_recommendations = options.track_recommendations}) {
   HT_CHECK(options_.lease_timeout > 0);
   HT_CHECK(options_.max_batch > 0);
 }
@@ -95,6 +97,7 @@ void TuningServer::Tick(double now) {
     lifecycle_.Lose(lease.leased, RunTiming{lease.granted_at, now, 0,
                                             static_cast<int>(lease.worker)});
     ++stats_.leases_expired;
+    if (options_.journal != nullptr) options_.journal->OnExpire(job_id, now);
   }
 }
 
@@ -117,6 +120,9 @@ std::optional<std::pair<std::uint64_t, Job>> TuningServer::GrantLease(
     options_.telemetry->EventAt(now, "lease_granted", "lease",
                                 std::move(args));
     options_.telemetry->Count("server.jobs_assigned");
+  }
+  if (options_.journal != nullptr) {
+    options_.journal->OnGrant(job_id, worker, job, now);
   }
   return std::make_pair(job_id, job);
 }
@@ -207,6 +213,9 @@ Json TuningServer::HandleReport(const Json& message, double now) {
   // surfaces — lazy deletion keeps reports O(log L)-free entirely.
   leases_.erase(it);
   ++stats_.jobs_completed;
+  if (options_.journal != nullptr) {
+    options_.journal->OnReport(job_id, loss, now);
+  }
   return Ack();
 }
 
@@ -230,6 +239,7 @@ Json TuningServer::HandleHeartbeat(const Json& message, double now) {
         LeaseArgs(job_id, it->second.worker, it->second.leased.job.trial_id));
     options_.telemetry->Count("server.leases_renewed");
   }
+  if (options_.journal != nullptr) options_.journal->OnRenew(job_id, now);
   return Ack();
 }
 
@@ -263,6 +273,137 @@ Json TuningServer::HandleMessage(const Json& message, double now) {
     // still an error reply (with accounting), never a dead service.
     return malformed(error.what());
   }
+}
+
+Json TuningServer::Snapshot() const {
+  Json json = JsonObject{};
+  json.Set("scheduler", scheduler_.Snapshot());
+  json.Set("lifecycle", lifecycle_.Snapshot());
+  Json leases = JsonArray{};
+  for (const auto& [job_id, lease] : leases_) {
+    Json entry = JsonObject{};
+    entry.Set("job_id", Json(static_cast<std::int64_t>(job_id)));
+    entry.Set("worker", Json(static_cast<std::int64_t>(lease.worker)));
+    entry.Set("deadline", Json(lease.deadline));
+    entry.Set("granted_at", Json(lease.granted_at));
+    entry.Set("job", ToJson(lease.leased.job));
+    leases.PushBack(std::move(entry));
+  }
+  json.Set("leases", std::move(leases));
+  Json stats = JsonObject{};
+  stats.Set("jobs_assigned",
+            Json(static_cast<std::int64_t>(stats_.jobs_assigned)));
+  stats.Set("jobs_completed",
+            Json(static_cast<std::int64_t>(stats_.jobs_completed)));
+  stats.Set("leases_expired",
+            Json(static_cast<std::int64_t>(stats_.leases_expired)));
+  stats.Set("stale_reports_ignored",
+            Json(static_cast<std::int64_t>(stats_.stale_reports_ignored)));
+  stats.Set("malformed_messages",
+            Json(static_cast<std::int64_t>(stats_.malformed_messages)));
+  json.Set("stats", std::move(stats));
+  return json;
+}
+
+void TuningServer::Restore(const Json& snapshot) {
+  HT_CHECK_MSG(leases_.empty() && lifecycle_.records().empty() &&
+                   stats_.jobs_assigned == 0,
+               "Restore requires a freshly constructed server");
+  // In-flight leases survive the crash on paper; the journal tail and the
+  // deadline clock decide their real fate after Restore.
+  scheduler_.Restore(snapshot.at("scheduler"), RestorePolicy::kKeepInFlight);
+  lifecycle_.Restore(snapshot.at("lifecycle"));
+  for (const auto& entry : snapshot.at("leases").AsArray()) {
+    const auto job_id =
+        static_cast<std::uint64_t>(entry.at("job_id").AsInt());
+    Lease lease;
+    lease.leased.lease_id = job_id;
+    lease.leased.job = JobFromJson(entry.at("job"));
+    lease.worker = static_cast<std::uint64_t>(entry.at("worker").AsInt());
+    lease.deadline = entry.at("deadline").AsDouble();
+    lease.granted_at = entry.at("granted_at").AsDouble();
+    deadlines_.push({lease.deadline, job_id});
+    leases_[job_id] = std::move(lease);
+  }
+  const Json& stats = snapshot.at("stats");
+  stats_.jobs_assigned =
+      static_cast<std::size_t>(stats.at("jobs_assigned").AsInt());
+  stats_.jobs_completed =
+      static_cast<std::size_t>(stats.at("jobs_completed").AsInt());
+  stats_.leases_expired =
+      static_cast<std::size_t>(stats.at("leases_expired").AsInt());
+  stats_.stale_reports_ignored =
+      static_cast<std::size_t>(stats.at("stale_reports_ignored").AsInt());
+  stats_.malformed_messages =
+      static_cast<std::size_t>(stats.at("malformed_messages").AsInt());
+}
+
+void TuningServer::ReplayJournalEvent(const Json& event) {
+  const std::string& kind = event.at("kind").AsString();
+  const double now = event.at("now").AsDouble();
+  if (kind == "grant") {
+    const auto job_id =
+        static_cast<std::uint64_t>(event.at("job_id").AsInt());
+    const auto worker =
+        static_cast<std::uint64_t>(event.at("worker").AsInt());
+    // Replay by re-derivation: the restored scheduler must produce exactly
+    // the job the live server granted. The journal carries the expected
+    // identity so divergence fails loudly here rather than corrupting the
+    // run downstream.
+    auto leased = lifecycle_.Acquire();
+    HT_CHECK_MSG(leased.has_value(),
+                 "journal replay: scheduler had no job for grant "
+                     << job_id);
+    HT_CHECK_MSG(leased->lease_id == job_id &&
+                     leased->job.trial_id == event.at("trial").AsInt(),
+                 "journal replay diverged at grant "
+                     << job_id << ": re-derived lease " << leased->lease_id
+                     << " trial " << leased->job.trial_id);
+    const double deadline = now + options_.lease_timeout;
+    leases_[job_id] = Lease{*std::move(leased), worker, deadline, now};
+    deadlines_.push({deadline, job_id});
+    ++stats_.jobs_assigned;
+    return;
+  }
+  if (kind == "report") {
+    const auto job_id =
+        static_cast<std::uint64_t>(event.at("job_id").AsInt());
+    const auto it = leases_.find(job_id);
+    HT_CHECK_MSG(it != leases_.end(),
+                 "journal replay: report for unknown lease " << job_id);
+    lifecycle_.Complete(it->second.leased, event.at("loss").AsDouble(),
+                        RunTiming{it->second.granted_at, now, 0,
+                                  static_cast<int>(it->second.worker)});
+    leases_.erase(it);
+    ++stats_.jobs_completed;
+    return;
+  }
+  if (kind == "renew") {
+    const auto job_id =
+        static_cast<std::uint64_t>(event.at("job_id").AsInt());
+    const auto it = leases_.find(job_id);
+    HT_CHECK_MSG(it != leases_.end(),
+                 "journal replay: renew for unknown lease " << job_id);
+    const double deadline = now + options_.lease_timeout;
+    it->second.deadline = deadline;
+    deadlines_.push({deadline, job_id});
+    return;
+  }
+  if (kind == "expire") {
+    const auto job_id =
+        static_cast<std::uint64_t>(event.at("job_id").AsInt());
+    const auto it = leases_.find(job_id);
+    HT_CHECK_MSG(it != leases_.end(),
+                 "journal replay: expiry for unknown lease " << job_id);
+    lifecycle_.Lose(it->second.leased,
+                    RunTiming{it->second.granted_at, now, 0,
+                              static_cast<int>(it->second.worker)});
+    leases_.erase(it);
+    ++stats_.leases_expired;
+    return;
+  }
+  if (kind == "hazard") return;  // audit-only record; worker state survives
+  throw CheckError("journal replay: unknown event kind '" + kind + "'");
 }
 
 }  // namespace hypertune

@@ -59,6 +59,25 @@ namespace hypertune {
 
 class Telemetry;
 
+/// Observer of the server's scheduler-mutating events, notified after each
+/// mutation within the handling of one message. The durability layer
+/// (src/durability) implements this to append write-ahead-journal records;
+/// ReplayJournalEvent applies the same four event kinds on recovery.
+class LeaseEventSink {
+ public:
+  virtual ~LeaseEventSink() = default;
+  /// A lease was granted: `job_id` (== lifecycle lease id) now runs `job`
+  /// on `worker`.
+  virtual void OnGrant(std::uint64_t job_id, std::uint64_t worker,
+                       const Job& job, double now) = 0;
+  /// The lease reported its loss and was resolved.
+  virtual void OnReport(std::uint64_t job_id, double loss, double now) = 0;
+  /// A heartbeat renewed the lease (moves its expiry deadline).
+  virtual void OnRenew(std::uint64_t job_id, double now) = 0;
+  /// The lease expired and its job was reported lost.
+  virtual void OnExpire(std::uint64_t job_id, double now) = 0;
+};
+
 struct ServerOptions {
   /// A job lease lasts this long past the last heartbeat/assignment.
   double lease_timeout = 60;
@@ -73,6 +92,16 @@ struct ServerOptions {
   /// advances the sink's virtual clock (when it has one) to `now` on every
   /// message, so scheduler events emitted inside GetJob/Report line up.
   Telemetry* telemetry = nullptr;
+  /// Record the scheduler's recommendation whenever it changes (the
+  /// incumbent trajectory the paper's figures plot; see
+  /// run_recommendations()). Off by default — trajectory points cost a
+  /// vector push per change.
+  bool track_recommendations = false;
+  /// Optional write-ahead journal sink (not owned; must outlive the
+  /// server). Notified after every scheduler-mutating event — lease
+  /// granted, loss reported, lease renewed, lease expired — so a
+  /// durability layer can journal them and replay after a crash.
+  LeaseEventSink* journal = nullptr;
 };
 
 struct ServerStats {
@@ -113,6 +142,31 @@ class TuningServer {
   const std::vector<RunRecord>& run_records() const {
     return lifecycle_.records();
   }
+
+  /// The incumbent trajectory (empty unless
+  /// ServerOptions::track_recommendations is set).
+  const std::vector<RecommendationPoint>& run_recommendations() const {
+    return lifecycle_.recommendations();
+  }
+
+  /// Crash recovery (see DESIGN.md §7): captures the scheduler (via
+  /// Scheduler::Snapshot), the lifecycle core, every open lease (with its
+  /// job, worker, deadline, and grant time), and the protocol stats.
+  Json Snapshot() const;
+
+  /// Restores a snapshot into a freshly constructed server whose scheduler
+  /// is also freshly constructed. In-flight leases stay open
+  /// (RestorePolicy::kKeepInFlight); the caller then replays the journal
+  /// tail and lets Tick re-expire whatever the dead workers never finish.
+  void Restore(const Json& snapshot);
+
+  /// Applies one journaled event (kinds "grant" / "report" / "renew" /
+  /// "expire") during recovery. Grants are replayed by re-derivation: the
+  /// restored scheduler is asked for its next job, and the result is
+  /// checked against the journaled job id and trial — divergence is a
+  /// CheckError, not a silent corruption. No telemetry or journal output
+  /// is emitted while replaying.
+  void ReplayJournalEvent(const Json& event);
 
  private:
   struct Lease {

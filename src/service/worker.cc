@@ -4,17 +4,37 @@
 
 #include "common/check.h"
 #include "core/trial_json.h"
+#include "telemetry/telemetry.h"
 
 namespace hypertune {
 
 SimulatedWorker::SimulatedWorker(std::uint64_t id, JobEnvironment& environment,
                                  double heartbeat_interval,
-                                 std::size_t prefetch, HazardInjector* hazards)
+                                 std::size_t prefetch, HazardInjector* hazards,
+                                 WorkerRetryOptions retry)
     : id_(id), environment_(environment),
       heartbeat_interval_(heartbeat_interval),
       prefetch_(std::max<std::size_t>(prefetch, 1)),
-      hazards_(hazards) {
+      hazards_(hazards), retry_(retry), retry_rng_(retry.seed + id) {
   HT_CHECK(heartbeat_interval > 0);
+  HT_CHECK(retry_.initial_backoff > 0 && retry_.multiplier >= 1 &&
+           retry_.max_backoff >= retry_.initial_backoff);
+  HT_CHECK(retry_.jitter >= 0 && retry_.jitter < 1);
+}
+
+double SimulatedWorker::NoteSendFailure() {
+  ++retries_;
+  if (retry_.telemetry != nullptr) {
+    retry_.telemetry->Count("service.worker_retries");
+  }
+  backoff_ = backoff_ == 0
+                 ? retry_.initial_backoff
+                 : std::min(backoff_ * retry_.multiplier, retry_.max_backoff);
+  double delay = backoff_;
+  if (retry_.jitter > 0) {
+    delay *= 1.0 - retry_.jitter * retry_rng_.Uniform();
+  }
+  return delay;
 }
 
 void SimulatedWorker::StartJob(Job job, std::uint64_t job_id, double now) {
@@ -34,20 +54,25 @@ void SimulatedWorker::StartJob(Job job, std::uint64_t job_id, double now) {
   if (drop_time_) next_action_ = std::min(next_action_, *drop_time_);
 }
 
-void SimulatedWorker::RequestWork(TuningServer& server, double now) {
+void SimulatedWorker::RequestWork(ServerConnection& connection, double now) {
   if (prefetch_ <= 1) {
     // Original single-job exchange, kept byte-identical for decision parity.
     Json request = JsonObject{};
     request.Set("type", Json("request_job"));
     request.Set("worker", Json(static_cast<std::int64_t>(id_)));
-    const Json reply = server.HandleMessage(request, now);
-    if (reply.at("type").AsString() == "no_job") {
-      next_action_ = now + reply.at("retry_after").AsDouble();
+    const auto reply = connection.Send(request, now);
+    if (!reply) {
+      next_action_ = now + NoteSendFailure();
       return;
     }
-    HT_CHECK(reply.at("type").AsString() == "job");
-    StartJob(JobFromJson(reply.at("job")),
-             static_cast<std::uint64_t>(reply.at("job_id").AsInt()), now);
+    backoff_ = 0;
+    if (reply->at("type").AsString() == "no_job") {
+      next_action_ = now + reply->at("retry_after").AsDouble();
+      return;
+    }
+    HT_CHECK(reply->at("type").AsString() == "job");
+    StartJob(JobFromJson(reply->at("job")),
+             static_cast<std::uint64_t>(reply->at("job_id").AsInt()), now);
     return;
   }
 
@@ -55,13 +80,18 @@ void SimulatedWorker::RequestWork(TuningServer& server, double now) {
   request.Set("type", Json("request_jobs"));
   request.Set("worker", Json(static_cast<std::int64_t>(id_)));
   request.Set("count", Json(static_cast<std::int64_t>(prefetch_)));
-  const Json reply = server.HandleMessage(request, now);
-  if (reply.at("type").AsString() == "no_job") {
-    next_action_ = now + reply.at("retry_after").AsDouble();
+  const auto reply = connection.Send(request, now);
+  if (!reply) {
+    next_action_ = now + NoteSendFailure();
     return;
   }
-  HT_CHECK(reply.at("type").AsString() == "jobs");
-  for (const auto& entry : reply.at("jobs").AsArray()) {
+  backoff_ = 0;
+  if (reply->at("type").AsString() == "no_job") {
+    next_action_ = now + reply->at("retry_after").AsDouble();
+    return;
+  }
+  HT_CHECK(reply->at("type").AsString() == "jobs");
+  for (const auto& entry : reply->at("jobs").AsArray()) {
     queue_.emplace_back(static_cast<std::uint64_t>(entry.at("job_id").AsInt()),
                         JobFromJson(entry.at("job")));
   }
@@ -71,13 +101,22 @@ void SimulatedWorker::RequestWork(TuningServer& server, double now) {
   StartJob(std::move(job), job_id, now);
 }
 
-void SimulatedWorker::SendHeartbeats(TuningServer& server, double now) {
+void SimulatedWorker::SendHeartbeats(ServerConnection& connection,
+                                     double now) {
   Json heartbeat = JsonObject{};
   heartbeat.Set("type", Json("heartbeat"));
   heartbeat.Set("worker", Json(static_cast<std::int64_t>(id_)));
   heartbeat.Set("job_id", Json(static_cast<std::int64_t>(job_id_)));
-  const Json reply = server.HandleMessage(heartbeat, now);
-  if (reply.at("type").AsString() == "lease_lost") {
+  const auto reply = connection.Send(heartbeat, now);
+  if (!reply) {
+    // Server unreachable: keep training and retry the heartbeat with
+    // backoff. If the outage outlives the lease, the server (once back)
+    // expires it — the same accounting as a crashed worker.
+    next_heartbeat_ = now + NoteSendFailure();
+    return;
+  }
+  backoff_ = 0;
+  if (reply->at("type").AsString() == "lease_lost") {
     // The server gave up on us (e.g. after a long stall): abandon the job.
     job_.reset();
     drop_time_.reset();
@@ -91,8 +130,12 @@ void SimulatedWorker::SendHeartbeats(TuningServer& server, double now) {
     renew.Set("type", Json("heartbeat"));
     renew.Set("worker", Json(static_cast<std::int64_t>(id_)));
     renew.Set("job_id", Json(static_cast<std::int64_t>(it->first)));
-    const Json queued_reply = server.HandleMessage(renew, now);
-    if (queued_reply.at("type").AsString() == "lease_lost") {
+    const auto queued_reply = connection.Send(renew, now);
+    if (!queued_reply) {
+      next_heartbeat_ = now + NoteSendFailure();
+      return;
+    }
+    if (queued_reply->at("type").AsString() == "lease_lost") {
       it = queue_.erase(it);
     } else {
       ++it;
@@ -102,7 +145,30 @@ void SimulatedWorker::SendHeartbeats(TuningServer& server, double now) {
 }
 
 void SimulatedWorker::OnTick(TuningServer& server, double now) {
+  // The in-process overload can never lose a message, so it inherits the
+  // connection path's behavior with the failure branches dead.
+  DirectConnection direct(&server);
+  OnTick(static_cast<ServerConnection&>(direct), now);
+}
+
+void SimulatedWorker::OnTick(ServerConnection& connection, double now) {
   if (crashed_) return;
+
+  if (pending_report_) {
+    // A completion loss is data; deliver it before anything else. If the
+    // lease died during the outage the server acks it as stale — the
+    // worker's obligation ends either way.
+    const auto reply = connection.Send(*pending_report_, now);
+    if (!reply) {
+      next_action_ = now + NoteSendFailure();
+      return;
+    }
+    backoff_ = 0;
+    pending_report_.reset();
+    ++jobs_completed_;
+    next_action_ = now;
+    return;
+  }
 
   if (!job_) {
     if (!queue_.empty()) {
@@ -112,7 +178,7 @@ void SimulatedWorker::OnTick(TuningServer& server, double now) {
       StartJob(std::move(job), job_id, now);
       return;
     }
-    RequestWork(server, now);
+    RequestWork(connection, now);
     return;
   }
 
@@ -136,16 +202,22 @@ void SimulatedWorker::OnTick(TuningServer& server, double now) {
     report.Set("worker", Json(static_cast<std::int64_t>(id_)));
     report.Set("job_id", Json(static_cast<std::int64_t>(job_id_)));
     report.Set("loss", Json(loss));
-    (void)server.HandleMessage(report, now);
+    const auto reply = connection.Send(report, now);
     job_.reset();
     drop_time_.reset();
+    if (!reply) {
+      pending_report_ = std::move(report);
+      next_action_ = now + NoteSendFailure();
+      return;
+    }
+    backoff_ = 0;
     ++jobs_completed_;
     next_action_ = now;  // immediately start queued work or ask for more
     return;
   }
 
   if (now >= next_heartbeat_) {
-    SendHeartbeats(server, now);
+    SendHeartbeats(connection, now);
     if (!job_) return;  // lease lost; job abandoned
   }
   next_action_ = std::min(finish_time_, next_heartbeat_);

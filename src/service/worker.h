@@ -24,11 +24,57 @@
 #include <utility>
 
 #include "common/json.h"
+#include "common/rng.h"
 #include "lifecycle/hazards.h"
 #include "service/server.h"
 #include "sim/environment.h"
 
 namespace hypertune {
+
+/// The worker's view of the network: delivers one protocol message and
+/// returns the reply, or nullopt when the server is unreachable (crashed,
+/// restarting, partitioned). Lets the same worker drive an in-process
+/// server or a chaos harness that takes the server down mid-run.
+class ServerConnection {
+ public:
+  virtual ~ServerConnection() = default;
+  virtual std::optional<Json> Send(const Json& message, double now) = 0;
+};
+
+/// In-process connection to a TuningServer. Detach() simulates the server
+/// going down (every Send fails); Attach() points at a (re)started server.
+class DirectConnection final : public ServerConnection {
+ public:
+  explicit DirectConnection(TuningServer* server = nullptr)
+      : server_(server) {}
+  void Attach(TuningServer* server) { server_ = server; }
+  void Detach() { server_ = nullptr; }
+  std::optional<Json> Send(const Json& message, double now) override {
+    if (server_ == nullptr) return std::nullopt;
+    return server_->HandleMessage(message, now);
+  }
+
+ private:
+  TuningServer* server_;
+};
+
+/// Reconnect behavior when the server is unreachable: capped exponential
+/// backoff with optional seeded jitter (deterministic under virtual time).
+struct WorkerRetryOptions {
+  /// First retry delay after a failed exchange.
+  double initial_backoff = 1.0;
+  /// Backoff cap; delays never exceed this.
+  double max_backoff = 30.0;
+  /// Backoff growth factor per consecutive failure.
+  double multiplier = 2.0;
+  /// Jitter fraction in [0, 1): each delay is scaled by (1 - jitter * u),
+  /// u ~ Uniform[0,1) from a per-worker stream seeded by `seed` + worker
+  /// id, de-synchronizing a fleet's reconnect stampede.
+  double jitter = 0.0;
+  std::uint64_t seed = 0;
+  /// Optional sink for the service.worker_retries counter (not owned).
+  Telemetry* telemetry = nullptr;
+};
 
 class SimulatedWorker {
  public:
@@ -37,11 +83,16 @@ class SimulatedWorker {
   /// start order, so a virtual-time harness replays them deterministically.
   SimulatedWorker(std::uint64_t id, JobEnvironment& environment,
                   double heartbeat_interval, std::size_t prefetch = 1,
-                  HazardInjector* hazards = nullptr);
+                  HazardInjector* hazards = nullptr,
+                  WorkerRetryOptions retry = {});
 
   /// Advances the worker to time `now`, exchanging whatever messages are
   /// due with the server (job requests, heartbeats, completion reports).
+  /// The in-process overload never fails; the connection overload retries
+  /// failed exchanges with capped exponential backoff and holds an
+  /// undeliverable completion report until the server is back.
   void OnTick(TuningServer& server, double now);
+  void OnTick(ServerConnection& connection, double now);
 
   /// Simulates a crash: the worker stops sending anything. The in-flight
   /// job's lease will expire on the server.
@@ -55,19 +106,29 @@ class SimulatedWorker {
   std::size_t jobs_queued() const { return queue_.size(); }
   /// Earliest time this worker wants another OnTick (for harness loops).
   double next_action_time() const { return next_action_; }
+  /// Failed exchanges retried so far (server unreachable).
+  std::size_t retries() const { return retries_; }
+  /// True while a completion report is held back for an unreachable server.
+  bool has_pending_report() const { return pending_report_.has_value(); }
 
  private:
-  void RequestWork(TuningServer& server, double now);
+  void RequestWork(ServerConnection& connection, double now);
   void StartJob(Job job, std::uint64_t job_id, double now);
   /// Renews the lease of every held job (running first, then queued, in
   /// acquisition order); drops queued jobs whose leases the server lost.
-  void SendHeartbeats(TuningServer& server, double now);
+  void SendHeartbeats(ServerConnection& connection, double now);
+  /// Registers one failed exchange: bumps the retry counter (and the
+  /// service.worker_retries telemetry counter) and returns the next retry
+  /// delay — capped exponential with seeded jitter.
+  double NoteSendFailure();
 
   std::uint64_t id_;
   JobEnvironment& environment_;
   double heartbeat_interval_;
   std::size_t prefetch_;
   HazardInjector* hazards_;
+  WorkerRetryOptions retry_;
+  Rng retry_rng_;
   bool crashed_ = false;
 
   std::optional<Job> job_;
@@ -81,6 +142,14 @@ class SimulatedWorker {
   double next_action_ = 0;
   std::size_t jobs_completed_ = 0;
   std::size_t jobs_dropped_ = 0;
+  /// Completion report that could not be delivered (server down); retried
+  /// with backoff before any other work. The loss survives the outage even
+  /// if the lease does not (a late delivery is acked as stale).
+  std::optional<Json> pending_report_;
+  std::size_t retries_ = 0;
+  /// Current backoff delay; 0 = healthy (next failure starts at
+  /// retry_.initial_backoff).
+  double backoff_ = 0;
 };
 
 }  // namespace hypertune

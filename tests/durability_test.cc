@@ -1,0 +1,367 @@
+// Durability: the write-ahead journal's framing contract (torn tails and
+// bit rot are truncated, never parsed or fatal) and the DurableServer's
+// recovery contract (snapshot + journal replay reconstructs the exact
+// pre-crash server, byte-for-byte in its decisions).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "core/asha.h"
+#include "durability/durable_server.h"
+#include "durability/wal.h"
+#include "service/server.h"
+
+namespace hypertune {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const auto dir =
+      std::filesystem::path(testing::TempDir()) / "ht_durability";
+  std::filesystem::create_directories(dir);
+  return (dir / name).string();
+}
+
+std::string ReadRaw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteRaw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Journal framing.
+
+TEST(Wal, RoundTripsPayloads) {
+  const std::string path = TempPath("roundtrip.log");
+  const std::vector<std::string> payloads = {
+      R"({"kind":"grant","job_id":1})", "", "x",
+      std::string(5000, 'y'),  // bigger than any one write buffer quirk
+  };
+  {
+    auto writer = JournalWriter::Create(path, {SyncPolicy::kAlways, 1});
+    for (const auto& payload : payloads) writer.Append(payload);
+    EXPECT_EQ(writer.frames_written(), payloads.size());
+  }
+  const JournalReadResult result = ReadJournal(path);
+  EXPECT_EQ(result.payloads, payloads);
+  EXPECT_FALSE(result.truncated_tail);
+  EXPECT_EQ(result.valid_bytes, std::filesystem::file_size(path));
+}
+
+TEST(Wal, EmptyJournalIsValid) {
+  const std::string path = TempPath("empty.log");
+  { auto writer = JournalWriter::Create(path, {}); }
+  const JournalReadResult result = ReadJournal(path);
+  EXPECT_TRUE(result.payloads.empty());
+  EXPECT_FALSE(result.truncated_tail);
+  EXPECT_EQ(result.valid_bytes, JournalMagic().size());
+}
+
+TEST(Wal, TornTailIsTruncatedNotParsed) {
+  const std::string path = TempPath("torn.log");
+  {
+    auto writer = JournalWriter::Create(path, {SyncPolicy::kNone, 0});
+    writer.Append("first");
+    writer.Append("second");
+  }
+  const auto valid_size = std::filesystem::file_size(path);
+  // A crash mid-append: half a frame header, then nothing.
+  std::string bytes = ReadRaw(path);
+  bytes += std::string("\x09\x00", 2);
+  WriteRaw(path, bytes);
+
+  const JournalReadResult torn = ReadJournal(path);
+  EXPECT_EQ(torn.payloads, (std::vector<std::string>{"first", "second"}));
+  EXPECT_TRUE(torn.truncated_tail);
+  EXPECT_EQ(torn.valid_bytes, valid_size);
+
+  // Reopening for append truncates the tail and keeps going.
+  {
+    auto writer = JournalWriter::Append(path, {}, torn.valid_bytes);
+    writer.Append("third");
+  }
+  const JournalReadResult healed = ReadJournal(path);
+  EXPECT_EQ(healed.payloads,
+            (std::vector<std::string>{"first", "second", "third"}));
+  EXPECT_FALSE(healed.truncated_tail);
+}
+
+TEST(Wal, TornPayloadIsTruncated) {
+  const std::string path = TempPath("torn_payload.log");
+  {
+    auto writer = JournalWriter::Create(path, {});
+    writer.Append("keep");
+  }
+  // A full header promising 100 bytes, followed by only 3.
+  std::string bytes = ReadRaw(path);
+  bytes += std::string("\x64\x00\x00\x00\xde\xad\xbe\xef", 8);
+  bytes += "abc";
+  WriteRaw(path, bytes);
+  const JournalReadResult result = ReadJournal(path);
+  EXPECT_EQ(result.payloads, (std::vector<std::string>{"keep"}));
+  EXPECT_TRUE(result.truncated_tail);
+}
+
+TEST(Wal, CrcCorruptionStopsTheRead) {
+  const std::string path = TempPath("corrupt.log");
+  {
+    auto writer = JournalWriter::Create(path, {});
+    writer.Append("alpha");
+    writer.Append("bravo");
+    writer.Append("charlie");
+  }
+  // Flip one payload byte of the middle frame: everything from that frame
+  // on is dead; everything before it survives.
+  std::string bytes = ReadRaw(path);
+  const std::size_t pos = bytes.find("bravo");
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos] ^= 0x01;
+  WriteRaw(path, bytes);
+  const JournalReadResult result = ReadJournal(path);
+  EXPECT_EQ(result.payloads, (std::vector<std::string>{"alpha"}));
+  EXPECT_TRUE(result.truncated_tail);
+}
+
+TEST(Wal, RejectsForeignFiles) {
+  const std::string path = TempPath("foreign.bin");
+  WriteRaw(path, "this is not a journal at all");
+  EXPECT_THROW(ReadJournal(path), CheckError);
+  EXPECT_THROW(ReadJournal(TempPath("missing.log")), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// DurableServer recovery.
+
+SearchSpace DurabilitySpace() {
+  SearchSpace space;
+  space.Add("x", Domain::Continuous(0.0, 1.0));
+  return space;
+}
+
+AshaOptions DurabilityAsha() {
+  AshaOptions options;
+  options.r = 1;
+  options.R = 27;
+  options.eta = 3;
+  options.max_trials = 60;
+  options.seed = 5;
+  return options;
+}
+
+Json RequestJob(std::uint64_t worker) {
+  Json message = JsonObject{};
+  message.Set("type", Json("request_job"));
+  message.Set("worker", Json(static_cast<std::int64_t>(worker)));
+  return message;
+}
+
+Json Report(std::uint64_t worker, std::uint64_t job_id, double loss) {
+  Json message = JsonObject{};
+  message.Set("type", Json("report"));
+  message.Set("worker", Json(static_cast<std::int64_t>(worker)));
+  message.Set("job_id", Json(static_cast<std::int64_t>(job_id)));
+  message.Set("loss", Json(loss));
+  return message;
+}
+
+std::string FreshStateDir(const std::string& name) {
+  const std::string dir = TempPath(name);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Drives `steps` request/report cycles at one message per virtual second;
+/// returns the virtual time after the last message.
+template <typename ServerLike>
+double DriveCycles(ServerLike& server, int steps, double now) {
+  for (int i = 0; i < steps; ++i) {
+    const Json reply = server.HandleMessage(RequestJob(0), now);
+    now += 1.0;
+    if (reply.at("type").AsString() != "job") continue;
+    const auto job_id =
+        static_cast<std::uint64_t>(reply.at("job_id").AsInt());
+    const double loss =
+        0.1 + 0.001 * static_cast<double>(reply.at("job").at("trial").AsInt());
+    server.HandleMessage(Report(0, job_id, loss), now);
+    now += 1.0;
+  }
+  return now;
+}
+
+TEST(DurableServer, RecoversMidRunAndContinuesIdentically) {
+  const std::string dir = FreshStateDir("recover_midrun");
+  // Reference: an uninterrupted plain server fed the same messages.
+  AshaScheduler ref_scheduler(MakeRandomSampler(DurabilitySpace()),
+                              DurabilityAsha());
+  TuningServer reference(ref_scheduler, ServerOptions{.lease_timeout = 1e6});
+  double ref_now = DriveCycles(reference, 40, 0);
+
+  double now = 0;
+  {
+    AshaScheduler scheduler(MakeRandomSampler(DurabilitySpace()),
+                            DurabilityAsha());
+    DurableServer durable(scheduler, ServerOptions{.lease_timeout = 1e6},
+                          DurabilityOptions{.dir = dir});
+    EXPECT_FALSE(durable.recovered());
+    now = DriveCycles(durable, 15, now);
+    // The server "crashes" here: everything in memory dies with this scope.
+  }
+  AshaScheduler scheduler(MakeRandomSampler(DurabilitySpace()),
+                          DurabilityAsha());
+  DurableServer durable(scheduler, ServerOptions{.lease_timeout = 1e6},
+                        DurabilityOptions{.dir = dir});
+  EXPECT_TRUE(durable.recovered());
+  EXPECT_GT(durable.replayed_events(), 0u);
+  now = DriveCycles(durable, 25, now);
+
+  ASSERT_EQ(durable.server().run_records().size(),
+            reference.run_records().size());
+  for (std::size_t i = 0; i < reference.run_records().size(); ++i) {
+    const RunRecord& a = reference.run_records()[i];
+    const RunRecord& b = durable.server().run_records()[i];
+    EXPECT_EQ(a.trial_id, b.trial_id) << "record " << i;
+    EXPECT_EQ(a.rung, b.rung) << "record " << i;
+    EXPECT_EQ(a.loss, b.loss) << "record " << i;
+    EXPECT_EQ(a.lease_id, b.lease_id) << "record " << i;
+  }
+  EXPECT_EQ(durable.server().stats().jobs_completed,
+            reference.stats().jobs_completed);
+  ASSERT_TRUE(durable.server().Current().has_value());
+  EXPECT_EQ(durable.server().Current()->trial_id,
+            reference.Current()->trial_id);
+  (void)ref_now;
+}
+
+TEST(DurableServer, SnapshotsCompactTheJournalAndPruneOldGenerations) {
+  const std::string dir = FreshStateDir("compaction");
+  AshaScheduler scheduler(MakeRandomSampler(DurabilitySpace()),
+                          DurabilityAsha());
+  DurableServer durable(
+      scheduler, ServerOptions{.lease_timeout = 1e6},
+      DurabilityOptions{.dir = dir, .snapshot_every = 8});
+  DriveCycles(durable, 30, 0);
+  EXPECT_GT(durable.generation(), 1u);
+  // Only the live generation's files remain on disk.
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), "-%06llu",
+                static_cast<unsigned long long>(durable.generation()));
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_NE(name.find(suffix), std::string::npos) << "stale file " << name;
+    ++files;
+  }
+  EXPECT_EQ(files, 2u);  // snapshot + wal of the live generation
+}
+
+TEST(DurableServer, RecoversThroughSnapshotPlusJournalTail) {
+  const std::string dir = FreshStateDir("snapshot_tail");
+  AshaScheduler ref_scheduler(MakeRandomSampler(DurabilitySpace()),
+                              DurabilityAsha());
+  TuningServer reference(ref_scheduler, ServerOptions{.lease_timeout = 1e6});
+  DriveCycles(reference, 40, 0);
+
+  double now = 0;
+  std::uint64_t generation = 0;
+  {
+    AshaScheduler scheduler(MakeRandomSampler(DurabilitySpace()),
+                            DurabilityAsha());
+    DurableServer durable(
+        scheduler, ServerOptions{.lease_timeout = 1e6},
+        DurabilityOptions{.dir = dir, .snapshot_every = 8});
+    now = DriveCycles(durable, 25, now);
+    generation = durable.generation();
+    EXPECT_GT(generation, 0u);  // the crash lands past a snapshot
+  }
+  AshaScheduler scheduler(MakeRandomSampler(DurabilitySpace()),
+                          DurabilityAsha());
+  DurableServer durable(
+      scheduler, ServerOptions{.lease_timeout = 1e6},
+      DurabilityOptions{.dir = dir, .snapshot_every = 8});
+  EXPECT_TRUE(durable.recovered());
+  EXPECT_EQ(durable.generation(), generation);
+  now = DriveCycles(durable, 15, now);
+  ASSERT_EQ(durable.server().run_records().size(),
+            reference.run_records().size());
+  EXPECT_EQ(durable.server().Current()->trial_id,
+            reference.Current()->trial_id);
+}
+
+TEST(DurableServer, TruncatesTornJournalTailOnRecovery) {
+  const std::string dir = FreshStateDir("torn_recovery");
+  double now = 0;
+  {
+    AshaScheduler scheduler(MakeRandomSampler(DurabilitySpace()),
+                            DurabilityAsha());
+    DurableServer durable(scheduler, ServerOptions{.lease_timeout = 1e6},
+                          DurabilityOptions{.dir = dir});
+    now = DriveCycles(durable, 10, now);
+  }
+  // Smash a torn frame onto the journal tail — the crash happened mid-write.
+  const std::string wal = (std::filesystem::path(dir) / "wal-000000.log").string();
+  ASSERT_TRUE(std::filesystem::exists(wal));
+  {
+    std::ofstream out(wal, std::ios::binary | std::ios::app);
+    out << std::string("\xff\xff\x00\x00garbage", 11);
+  }
+  AshaScheduler scheduler(MakeRandomSampler(DurabilitySpace()),
+                          DurabilityAsha());
+  DurableServer durable(scheduler, ServerOptions{.lease_timeout = 1e6},
+                        DurabilityOptions{.dir = dir});
+  EXPECT_TRUE(durable.recovered());
+  EXPECT_TRUE(durable.journal_tail_truncated());
+  // The journal is healed: appending and re-recovering works.
+  now = DriveCycles(durable, 5, now);
+  EXPECT_GT(durable.server().stats().jobs_completed, 0u);
+}
+
+TEST(DurableServer, ExpiredLeasesAreJournaledAndReplayed) {
+  const std::string dir = FreshStateDir("expiry_replay");
+  double now = 0;
+  std::size_t expired_before = 0;
+  {
+    AshaScheduler scheduler(MakeRandomSampler(DurabilitySpace()),
+                            DurabilityAsha());
+    DurableServer durable(scheduler, ServerOptions{.lease_timeout = 5},
+                          DurabilityOptions{.dir = dir});
+    // Lease a job and let it rot: the worker never reports.
+    durable.HandleMessage(RequestJob(0), now);
+    now += 100;
+    durable.Tick(now);
+    expired_before = durable.server().stats().leases_expired;
+    EXPECT_EQ(expired_before, 1u);
+  }
+  AshaScheduler scheduler(MakeRandomSampler(DurabilitySpace()),
+                          DurabilityAsha());
+  DurableServer durable(scheduler, ServerOptions{.lease_timeout = 5},
+                        DurabilityOptions{.dir = dir});
+  EXPECT_TRUE(durable.recovered());
+  EXPECT_EQ(durable.server().stats().leases_expired, expired_before);
+  ASSERT_EQ(durable.server().run_records().size(), 1u);
+  EXPECT_TRUE(durable.server().run_records()[0].lost);
+}
+
+TEST(DurableServer, RefusesForeignStateDirGracefully) {
+  const std::string dir = FreshStateDir("foreign_state");
+  std::filesystem::create_directories(dir);
+  WriteRaw((std::filesystem::path(dir) / "wal-000000.log").string(),
+           "not a journal");
+  AshaScheduler scheduler(MakeRandomSampler(DurabilitySpace()),
+                          DurabilityAsha());
+  EXPECT_THROW(DurableServer(scheduler, ServerOptions{.lease_timeout = 1e6},
+                             DurabilityOptions{.dir = dir}),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -507,5 +507,99 @@ TEST(Service, CrashedWorkersJobsAreRecovered) {
   EXPECT_GT(healthy.jobs_completed(), 10u);
 }
 
+AshaOptions SmallAsha() {
+  AshaOptions options;
+  options.r = 1;
+  options.R = 27;
+  options.eta = 3;
+  options.max_trials = 40;
+  return options;
+}
+
+TEST(Service, WorkerBacksOffWhileServerIsDown) {
+  AshaScheduler asha(MakeRandomSampler(UnitSpace()), SmallAsha());
+  TuningServer server(asha, {.lease_timeout = 60});
+  RankEnv env;
+  auto telemetry = Telemetry::ForSimulation();
+  WorkerRetryOptions retry;
+  retry.initial_backoff = 1.0;
+  retry.max_backoff = 4.0;
+  retry.multiplier = 2.0;
+  retry.telemetry = telemetry.get();
+  SimulatedWorker worker(0, env, /*heartbeat_interval=*/5.0, /*prefetch=*/1,
+                         /*hazards=*/nullptr, retry);
+
+  DirectConnection connection;  // detached: the server is unreachable
+  worker.OnTick(static_cast<ServerConnection&>(connection), 0);
+  EXPECT_EQ(worker.retries(), 1u);
+  // Backoff doubles up to the cap: retries land at 1, 3, 7, 11, 15, ...
+  EXPECT_DOUBLE_EQ(worker.next_action_time(), 1.0);
+  worker.OnTick(static_cast<ServerConnection&>(connection), 1.0);
+  EXPECT_DOUBLE_EQ(worker.next_action_time(), 3.0);
+  worker.OnTick(static_cast<ServerConnection&>(connection), 3.0);
+  EXPECT_DOUBLE_EQ(worker.next_action_time(), 7.0);
+  worker.OnTick(static_cast<ServerConnection&>(connection), 7.0);
+  EXPECT_DOUBLE_EQ(worker.next_action_time(), 11.0);  // capped at 4
+  EXPECT_EQ(worker.retries(), 4u);
+  EXPECT_EQ(telemetry->metrics().counter("service.worker_retries").value(),
+            4);
+
+  // The server comes back: the very next attempt succeeds and the backoff
+  // resets to healthy.
+  connection.Attach(&server);
+  worker.OnTick(static_cast<ServerConnection&>(connection), 11.0);
+  EXPECT_TRUE(worker.IsTraining());
+  EXPECT_EQ(worker.retries(), 4u);
+}
+
+TEST(Service, WorkerHoldsCompletionReportThroughOutage) {
+  AshaScheduler asha(MakeRandomSampler(UnitSpace()), SmallAsha());
+  TuningServer server(asha, {.lease_timeout = 1e6});
+  RankEnv env;
+  SimulatedWorker worker(0, env, /*heartbeat_interval=*/1e6);
+
+  DirectConnection connection(&server);
+  worker.OnTick(static_cast<ServerConnection&>(connection), 0);
+  ASSERT_TRUE(worker.IsTraining());
+  const double finish = worker.next_action_time();
+
+  // The server dies before the job finishes: the report is undeliverable
+  // and must be held, not dropped.
+  connection.Detach();
+  worker.OnTick(static_cast<ServerConnection&>(connection), finish);
+  EXPECT_TRUE(worker.has_pending_report());
+  EXPECT_EQ(worker.jobs_completed(), 0u);
+  EXPECT_EQ(server.stats().jobs_completed, 0u);
+
+  // Server back: the held report is delivered before any new work.
+  connection.Attach(&server);
+  worker.OnTick(static_cast<ServerConnection&>(connection),
+                worker.next_action_time());
+  EXPECT_FALSE(worker.has_pending_report());
+  EXPECT_EQ(worker.jobs_completed(), 1u);
+  EXPECT_EQ(server.stats().jobs_completed, 1u);
+}
+
+TEST(Service, JitterDesynchronizesRetryDelays) {
+  AshaScheduler asha(MakeRandomSampler(UnitSpace()), SmallAsha());
+  RankEnv env;
+  WorkerRetryOptions retry;
+  retry.initial_backoff = 2.0;
+  retry.jitter = 0.5;
+  retry.seed = 7;
+  SimulatedWorker a(0, env, 5.0, 1, nullptr, retry);
+  SimulatedWorker b(1, env, 5.0, 1, nullptr, retry);
+  DirectConnection down;  // never attached
+  a.OnTick(static_cast<ServerConnection&>(down), 0);
+  b.OnTick(static_cast<ServerConnection&>(down), 0);
+  // Each delay is backoff * (1 - jitter * u): within (1, 2] here, and the
+  // per-worker streams (seed + id) give the fleet distinct delays.
+  EXPECT_GT(a.next_action_time(), 1.0);
+  EXPECT_LE(a.next_action_time(), 2.0);
+  EXPECT_GT(b.next_action_time(), 1.0);
+  EXPECT_LE(b.next_action_time(), 2.0);
+  EXPECT_NE(a.next_action_time(), b.next_action_time());
+}
+
 }  // namespace
 }  // namespace hypertune

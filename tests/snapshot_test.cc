@@ -1,10 +1,21 @@
-// Snapshot/restore: ASHA as a crash-tolerant tuning service.
+// Snapshot/restore: the whole scheduler family as crash-tolerant tuning
+// services. Every scheduler that claims SupportsSnapshot() gets the same
+// continuation-identity property test: run it, snapshot, restore into a
+// fresh instance, and require both to produce byte-identical futures.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
+#include <memory>
 
 #include "common/check.h"
 #include "core/asha.h"
+#include "core/async_hyperband.h"
+#include "core/hyperband.h"
+#include "core/random_search.h"
+#include "core/sha.h"
+#include "lifecycle/hazards.h"
+#include "lifecycle/lifecycle.h"
 
 namespace hypertune {
 namespace {
@@ -156,6 +167,217 @@ TEST(Snapshot, InfiniteHorizonRoundTrip) {
   const auto job_b = *restored.GetJob();
   EXPECT_EQ(job_a.trial_id, job_b.trial_id);
   EXPECT_EQ(job_a.rung, job_b.rung);
+}
+
+// ---------------------------------------------------------------------------
+// Family-wide continuation identity: any SupportsSnapshot scheduler, run for
+// `warm_steps` synchronous steps, snapshotted, and restored into a fresh
+// instance, must produce the same job sequence as the original for
+// `check_steps` more steps.
+
+double FamilyLoss(const Scheduler& scheduler, const Job& job) {
+  return scheduler.trials().Get(job.trial_id).config.GetDouble("x") *
+         (1.0 + 1.0 / job.to_resource);
+}
+
+void ExpectContinuationIdentity(
+    const std::function<std::unique_ptr<Scheduler>()>& make, int warm_steps,
+    int check_steps) {
+  auto original = make();
+  ASSERT_TRUE(original->SupportsSnapshot());
+  for (int step = 0; step < warm_steps; ++step) {
+    const auto job = original->GetJob();
+    if (!job) break;
+    original->ReportResult(*job, FamilyLoss(*original, *job));
+  }
+  auto restored = make();
+  // Through text, like the durable server's snapshot files.
+  restored->Restore(Json::Parse(original->Snapshot().Dump()));
+
+  EXPECT_EQ(restored->trials().size(), original->trials().size());
+  EXPECT_EQ(restored->Current().has_value(), original->Current().has_value());
+  if (original->Current()) {
+    EXPECT_EQ(restored->Current()->trial_id, original->Current()->trial_id);
+  }
+  for (int step = 0; step < check_steps; ++step) {
+    const auto job_a = original->GetJob();
+    const auto job_b = restored->GetJob();
+    ASSERT_EQ(job_a.has_value(), job_b.has_value()) << "step " << step;
+    if (!job_a) break;
+    EXPECT_EQ(job_a->trial_id, job_b->trial_id) << "step " << step;
+    EXPECT_EQ(job_a->rung, job_b->rung) << "step " << step;
+    EXPECT_EQ(job_a->config, job_b->config) << "step " << step;
+    original->ReportResult(*job_a, FamilyLoss(*original, *job_a));
+    restored->ReportResult(*job_b, FamilyLoss(*restored, *job_b));
+  }
+  EXPECT_EQ(restored->Finished(), original->Finished());
+}
+
+TEST(SnapshotFamily, SyncShaContinuesIdentically) {
+  ExpectContinuationIdentity(
+      []() -> std::unique_ptr<Scheduler> {
+        ShaOptions options;
+        options.n = 9;
+        options.r = 1;
+        options.R = 9;
+        options.eta = 3;
+        options.seed = 11;
+        return std::make_unique<SyncShaScheduler>(
+            MakeRandomSampler(UnitSpace()), options);
+      },
+      /*warm_steps=*/20, /*check_steps=*/30);
+}
+
+TEST(SnapshotFamily, SingleBracketShaContinuesIdentically) {
+  ExpectContinuationIdentity(
+      []() -> std::unique_ptr<Scheduler> {
+        ShaOptions options;
+        options.n = 9;
+        options.r = 1;
+        options.R = 9;
+        options.eta = 3;
+        options.spawn_new_brackets = false;
+        options.seed = 11;
+        return std::make_unique<SyncShaScheduler>(
+            MakeRandomSampler(UnitSpace()), options);
+      },
+      /*warm_steps=*/7, /*check_steps=*/20);
+}
+
+TEST(SnapshotFamily, HyperbandContinuesIdentically) {
+  ExpectContinuationIdentity(
+      []() -> std::unique_ptr<Scheduler> {
+        HyperbandOptions options;
+        options.n0 = 9;
+        options.r = 1;
+        options.R = 9;
+        options.eta = 3;
+        options.seed = 7;
+        return std::make_unique<HyperbandScheduler>(
+            MakeRandomSampler(UnitSpace()), options);
+      },
+      /*warm_steps=*/35, /*check_steps=*/40);
+}
+
+TEST(SnapshotFamily, AsyncHyperbandContinuesIdentically) {
+  ExpectContinuationIdentity(
+      []() -> std::unique_ptr<Scheduler> {
+        AsyncHyperbandOptions options;
+        options.n0 = 9;
+        options.r = 1;
+        options.R = 9;
+        options.eta = 3;
+        options.seed = 7;
+        return std::make_unique<AsyncHyperbandScheduler>(
+            MakeRandomSampler(UnitSpace()), options);
+      },
+      /*warm_steps=*/30, /*check_steps=*/40);
+}
+
+TEST(SnapshotFamily, RandomSearchContinuesIdentically) {
+  ExpectContinuationIdentity(
+      []() -> std::unique_ptr<Scheduler> {
+        RandomSearchOptions options;
+        options.R = 4;
+        options.max_trials = 50;
+        options.seed = 23;
+        return std::make_unique<RandomSearchScheduler>(
+            MakeRandomSampler(UnitSpace()), options);
+      },
+      /*warm_steps=*/15, /*check_steps=*/40);
+}
+
+TEST(SnapshotFamily, ShaInFlightJobsBecomeLostOnRestore) {
+  ShaOptions options;
+  options.n = 9;
+  options.r = 1;
+  options.R = 9;
+  options.eta = 3;
+  options.seed = 11;
+  SyncShaScheduler original(MakeRandomSampler(UnitSpace()), options);
+  const auto reported = *original.GetJob();
+  original.ReportResult(reported, 0.4);
+  const auto in_flight = *original.GetJob();  // crashes with the worker
+
+  SyncShaScheduler restored(MakeRandomSampler(UnitSpace()), options);
+  restored.Restore(original.Snapshot());  // default policy: drop in-flight
+  EXPECT_EQ(restored.trials().Get(in_flight.trial_id).status,
+            TrialStatus::kLost);
+  // The dropped job settles through ReportLost, so the bracket keeps
+  // making progress instead of waiting on a ghost.
+  EXPECT_TRUE(restored.GetJob().has_value());
+}
+
+TEST(SnapshotFamily, KeepInFlightPreservesOpenJobs) {
+  AshaScheduler original(MakeRandomSampler(UnitSpace()), ToyOptions());
+  const auto in_flight = *original.GetJob();
+  const Json snapshot = original.Snapshot();
+
+  AshaScheduler restored(MakeRandomSampler(UnitSpace()), ToyOptions());
+  restored.Restore(snapshot, RestorePolicy::kKeepInFlight);
+  // The lease survives on paper: the trial is still running and its
+  // eventual report is accepted exactly as the original would accept it.
+  EXPECT_EQ(restored.trials().Get(in_flight.trial_id).status,
+            TrialStatus::kRunning);
+  restored.ReportResult(in_flight, 0.3);
+  original.ReportResult(in_flight, 0.3);
+  const auto job_a = *original.GetJob();
+  const auto job_b = *restored.GetJob();
+  EXPECT_EQ(job_a.trial_id, job_b.trial_id);
+  EXPECT_EQ(job_a.config, job_b.config);
+}
+
+TEST(SnapshotFamily, LifecycleRoundTripsRecordsAndLeases) {
+  AshaScheduler scheduler_a(MakeRandomSampler(UnitSpace()), ToyOptions());
+  TrialLifecycle lifecycle_a(
+      scheduler_a, LifecycleOptions{.track_recommendations = true});
+  const auto lease1 = *lifecycle_a.Acquire();
+  lifecycle_a.Complete(lease1, 0.3, RunTiming{0, 1, 0, 0});
+  const auto lease2 = *lifecycle_a.Acquire();  // left open across the crash
+
+  AshaScheduler scheduler_b(MakeRandomSampler(UnitSpace()), ToyOptions());
+  scheduler_b.Restore(scheduler_a.Snapshot(), RestorePolicy::kKeepInFlight);
+  TrialLifecycle lifecycle_b(
+      scheduler_b, LifecycleOptions{.track_recommendations = true});
+  lifecycle_b.Restore(Json::Parse(lifecycle_a.Snapshot().Dump()));
+
+  ASSERT_EQ(lifecycle_b.records().size(), 1u);
+  EXPECT_EQ(lifecycle_b.records()[0].trial_id, lease1.job.trial_id);
+  EXPECT_EQ(lifecycle_b.records()[0].lease_id, lease1.lease_id);
+  EXPECT_EQ(lifecycle_b.pending_leases(), 1u);
+  EXPECT_EQ(lifecycle_b.completed_jobs(), 1u);
+  EXPECT_EQ(lifecycle_b.recommendations().size(),
+            lifecycle_a.recommendations().size());
+  // The open lease resolves exactly once on both sides, then the dense
+  // lease-id counter continues where it left off.
+  lifecycle_a.Complete(lease2, 0.2, RunTiming{1, 2, 0, 0});
+  lifecycle_b.Complete(lease2, 0.2, RunTiming{1, 2, 0, 0});
+  EXPECT_THROW(lifecycle_b.Complete(lease2, 0.2, RunTiming{}), CheckError);
+  const auto next_a = *lifecycle_a.Acquire();
+  const auto next_b = *lifecycle_b.Acquire();
+  EXPECT_EQ(next_b.lease_id, next_a.lease_id);
+  EXPECT_EQ(next_b.job.trial_id, next_a.job.trial_id);
+}
+
+TEST(SnapshotFamily, HazardInjectorRoundTripsRngStream) {
+  HazardOptions options;
+  options.straggler_std = 0.5;
+  options.drop_probability = 0.05;
+  HazardInjector original(options, 99);
+  // Draw an odd number of normals so a Box–Muller spare is in flight.
+  for (int i = 0; i < 7; ++i) original.Plan(1.0);
+
+  HazardInjector restored(options, 99);
+  restored.Restore(Json::Parse(original.Snapshot().Dump()));
+  for (int i = 0; i < 20; ++i) {
+    const HazardPlan plan_a = original.Plan(1.0 + 0.1 * i);
+    const HazardPlan plan_b = restored.Plan(1.0 + 0.1 * i);
+    EXPECT_EQ(plan_a.duration, plan_b.duration) << "draw " << i;
+    EXPECT_EQ(plan_a.drop_after.has_value(), plan_b.drop_after.has_value());
+    if (plan_a.drop_after) {
+      EXPECT_EQ(*plan_a.drop_after, *plan_b.drop_after);
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,163 @@
+// Chaos-restart harness: proves crash recovery is decision-exact.
+//
+// For every (scheduler kind x seed x crash point) it runs the shared
+// service scenario twice — once uninterrupted, once killing the server
+// after K handled messages and restarting it from its durable state dir
+// (latest snapshot + journal-tail replay) — and requires the two decision
+// texts (every resolved lease, the incumbent trajectory, the final trial
+// table) to be byte-identical. Crash points are picked as fractions of the
+// golden run's message count, so they land early (journal-only recovery),
+// mid-run, and late (snapshot + tail) without hand-tuned constants.
+//
+// A final scenario keeps the server down for a stretch of virtual time to
+// exercise the workers' capped-exponential reconnect backoff: identity is
+// out (leases expire during the outage), so it asserts liveness instead —
+// the run still finishes and the workers actually retried.
+//
+// Usage: chaos_recovery <scratch-dir> [--quick]
+//   --quick: one seed, one crash point per kind (CI smoke).
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+#include "dump_scenario.h"
+
+namespace hypertune {
+namespace {
+
+/// First line where the two dumps differ, for the failure report.
+std::string FirstDiff(const std::string& golden, const std::string& actual) {
+  std::istringstream a(golden);
+  std::istringstream b(actual);
+  std::string line_a;
+  std::string line_b;
+  std::size_t line = 1;
+  while (true) {
+    const bool has_a = static_cast<bool>(std::getline(a, line_a));
+    const bool has_b = static_cast<bool>(std::getline(b, line_b));
+    if (!has_a && !has_b) return "(no difference found?)";
+    if (!has_a || !has_b || line_a != line_b) {
+      std::ostringstream out;
+      out << "line " << line << ":\n  golden: "
+          << (has_a ? line_a : "<end of dump>")
+          << "\n  actual: " << (has_b ? line_b : "<end of dump>");
+      return out.str();
+    }
+    ++line;
+  }
+}
+
+int RunChaos(const std::string& scratch, bool quick) {
+  const std::vector<std::string> kinds = {"asha", "sha", "hyperband"};
+  const std::vector<std::uint64_t> seeds =
+      quick ? std::vector<std::uint64_t>{42}
+            : std::vector<std::uint64_t>{1, 42, 1000};
+  // Crash after these fractions of the golden run's handled messages.
+  const std::vector<double> fractions =
+      quick ? std::vector<double>{0.5} : std::vector<double>{0.1, 0.5, 0.9};
+
+  int failures = 0;
+  for (const auto& kind : kinds) {
+    for (const auto seed : seeds) {
+      ServiceDecisionsOptions options;
+      options.kind = kind;
+      options.seed = seed;
+      options.workers = 8;
+      const auto golden = RunServiceDecisions(options);
+      std::cout << "golden  " << kind << " seed=" << seed << " messages="
+                << golden.messages_handled << " crc32=" << std::hex
+                << Crc32(golden.text) << std::dec << "\n";
+
+      for (const double fraction : fractions) {
+        auto crash_at = static_cast<std::size_t>(
+            fraction * static_cast<double>(golden.messages_handled));
+        if (crash_at == 0) crash_at = 1;
+        const std::string state_dir =
+            (std::filesystem::path(scratch) /
+             (kind + "-" + std::to_string(seed) + "-" +
+              std::to_string(crash_at)))
+                .string();
+        std::filesystem::remove_all(state_dir);
+
+        ServiceDecisionsOptions chaos = options;
+        CrashPlan plan;
+        plan.crash_at = crash_at;
+        plan.state_dir = state_dir;
+        // Small enough that late crash points recover through a snapshot +
+        // journal tail, not a full-journal replay.
+        plan.snapshot_every = 64;
+        chaos.crash = plan;
+        const auto result = RunServiceDecisions(chaos);
+
+        const bool identical = result.text == golden.text;
+        std::cout << (identical ? "OK      " : "MISMATCH")
+                  << " " << kind << " seed=" << seed
+                  << " crash-at=" << crash_at
+                  << " replayed=" << result.replayed_events
+                  << " generation=" << result.generation << "\n";
+        if (!identical) {
+          ++failures;
+          std::cout << FirstDiff(golden.text, result.text) << "\n";
+        } else {
+          std::filesystem::remove_all(state_dir);
+        }
+      }
+    }
+  }
+
+  // Downtime scenario: the server stays dead for 10 virtual seconds, so
+  // workers must back off, hold their undeliverable reports, and reconnect.
+  {
+    ServiceDecisionsOptions options;
+    options.kind = "asha";
+    options.seed = 42;
+    options.workers = 8;
+    const auto golden = RunServiceDecisions(options);
+    const std::string state_dir =
+        (std::filesystem::path(scratch) / "downtime").string();
+    std::filesystem::remove_all(state_dir);
+    ServiceDecisionsOptions chaos = options;
+    CrashPlan plan;
+    plan.crash_at = golden.messages_handled / 2;
+    plan.state_dir = state_dir;
+    plan.downtime = 10.0;
+    chaos.crash = plan;
+    const auto result = RunServiceDecisions(chaos);
+    const bool ok =
+        result.finished && result.recovered && result.worker_retries > 0;
+    std::cout << (ok ? "OK      " : "FAIL    ")
+              << " downtime recovery: finished=" << result.finished
+              << " recovered=" << result.recovered
+              << " retries=" << result.worker_retries << "\n";
+    if (!ok) ++failures;
+    else std::filesystem::remove_all(state_dir);
+  }
+
+  if (failures > 0) {
+    std::cout << "chaos recovery FAILED: " << failures << " scenario(s)\n";
+    return 1;
+  }
+  std::cout << "chaos recovery passed: every crashed run matched its golden"
+               " byte-for-byte\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace hypertune
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::cerr << "usage: chaos_recovery <scratch-dir> [--quick]\n";
+    return 2;
+  }
+  const bool quick = argc == 3 && std::string(argv[2]) == "--quick";
+  if (argc == 3 && !quick) {
+    std::cerr << "unknown flag '" << argv[2] << "'\n";
+    return 2;
+  }
+  return hypertune::RunChaos(argv[1], quick);
+}

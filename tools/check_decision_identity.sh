@@ -10,6 +10,10 @@
 #     (no libm calls), so the digests are stable across compilers and
 #     optimization levels; an intentional behavior change must regenerate
 #     the golden file (rerun the loop below and commit the new digests).
+#     A line's optional 5th field selects a dump mode: "decisions" runs
+#     decision_dump with --decisions-only — the pure decision text the
+#     crash-recovery harness (chaos_recovery) must reproduce byte-for-byte
+#     after killing and restarting the server.
 #  2. Hazard parity — decision_dump --hazards is self-verifying: it replays
 #     one seeded hazard stream through the simulator and the real
 #     ThreadPoolExecutor and exits nonzero if any per-job complete/drop
@@ -32,13 +36,19 @@ fi
 
 failures=0
 
-while read -r digest kind seed workers; do
+while read -r digest kind seed workers mode; do
   [[ -z "$digest" || "$digest" == \#* ]] && continue
-  actual=$("$DUMP" "$kind" "$seed" "$workers" | sha256sum | cut -d' ' -f1)
+  flags=()
+  label="$kind seed=$seed workers=$workers"
+  if [[ "${mode:-}" == "decisions" ]]; then
+    flags=(--decisions-only)
+    label="$label decisions"
+  fi
+  actual=$("$DUMP" "$kind" "$seed" "$workers" "${flags[@]}" | sha256sum | cut -d' ' -f1)
   if [[ "$actual" == "$digest" ]]; then
-    echo "OK      $kind seed=$seed workers=$workers"
+    echo "OK      $label"
   else
-    echo "DIFF    $kind seed=$seed workers=$workers"
+    echo "DIFF    $label"
     echo "        golden $digest"
     echo "        actual $actual"
     failures=$((failures + 1))

@@ -17,87 +17,47 @@
 // deterministic too). The parity check is self-verifying: a divergence
 // prints the first mismatching job and exits nonzero.
 //
+// With --decisions-only the dump prints the pure decision text (resolved
+// leases, incumbent trajectory, final trial table — no telemetry trace):
+// the payload the crash-recovery harness must reproduce byte-for-byte.
+// --crash-at K --state-dir D runs that same service scenario through a
+// DurableServer, kills it after K handled messages, restarts it from disk
+// (snapshot + journal replay), and prints the same decision text — so
+//
+//   ./decision_dump asha 42 8 --decisions-only | sha256sum
+//   ./decision_dump asha 42 8 --crash-at 500 --state-dir /tmp/d | sha256sum
+//
+// must agree (and match tools/golden/decision_digests.txt).
+//
 // Usage: decision_dump <asha|sha|hyperband> <seed> <workers>
 //                      [--hazards <straggler_std>,<drop_prob>]
+//                      [--decisions-only]
+//                      [--crash-at <K> --state-dir <dir>] [--downtime <T>]
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
-#include "core/asha.h"
-#include "core/async_hyperband.h"
-#include "core/sha.h"
-#include "lifecycle/hazards.h"
 #include "runtime/executor.h"
-#include "service/server.h"
-#include "service/worker.h"
 #include "sim/driver.h"
 #include "telemetry/telemetry.h"
+#include "dump_scenario.h"
 
 namespace hypertune {
 namespace {
 
-SearchSpace DumpSpace() {
-  SearchSpace space;
-  space.Add("x", Domain::Continuous(0.0, 1.0));
-  space.Add("y", Domain::Continuous(-1.0, 1.0));
-  return space;
-}
-
-// Deterministic synthetic training: loss improves with resource, ordering
-// driven by the sampled point; durations vary per configuration so the
-// event queue sees distinct completion times.
-class DumpEnv final : public JobEnvironment {
- public:
-  double Loss(const Configuration& config, Resource resource) override {
-    const double x = config.GetDouble("x");
-    const double y = config.GetDouble("y");
-    return x * x + 0.25 * y * y + 1.0 / (1.0 + resource);
-  }
-  double Duration(const Configuration& config, Resource from,
-                  Resource to) override {
-    return (to - from) * (0.5 + config.GetDouble("x"));
-  }
-};
-
 std::unique_ptr<Scheduler> MakeScheduler(const std::string& kind,
                                          std::uint64_t seed) {
-  if (kind == "asha") {
-    AshaOptions options;
-    options.r = 1;
-    options.R = 81;
-    options.eta = 3;
-    options.max_trials = 300;
-    options.seed = seed;
-    return std::make_unique<AshaScheduler>(MakeRandomSampler(DumpSpace()),
-                                           options);
+  auto scheduler = MakeDumpScheduler(kind, seed);
+  if (scheduler == nullptr) {
+    std::cerr << "unknown scheduler kind '" << kind << "'\n";
+    std::exit(2);
   }
-  if (kind == "sha") {
-    ShaOptions options;
-    options.n = 81;
-    options.r = 1;
-    options.R = 81;
-    options.eta = 3;
-    options.spawn_new_brackets = false;
-    options.seed = seed;
-    return std::make_unique<SyncShaScheduler>(MakeRandomSampler(DumpSpace()),
-                                              options);
-  }
-  if (kind == "hyperband") {
-    AsyncHyperbandOptions options;
-    options.n0 = 81;
-    options.r = 1;
-    options.R = 81;
-    options.eta = 3;
-    options.seed = seed;
-    return std::make_unique<AsyncHyperbandScheduler>(
-        MakeRandomSampler(DumpSpace()), options);
-  }
-  std::cerr << "unknown scheduler kind '" << kind << "'\n";
-  std::exit(2);
+  return scheduler;
 }
 
 DriverResult RunDriver(const std::string& kind, std::uint64_t seed,
@@ -267,28 +227,91 @@ bool DumpHazardRuns(const std::string& kind, std::uint64_t seed, int workers,
 }  // namespace
 }  // namespace hypertune
 
+namespace {
+
+int Usage() {
+  std::cerr << "usage: decision_dump <asha|sha|hyperband> <seed> <workers>"
+               " [--hazards <straggler_std>,<drop_prob>]"
+               " [--decisions-only]"
+               " [--crash-at <K> --state-dir <dir>] [--downtime <T>]\n";
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc != 4 && argc != 6) {
-    std::cerr << "usage: decision_dump <asha|sha|hyperband> <seed> <workers>"
-                 " [--hazards <straggler_std>,<drop_prob>]\n";
-    return 2;
-  }
+  if (argc < 4) return Usage();
   const std::string kind = argv[1];
   const auto seed = static_cast<std::uint64_t>(std::strtoull(argv[2], nullptr, 10));
   const int workers = std::atoi(argv[3]);
-  if (argc == 6) {
-    if (std::string(argv[4]) != "--hazards") {
-      std::cerr << "unknown flag '" << argv[4] << "'\n";
+
+  bool have_hazards = false;
+  hypertune::HazardOptions hazards;
+  bool decisions_only = false;
+  std::optional<std::size_t> crash_at;
+  std::string state_dir;
+  double downtime = 0;
+  for (int i = 4; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--hazards" && i + 1 < argc) {
+      char* rest = nullptr;
+      hazards.straggler_std = std::strtod(argv[++i], &rest);
+      if (rest == nullptr || *rest != ',') {
+        std::cerr << "--hazards wants <straggler_std>,<drop_prob>\n";
+        return 2;
+      }
+      hazards.drop_probability = std::strtod(rest + 1, nullptr);
+      have_hazards = true;
+    } else if (flag == "--decisions-only") {
+      decisions_only = true;
+    } else if (flag == "--crash-at" && i + 1 < argc) {
+      crash_at = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (flag == "--state-dir" && i + 1 < argc) {
+      state_dir = argv[++i];
+    } else if (flag == "--downtime" && i + 1 < argc) {
+      downtime = std::strtod(argv[++i], nullptr);
+    } else {
+      std::cerr << "unknown flag '" << flag << "'\n";
+      return Usage();
+    }
+  }
+
+  if (crash_at || decisions_only) {
+    // The decision-text path: uninterrupted (plain server) by default,
+    // crash + recovery through a DurableServer with --crash-at.
+    if (crash_at && state_dir.empty()) {
+      std::cerr << "--crash-at needs --state-dir\n";
       return 2;
     }
-    hypertune::HazardOptions hazards;
-    char* rest = nullptr;
-    hazards.straggler_std = std::strtod(argv[5], &rest);
-    if (rest == nullptr || *rest != ',') {
-      std::cerr << "--hazards wants <straggler_std>,<drop_prob>\n";
+    hypertune::ServiceDecisionsOptions options;
+    options.kind = kind;
+    options.seed = seed;
+    options.workers = workers;
+    options.hazards = hazards;
+    if (crash_at) {
+      hypertune::CrashPlan plan;
+      plan.crash_at = *crash_at;
+      plan.state_dir = state_dir;
+      plan.downtime = downtime;
+      options.crash = plan;
+    }
+    if (hypertune::MakeDumpScheduler(kind, seed) == nullptr) {
+      std::cerr << "unknown scheduler kind '" << kind << "'\n";
       return 2;
     }
-    hazards.drop_probability = std::strtod(rest + 1, nullptr);
+    const auto result = hypertune::RunServiceDecisions(options);
+    std::cout << result.text;
+    if (crash_at) {
+      std::cerr << "recovered=" << result.recovered
+                << " replayed=" << result.replayed_events
+                << " generation=" << result.generation
+                << " retries=" << result.worker_retries
+                << " finished=" << result.finished << "\n";
+    }
+    return result.finished ? 0 : 1;
+  }
+
+  if (have_hazards) {
     return hypertune::DumpHazardRuns(kind, seed, workers, hazards) ? 0 : 1;
   }
   hypertune::DumpDriverRun(kind, seed, workers);
