@@ -8,12 +8,24 @@
 // Curated before/after numbers live in BENCH_service.json.
 #include <benchmark/benchmark.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/asha.h"
 #include "core/random_search.h"
+#include "net/codec.h"
+#include "net/net_client.h"
+#include "net/net_server.h"
+#include "net/wire.h"
 #include "runtime/executor.h"
 #include "service/server.h"
 
@@ -171,6 +183,159 @@ BENCHMARK(BM_ExecutorJobsPerSec)
     ->Args({32, 16})
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Wire-protocol benches (DESIGN.md §8). The acceptance bar for the network
+// transport is >= 100k binary protocol messages/sec per core through the
+// full encode + socket + decode + HandleMessage loopback path; the codec
+// rows isolate the serialization share of that budget.
+
+AshaScheduler MakeBenchScheduler() {
+  AshaOptions options;
+  options.r = 1;
+  options.R = 256;
+  options.eta = 4;
+  return AshaScheduler(MakeRandomSampler(UnitSpace()), options);
+}
+
+// Pure codec cost, no sockets: frame one protocol message, re-frame the
+// bytes, decode back to Json. Arg 0 benches the report (the worker->server
+// hot path), arg 1 the job grant (server->worker; carries the config).
+void BM_WireCodecRoundTrip(benchmark::State& state) {
+  AshaScheduler asha = MakeBenchScheduler();
+  TuningServer server(asha, {.lease_timeout = 1e12});
+  const Json grant = server.HandleMessage(RequestJob(0), 0);
+  const Json message =
+      state.range(0) == 0 ? Report(0, grant.at("job_id").AsInt(), 0.5) : grant;
+  double now = 1;
+  for (auto _ : state) {
+    FrameDecoder decoder;
+    decoder.Feed(EncodeMessage(message, now));
+    benchmark::DoNotOptimize(DecodeMessage(*decoder.Next()).message);
+    now += 1e-6;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WireCodecRoundTrip)->Arg(0)->Arg(1);
+
+// Same round trip through the JSON-lines debug envelope — the price of the
+// human-readable transport relative to the packed frames above.
+void BM_JsonLineCodecRoundTrip(benchmark::State& state) {
+  AshaScheduler asha = MakeBenchScheduler();
+  TuningServer server(asha, {.lease_timeout = 1e12});
+  const Json grant = server.HandleMessage(RequestJob(0), 0);
+  const Json message =
+      state.range(0) == 0 ? Report(0, grant.at("job_id").AsInt(), 0.5) : grant;
+  double now = 1;
+  for (auto _ : state) {
+    const std::string line = EncodeJsonLine(message, now);
+    benchmark::DoNotOptimize(
+        DecodeJsonLine(std::string_view(line.data(), line.size() - 1)).message);
+    now += 1e-6;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JsonLineCodecRoundTrip)->Arg(0)->Arg(1);
+
+int ConnectLoopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  (void)::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void SendAll(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    const auto sent = ::send(fd, bytes.data(), bytes.size(), 0);
+    if (sent <= 0) return;
+    bytes.remove_prefix(static_cast<std::size_t>(sent));
+  }
+}
+
+std::string RecvSome(int fd) {
+  char buffer[16384];
+  const auto got = ::recv(fd, buffer, sizeof(buffer), 0);
+  return got > 0 ? std::string(buffer, static_cast<std::size_t>(got))
+                 : std::string();
+}
+
+// Strict request-reply over a real loopback socket through NetWorkerClient:
+// one heartbeat per iteration, so each item pays encode + write + poll wake
+// + HandleMessage + reply + decode plus a full socket round trip. Arg 0 is
+// the binary transport, arg 1 JSON lines.
+void BM_LoopbackRoundTrip(benchmark::State& state) {
+  AshaScheduler asha = MakeBenchScheduler();
+  TuningServer server(asha, {.lease_timeout = 1e12});
+  NetServerOptions net_options;
+  net_options.clock = NetClock::kMessage;
+  net_options.tick_interval = 3600;
+  NetServer net(server, net_options);
+  net.Start();
+  NetClientOptions client_options;
+  client_options.transport =
+      state.range(0) == 0 ? WireTransport::kBinary : WireTransport::kJson;
+  NetWorkerClient client("127.0.0.1", net.port(), client_options);
+  const auto grant = client.Send(RequestJob(0), 0);
+  const Json heartbeat = Heartbeat(0, grant->at("job_id").AsInt());
+  double now = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Send(heartbeat, now));
+    now += 1e-6;
+  }
+  state.SetItemsProcessed(state.iterations());
+  net.Stop();
+}
+BENCHMARK(BM_LoopbackRoundTrip)->Arg(0)->Arg(1);
+
+// Pipelined throughput — the acceptance row: W binary heartbeat frames per
+// write, replies decoded as they stream back. Amortizes the per-wakeup
+// syscall cost the strict round trip above pays per message; items/sec is
+// end-to-end messages/sec (encode + socket + server decode + HandleMessage
+// + reply encode + client decode).
+void BM_LoopbackPipelinedBinary(benchmark::State& state) {
+  const auto window = static_cast<std::size_t>(state.range(0));
+  AshaScheduler asha = MakeBenchScheduler();
+  TuningServer server(asha, {.lease_timeout = 1e12});
+  NetServerOptions net_options;
+  net_options.clock = NetClock::kMessage;
+  net_options.tick_interval = 3600;
+  NetServer net(server, net_options);
+  net.Start();
+  const int fd = ConnectLoopback(net.port());
+  FrameDecoder decoder;
+  SendAll(fd, EncodeMessage(RequestJob(0), 0));
+  std::optional<WireFrame> first;
+  while (!(first = decoder.Next())) decoder.Feed(RecvSome(fd));
+  const Json heartbeat =
+      Heartbeat(0, DecodeMessage(*first).message.at("job_id").AsInt());
+  double now = 1;
+  for (auto _ : state) {
+    std::string batch;
+    for (std::size_t i = 0; i < window; ++i) {
+      batch += EncodeMessage(heartbeat, now);
+      now += 1e-6;
+    }
+    SendAll(fd, batch);
+    std::size_t got = 0;
+    while (got < window) {
+      decoder.Feed(RecvSome(fd));
+      while (auto frame = decoder.Next()) {
+        benchmark::DoNotOptimize(DecodeMessage(*frame).message);
+        ++got;
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(
+                                                   state.range(0)));
+  ::close(fd);
+  net.Stop();
+}
+BENCHMARK(BM_LoopbackPipelinedBinary)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
 
 }  // namespace
 }  // namespace hypertune

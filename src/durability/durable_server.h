@@ -51,17 +51,17 @@ struct DurabilityOptions {
 /// journal tail, reopen the journal. The wrapped server and scheduler must
 /// be freshly constructed with the same deterministic configuration the
 /// crashed process used — the journal stores decisions, not configuration.
-class DurableServer final : public LeaseEventSink {
+class DurableServer final : public MessageService, public LeaseEventSink {
  public:
   /// `server_options.journal` must be unset; DurableServer installs itself.
   DurableServer(Scheduler& scheduler, ServerOptions server_options,
                 DurabilityOptions durability);
 
   /// Forwards to TuningServer::HandleMessage, then snapshots if due.
-  Json HandleMessage(const Json& message, double now);
+  Json HandleMessage(const Json& message, double now) override;
   /// Forwards to TuningServer::Tick (expiries get journaled via the sink),
   /// then snapshots if due.
-  void Tick(double now);
+  void Tick(double now) override;
 
   /// Journals an auxiliary (audit-only) record — e.g. the simulator's
   /// hazard fate draws. Replay ignores these; they exist so a post-mortem

@@ -1,0 +1,271 @@
+#include "net/codec.h"
+
+#include <initializer_list>
+#include <string>
+
+#include "common/check.h"
+
+namespace hypertune {
+namespace {
+
+// Strict schema guard: the message must carry exactly `keys` (the canonical
+// field set its producer writes). Extra fields would be silently dropped by
+// a packed encoding — make that a loud error instead.
+void ExpectKeys(const Json& message,
+                std::initializer_list<std::string_view> keys) {
+  HT_CHECK_MSG(message.AsObject().size() == keys.size(),
+               "wire codec: message has " << message.AsObject().size()
+                                          << " fields, schema expects "
+                                          << keys.size());
+  for (const std::string_view key : keys) {
+    HT_CHECK_MSG(message.Has(key),
+                 "wire codec: message missing field '" << key << "'");
+  }
+}
+
+// --- Job payload (mirrors core/trial_json.cc's ToJson(Job)) ---
+
+void WriteConfig(WireWriter& writer, const Json& config) {
+  const JsonObject& object = config.AsObject();
+  HT_CHECK_MSG(object.size() <= 0xFFFF, "configuration too wide for wire");
+  writer.U16(static_cast<std::uint16_t>(object.size()));
+  for (const auto& [name, value] : object) {
+    writer.ShortString(name);
+    if (value.IsString()) {
+      writer.U8(2);
+      writer.String(value.AsString());
+    } else if (value.IsInt()) {
+      writer.U8(1);
+      writer.I64(value.AsInt());
+    } else {
+      writer.U8(0);
+      writer.F64(value.AsDouble());
+    }
+  }
+}
+
+Json ReadConfig(WireReader& reader) {
+  const std::uint16_t count = reader.U16();
+  Json config = JsonObject{};
+  for (std::uint16_t i = 0; i < count; ++i) {
+    std::string name = reader.ShortString();
+    const std::uint8_t kind = reader.U8();
+    switch (kind) {
+      case 0: config.Set(std::move(name), Json(reader.F64())); break;
+      case 1: config.Set(std::move(name), Json(reader.I64())); break;
+      case 2: config.Set(std::move(name), Json(reader.String())); break;
+      default:
+        throw CheckError("wire codec: unknown parameter kind " +
+                         std::to_string(kind));
+    }
+  }
+  return config;
+}
+
+void WriteJob(WireWriter& writer, const Json& job) {
+  ExpectKeys(job, {"trial", "config", "from", "to", "rung", "bracket", "tag"});
+  writer.I64(job.at("trial").AsInt());
+  WriteConfig(writer, job.at("config"));
+  writer.F64(job.at("from").AsDouble());
+  writer.F64(job.at("to").AsDouble());
+  writer.I64(job.at("rung").AsInt());
+  writer.I64(job.at("bracket").AsInt());
+  writer.I64(job.at("tag").AsInt());
+}
+
+Json ReadJob(WireReader& reader) {
+  Json job = JsonObject{};
+  job.Set("trial", Json(reader.I64()));
+  job.Set("config", ReadConfig(reader));
+  job.Set("from", Json(reader.F64()));
+  job.Set("to", Json(reader.F64()));
+  job.Set("rung", Json(reader.I64()));
+  job.Set("bracket", Json(reader.I64()));
+  job.Set("tag", Json(reader.I64()));
+  return job;
+}
+
+// --- Per-type payload structs ---
+
+WireType EncodeBody(const Json& message, WireWriter& writer) {
+  const std::string& type = message.at("type").AsString();
+  if (type == "request_job") {
+    ExpectKeys(message, {"type", "worker"});
+    writer.I64(message.at("worker").AsInt());
+    return WireType::kRequestJob;
+  }
+  if (type == "request_jobs") {
+    ExpectKeys(message, {"type", "worker", "count"});
+    writer.I64(message.at("worker").AsInt());
+    writer.I64(message.at("count").AsInt());
+    return WireType::kRequestJobs;
+  }
+  if (type == "heartbeat") {
+    ExpectKeys(message, {"type", "worker", "job_id"});
+    writer.I64(message.at("worker").AsInt());
+    writer.I64(message.at("job_id").AsInt());
+    return WireType::kHeartbeat;
+  }
+  if (type == "report") {
+    ExpectKeys(message, {"type", "worker", "job_id", "loss"});
+    writer.I64(message.at("worker").AsInt());
+    writer.I64(message.at("job_id").AsInt());
+    writer.F64(message.at("loss").AsDouble());
+    return WireType::kReport;
+  }
+  if (type == "job") {
+    ExpectKeys(message, {"type", "job_id", "job", "lease_timeout"});
+    writer.I64(message.at("job_id").AsInt());
+    WriteJob(writer, message.at("job"));
+    writer.F64(message.at("lease_timeout").AsDouble());
+    return WireType::kJob;
+  }
+  if (type == "jobs") {
+    const bool has_retry = message.Has("retry_after");
+    if (has_retry) {
+      ExpectKeys(message, {"type", "jobs", "lease_timeout", "retry_after"});
+    } else {
+      ExpectKeys(message, {"type", "jobs", "lease_timeout"});
+    }
+    const JsonArray& jobs = message.at("jobs").AsArray();
+    writer.U32(static_cast<std::uint32_t>(jobs.size()));
+    for (const Json& entry : jobs) {
+      ExpectKeys(entry, {"job_id", "job"});
+      writer.I64(entry.at("job_id").AsInt());
+      WriteJob(writer, entry.at("job"));
+    }
+    writer.F64(message.at("lease_timeout").AsDouble());
+    writer.U8(has_retry ? 1 : 0);
+    if (has_retry) writer.F64(message.at("retry_after").AsDouble());
+    return WireType::kJobs;
+  }
+  if (type == "no_job") {
+    ExpectKeys(message, {"type", "retry_after"});
+    writer.F64(message.at("retry_after").AsDouble());
+    return WireType::kNoJob;
+  }
+  if (type == "ack") {
+    const bool has_stale = message.Has("stale");
+    if (has_stale) {
+      ExpectKeys(message, {"type", "stale"});
+      writer.U8(message.at("stale").AsBool() ? 3 : 1);
+    } else {
+      ExpectKeys(message, {"type"});
+      writer.U8(0);
+    }
+    return WireType::kAck;
+  }
+  if (type == "lease_lost") {
+    ExpectKeys(message, {"type"});
+    return WireType::kLeaseLost;
+  }
+  if (type == "error") {
+    ExpectKeys(message, {"type", "message"});
+    writer.String(message.at("message").AsString());
+    return WireType::kError;
+  }
+  throw CheckError("wire codec: message type '" + type +
+                   "' is outside the wire schema");
+}
+
+Json DecodeBody(WireType type, WireReader& reader) {
+  Json message = JsonObject{};
+  switch (type) {
+    case WireType::kRequestJob:
+      message.Set("type", Json("request_job"));
+      message.Set("worker", Json(reader.I64()));
+      return message;
+    case WireType::kRequestJobs:
+      message.Set("type", Json("request_jobs"));
+      message.Set("worker", Json(reader.I64()));
+      message.Set("count", Json(reader.I64()));
+      return message;
+    case WireType::kHeartbeat:
+      message.Set("type", Json("heartbeat"));
+      message.Set("worker", Json(reader.I64()));
+      message.Set("job_id", Json(reader.I64()));
+      return message;
+    case WireType::kReport:
+      message.Set("type", Json("report"));
+      message.Set("worker", Json(reader.I64()));
+      message.Set("job_id", Json(reader.I64()));
+      message.Set("loss", Json(reader.F64()));
+      return message;
+    case WireType::kJob:
+      message.Set("type", Json("job"));
+      message.Set("job_id", Json(reader.I64()));
+      message.Set("job", ReadJob(reader));
+      message.Set("lease_timeout", Json(reader.F64()));
+      return message;
+    case WireType::kJobs: {
+      message.Set("type", Json("jobs"));
+      const std::uint32_t count = reader.U32();
+      Json jobs = JsonArray{};
+      for (std::uint32_t i = 0; i < count; ++i) {
+        Json entry = JsonObject{};
+        entry.Set("job_id", Json(reader.I64()));
+        entry.Set("job", ReadJob(reader));
+        jobs.PushBack(std::move(entry));
+      }
+      message.Set("jobs", std::move(jobs));
+      message.Set("lease_timeout", Json(reader.F64()));
+      const std::uint8_t has_retry = reader.U8();
+      if (has_retry != 0) message.Set("retry_after", Json(reader.F64()));
+      return message;
+    }
+    case WireType::kNoJob:
+      message.Set("type", Json("no_job"));
+      message.Set("retry_after", Json(reader.F64()));
+      return message;
+    case WireType::kAck: {
+      message.Set("type", Json("ack"));
+      const std::uint8_t flags = reader.U8();
+      if (flags & 1) message.Set("stale", Json((flags & 2) != 0));
+      return message;
+    }
+    case WireType::kLeaseLost:
+      message.Set("type", Json("lease_lost"));
+      return message;
+    case WireType::kError:
+      message.Set("type", Json("error"));
+      message.Set("message", Json(reader.String()));
+      return message;
+  }
+  throw CheckError("wire codec: unknown frame type " +
+                   std::to_string(static_cast<int>(type)));
+}
+
+}  // namespace
+
+std::string EncodeMessage(const Json& message, double now) {
+  WireWriter writer;
+  writer.F64(now);
+  const WireType type = EncodeBody(message, writer);
+  return EncodeFrame(type, writer.bytes());
+}
+
+WireMessage DecodeMessage(const WireFrame& frame) {
+  WireReader reader(frame.payload);
+  WireMessage decoded;
+  decoded.now = reader.F64();
+  decoded.message = DecodeBody(frame.type, reader);
+  reader.ExpectEnd();
+  return decoded;
+}
+
+std::string EncodeJsonLine(const Json& message, double now) {
+  Json envelope = JsonObject{};
+  envelope.Set("now", Json(now));
+  envelope.Set("msg", message);
+  return envelope.Dump() + "\n";
+}
+
+WireMessage DecodeJsonLine(std::string_view line) {
+  const Json envelope = Json::Parse(line);
+  WireMessage decoded;
+  decoded.now = envelope.at("now").AsDouble();
+  decoded.message = envelope.at("msg");
+  return decoded;
+}
+
+}  // namespace hypertune

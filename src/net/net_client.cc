@@ -1,0 +1,179 @@
+#include "net/net_client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/codec.h"
+
+namespace hypertune {
+
+NetWorkerClient::NetWorkerClient(std::string host, int port,
+                                 NetClientOptions options)
+    : host_(std::move(host)), port_(port), options_(options) {}
+
+NetWorkerClient::~NetWorkerClient() { Disconnect(); }
+
+NetWorkerClient::NetWorkerClient(NetWorkerClient&& other) noexcept
+    : host_(std::move(other.host_)),
+      port_(other.port_),
+      options_(other.options_),
+      fd_(other.fd_),
+      residue_(std::move(other.residue_)) {
+  other.fd_ = -1;
+}
+
+void NetWorkerClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  residue_.clear();
+}
+
+bool NetWorkerClient::EnsureConnected() {
+  if (fd_ >= 0) return true;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return false;
+  }
+  // Nonblocking connect + poll gives a bounded connect timeout; the socket
+  // goes back to blocking (with SO_RCVTIMEO) for the request-reply phase.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int rc =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return false;
+  }
+  if (rc != 0) {
+    pollfd p{fd, POLLOUT, 0};
+    const int timeout_ms = static_cast<int>(options_.connect_timeout * 1000);
+    if (::poll(&p, 1, timeout_ms) != 1) {
+      ::close(fd);
+      return false;
+    }
+    int error = 0;
+    socklen_t len = sizeof(error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &len) != 0 ||
+        error != 0) {
+      ::close(fd);
+      return false;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval timeout{};
+  timeout.tv_sec = static_cast<long>(options_.reply_timeout);
+  timeout.tv_usec = static_cast<long>(
+      (options_.reply_timeout - static_cast<double>(timeout.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  fd_ = fd;
+  residue_.clear();
+  return true;
+}
+
+/// Accumulates socket bytes until one complete reply (frame or line) is
+/// buffered; returns the raw bytes of that reply and keeps any excess for
+/// the next call.
+std::optional<std::string> NetWorkerClient::ReadReplyBytes() {
+  std::string buffer = std::move(residue_);
+  residue_.clear();
+  const bool binary = options_.transport == WireTransport::kBinary;
+  for (;;) {
+    // Do we already hold a complete reply?
+    if (binary) {
+      if (buffer.size() >= kFrameHeaderSize) {
+        WireReader header(std::string_view(buffer).substr(0, kFrameHeaderSize));
+        (void)header.U32();  // magic — DecodeMessage validates via decoder
+        (void)header.U16();
+        (void)header.U16();
+        const std::uint32_t length = header.U32();
+        if (length > kMaxFramePayload) return std::nullopt;
+        const std::size_t total = kFrameHeaderSize + length;
+        if (buffer.size() >= total) {
+          residue_ = buffer.substr(total);
+          buffer.resize(total);
+          return buffer;
+        }
+      }
+    } else {
+      const std::size_t newline = buffer.find('\n');
+      if (newline != std::string::npos) {
+        residue_ = buffer.substr(newline + 1);
+        buffer.resize(newline + 1);
+        return buffer;
+      }
+    }
+    char chunk[16 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return std::nullopt;  // EOF, timeout, or error
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::optional<Json> NetWorkerClient::Send(const Json& message, double now) {
+  if (!EnsureConnected()) return std::nullopt;
+  std::string bytes;
+  try {
+    bytes = options_.transport == WireTransport::kBinary
+                ? EncodeMessage(message, now)
+                : EncodeJsonLine(message, now);
+  } catch (const std::exception&) {
+    // Message outside the wire schema: not a transport failure, but the
+    // caller's contract is "nullopt means it did not get through".
+    return std::nullopt;
+  }
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      Disconnect();
+      return std::nullopt;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  const auto reply_bytes = ReadReplyBytes();
+  if (!reply_bytes) {
+    Disconnect();
+    return std::nullopt;
+  }
+  try {
+    if (options_.transport == WireTransport::kBinary) {
+      FrameDecoder decoder;
+      decoder.Feed(*reply_bytes);
+      const auto frame = decoder.Next();
+      if (!frame) {
+        Disconnect();
+        return std::nullopt;
+      }
+      return DecodeMessage(*frame).message;
+    }
+    return DecodeJsonLine(
+               std::string_view(*reply_bytes).substr(0,
+                                                     reply_bytes->size() - 1))
+        .message;
+  } catch (const std::exception&) {
+    Disconnect();
+    return std::nullopt;
+  }
+}
+
+}  // namespace hypertune

@@ -1,0 +1,68 @@
+// NetWorkerClient: the worker's side of the wire — a ServerConnection
+// (service/worker.h) that delivers each protocol message over TCP instead
+// of an in-process call.
+//
+// Send() is strictly request-reply: encode (binary frame or JSON-lines
+// envelope, per WireTransport), write, block for the reply, decode. Any
+// failure — connect refused, write error, EOF, malformed or timed-out
+// reply — closes the socket and returns nullopt, which is exactly the
+// signal SimulatedWorker's capped-backoff retry path (PR 5) consumes; the
+// next Send() transparently reconnects. A worker fleet therefore rides out
+// server restarts with no code beyond what the chaos harness already
+// exercises in-process.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/json.h"
+#include "service/worker.h"
+
+namespace hypertune {
+
+/// Which encoding this client speaks. The server auto-detects per
+/// connection, so either works against any NetServer.
+enum class WireTransport { kBinary, kJson };
+
+struct NetClientOptions {
+  WireTransport transport = WireTransport::kBinary;
+  /// connect(2) timeout, seconds.
+  double connect_timeout = 5.0;
+  /// Reply-wait timeout, seconds (SO_RCVTIMEO). A stalled server reads as
+  /// an unreachable one: Send fails, the worker backs off and retries.
+  double reply_timeout = 30.0;
+};
+
+class NetWorkerClient final : public ServerConnection {
+ public:
+  NetWorkerClient(std::string host, int port, NetClientOptions options = {});
+  ~NetWorkerClient() override;
+
+  NetWorkerClient(NetWorkerClient&& other) noexcept;
+  NetWorkerClient& operator=(NetWorkerClient&&) = delete;
+  NetWorkerClient(const NetWorkerClient&) = delete;
+  NetWorkerClient& operator=(const NetWorkerClient&) = delete;
+
+  /// Delivers `message` stamped with protocol time `now`; returns the
+  /// server's reply, or nullopt on any transport failure (after which the
+  /// connection is closed and the next Send reconnects).
+  std::optional<Json> Send(const Json& message, double now) override;
+
+  bool connected() const { return fd_ >= 0; }
+  /// Drops the connection (the next Send reconnects). Harness hook for
+  /// restart tests.
+  void Disconnect();
+
+ private:
+  bool EnsureConnected();
+  std::optional<std::string> ReadReplyBytes();
+
+  std::string host_;
+  int port_;
+  NetClientOptions options_;
+  int fd_ = -1;
+  /// Unconsumed bytes past the last reply (a pipelined server could batch).
+  std::string residue_;
+};
+
+}  // namespace hypertune

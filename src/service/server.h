@@ -78,6 +78,23 @@ class LeaseEventSink {
   virtual void OnExpire(std::uint64_t job_id, double now) = 0;
 };
 
+/// The transport-agnostic face of the tuning service: one protocol message
+/// in, one reply out, plus the idle-tick hook a timer drives so leases
+/// expire when no messages arrive. TuningServer and DurableServer both
+/// implement it; transports (in-process harnesses, src/net's TCP server)
+/// target this interface and never care which one they front.
+///
+/// Implementations are single-threaded: a transport must call
+/// HandleMessage/Tick from one thread at a time.
+class MessageService {
+ public:
+  virtual ~MessageService() = default;
+  /// Handles one worker message at protocol time `now`, returning the reply.
+  virtual Json HandleMessage(const Json& message, double now) = 0;
+  /// Expires overdue leases at protocol time `now`.
+  virtual void Tick(double now) = 0;
+};
+
 struct ServerOptions {
   /// A job lease lasts this long past the last heartbeat/assignment.
   double lease_timeout = 60;
@@ -116,19 +133,20 @@ struct ServerStats {
   std::size_t deadline_heap_entries = 0;
 };
 
-class TuningServer {
+class TuningServer : public MessageService {
  public:
   TuningServer(Scheduler& scheduler, ServerOptions options);
 
   /// Handles one worker message and returns the reply. Malformed messages
   /// get {"type":"error"} replies rather than exceptions (a bad client must
   /// not take down the service).
-  Json HandleMessage(const Json& message, double now);
+  Json HandleMessage(const Json& message, double now) override;
 
   /// Expires overdue leases (call periodically; HandleMessage also calls
-  /// it, so a busy service needs no separate timer). O(E log L) for E
-  /// expiries — a no-op sweep touches only the heap top.
-  void Tick(double now);
+  /// it, so a busy service needs no separate timer — an idle one does: see
+  /// NetServerOptions::tick_interval). O(E log L) for E expiries — a no-op
+  /// sweep touches only the heap top.
+  void Tick(double now) override;
 
   ServerStats stats() const;
 

@@ -1,0 +1,345 @@
+// The binary wire layer: frame encode/decode, the five malformed-frame
+// error kinds, and the lossless JSON <-> binary codec over the full lease
+// protocol vocabulary (DESIGN.md §8).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "net/codec.h"
+#include "net/wire.h"
+
+namespace hypertune {
+namespace {
+
+std::string Framed(WireType type, std::string_view payload) {
+  return EncodeFrame(type, payload);
+}
+
+TEST(FrameRoundTrip, EncodeThenDecode) {
+  FrameDecoder decoder;
+  decoder.Feed(Framed(WireType::kReport, "hello"));
+  const auto frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, WireType::kReport);
+  EXPECT_EQ(frame->payload, "hello");
+  EXPECT_EQ(decoder.error(), FrameError::kNone);
+  EXPECT_FALSE(decoder.Next().has_value());
+}
+
+TEST(FrameRoundTrip, ByteAtATimeFeedStillFrames) {
+  const std::string bytes = Framed(WireType::kAck, "payload-bytes") +
+                            Framed(WireType::kError, "second");
+  FrameDecoder decoder;
+  std::vector<WireFrame> frames;
+  for (const char byte : bytes) {
+    decoder.Feed(std::string_view(&byte, 1));
+    while (auto frame = decoder.Next()) frames.push_back(std::move(*frame));
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].payload, "payload-bytes");
+  EXPECT_EQ(frames[1].payload, "second");
+}
+
+TEST(FrameErrors, BadMagicPoisons) {
+  FrameDecoder decoder;
+  std::string bytes = Framed(WireType::kAck, "x");
+  bytes[0] = 'Z';
+  decoder.Feed(bytes);
+  EXPECT_FALSE(decoder.Next().has_value());
+  EXPECT_EQ(decoder.error(), FrameError::kBadMagic);
+  EXPECT_TRUE(decoder.poisoned());
+  // Poisoned streams never recover, even with a valid frame appended.
+  decoder.ClearError();
+  decoder.Feed(Framed(WireType::kAck, "y"));
+  EXPECT_FALSE(decoder.Next().has_value());
+}
+
+TEST(FrameErrors, WrongVersionPoisons) {
+  std::string bytes = Framed(WireType::kAck, "x");
+  bytes[4] = static_cast<char>(kWireVersion + 1);  // version low byte
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  EXPECT_FALSE(decoder.Next().has_value());
+  EXPECT_EQ(decoder.error(), FrameError::kBadVersion);
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(FrameErrors, OversizedLengthPoisons) {
+  WireWriter header;
+  header.U32(kFrameMagic);
+  header.U16(kWireVersion);
+  header.U16(static_cast<std::uint16_t>(WireType::kAck));
+  header.U32(kMaxFramePayload + 1);
+  header.U32(0);
+  FrameDecoder decoder;
+  decoder.Feed(header.bytes());
+  EXPECT_FALSE(decoder.Next().has_value());
+  EXPECT_EQ(decoder.error(), FrameError::kOversized);
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(FrameErrors, CrcMismatchIsRecoverable) {
+  std::string bytes = Framed(WireType::kReport, "payload");
+  bytes.back() ^= 0x01;  // flip a payload bit; header CRC no longer matches
+  bytes += Framed(WireType::kAck, "intact");
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  EXPECT_FALSE(decoder.Next().has_value());
+  EXPECT_EQ(decoder.error(), FrameError::kBadCrc);
+  EXPECT_FALSE(decoder.poisoned());
+  decoder.ClearError();
+  // The corrupt frame was skipped; the stream is still framed.
+  const auto frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "intact");
+}
+
+TEST(FrameErrors, TruncatedTailDetectedAtEof) {
+  const std::string bytes = Framed(WireType::kReport, "long-payload-here");
+  FrameDecoder decoder;
+  decoder.Feed(std::string_view(bytes).substr(0, bytes.size() - 3));
+  EXPECT_FALSE(decoder.Next().has_value());
+  EXPECT_EQ(decoder.error(), FrameError::kNone);  // just waiting so far
+  decoder.Finish();
+  EXPECT_EQ(decoder.error(), FrameError::kTruncated);
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(FrameErrors, CleanEofIsNotTruncation) {
+  FrameDecoder decoder;
+  decoder.Feed(Framed(WireType::kAck, "x"));
+  ASSERT_TRUE(decoder.Next().has_value());
+  decoder.Finish();
+  EXPECT_EQ(decoder.error(), FrameError::kNone);
+}
+
+// --- Codec: the full protocol vocabulary round-trips bit-identically ---
+
+Json MakeConfig(Rng& rng) {
+  Json config = JsonObject{};
+  config.Set("lr", Json(rng.Uniform() * 0.1));
+  if (rng.Uniform() < 0.7) {
+    config.Set("layers", Json(static_cast<std::int64_t>(
+                             1 + static_cast<int>(rng.Uniform() * 8))));
+  }
+  if (rng.Uniform() < 0.5) {
+    config.Set("activation", Json(rng.Uniform() < 0.5 ? "relu" : "tanh"));
+  }
+  return config;
+}
+
+Json MakeJob(Rng& rng, std::int64_t trial) {
+  Json job = JsonObject{};
+  job.Set("trial", Json(trial));
+  job.Set("config", MakeConfig(rng));
+  job.Set("from", Json(rng.Uniform() * 10));
+  job.Set("to", Json(rng.Uniform() * 100));
+  job.Set("rung", Json(static_cast<std::int64_t>(rng.Uniform() * 5)));
+  job.Set("bracket", Json(static_cast<std::int64_t>(rng.Uniform() * 3)));
+  job.Set("tag", Json(static_cast<std::int64_t>(rng.Uniform() * 1e6)));
+  return job;
+}
+
+/// Every message kind the protocol can put on the wire, with randomized
+/// field values (including the optional-field variants).
+std::vector<Json> ProtocolSamples(Rng& rng) {
+  std::vector<Json> samples;
+  {
+    Json m = JsonObject{};
+    m.Set("type", Json("request_job"));
+    m.Set("worker", Json(static_cast<std::int64_t>(rng.Uniform() * 1000)));
+    samples.push_back(std::move(m));
+  }
+  {
+    Json m = JsonObject{};
+    m.Set("type", Json("request_jobs"));
+    m.Set("worker", Json(static_cast<std::int64_t>(rng.Uniform() * 1000)));
+    m.Set("count", Json(static_cast<std::int64_t>(1 + rng.Uniform() * 64)));
+    samples.push_back(std::move(m));
+  }
+  {
+    Json m = JsonObject{};
+    m.Set("type", Json("heartbeat"));
+    m.Set("worker", Json(static_cast<std::int64_t>(rng.Uniform() * 1000)));
+    m.Set("job_id", Json(static_cast<std::int64_t>(rng.Uniform() * 1e6)));
+    samples.push_back(std::move(m));
+  }
+  {
+    Json m = JsonObject{};
+    m.Set("type", Json("report"));
+    m.Set("worker", Json(static_cast<std::int64_t>(rng.Uniform() * 1000)));
+    m.Set("job_id", Json(static_cast<std::int64_t>(rng.Uniform() * 1e6)));
+    m.Set("loss", Json(rng.Normal()));
+    samples.push_back(std::move(m));
+  }
+  {
+    Json m = JsonObject{};
+    m.Set("type", Json("job"));
+    m.Set("job_id", Json(static_cast<std::int64_t>(rng.Uniform() * 1e6)));
+    m.Set("job", MakeJob(rng, static_cast<std::int64_t>(rng.Uniform() * 500)));
+    m.Set("lease_timeout", Json(30.0 + rng.Uniform()));
+    samples.push_back(std::move(m));
+  }
+  {
+    // Batched grant, with and without the short-fill retry hint.
+    for (const bool short_fill : {false, true}) {
+      Json m = JsonObject{};
+      m.Set("type", Json("jobs"));
+      Json jobs = JsonArray{};
+      const int count = 1 + static_cast<int>(rng.Uniform() * 5);
+      for (int i = 0; i < count; ++i) {
+        Json entry = JsonObject{};
+        entry.Set("job_id",
+                  Json(static_cast<std::int64_t>(rng.Uniform() * 1e6)));
+        entry.Set("job", MakeJob(rng, i));
+        jobs.PushBack(std::move(entry));
+      }
+      m.Set("jobs", std::move(jobs));
+      m.Set("lease_timeout", Json(30.0));
+      if (short_fill) m.Set("retry_after", Json(7.5));
+      samples.push_back(std::move(m));
+    }
+  }
+  {
+    Json m = JsonObject{};
+    m.Set("type", Json("no_job"));
+    m.Set("retry_after", Json(rng.Uniform() * 20));
+    samples.push_back(std::move(m));
+  }
+  {
+    Json m = JsonObject{};
+    m.Set("type", Json("ack"));
+    samples.push_back(std::move(m));
+  }
+  {
+    Json m = JsonObject{};
+    m.Set("type", Json("ack"));
+    m.Set("stale", Json(true));
+    samples.push_back(std::move(m));
+  }
+  {
+    Json m = JsonObject{};
+    m.Set("type", Json("lease_lost"));
+    samples.push_back(std::move(m));
+  }
+  {
+    Json m = JsonObject{};
+    m.Set("type", Json("error"));
+    m.Set("message", Json("report missing its loss — \"quoted\" & unicode Ω"));
+    samples.push_back(std::move(m));
+  }
+  return samples;
+}
+
+TEST(WireCodecProperty, EveryMessageRoundTripsBitIdentically) {
+  for (const std::uint64_t seed : {1ull, 42ull, 1000ull, 7777ull}) {
+    Rng rng(seed);
+    for (int round = 0; round < 25; ++round) {
+      const double now = rng.Uniform() * 2000;
+      for (const Json& message : ProtocolSamples(rng)) {
+        const std::string framed = EncodeMessage(message, now);
+        FrameDecoder decoder;
+        decoder.Feed(framed);
+        const auto frame = decoder.Next();
+        ASSERT_TRUE(frame.has_value());
+        const WireMessage decoded = DecodeMessage(*frame);
+        EXPECT_EQ(decoded.now, now);
+        // Bit-identity: same fields, same order, same int-vs-double
+        // storage — Dump() equality is the strictest observable check.
+        EXPECT_EQ(decoded.message, message);
+        EXPECT_EQ(decoded.message.Dump(), message.Dump());
+      }
+    }
+  }
+}
+
+TEST(WireCodec, BinaryIsCompacterThanJson) {
+  Rng rng(3);
+  for (const Json& message : ProtocolSamples(rng)) {
+    EXPECT_LT(EncodeMessage(message, 1.0).size(),
+              EncodeJsonLine(message, 1.0).size())
+        << message.Dump();
+  }
+}
+
+TEST(WireCodec, JsonLineEnvelopeRoundTrips) {
+  Rng rng(9);
+  for (const Json& message : ProtocolSamples(rng)) {
+    const std::string line = EncodeJsonLine(message, 123.25);
+    ASSERT_EQ(line.back(), '\n');
+    const WireMessage decoded =
+        DecodeJsonLine(std::string_view(line).substr(0, line.size() - 1));
+    EXPECT_EQ(decoded.now, 123.25);
+    // Text transit may legally shift integral doubles to int storage; the
+    // numeric values and field order must survive exactly.
+    EXPECT_EQ(decoded.message.at("type").AsString(),
+              message.at("type").AsString());
+    EXPECT_EQ(decoded.message.AsObject().size(), message.AsObject().size());
+  }
+}
+
+TEST(WireCodec, RejectsMessagesOutsideTheSchema) {
+  Json unknown = JsonObject{};
+  unknown.Set("type", Json("subscribe"));
+  EXPECT_THROW(EncodeMessage(unknown, 0), CheckError);
+
+  Json extra = JsonObject{};
+  extra.Set("type", Json("request_job"));
+  extra.Set("worker", Json(std::int64_t{1}));
+  extra.Set("smuggled", Json("field"));
+  EXPECT_THROW(EncodeMessage(extra, 0), CheckError);
+
+  Json missing = JsonObject{};
+  missing.Set("type", Json("report"));
+  missing.Set("worker", Json(std::int64_t{1}));
+  missing.Set("job_id", Json(std::int64_t{2}));
+  missing.Set("extra", Json(1));  // right arity, wrong field
+  EXPECT_THROW(EncodeMessage(missing, 0), CheckError);
+}
+
+TEST(WireCodec, RejectsTrailingPayloadBytes) {
+  Json m = JsonObject{};
+  m.Set("type", Json("ack"));
+  const std::string framed = EncodeMessage(m, 0);
+  // Rebuild the frame with one smuggled byte appended to the payload.
+  const std::string payload =
+      framed.substr(kFrameHeaderSize) + std::string(1, '\0');
+  FrameDecoder decoder;
+  decoder.Feed(EncodeFrame(WireType::kAck, payload));
+  const auto frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_THROW(DecodeMessage(*frame), CheckError);
+}
+
+TEST(WireWriterReader, PrimitivesRoundTripAtBoundaries) {
+  WireWriter writer;
+  writer.U8(0xFF);
+  writer.U16(0xFFFF);
+  writer.U32(0xFFFFFFFFu);
+  writer.U64(0xFFFFFFFFFFFFFFFFull);
+  writer.I64(-1);
+  writer.F64(-0.0);
+  writer.ShortString("");
+  writer.String("abc");
+  WireReader reader(writer.bytes());
+  EXPECT_EQ(reader.U8(), 0xFF);
+  EXPECT_EQ(reader.U16(), 0xFFFF);
+  EXPECT_EQ(reader.U32(), 0xFFFFFFFFu);
+  EXPECT_EQ(reader.U64(), 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(reader.I64(), -1);
+  const double negative_zero = reader.F64();
+  EXPECT_EQ(negative_zero, 0.0);
+  EXPECT_TRUE(std::signbit(negative_zero));
+  EXPECT_EQ(reader.ShortString(), "");
+  EXPECT_EQ(reader.String(), "abc");
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_THROW(reader.U8(), CheckError);
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -29,10 +29,17 @@
 //
 // must agree (and match tools/golden/decision_digests.txt).
 //
+// With --transport {json-tcp,binary-tcp} every service-protocol message is
+// routed through a real NetServer over loopback TCP (src/net) instead of a
+// direct call; the dump text never mentions the transport precisely so the
+// three variants can be diffed byte-for-byte — the wire layer's
+// decision-invariance proof.
+//
 // Usage: decision_dump <asha|sha|hyperband> <seed> <workers>
 //                      [--hazards <straggler_std>,<drop_prob>]
 //                      [--decisions-only]
 //                      [--crash-at <K> --state-dir <dir>] [--downtime <T>]
+//                      [--transport inproc|json-tcp|binary-tcp]
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -102,13 +109,39 @@ void DumpDriverRun(const std::string& kind, std::uint64_t seed, int workers) {
 }
 
 void DumpServiceRun(const std::string& kind, std::uint64_t seed, int workers,
-                    const HazardOptions& hazards) {
+                    const HazardOptions& hazards, DumpTransport transport) {
   auto scheduler = MakeScheduler(kind, seed);
   auto telemetry = Telemetry::ForSimulation();
   scheduler->SetTelemetry(telemetry.get());
   DumpEnv env;
   TuningServer server(*scheduler,
                       {.lease_timeout = 30, .telemetry = telemetry.get()});
+
+  // With a TCP transport every message crosses a real loopback socket via
+  // a NetServer in message-clock mode; the dump text (stdout) deliberately
+  // never mentions the transport, because byte-identity across transports
+  // is the property the goldens pin down.
+  std::optional<NetServer> net;
+  std::vector<std::unique_ptr<NetWorkerClient>> clients;
+  if (transport != DumpTransport::kInProc) {
+    NetServerOptions net_options;
+    net_options.clock = NetClock::kMessage;
+    // Virtual time: idle expiry has nothing to do; park the timer so it
+    // never races this thread's reads of scheduler state.
+    net_options.tick_interval = 3600;
+    net.emplace(server, net_options);
+    net->Start();
+    NetClientOptions client_options;
+    client_options.transport = transport == DumpTransport::kBinaryTcp
+                                   ? WireTransport::kBinary
+                                   : WireTransport::kJson;
+    const int pool_size = std::min(workers, 64);
+    for (int i = 0; i < pool_size; ++i) {
+      clients.push_back(std::make_unique<NetWorkerClient>(
+          "127.0.0.1", net->port(), client_options));
+    }
+  }
+
   // One injector shared by the pool: fates are drawn in job start order,
   // which the virtual-time loop below makes deterministic.
   HazardInjector injector(hazards, seed);
@@ -120,11 +153,19 @@ void DumpServiceRun(const std::string& kind, std::uint64_t seed, int workers,
                       injector.enabled() ? &injector : nullptr);
   }
   for (double now = 0; now < 2000; now += 0.25) {
-    for (auto& worker : pool) {
-      if (now >= worker.next_action_time()) worker.OnTick(server, now);
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      SimulatedWorker& worker = pool[i];
+      if (now < worker.next_action_time()) continue;
+      if (net) {
+        worker.OnTick(*clients[i % clients.size()], now);
+      } else {
+        worker.OnTick(server, now);
+      }
     }
     if (scheduler->Finished()) break;
   }
+  // Join the event loop before reading scheduler/telemetry state here.
+  if (net) net->Stop();
 
   std::cout << "== service " << kind << " seed=" << seed
             << " workers=" << workers << "\n";
@@ -208,7 +249,7 @@ bool DumpHazardParity(const std::string& kind, std::uint64_t seed,
 }
 
 bool DumpHazardRuns(const std::string& kind, std::uint64_t seed, int workers,
-                    const HazardOptions& hazards) {
+                    const HazardOptions& hazards, DumpTransport transport) {
   auto telemetry = Telemetry::ForSimulation();
   const DriverResult result =
       RunDriver(kind, seed, workers, hazards, telemetry.get());
@@ -220,7 +261,7 @@ bool DumpHazardRuns(const std::string& kind, std::uint64_t seed, int workers,
   std::cout << "completed=" << result.jobs_completed
             << " dropped=" << result.jobs_dropped << "\n";
 
-  DumpServiceRun(kind, seed, workers, hazards);
+  DumpServiceRun(kind, seed, workers, hazards, transport);
   return DumpHazardParity(kind, seed, hazards);
 }
 
@@ -233,7 +274,8 @@ int Usage() {
   std::cerr << "usage: decision_dump <asha|sha|hyperband> <seed> <workers>"
                " [--hazards <straggler_std>,<drop_prob>]"
                " [--decisions-only]"
-               " [--crash-at <K> --state-dir <dir>] [--downtime <T>]\n";
+               " [--crash-at <K> --state-dir <dir>] [--downtime <T>]"
+               " [--transport inproc|json-tcp|binary-tcp]\n";
   return 2;
 }
 
@@ -251,6 +293,7 @@ int main(int argc, char** argv) {
   std::optional<std::size_t> crash_at;
   std::string state_dir;
   double downtime = 0;
+  hypertune::DumpTransport transport = hypertune::DumpTransport::kInProc;
   for (int i = 4; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--hazards" && i + 1 < argc) {
@@ -270,6 +313,13 @@ int main(int argc, char** argv) {
       state_dir = argv[++i];
     } else if (flag == "--downtime" && i + 1 < argc) {
       downtime = std::strtod(argv[++i], nullptr);
+    } else if (flag == "--transport" && i + 1 < argc) {
+      const auto parsed = hypertune::ParseDumpTransport(argv[++i]);
+      if (!parsed) {
+        std::cerr << "--transport wants inproc, json-tcp, or binary-tcp\n";
+        return 2;
+      }
+      transport = *parsed;
     } else {
       std::cerr << "unknown flag '" << flag << "'\n";
       return Usage();
@@ -288,7 +338,12 @@ int main(int argc, char** argv) {
     options.seed = seed;
     options.workers = workers;
     options.hazards = hazards;
+    options.transport = transport;
     if (crash_at) {
+      if (transport != hypertune::DumpTransport::kInProc) {
+        std::cerr << "--crash-at requires --transport inproc\n";
+        return 2;
+      }
       hypertune::CrashPlan plan;
       plan.crash_at = *crash_at;
       plan.state_dir = state_dir;
@@ -312,9 +367,12 @@ int main(int argc, char** argv) {
   }
 
   if (have_hazards) {
-    return hypertune::DumpHazardRuns(kind, seed, workers, hazards) ? 0 : 1;
+    return hypertune::DumpHazardRuns(kind, seed, workers, hazards, transport)
+               ? 0
+               : 1;
   }
   hypertune::DumpDriverRun(kind, seed, workers);
-  hypertune::DumpServiceRun(kind, seed, workers, hypertune::HazardOptions{});
+  hypertune::DumpServiceRun(kind, seed, workers, hypertune::HazardOptions{},
+                            transport);
   return 0;
 }

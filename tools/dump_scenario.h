@@ -14,6 +14,7 @@
 // the uninterrupted run's.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -28,6 +29,8 @@
 #include "core/sha.h"
 #include "durability/durable_server.h"
 #include "lifecycle/hazards.h"
+#include "net/net_client.h"
+#include "net/net_server.h"
 #include "service/server.h"
 #include "service/worker.h"
 #include "sim/environment.h"
@@ -111,12 +114,35 @@ struct CrashPlan {
   SyncPolicy sync = SyncPolicy::kEveryN;
 };
 
+/// How worker messages reach the server. kInProc is a direct call; the TCP
+/// transports route every message through a real NetServer on loopback
+/// (src/net) — the goldens proving the wire layer is decision-invariant.
+enum class DumpTransport { kInProc, kJsonTcp, kBinaryTcp };
+
+inline const char* DumpTransportName(DumpTransport transport) {
+  switch (transport) {
+    case DumpTransport::kInProc: return "inproc";
+    case DumpTransport::kJsonTcp: return "json-tcp";
+    case DumpTransport::kBinaryTcp: return "binary-tcp";
+  }
+  return "?";
+}
+
+inline std::optional<DumpTransport> ParseDumpTransport(
+    const std::string& name) {
+  if (name == "inproc") return DumpTransport::kInProc;
+  if (name == "json-tcp") return DumpTransport::kJsonTcp;
+  if (name == "binary-tcp") return DumpTransport::kBinaryTcp;
+  return std::nullopt;
+}
+
 struct ServiceDecisionsOptions {
   std::string kind = "asha";
   std::uint64_t seed = 1;
   int workers = 8;
   HazardOptions hazards;
   std::optional<CrashPlan> crash;
+  DumpTransport transport = DumpTransport::kInProc;
 };
 
 struct ServiceDecisionsResult {
@@ -190,6 +216,40 @@ inline ServiceDecisionsResult RunServiceDecisions(
     }
   };
   boot();
+
+  // TCP transports put a real NetServer between the fleet and the server.
+  // The harness stays sequential (every Send blocks for its reply), so the
+  // server sees the exact in-process message order and the decision text is
+  // byte-identical — that invariance is what the transport goldens check.
+  std::optional<NetServer> net;
+  std::vector<std::unique_ptr<NetWorkerClient>> clients;
+  if (opts.transport != DumpTransport::kInProc) {
+    // A crash plan tears down the server object mid-run; rebinding sockets
+    // under the harness adds nothing the in-process chaos path doesn't
+    // already prove. Keep the combination off the table.
+    HT_CHECK_MSG(!opts.crash,
+                 "crash plans require the in-process transport");
+    NetServerOptions net_options;
+    net_options.clock = NetClock::kMessage;
+    // Virtual time only advances with messages, so idle expiry has nothing
+    // to do here; park the timer so it never touches the service while this
+    // thread reads scheduler state between exchanges.
+    net_options.tick_interval = 3600;
+    net.emplace(*plain, net_options);
+    net->Start();
+    NetClientOptions client_options;
+    client_options.transport = opts.transport == DumpTransport::kBinaryTcp
+                                   ? WireTransport::kBinary
+                                   : WireTransport::kJson;
+    // Connection pool, workers mapped round-robin: 500-worker dumps should
+    // exercise many concurrent connections without hoarding 500 fds.
+    const int pool_size = std::min(opts.workers, 64);
+    for (int i = 0; i < pool_size; ++i) {
+      clients.push_back(std::make_unique<NetWorkerClient>(
+          "127.0.0.1", net->port(), client_options));
+    }
+  }
+
   if (opts.crash) {
     // Journal each hazard fate draw as an audit-only record. The draw
     // happens worker-side (possibly while the server is down — the guard),
@@ -210,6 +270,18 @@ inline ServiceDecisionsResult RunServiceDecisions(
   double restart_time = 0;
   dump_internal::HarnessConnection connection(
       [&](const Json& message, double now) -> std::optional<Json> {
+        if (net) {
+          // Every worker message names its sender; use it to pin each
+          // worker to one connection in the pool.
+          const auto sender = message.Has("worker")
+                                  ? static_cast<std::uint64_t>(
+                                        message.at("worker").AsInt())
+                                  : 0u;
+          auto reply =
+              clients[sender % clients.size()]->Send(message, now);
+          if (reply) ++result.messages_handled;
+          return reply;
+        }
         if (down) {
           if (now < restart_time) return std::nullopt;
           boot();  // recovery: latest snapshot + journal tail from disk
@@ -257,6 +329,8 @@ inline ServiceDecisionsResult RunServiceDecisions(
   // traffic left to trigger recovery; recover now so the final state is
   // readable.
   if (down) boot();
+  // Join the event loop before inspecting server state from this thread.
+  if (net) net->Stop();
 
   for (const auto& worker : pool) result.worker_retries += worker.retries();
   result.finished = scheduler->Finished();

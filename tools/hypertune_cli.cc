@@ -7,17 +7,30 @@
 //   hypertune_cli --benchmark=ptb_lstm --tuner=vizier --workers=500 \
 //                 --time-in-r=6 --out=/tmp/ptb.json
 //   hypertune_cli --list
+//
+// Network mode (src/net): `--serve=PORT` runs the tuning service on a real
+// TCP socket (optionally durable with --state-dir); `--connect=HOST:PORT`
+// drives a fleet of simulated workers against such a server over the
+// binary or JSON wire protocol. See README "Running over the network".
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "analysis/experiment.h"
 #include "analysis/export.h"
 #include "analysis/report.h"
 #include "common/check.h"
 #include "common/table.h"
+#include "durability/durable_server.h"
+#include "net/net_client.h"
+#include "net/net_server.h"
 #include "registry/registry.h"
+#include "service/worker.h"
 #include "surrogate/benchmarks.h"
 #include "telemetry/telemetry.h"
 
@@ -83,7 +96,175 @@ Flags:
                          byte-identical across reruns with the same seed
   --trace-jsonl=PATH     same events as JSONL (one object per line)
   --metrics-out=PATH     write the metrics-registry snapshot as JSON
+
+Network mode:
+  --serve=PORT           run the tuning service on a TCP port (0 picks an
+                         ephemeral one, printed at startup); scheduler from
+                         --tuner/--benchmark/--seed as usual
+  --state-dir=DIR        (serve) durable mode: WAL + snapshots in DIR; a
+                         restart with the same flags recovers the study
+  --serve-seconds=T      (serve) stop after T wall seconds (default: run
+                         until Ctrl-C)
+  --lease-timeout=T      (serve) lease timeout in wall seconds (default 60)
+  --connect=HOST:PORT    drive --workers simulated workers against a served
+                         study; the surrogate --benchmark supplies losses
+  --transport=NAME       (connect) binary (default) or json
+  --time-scale=X         (connect) virtual task-time units per wall second
+                         (default 60)
+  --connect-seconds=T    (connect) stop after T wall seconds (default 10)
 )";
+  return 0;
+}
+
+std::atomic<bool> g_interrupted{false};
+
+void OnInterrupt(int) { g_interrupted.store(true); }
+
+/// `--serve=PORT`: the tuning service on a real socket, wall-clock leases,
+/// idle-expiry timer running — the deployment shape from the paper, scaled
+/// down to one process.
+int RunServe(const Flags& flags) {
+  const std::string benchmark_name = flags.Get("benchmark", "cifar_arch");
+  const std::string tuner = flags.Get("tuner", "asha");
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1000));
+  auto bench = benchmarks::ByName(benchmark_name, seed);
+
+  TunerParams params;
+  params.eta = flags.GetDouble("eta", 4);
+  params.s = flags.GetInt("s", 0);
+  params.r_divisor = flags.GetDouble("r-divisor", 256);
+  params.n = static_cast<std::size_t>(flags.GetInt("n", 256));
+  params.seed = seed;
+  auto scheduler = MakeTunerByName(tuner, *bench, params);
+
+  const ServerOptions server_options{
+      .lease_timeout = flags.GetDouble("lease-timeout", 60),
+      .track_recommendations = true};
+  std::unique_ptr<TuningServer> plain;
+  std::optional<DurableServer> durable;
+  MessageService* service = nullptr;
+  if (flags.Has("state-dir")) {
+    durable.emplace(*scheduler, server_options,
+                    DurabilityOptions{.dir = flags.Get("state-dir", "")});
+    if (durable->recovered()) {
+      std::cout << "recovered generation " << durable->generation()
+                << " (+" << durable->replayed_events()
+                << " journal events) from " << flags.Get("state-dir", "")
+                << "\n";
+    }
+    service = &*durable;
+  } else {
+    plain = std::make_unique<TuningServer>(*scheduler, server_options);
+    service = plain.get();
+  }
+
+  NetServerOptions net_options;
+  net_options.port = flags.GetInt("serve", 0);
+  net_options.clock = NetClock::kWall;
+  NetServer net(*service, net_options);
+  net.Start();
+  std::cout << "serving " << tuner << " on " << benchmark_name << " at "
+            << net_options.bind_address << ":" << net.port() << "\n";
+
+  std::signal(SIGINT, OnInterrupt);
+  std::signal(SIGTERM, OnInterrupt);
+  const double serve_seconds = flags.GetDouble("serve-seconds", 0);
+  const auto start = std::chrono::steady_clock::now();
+  while (!g_interrupted.load()) {
+    if (serve_seconds > 0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+                .count() >= serve_seconds) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  net.Stop();  // drain replies, close sockets, join — workers see EOF
+
+  const TuningServer& server = durable ? durable->server() : *plain;
+  const auto net_stats = net.stats();
+  const auto stats = server.stats();
+  std::cout << "connections=" << net_stats.connections_accepted
+            << " messages=" << net_stats.messages_handled
+            << " ticks=" << net_stats.timer_ticks
+            << " rejected=" << net_stats.messages_rejected << "\n"
+            << "assigned=" << stats.jobs_assigned
+            << " completed=" << stats.jobs_completed
+            << " expired=" << stats.leases_expired << "\n";
+  if (const auto best = server.Current()) {
+    std::cout << "best: trial=" << best->trial_id << " loss="
+              << FormatDouble(best->loss, 4) << "\n";
+  }
+  return 0;
+}
+
+/// `--connect=HOST:PORT`: a simulated-worker fleet speaking the wire
+/// protocol against a remote server; virtual task time advances at
+/// --time-scale units per wall second.
+int RunConnect(const Flags& flags) {
+  const std::string target = flags.Get("connect", "");
+  const auto colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::cerr << "--connect wants HOST:PORT\n";
+    return 2;
+  }
+  const std::string host = target.substr(0, colon);
+  const int port = std::atoi(target.c_str() + colon + 1);
+
+  const std::string transport_name = flags.Get("transport", "binary");
+  NetClientOptions client_options;
+  if (transport_name == "binary") {
+    client_options.transport = WireTransport::kBinary;
+  } else if (transport_name == "json") {
+    client_options.transport = WireTransport::kJson;
+  } else {
+    std::cerr << "--transport wants binary or json\n";
+    return 2;
+  }
+  client_options.reply_timeout = 10;
+
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1000));
+  auto bench = benchmarks::ByName(flags.Get("benchmark", "cifar_arch"), seed);
+  const int workers = flags.GetInt("workers", 4);
+  const double time_scale = flags.GetDouble("time-scale", 60);
+  const double connect_seconds = flags.GetDouble("connect-seconds", 10);
+
+  std::vector<NetWorkerClient> clients;
+  std::vector<SimulatedWorker> fleet;
+  clients.reserve(static_cast<std::size_t>(workers));
+  fleet.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    clients.emplace_back(host, port, client_options);
+    fleet.emplace_back(static_cast<std::uint64_t>(i), *bench,
+                       /*heartbeat_interval=*/5.0);
+  }
+
+  std::signal(SIGINT, OnInterrupt);
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (g_interrupted.load() || elapsed >= connect_seconds) break;
+    const double now = elapsed * time_scale;
+    for (int i = 0; i < workers; ++i) {
+      if (now >= fleet[static_cast<std::size_t>(i)].next_action_time()) {
+        fleet[static_cast<std::size_t>(i)].OnTick(
+            clients[static_cast<std::size_t>(i)], now);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  std::size_t completed = 0;
+  std::size_t retries = 0;
+  for (const auto& worker : fleet) {
+    completed += worker.jobs_completed();
+    retries += worker.retries();
+  }
+  std::cout << "workers=" << workers << " completed=" << completed
+            << " retries=" << retries << "\n";
   return 0;
 }
 
@@ -93,6 +274,8 @@ int main(int argc, char** argv) {
   try {
     const Flags flags = ParseFlags(argc, argv);
     if (flags.Has("help") || flags.Has("h")) return Usage();
+    if (flags.Has("serve")) return RunServe(flags);
+    if (flags.Has("connect")) return RunConnect(flags);
     if (flags.Has("list")) {
       std::cout << "tuners:";
       for (const auto& name : TunerNames()) std::cout << " " << name;
