@@ -1,6 +1,7 @@
 #include "lifecycle/lifecycle.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/check.h"
@@ -50,6 +51,20 @@ RunRecord RecordFromJson(const Json& json) {
 
 }  // namespace
 
+std::vector<std::uint64_t> OpenLeaseSet::SortedIds() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(count_);
+  for (std::size_t word = 0; word < words_.size(); ++word) {
+    std::uint64_t bits = words_[word];
+    while (bits != 0) {
+      const auto bit = static_cast<std::uint64_t>(std::countr_zero(bits));
+      ids.push_back(static_cast<std::uint64_t>(word) * 64 + bit);
+      bits &= bits - 1;
+    }
+  }
+  return ids;
+}
+
 void ValidateReportedLoss(double loss) {
   HT_CHECK_MSG(std::isfinite(loss),
                "reported loss must be finite, got " << loss);
@@ -95,16 +110,36 @@ void EmitJobSpan(Telemetry* telemetry, SpanProfile profile, const Job& job,
 }
 
 TrialLifecycle::TrialLifecycle(Scheduler& scheduler, LifecycleOptions options)
-    : scheduler_(scheduler), options_(options) {}
+    : scheduler_(scheduler), options_(options) {
+  batching_ = options_.batch_telemetry && options_.telemetry != nullptr;
+  if (batching_) options_.telemetry->tracer().AttachBatchSource(this);
+}
+
+TrialLifecycle::~TrialLifecycle() {
+  if (batching_) {
+    FlushTelemetry();
+    options_.telemetry->tracer().AttachBatchSource(nullptr);
+  }
+}
 
 std::optional<LeasedJob> TrialLifecycle::Acquire() {
   auto job = scheduler_.GetJob();
   if (!job) return std::nullopt;
-  LeasedJob leased;
-  leased.lease_id = next_lease_id_++;
-  leased.job = *std::move(job);
-  pending_.insert(leased.lease_id);
+  // Built in the return slot (NRVO): the Job is moved exactly once.
+  std::optional<LeasedJob> leased(std::in_place);
+  leased->lease_id = next_lease_id_++;
+  leased->job = *std::move(job);
+  pending_.Insert(leased->lease_id);
   return leased;
+}
+
+bool TrialLifecycle::AcquireInto(LeasedJob& out) {
+  auto job = scheduler_.GetJob();
+  if (!job) return false;
+  out.lease_id = next_lease_id_++;
+  out.job = *std::move(job);
+  pending_.Insert(out.lease_id);
+  return true;
 }
 
 void TrialLifecycle::NoteRecommendation(double now) {
@@ -116,6 +151,16 @@ void TrialLifecycle::NoteRecommendation(double now) {
   }
   recommendations_.push_back({now, rec->trial_id, rec->loss, rec->resource});
   if (options_.emit_recommendation_events && options_.telemetry != nullptr) {
+    if (batching_) {
+      DeferredEvent event;
+      event.is_span = false;
+      event.time = now;
+      event.trial = rec->trial_id;
+      event.loss = rec->loss;
+      event.resource = rec->resource;
+      deferred_.push_back(event);
+      return;
+    }
     Json args = JsonObject{};
     args.Set("trial", Json(rec->trial_id));
     args.Set("loss", Json(rec->loss));
@@ -130,7 +175,7 @@ void TrialLifecycle::Resolve(const LeasedJob& lease, bool lost, double loss,
   // The one guard that makes every backend's accounting sound: each lease
   // resolves exactly once. A second Complete, a Complete after a Lose, or a
   // resolve of a lease this lifecycle never issued all trip here.
-  HT_CHECK_MSG(pending_.erase(lease.lease_id) == 1,
+  HT_CHECK_MSG(pending_.Erase(lease.lease_id),
                "lease " << lease.lease_id << " (trial " << lease.job.trial_id
                         << ") already resolved or never acquired");
   if (lost) {
@@ -141,35 +186,143 @@ void TrialLifecycle::Resolve(const LeasedJob& lease, bool lost, double loss,
     ++completed_;
   }
   if (options_.telemetry != nullptr) {
-    if (options_.emit_spans) {
-      EmitJobSpan(options_.telemetry, options_.span_profile, lease.job, lost,
-                  loss, timing, &span_name_);
-    }
-    const char* const counter_name =
-        lost ? options_.lost_counter : options_.completed_counter;
-    if (counter_name != nullptr) {
-      Counter*& counter = lost ? lost_counter_ : completed_counter_;
-      if (counter == nullptr) {
-        counter = &options_.telemetry->metrics().counter(counter_name);
+    if (batching_) {
+      if (options_.emit_spans) {
+        DeferredEvent event;
+        event.is_span = true;
+        event.trial = lease.job.trial_id;
+        event.rung = lease.job.rung;
+        event.bracket = lease.job.bracket;
+        event.from_resource = lease.job.from_resource;
+        event.to_resource = lease.job.to_resource;
+        event.lost = lost;
+        event.loss = loss;
+        event.timing = timing;
+        deferred_.push_back(event);
       }
-      counter->Increment();
+      if (lost) {
+        lost_delta_ += options_.lost_counter != nullptr;
+      } else {
+        completed_delta_ += options_.completed_counter != nullptr;
+      }
+    } else {
+      if (options_.emit_spans) {
+        EmitJobSpan(options_.telemetry, options_.span_profile, lease.job,
+                    lost, loss, timing, &span_name_);
+      }
+      const char* const counter_name =
+          lost ? options_.lost_counter : options_.completed_counter;
+      if (counter_name != nullptr) {
+        Counter*& counter = lost ? lost_counter_ : completed_counter_;
+        if (counter == nullptr) {
+          counter = &options_.telemetry->metrics().counter(counter_name);
+        }
+        counter->Increment();
+      }
     }
   }
-  RunRecord record;
-  record.trial_id = lease.job.trial_id;
-  record.rung = lease.job.rung;
-  record.bracket = lease.job.bracket;
-  record.from_resource = lease.job.from_resource;
-  record.to_resource = lease.job.to_resource;
-  record.loss = lost ? 0 : loss;
-  record.lost = lost;
-  record.start_time = timing.start;
-  record.end_time = timing.end;
-  record.queue_wait = timing.queue_wait;
-  record.worker = timing.worker;
-  record.lease_id = lease.lease_id;
-  records_.push_back(record);
+  if (options_.record_runs) {
+    RunRecord record;
+    record.trial_id = lease.job.trial_id;
+    record.rung = lease.job.rung;
+    record.bracket = lease.job.bracket;
+    record.from_resource = lease.job.from_resource;
+    record.to_resource = lease.job.to_resource;
+    record.loss = lost ? 0 : loss;
+    record.lost = lost;
+    record.start_time = timing.start;
+    record.end_time = timing.end;
+    record.queue_wait = timing.queue_wait;
+    record.worker = timing.worker;
+    record.lease_id = lease.lease_id;
+    records_.push_back(record);
+  }
   if (options_.track_recommendations) NoteRecommendation(timing.end);
+}
+
+void TrialLifecycle::MaterializeInto(std::vector<TraceEvent>& out) {
+  for (const DeferredEvent& deferred : deferred_) {
+    TraceEvent event;
+    if (deferred.is_span) {
+      Json args = JsonObject{};
+      args.Set("trial", Json(deferred.trial));
+      args.Set("rung", Json(deferred.rung));
+      if (options_.span_profile == SpanProfile::kFull) {
+        args.Set("bracket", Json(deferred.bracket));
+        args.Set("from_resource", Json(deferred.from_resource));
+        args.Set("to_resource", Json(deferred.to_resource));
+        if (deferred.lost) {
+          args.Set("dropped", Json(true));
+        } else {
+          args.Set("loss", Json(deferred.loss));
+        }
+      } else {
+        args.Set("to_resource", Json(deferred.to_resource));
+        if (deferred.lost) {
+          args.Set("lost", Json(true));
+        } else {
+          args.Set("loss", Json(deferred.loss));
+        }
+      }
+      event.time = deferred.timing.start;
+      event.duration = deferred.timing.end - deferred.timing.start;
+      span_name_.clear();
+      span_name_ += 't';
+      span_name_ += std::to_string(deferred.trial);
+      span_name_ += ":r";
+      span_name_ += std::to_string(deferred.rung);
+      event.name = span_name_;
+      event.category = "worker";
+      event.worker = deferred.timing.worker;
+      event.args = std::move(args);
+    } else {
+      Json args = JsonObject{};
+      args.Set("trial", Json(deferred.trial));
+      args.Set("loss", Json(deferred.loss));
+      args.Set("resource", Json(deferred.resource));
+      event.time = deferred.time;
+      event.name = "recommendation";
+      event.category = "job";
+      event.worker = 0;
+      event.args = std::move(args);
+    }
+    out.push_back(std::move(event));
+  }
+  deferred_.clear();
+}
+
+void TrialLifecycle::FlushCounters() {
+  if (completed_delta_ > 0) {
+    if (completed_counter_ == nullptr) {
+      completed_counter_ =
+          &options_.telemetry->metrics().counter(options_.completed_counter);
+    }
+    completed_counter_->Increment(completed_delta_);
+    completed_delta_ = 0;
+  }
+  if (lost_delta_ > 0) {
+    if (lost_counter_ == nullptr) {
+      lost_counter_ =
+          &options_.telemetry->metrics().counter(options_.lost_counter);
+    }
+    lost_counter_->Increment(lost_delta_);
+    lost_delta_ = 0;
+  }
+}
+
+void TrialLifecycle::Drain(std::vector<TraceEvent>& out) {
+  MaterializeInto(out);
+}
+
+void TrialLifecycle::FlushTelemetry() {
+  if (!batching_) return;
+  if (!deferred_.empty()) {
+    std::vector<TraceEvent> events;
+    events.reserve(deferred_.size());
+    MaterializeInto(events);
+    options_.telemetry->tracer().RecordBatch(std::move(events));
+  }
+  FlushCounters();
 }
 
 void TrialLifecycle::Complete(const LeasedJob& lease, double loss,
@@ -184,11 +337,10 @@ void TrialLifecycle::Lose(const LeasedJob& lease, const RunTiming& timing) {
 
 Json TrialLifecycle::Snapshot() const {
   Json json = JsonObject{};
-  // Sorted so the snapshot is deterministic (pending_ is an unordered set).
-  std::vector<std::uint64_t> pending(pending_.begin(), pending_.end());
-  std::sort(pending.begin(), pending.end());
+  // Ascending by construction (the bitmap iterates in id order), matching
+  // the sorted order snapshots always had.
   Json pending_json = JsonArray{};
-  for (std::uint64_t id : pending) {
+  for (std::uint64_t id : pending_.SortedIds()) {
     pending_json.PushBack(Json(static_cast<std::int64_t>(id)));
   }
   json.Set("pending", std::move(pending_json));
@@ -215,7 +367,7 @@ void TrialLifecycle::Restore(const Json& snapshot) {
   HT_CHECK_MSG(next_lease_id_ == 1 && pending_.empty() && records_.empty(),
                "Restore requires a freshly constructed lifecycle");
   for (const auto& id : snapshot.at("pending").AsArray()) {
-    pending_.insert(static_cast<std::uint64_t>(id.AsInt()));
+    pending_.Insert(static_cast<std::uint64_t>(id.AsInt()));
   }
   next_lease_id_ =
       static_cast<std::uint64_t>(snapshot.at("next_lease_id").AsInt());

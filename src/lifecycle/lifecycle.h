@@ -30,16 +30,55 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
+#include "common/check.h"
 #include "core/scheduler.h"
 #include "lifecycle/run_record.h"
+#include "telemetry/trace.h"
 
 namespace hypertune {
 
 class Telemetry;
 class Counter;
+
+/// The open-lease guard set. Lease ids are dense (1, 2, ...), so membership
+/// lives in a bitmap: Insert/Erase are O(1) with no hashing or node
+/// allocation — the resolve-side check costs two word ops on the simulator
+/// hot path. Iteration order is ascending by construction, which is the
+/// order snapshots want.
+class OpenLeaseSet {
+ public:
+  /// No-op when `id` is already present (matching set semantics).
+  void Insert(std::uint64_t id) {
+    const std::size_t word = static_cast<std::size_t>(id / 64);
+    if (word >= words_.size()) words_.resize(word + 1, 0);
+    const std::uint64_t bit = std::uint64_t{1} << (id % 64);
+    count_ += (words_[word] & bit) == 0;
+    words_[word] |= bit;
+  }
+
+  /// Clears `id`; returns whether it was present.
+  bool Erase(std::uint64_t id) {
+    const std::size_t word = static_cast<std::size_t>(id / 64);
+    if (word >= words_.size()) return false;
+    const std::uint64_t bit = std::uint64_t{1} << (id % 64);
+    if ((words_[word] & bit) == 0) return false;
+    words_[word] &= ~bit;
+    --count_;
+    return true;
+  }
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// All open ids in ascending order.
+  std::vector<std::uint64_t> SortedIds() const;
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t count_ = 0;
+};
 
 /// A job pulled from the scheduler together with its open lease.
 struct LeasedJob {
@@ -84,6 +123,16 @@ struct LifecycleOptions {
   bool track_recommendations = false;
   /// Additionally emit a "recommendation" trace instant on each change.
   bool emit_recommendation_events = false;
+  /// Append one RunRecord per resolution. Throughput harnesses that only
+  /// need counters (bench/micro_sim) turn this off; records() /
+  /// TakeRecords() then stay empty.
+  bool record_runs = true;
+  /// Defer span/instant emissions and counter bumps into a per-lifecycle
+  /// buffer flushed at sync points (FlushTelemetry, destruction, or a
+  /// foreign Record on the tracer — see EventTracer::BatchSource), instead
+  /// of paying Json assembly + a tracer lock per resolution. Exports are
+  /// byte-identical to the unbatched path. Single-threaded backends only.
+  bool batch_telemetry = false;
 };
 
 /// Rejects non-finite losses (NaN, +/-inf) with a CheckError. Exposed so
@@ -100,13 +149,25 @@ void EmitJobSpan(Telemetry* telemetry, SpanProfile profile, const Job& job,
                  bool lost, double loss, const RunTiming& timing,
                  std::string* scratch = nullptr);
 
-class TrialLifecycle {
+class TrialLifecycle final : private EventTracer::BatchSource {
  public:
   TrialLifecycle(Scheduler& scheduler, LifecycleOptions options);
+  /// Flushes and detaches the telemetry batch, if one is active.
+  ~TrialLifecycle() override;
+
+  TrialLifecycle(const TrialLifecycle&) = delete;
+  TrialLifecycle& operator=(const TrialLifecycle&) = delete;
 
   /// Pulls the next job from the scheduler and opens its lease; nullopt
   /// when the scheduler has no work right now.
   std::optional<LeasedJob> Acquire();
+
+  /// Hot-path variant of Acquire: writes the lease into `out` (reusing its
+  /// Configuration capacity — the simulator keeps one slot per worker)
+  /// instead of materializing a fresh optional. Returns false, leaving
+  /// `out` untouched, when no work is available. Identical semantics
+  /// otherwise.
+  bool AcquireInto(LeasedJob& out);
 
   /// Resolves a lease with a (finite) loss: validates exactly-once,
   /// reports to the scheduler, records, and updates the recommendation
@@ -121,6 +182,12 @@ class TrialLifecycle {
   std::size_t lost_jobs() const { return lost_; }
   /// Leases acquired but not yet resolved.
   std::size_t pending_leases() const { return pending_.size(); }
+
+  /// Sync point for batched telemetry: pushes buffered spans/instants to
+  /// the tracer and applies buffered counter deltas. No-op when batching
+  /// is off or the buffer is empty. Callers must flush before reading the
+  /// tracer mid-run; destruction flushes automatically.
+  void FlushTelemetry();
 
   const std::vector<RunRecord>& records() const { return records_; }
   std::vector<RunRecord> TakeRecords() { return std::move(records_); }
@@ -142,13 +209,35 @@ class TrialLifecycle {
   void Restore(const Json& snapshot);
 
  private:
+  /// One deferred trace emission: a job span or a recommendation instant,
+  /// stored as plain fields so no Json is assembled until flush time.
+  struct DeferredEvent {
+    bool is_span = true;
+    // Span payload (EmitJobSpan's inputs).
+    TrialId trial = -1;
+    int rung = 0;
+    int bracket = 0;
+    double from_resource = 0;
+    double to_resource = 0;
+    bool lost = false;
+    double loss = 0;
+    RunTiming timing;
+    // Recommendation payload (trial/loss fields shared with the span's).
+    double time = 0;
+    double resource = 0;
+  };
+
   void Resolve(const LeasedJob& lease, bool lost, double loss,
                const RunTiming& timing);
   void NoteRecommendation(double now);
+  // EventTracer::BatchSource — materializes deferred events in order.
+  void Drain(std::vector<TraceEvent>& out) override;
+  void MaterializeInto(std::vector<TraceEvent>& out);
+  void FlushCounters();
 
   Scheduler& scheduler_;
   LifecycleOptions options_;
-  std::unordered_set<std::uint64_t> pending_;
+  OpenLeaseSet pending_;
   std::uint64_t next_lease_id_ = 1;
   std::vector<RunRecord> records_;
   std::vector<RecommendationPoint> recommendations_;
@@ -158,6 +247,11 @@ class TrialLifecycle {
   Counter* completed_counter_ = nullptr;
   Counter* lost_counter_ = nullptr;
   std::string span_name_;  // reused across emissions
+  // Telemetry batching (active iff options_.batch_telemetry && telemetry).
+  bool batching_ = false;
+  std::vector<DeferredEvent> deferred_;
+  std::int64_t completed_delta_ = 0;
+  std::int64_t lost_delta_ = 0;
 };
 
 }  // namespace hypertune

@@ -1,20 +1,21 @@
 #include "searchspace/configuration.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/check.h"
 
 namespace hypertune {
 
-void Configuration::Set(std::string name, ParamValue value) {
-  for (auto& [existing, val] : items_) {
-    if (existing == name) {
-      val = std::move(value);
-      return;
-    }
-  }
-  items_.emplace_back(std::move(name), std::move(value));
+void Configuration::FailMissing(std::string_view name) {
+  throw CheckError("Configuration has no parameter named '" +
+                   std::string(name) + "'");
+}
+
+void Configuration::FailNotInt(std::string_view name) {
+  HT_CHECK_MSG(false, "parameter '" << name << "' is not an integer");
+  std::abort();  // unreachable: the check above always throws
 }
 
 bool Configuration::Has(std::string_view name) const {
@@ -22,23 +23,8 @@ bool Configuration::Has(std::string_view name) const {
                      [&](const auto& kv) { return kv.first == name; });
 }
 
-const ParamValue& Configuration::Get(std::string_view name) const {
-  for (const auto& [key, value] : items_) {
-    if (key == name) return value;
-  }
-  throw CheckError("Configuration has no parameter named '" +
-                   std::string(name) + "'");
-}
-
 double Configuration::GetDouble(std::string_view name) const {
   return AsDouble(Get(name));
-}
-
-std::int64_t Configuration::GetInt(std::string_view name) const {
-  const ParamValue& v = Get(name);
-  const auto* i = std::get_if<std::int64_t>(&v);
-  HT_CHECK_MSG(i != nullptr, "parameter '" << name << "' is not an integer");
-  return *i;
 }
 
 const std::string& Configuration::GetString(std::string_view name) const {

@@ -18,18 +18,38 @@ class Configuration {
  public:
   Configuration() = default;
 
-  /// Inserts or overwrites `name`.
-  void Set(std::string name, ParamValue value);
+  /// Inserts or overwrites `name`. Inline: Set and the typed getters sit on
+  /// the simulation fast path (one Set per hand-out, one lookup per
+  /// Loss/Duration call), so a cross-TU call here is measurable.
+  void Set(std::string name, ParamValue value) {
+    for (auto& [existing, val] : items_) {
+      if (existing == name) {
+        val = std::move(value);
+        return;
+      }
+    }
+    items_.emplace_back(std::move(name), std::move(value));
+  }
 
   bool Has(std::string_view name) const;
 
   /// Throws CheckError when `name` is absent.
-  const ParamValue& Get(std::string_view name) const;
+  const ParamValue& Get(std::string_view name) const {
+    for (const auto& [key, value] : items_) {
+      if (key == name) return value;
+    }
+    FailMissing(name);
+  }
 
   /// Typed accessors; throw on missing name or wrong type. GetDouble accepts
   /// integer-valued parameters and widens them.
   double GetDouble(std::string_view name) const;
-  std::int64_t GetInt(std::string_view name) const;
+  std::int64_t GetInt(std::string_view name) const {
+    const ParamValue& v = Get(name);
+    const auto* i = std::get_if<std::int64_t>(&v);
+    if (i == nullptr) [[unlikely]] FailNotInt(name);
+    return *i;
+  }
   const std::string& GetString(std::string_view name) const;
 
   std::size_t size() const { return items_.size(); }
@@ -48,6 +68,11 @@ class Configuration {
   friend bool operator==(const Configuration&, const Configuration&) = default;
 
  private:
+  // Cold halves of the inline accessors: message assembly and the throw
+  // stay out of callers' instruction streams.
+  [[noreturn]] static void FailMissing(std::string_view name);
+  [[noreturn]] static void FailNotInt(std::string_view name);
+
   std::vector<std::pair<std::string, ParamValue>> items_;
 };
 

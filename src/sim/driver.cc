@@ -1,30 +1,156 @@
 #include "sim/driver.h"
 
-#include <queue>
-#include <set>
+#include <utility>
 
 #include "common/check.h"
 #include "lifecycle/lifecycle.h"
+#include "sim/event_queue.h"
 #include "telemetry/telemetry.h"
 
 namespace hypertune {
 
 namespace {
 
-struct ActiveJob {
+// Payload slab: everything a scheduled job carries besides its (end, seq)
+// ordering key. Indexed by worker slot — the simulator runs at most one
+// job per worker — so the event queues sift only 20-byte SimEvents and the
+// Job payload (Configuration included) is written once and never moved.
+struct SlabJob {
   LeasedJob lease;
   double start = 0;
-  double end = 0;
+  double queue_wait = 0;  // worker idle time before this job started
   bool dropped = false;
-  double queue_wait = 0;      // worker idle time before this job started
-  int worker = 0;             // virtual worker executing this job
-  std::uint64_t seq = 0;      // FIFO tie-break for equal event times
-
-  bool operator>(const ActiveJob& other) const {
-    if (end != other.end) return end > other.end;
-    return seq > other.seq;
-  }
 };
+
+// Cold twin of the dispatch-path positivity check: keeps the ostringstream
+// machinery out of the dispatch loop's instruction stream.
+[[gnu::noinline]] void FailNonPositiveDuration(double base) {
+  HT_CHECK_MSG(base > 0, "job duration must be positive, got " << base);
+}
+
+// The run loop, templated over the event-queue engine. Everything the
+// tuning algorithms observe — lease order, completion order, worker
+// assignment, clock advances — is independent of Queue: both engines pop
+// in identical (end, seq) order.
+template <typename Queue>
+DriverResult RunWithQueue(Scheduler& scheduler, JobEnvironment& environment,
+                          const DriverOptions& options, Queue& queue) {
+  HazardInjector hazards(options.hazards, options.seed);
+  // Disabled hazards consume no randomness, so skipping Plan() entirely
+  // leaves the fate sequence (there is none) unchanged.
+  const bool hazards_on = hazards.enabled();
+  DriverResult result;
+  Telemetry* const telemetry = options.telemetry;
+  VirtualClock* const vclock =
+      telemetry != nullptr ? telemetry->virtual_clock() : nullptr;
+  TrialLifecycle lifecycle(scheduler,
+                           {.telemetry = telemetry,
+                            .emit_spans = true,
+                            .span_profile = SpanProfile::kFull,
+                            .completed_counter = "driver.jobs_completed",
+                            .lost_counter = "driver.jobs_dropped",
+                            .track_recommendations =
+                                options.track_recommendations,
+                            .emit_recommendation_events =
+                                options.track_recommendations,
+                            .record_runs = options.record_runs,
+                            .batch_telemetry = options.batch_telemetry});
+
+  const auto workers = static_cast<std::size_t>(options.num_workers);
+  std::vector<SlabJob> slab(workers);
+  // When each worker last became free (for RunRecord::queue_wait). Nothing
+  // reads queue_wait when records and telemetry are both off, so the
+  // throughput path skips the per-job traffic on this array entirely.
+  const bool need_timing = options.record_runs || telemetry != nullptr;
+  std::vector<double> free_since(workers, 0.0);
+  // Lowest-index-first worker assignment keeps trace tracks deterministic.
+  IdleWorkerSet idle_workers(options.num_workers);
+  double now = 0;
+  std::uint64_t seq = 0;
+
+  auto dispatch_idle_workers = [&] {
+    if (vclock != nullptr) vclock->Set(now);
+    while (!idle_workers.empty()) {
+      // Claim the lowest free worker before leasing so the job lands
+      // straight in its slab slot; re-inserting the same lowest index on
+      // a dry scheduler restores the set exactly.
+      const int worker = idle_workers.PopLowest();
+      const auto slot = static_cast<std::size_t>(worker);
+      SlabJob& active = slab[slot];
+      if (!lifecycle.AcquireInto(active.lease)) {
+        idle_workers.Insert(worker);
+        break;  // no work right now; retry after the next event
+      }
+      const double base = environment.Duration(active.lease.job.config,
+                                               active.lease.job.from_resource,
+                                               active.lease.job.to_resource);
+      if (!(base > 0)) [[unlikely]] FailNonPositiveDuration(base);
+      double end_after = base;
+      bool dropped = false;
+      if (hazards_on) {
+        const HazardPlan plan = hazards.Plan(base);
+        end_after = plan.end_after();
+        dropped = plan.dropped();
+      }
+      active.start = now;
+      if (need_timing) active.queue_wait = now - free_since[slot];
+      active.dropped = dropped;
+      queue.Push({now + end_after, seq++, static_cast<std::uint32_t>(worker)});
+    }
+  };
+
+  dispatch_idle_workers();
+  while (!queue.empty()) {
+    const SimEvent event = queue.Top();
+    if (event.end > options.time_limit) break;  // budget exhausted
+    queue.PopTop();
+    now = event.end;
+    if (vclock != nullptr) vclock->Set(now);
+    const int worker = static_cast<int>(event.slot);
+    SlabJob& active = slab[event.slot];
+    idle_workers.Insert(worker);
+    if (need_timing) free_since[event.slot] = now;
+    result.busy_time += now - active.start;
+
+    const RunTiming timing{active.start, now, active.queue_wait, worker};
+    if (active.dropped) {
+      lifecycle.Lose(active.lease, timing);
+    } else {
+      const double loss = environment.Loss(active.lease.job.config,
+                                           active.lease.job.to_resource);
+      lifecycle.Complete(active.lease, loss, timing);
+    }
+
+    if (options.max_completed_jobs > 0 &&
+        lifecycle.completed_jobs() >= options.max_completed_jobs) {
+      break;
+    }
+    if (scheduler.Finished()) break;
+    dispatch_idle_workers();
+  }
+
+  result.jobs_in_flight = queue.size();
+  result.end_time = now;
+  result.jobs_completed = lifecycle.completed_jobs();
+  result.jobs_dropped = lifecycle.lost_jobs();
+  result.completions = lifecycle.TakeRecords();
+  result.recommendations = lifecycle.TakeRecommendations();
+  lifecycle.FlushTelemetry();
+  if (telemetry != nullptr) {
+    auto& metrics = telemetry->metrics();
+    if (result.jobs_in_flight > 0) {
+      metrics.counter("driver.jobs_stranded")
+          .Increment(static_cast<std::int64_t>(result.jobs_in_flight));
+    }
+    metrics.gauge("driver.end_time").Set(result.end_time);
+    if (result.end_time > 0) {
+      metrics.gauge("driver.worker_utilization")
+          .Set(result.busy_time /
+               (static_cast<double>(options.num_workers) * result.end_time));
+    }
+  }
+  return result;
+}
 
 }  // namespace
 
@@ -37,100 +163,15 @@ SimulationDriver::SimulationDriver(Scheduler& scheduler,
 }
 
 DriverResult SimulationDriver::Run() {
-  HazardInjector hazards(options_.hazards, options_.seed);
-  DriverResult result;
-  Telemetry* const telemetry = options_.telemetry;
-  TrialLifecycle lifecycle(scheduler_,
-                           {.telemetry = telemetry,
-                            .emit_spans = true,
-                            .span_profile = SpanProfile::kFull,
-                            .completed_counter = "driver.jobs_completed",
-                            .lost_counter = "driver.jobs_dropped",
-                            .track_recommendations = true,
-                            .emit_recommendation_events = true});
-
-  std::priority_queue<ActiveJob, std::vector<ActiveJob>, std::greater<>> queue;
-  double now = 0;
-  std::uint64_t seq = 0;
-  // Lowest-index-first worker assignment keeps trace tracks deterministic.
-  std::set<int> idle_workers;
-  // When each worker last became free (for RunRecord::queue_wait).
-  std::vector<double> free_since(
-      static_cast<std::size_t>(options_.num_workers), 0.0);
-  for (int w = 0; w < options_.num_workers; ++w) idle_workers.insert(w);
-
-  auto dispatch_idle_workers = [&] {
-    while (!idle_workers.empty()) {
-      if (telemetry != nullptr) telemetry->AdvanceTo(now);
-      auto leased = lifecycle.Acquire();
-      if (!leased) break;  // no work right now; retry after the next event
-      const double base = environment_.Duration(leased->job.config,
-                                                leased->job.from_resource,
-                                                leased->job.to_resource);
-      HT_CHECK_MSG(base > 0, "job duration must be positive, got " << base);
-      const HazardPlan plan = hazards.Plan(base);
-      ActiveJob active;
-      active.lease = *std::move(leased);
-      active.start = now;
-      active.end = now + plan.end_after();
-      active.dropped = plan.dropped();
-      active.worker = *idle_workers.begin();
-      active.queue_wait =
-          now - free_since[static_cast<std::size_t>(active.worker)];
-      active.seq = seq++;
-      idle_workers.erase(idle_workers.begin());
-      queue.push(std::move(active));
-    }
-  };
-
-  dispatch_idle_workers();
-  while (!queue.empty()) {
-    if (queue.top().end > options_.time_limit) break;  // budget exhausted
-    // Move the event out of the heap: ActiveJob carries a whole Job
-    // (Configuration included), which at 500 workers made every pop a
-    // deep copy. top() is const-qualified only to protect heap order,
-    // which pop() is about to discard anyway.
-    ActiveJob active = std::move(const_cast<ActiveJob&>(queue.top()));
-    queue.pop();
-    now = active.end;
-    if (telemetry != nullptr) telemetry->AdvanceTo(now);
-    idle_workers.insert(active.worker);
-    free_since[static_cast<std::size_t>(active.worker)] = now;
-    result.busy_time += active.end - active.start;
-
-    const RunTiming timing{active.start, active.end, active.queue_wait,
-                           active.worker};
-    if (active.dropped) {
-      lifecycle.Lose(active.lease, timing);
-    } else {
-      const double loss = environment_.Loss(active.lease.job.config,
-                                            active.lease.job.to_resource);
-      lifecycle.Complete(active.lease, loss, timing);
-    }
-
-    if (options_.max_completed_jobs > 0 &&
-        lifecycle.completed_jobs() >= options_.max_completed_jobs) {
-      break;
-    }
-    if (scheduler_.Finished()) break;
-    dispatch_idle_workers();
+  if (options_.event_queue == SimEngine::kCalendar) {
+    CalendarEventQueue queue(
+        {.expected_events = static_cast<std::size_t>(options_.num_workers),
+         .skip_ahead = options_.skip_ahead});
+    return RunWithQueue(scheduler_, environment_, options_, queue);
   }
-
-  result.end_time = now;
-  result.jobs_completed = lifecycle.completed_jobs();
-  result.jobs_dropped = lifecycle.lost_jobs();
-  result.completions = lifecycle.TakeRecords();
-  result.recommendations = lifecycle.TakeRecommendations();
-  if (telemetry != nullptr) {
-    auto& metrics = telemetry->metrics();
-    metrics.gauge("driver.end_time").Set(result.end_time);
-    if (result.end_time > 0) {
-      metrics.gauge("driver.worker_utilization")
-          .Set(result.busy_time /
-               (static_cast<double>(options_.num_workers) * result.end_time));
-    }
-  }
-  return result;
+  BinaryEventHeap queue;
+  queue.Reserve(static_cast<std::size_t>(options_.num_workers));
+  return RunWithQueue(scheduler_, environment_, options_, queue);
 }
 
 }  // namespace hypertune

@@ -27,6 +27,18 @@ namespace hypertune {
 
 class Telemetry;
 
+/// Which event-queue implementation orders completions (see
+/// src/sim/event_queue.h). Both pop in exactly ascending (end, seq) order —
+/// a property test holds them to identical pop sequences — so decisions,
+/// records, and traces are byte-identical across engines.
+enum class SimEngine {
+  /// Array binary min-heap: O(log n) per event, the safe default.
+  kBinaryHeap,
+  /// Brown's calendar queue: amortized O(1) per event when completion
+  /// times are spread evenly (the tabular-benchmark regime).
+  kCalendar,
+};
+
 struct DriverOptions {
   int num_workers = 1;
   /// Virtual-time budget; events after this instant are not processed.
@@ -43,6 +55,25 @@ struct DriverOptions {
   /// driver.* counters/gauges. With a virtual-clock sink and a fixed seed
   /// the recorded trace is byte-identical across reruns.
   Telemetry* telemetry = nullptr;
+  /// Event-queue engine; changes throughput, never decisions.
+  SimEngine event_queue = SimEngine::kBinaryHeap;
+  /// Calendar engine only: when the current virtual "day" holds no due
+  /// event, jump the cursor straight to the next event instead of stepping
+  /// day by day across the idle gap.
+  bool skip_ahead = true;
+  /// Keep one RunRecord per resolved job in DriverResult::completions.
+  /// Throughput harnesses (bench/micro_sim) turn this off; counters and
+  /// recommendations are unaffected.
+  bool record_runs = true;
+  /// Record the incumbent trajectory (DriverResult::recommendations) and
+  /// emit recommendation-change instants. Throughput harnesses turn this
+  /// off to skip the per-completion Scheduler::Current() query.
+  bool track_recommendations = true;
+  /// Defer span/instant emissions and counter bumps into a per-run buffer
+  /// flushed at sync points instead of paying Json assembly plus a tracer
+  /// lock per job (see EventTracer::BatchSource). Exports are
+  /// byte-identical to the unbatched path.
+  bool batch_telemetry = true;
 };
 
 struct DriverResult {
@@ -55,6 +86,11 @@ struct DriverResult {
   double busy_time = 0;
   std::size_t jobs_completed = 0;
   std::size_t jobs_dropped = 0;
+  /// Jobs still occupying workers when Run() stopped (time limit reached,
+  /// max_completed_jobs hit, or the scheduler finished mid-flight). These
+  /// leases were never resolved, so they appear in no other tally; when
+  /// positive, the driver.jobs_stranded counter records the same value.
+  std::size_t jobs_in_flight = 0;
 };
 
 class SimulationDriver {

@@ -1,0 +1,136 @@
+// Tabular (zero-cost) benchmarks: pre-evaluated (row, fidelity) tables
+// served by O(1) lookup, the regime where the simulator engine — not the
+// surrogate — must be the bottleneck (≥10M simulated job-completions/sec,
+// see bench/micro_sim.cc).
+//
+// A table stores, for each of `rows` configurations and each fidelity on an
+// ascending resource ladder:
+//   * the validation loss after training to that fidelity, and
+//   * the cumulative training time from scratch to that fidelity
+// so Duration(from, to) is one subtraction (resumable tables) or one load
+// (non-resumable), with no per-call learning-curve or cost-model math.
+//
+// On-disk format "HTTB0001" (little-endian, written by tools/table_pack):
+//
+//   offset  size  field
+//   0       8     magic "HTTB0001"
+//   8       4     uint32 rows
+//   12      4     uint32 num_fidelities (F)
+//   16      4     uint32 flags (bit 0: resumable)
+//   20      4     uint32 CRC-32 of everything after the header
+//   24      8*F   double fidelities[F]        (strictly ascending, > 0)
+//   ...     8*rows*F  double losses[rows][F]     (row-major)
+//   ...     8*rows*F  double cum_times[rows][F]  (strictly ascending per row)
+//
+// Every payload scalar is a naturally aligned double, so a loader may mmap
+// the file and serve lookups straight from the mapping — TabularBenchmark
+// does exactly that (falling back to an owned copy when mmap is
+// unavailable). The search space is a single integer parameter "row" in
+// [0, rows).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "searchspace/space.h"
+#include "sim/environment.h"
+
+namespace hypertune {
+
+/// In-memory table contents (the packer's input, the loader's output).
+struct TableData {
+  std::uint32_t rows = 0;
+  bool resumable = true;
+  /// Ascending resource ladder, length F.
+  std::vector<double> fidelities;
+  /// rows * F losses, row-major.
+  std::vector<double> losses;
+  /// rows * F cumulative training times from scratch, row-major, strictly
+  /// ascending within each row.
+  std::vector<double> cum_times;
+};
+
+/// Serializes to the HTTB0001 byte layout. Validates shape/monotonicity
+/// (CheckError on violation).
+std::string PackTable(const TableData& data);
+
+/// Parses an HTTB0001 byte buffer (header, shape, and CRC are validated).
+TableData UnpackTable(const std::string& bytes);
+
+class TabularBenchmark final : public JobEnvironment {
+ public:
+  /// Takes ownership of in-memory data (tests, the packer).
+  explicit TabularBenchmark(TableData data);
+
+  /// Maps `path` read-only and serves lookups from the mapping; the file
+  /// must outlive the benchmark. Header/CRC-validated; CheckError on a
+  /// truncated or corrupt file.
+  static std::unique_ptr<TabularBenchmark> FromFile(const std::string& path);
+
+  const SearchSpace& space() const { return space_; }
+  std::uint32_t rows() const { return rows_; }
+  std::size_t num_fidelities() const { return num_fidelities_; }
+  bool resumable() const { return resumable_; }
+  /// Largest fidelity on the ladder (the table's R).
+  double max_resource() const { return fidelities_[num_fidelities_ - 1]; }
+
+  // JobEnvironment. The config's "row" parameter selects the table row; a
+  // resource maps to the smallest ladder fidelity >= resource (clamped to
+  // the top), so rung ladders that subset the table ladder hit exact cells.
+  double Loss(const Configuration& config, Resource resource) override;
+  double Duration(const Configuration& config, Resource from,
+                  Resource to) override;
+
+  /// Raw-row accessors for harnesses that bypass Configuration decoding.
+  double LossAt(std::uint32_t row, std::size_t fidelity_index) const {
+    return losses_[row * num_fidelities_ + fidelity_index];
+  }
+  double CumTimeAt(std::uint32_t row, std::size_t fidelity_index) const {
+    return cum_times_[row * num_fidelities_ + fidelity_index];
+  }
+
+ private:
+  struct Mapping;  // RAII mmap handle (table.cc)
+
+  TabularBenchmark() = default;  // FromFile fills the view fields directly
+
+  // Smallest ladder fidelity >= resource, clamped to the top — rung
+  // ladders that subset the table ladder hit exact cells; anything else
+  // rounds up. Ladders are short, so a branchless counting scan (inline,
+  // no data-dependent branches) serves the simulator hot path; long
+  // ladders fall back to binary search.
+  std::size_t FidelityIndex(double resource) const {
+    if (num_fidelities_ <= 32) {
+      std::size_t index = 0;
+      for (std::size_t i = 0; i < num_fidelities_; ++i) {
+        index += fidelities_[i] < resource;
+      }
+      return index < num_fidelities_ ? index : num_fidelities_ - 1;
+    }
+    return LargeFidelityIndex(resource);
+  }
+  std::size_t LargeFidelityIndex(double resource) const;
+
+  std::uint32_t RowOf(const Configuration& config) const {
+    const auto row = static_cast<std::uint32_t>(config.GetInt("row"));
+    if (row >= rows_) [[unlikely]] FailRowRange(row);
+    return row;
+  }
+  [[noreturn]] void FailRowRange(std::uint32_t row) const;  // cold path
+  void InitFromPointers();
+
+  // Either views into mapping_ or into owned_.*.
+  const double* fidelities_ = nullptr;
+  const double* losses_ = nullptr;
+  const double* cum_times_ = nullptr;
+  std::uint32_t rows_ = 0;
+  std::size_t num_fidelities_ = 0;
+  bool resumable_ = true;
+  SearchSpace space_;
+  TableData owned_;
+  std::shared_ptr<Mapping> mapping_;
+};
+
+}  // namespace hypertune

@@ -1,0 +1,170 @@
+// Tabular-benchmark coverage: HTTB0001 pack/unpack round-trips, corruption
+// detection, the mmap loader, fidelity-ladder rounding, and resumable
+// duration math (see src/surrogate/table.h for the format).
+#include "surrogate/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "common/check.h"
+
+namespace hypertune {
+namespace {
+
+TableData SmallTable() {
+  TableData data;
+  data.rows = 3;
+  data.resumable = true;
+  data.fidelities = {1.0, 3.0, 9.0};
+  for (std::uint32_t row = 0; row < data.rows; ++row) {
+    for (std::size_t i = 0; i < data.fidelities.size(); ++i) {
+      data.losses.push_back(1.0 / (1.0 + static_cast<double>(row + i)));
+      data.cum_times.push_back(static_cast<double>(row + 1) *
+                               data.fidelities[i]);
+    }
+  }
+  return data;
+}
+
+Configuration RowConfig(std::int64_t row) {
+  Configuration config;
+  config.Set("row", row);
+  return config;
+}
+
+TEST(TablePack, RoundTripPreservesEverything) {
+  const TableData original = SmallTable();
+  const std::string bytes = PackTable(original);
+  const TableData back = UnpackTable(bytes);
+  EXPECT_EQ(back.rows, original.rows);
+  EXPECT_EQ(back.resumable, original.resumable);
+  EXPECT_EQ(back.fidelities, original.fidelities);
+  EXPECT_EQ(back.losses, original.losses);
+  EXPECT_EQ(back.cum_times, original.cum_times);
+}
+
+TEST(TablePack, ResumableFlagRoundTrips) {
+  TableData data = SmallTable();
+  data.resumable = false;
+  EXPECT_FALSE(UnpackTable(PackTable(data)).resumable);
+}
+
+TEST(TablePack, DetectsPayloadCorruption) {
+  std::string bytes = PackTable(SmallTable());
+  bytes[bytes.size() - 3] ^= 0x01;  // flip one payload bit
+  EXPECT_THROW(UnpackTable(bytes), CheckError);
+}
+
+TEST(TablePack, DetectsTruncationAndBadMagic) {
+  std::string bytes = PackTable(SmallTable());
+  EXPECT_THROW(UnpackTable(bytes.substr(0, bytes.size() - 8)), CheckError);
+  EXPECT_THROW(UnpackTable(bytes.substr(0, 10)), CheckError);
+  std::string wrong = bytes;
+  wrong[0] = 'X';
+  EXPECT_THROW(UnpackTable(wrong), CheckError);
+}
+
+TEST(TablePack, RejectsMalformedShapes) {
+  TableData data = SmallTable();
+  data.losses.pop_back();
+  EXPECT_THROW(PackTable(data), CheckError);
+
+  data = SmallTable();
+  data.fidelities = {3.0, 1.0, 9.0};  // not ascending
+  EXPECT_THROW(PackTable(data), CheckError);
+
+  data = SmallTable();
+  data.cum_times[1] = data.cum_times[0];  // not strictly ascending in-row
+  EXPECT_THROW(PackTable(data), CheckError);
+}
+
+TEST(TabularBenchmark, LookupMatchesTable) {
+  const TableData data = SmallTable();
+  TabularBenchmark bench{TableData(data)};
+  EXPECT_EQ(bench.rows(), 3u);
+  EXPECT_EQ(bench.num_fidelities(), 3u);
+  EXPECT_DOUBLE_EQ(bench.max_resource(), 9.0);
+  for (std::int64_t row = 0; row < 3; ++row) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      const double fid = data.fidelities[i];
+      EXPECT_DOUBLE_EQ(bench.Loss(RowConfig(row), fid),
+                       data.losses[static_cast<std::size_t>(row) * 3 + i]);
+    }
+  }
+}
+
+TEST(TabularBenchmark, FidelityRoundsUpAndClamps) {
+  TabularBenchmark bench{SmallTable()};
+  // Between rungs 1 and 3 rounds up to the rung-3 cell.
+  EXPECT_DOUBLE_EQ(bench.Loss(RowConfig(0), 2.0), bench.LossAt(0, 1));
+  // Above the top of the ladder clamps to the last cell.
+  EXPECT_DOUBLE_EQ(bench.Loss(RowConfig(0), 100.0), bench.LossAt(0, 2));
+  // At or below the bottom hits the first cell.
+  EXPECT_DOUBLE_EQ(bench.Loss(RowConfig(0), 0.5), bench.LossAt(0, 0));
+}
+
+TEST(TabularBenchmark, ResumableDurationIsIncremental) {
+  TabularBenchmark bench{SmallTable()};
+  // Row 1: cum_times = {2, 6, 18}. From scratch to 9 costs 18; resuming
+  // from 3 costs the difference.
+  EXPECT_DOUBLE_EQ(bench.Duration(RowConfig(1), 0, 9.0), 18.0);
+  EXPECT_DOUBLE_EQ(bench.Duration(RowConfig(1), 3.0, 9.0), 12.0);
+}
+
+TEST(TabularBenchmark, NonResumableAlwaysPaysFromScratch) {
+  TableData data = SmallTable();
+  data.resumable = false;
+  TabularBenchmark bench{std::move(data)};
+  EXPECT_DOUBLE_EQ(bench.Duration(RowConfig(1), 3.0, 9.0), 18.0);
+}
+
+TEST(TabularBenchmark, RejectsOutOfRangeRow) {
+  TabularBenchmark bench{SmallTable()};
+  EXPECT_THROW(bench.Loss(RowConfig(7), 1.0), CheckError);
+}
+
+TEST(TabularBenchmark, SearchSpaceIsOneRowParameter) {
+  TabularBenchmark bench{SmallTable()};
+  ASSERT_EQ(bench.space().NumParams(), 1u);
+  EXPECT_EQ(bench.space().name(0), "row");
+}
+
+TEST(TabularBenchmark, FromFileServesIdenticalLookups) {
+  const TableData data = SmallTable();
+  const std::string path = testing::TempDir() + "/httb_roundtrip.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::string bytes = PackTable(data);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto bench = TabularBenchmark::FromFile(path);
+  ASSERT_NE(bench, nullptr);
+  EXPECT_EQ(bench->rows(), data.rows);
+  EXPECT_TRUE(bench->resumable());
+  for (std::int64_t row = 0; row < 3; ++row) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_DOUBLE_EQ(
+          bench->Loss(RowConfig(row), data.fidelities[i]),
+          data.losses[static_cast<std::size_t>(row) * 3 + i]);
+      EXPECT_DOUBLE_EQ(bench->CumTimeAt(static_cast<std::uint32_t>(row), i),
+                       data.cum_times[static_cast<std::size_t>(row) * 3 + i]);
+    }
+  }
+}
+
+TEST(TabularBenchmark, FromFileRejectsCorruptFile) {
+  std::string bytes = PackTable(SmallTable());
+  bytes[bytes.size() - 1] ^= 0x10;
+  const std::string path = testing::TempDir() + "/httb_corrupt.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(TabularBenchmark::FromFile(path), CheckError);
+}
+
+}  // namespace
+}  // namespace hypertune

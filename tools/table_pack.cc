@@ -1,0 +1,135 @@
+// table_pack — builds and inspects HTTB0001 tabular-benchmark files
+// (src/surrogate/table.h).
+//
+//   table_pack --synthetic <task> --out <file> [--rows N] [--fidelities F]
+//              [--seed S] [--trial-seed T]
+//       Samples N configurations from the named surrogate task
+//       (cifar_convnet, ptb_lstm, ... — see benchmarks::AllNames) and
+//       tabulates losses and cumulative training times on a geometric
+//       F-point fidelity ladder ending at the task's R.
+//
+//   table_pack --info <file>
+//       Prints the header (rows, fidelities, resumable, ladder, size) and
+//       verifies the CRC.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "surrogate/benchmarks.h"
+#include "surrogate/table.h"
+
+namespace hypertune {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: table_pack --synthetic <task> --out <file> [--rows N]\n"
+      "                  [--fidelities F] [--seed S] [--trial-seed T]\n"
+      "       table_pack --info <file>\n");
+  return 2;
+}
+
+int PackSynthetic(const std::string& task, const std::string& out_path,
+                  std::uint32_t rows, std::size_t num_fidelities,
+                  std::uint64_t seed, std::uint64_t trial_seed) {
+  auto bench = benchmarks::ByName(task, trial_seed);
+  TableData data;
+  data.rows = rows;
+  data.resumable = bench->spec().resumable;
+  // Geometric ladder ending at R, successive-halving style (factor 2).
+  const double R = bench->R();
+  data.fidelities.resize(num_fidelities);
+  for (std::size_t i = 0; i < num_fidelities; ++i) {
+    data.fidelities[num_fidelities - 1 - i] =
+        R / static_cast<double>(std::uint64_t{1} << i);
+  }
+  data.losses.reserve(std::size_t{rows} * num_fidelities);
+  data.cum_times.reserve(std::size_t{rows} * num_fidelities);
+  Rng rng(seed);
+  for (std::uint32_t row = 0; row < rows; ++row) {
+    const Configuration config = bench->space().Sample(rng);
+    for (double fidelity : data.fidelities) {
+      data.losses.push_back(bench->Loss(config, fidelity));
+      data.cum_times.push_back(bench->Duration(config, 0, fidelity));
+    }
+  }
+  const std::string bytes = PackTable(data);
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    std::fprintf(stderr, "table_pack: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  std::printf("wrote %s: task=%s rows=%u fidelities=%zu resumable=%d %zu bytes\n",
+              out_path.c_str(), task.c_str(), rows, num_fidelities,
+              data.resumable ? 1 : 0, bytes.size());
+  return 0;
+}
+
+int Info(const std::string& path) {
+  auto bench = TabularBenchmark::FromFile(path);
+  std::printf("%s: HTTB0001 rows=%u fidelities=%zu resumable=%d\n",
+              path.c_str(), bench->rows(), bench->num_fidelities(),
+              bench->resumable() ? 1 : 0);
+  std::printf("ladder:");
+  Configuration probe;
+  probe.Set("row", std::int64_t{0});
+  for (std::size_t i = 0; i < bench->num_fidelities(); ++i) {
+    std::printf(" %g", bench->LossAt(0, i));
+  }
+  std::printf(" (row 0 losses)\n");
+  std::printf("max_resource=%g row0_full_time=%g\n", bench->max_resource(),
+              bench->CumTimeAt(0, bench->num_fidelities() - 1));
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  std::string synthetic, out, info;
+  std::uint32_t rows = 1000;
+  std::size_t fidelities = 9;
+  std::uint64_t seed = 1, trial_seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      HT_CHECK_MSG(i + 1 < argc, arg << " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--synthetic") {
+      synthetic = next();
+    } else if (arg == "--out") {
+      out = next();
+    } else if (arg == "--rows") {
+      rows = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--fidelities") {
+      fidelities = std::stoul(next());
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+    } else if (arg == "--trial-seed") {
+      trial_seed = std::stoull(next());
+    } else if (arg == "--info") {
+      info = next();
+    } else {
+      return Usage();
+    }
+  }
+  if (!info.empty()) return Info(info);
+  if (synthetic.empty() || out.empty()) return Usage();
+  return PackSynthetic(synthetic, out, rows, fidelities, seed, trial_seed);
+}
+
+}  // namespace
+}  // namespace hypertune
+
+int main(int argc, char** argv) {
+  try {
+    return hypertune::Main(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "table_pack: %s\n", e.what());
+    return 1;
+  }
+}
