@@ -1,0 +1,131 @@
+// Microbenchmarks of the parallel sweep engine (src/sweep): whole-grid
+// throughput at different thread counts, and the per-study cost of the
+// reused SimContext against cold per-study allocation. Results are
+// recorded in BENCH_sweep.json.
+//
+//   BM_SweepGrid/<threads>    full RunSweep of a fixed 32-cell grid;
+//                             items/sec = cells per wall second
+//   BM_StudyReusedContext     one asha study per iteration, one SimContext
+//   BM_StudyColdContext       same study, fresh context every iteration
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "registry/registry.h"
+#include "sim/driver.h"
+#include "surrogate/table.h"
+#include "sweep/engine.h"
+
+namespace hypertune {
+namespace {
+
+constexpr std::uint32_t kRows = 1024;
+constexpr std::size_t kLadder = 8;
+
+// Same deterministic in-memory table as micro_sim: geometric ladder 1..128,
+// per-row cost spread so completion times interleave.
+TableData MakeTable(std::uint64_t salt) {
+  TableData data;
+  data.rows = kRows;
+  data.resumable = true;
+  data.fidelities.resize(kLadder);
+  for (std::size_t i = 0; i < kLadder; ++i) {
+    data.fidelities[i] = static_cast<double>(std::uint64_t{1} << i);
+  }
+  std::uint64_t h = 0x9E3779B97F4A7C15ull ^ salt;
+  for (std::uint32_t row = 0; row < kRows; ++row) {
+    h = h * 0xD1342543DE82EF95ull + 0x2545F4914F6CDD1Dull;
+    const double cost =
+        0.5 + static_cast<double>(h >> 40) / static_cast<double>(1 << 24);
+    for (std::size_t i = 0; i < kLadder; ++i) {
+      data.losses.push_back(1.0 / (1.0 + data.fidelities[i]) +
+                            static_cast<double>((row ^ h) % 17) * 1e-3);
+      data.cum_times.push_back(cost * data.fidelities[i]);
+    }
+  }
+  return data;
+}
+
+SweepSpec GridSpec(TabularBenchmark* a, TabularBenchmark* b) {
+  SweepSpec spec;
+  spec.benchmarks = {{"a", a}, {"b", b}};
+  spec.schedulers = {"asha", "random"};
+  spec.seeds = {1, 2, 3, 4};
+  spec.fleets = {4, 16};
+  spec.params.n = 64;
+  spec.params.r_divisor = 128;
+  spec.max_jobs = 4096;
+  return spec;
+}
+
+void BM_SweepGrid(benchmark::State& state) {
+  auto a = std::make_unique<TabularBenchmark>(MakeTable(1));
+  auto b = std::make_unique<TabularBenchmark>(MakeTable(2));
+  const SweepSpec spec = GridSpec(a.get(), b.get());
+  SweepOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  std::uint64_t jobs = 0;
+  std::size_t cells = 0;
+  for (auto _ : state) {
+    SweepThroughput throughput;
+    const auto results = RunSweep(spec, options, &throughput);
+    benchmark::DoNotOptimize(results.data());
+    jobs += throughput.jobs;
+    cells += throughput.cells;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cells));
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(jobs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SweepGrid)->Arg(1)->Arg(2)->Arg(4)->Arg(16)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// One full asha study per iteration; the two variants differ only in
+// whether the SimContext (event queue, payload slab, idle bitmap) is
+// carried across iterations or rebuilt from scratch.
+void RunStudy(TabularBenchmark& table, SimContext* context,
+              std::size_t max_jobs, std::uint64_t& jobs) {
+  TunerParams params;
+  params.n = 64;
+  params.r_divisor = 128;
+  auto scheduler = MakeTuner("asha",
+                             {.space = &table.space(),
+                              .R = table.max_resource(),
+                              .resumable = table.resumable(),
+                              .random_guess_loss = 1.0},
+                             params);
+  DriverOptions options;
+  options.num_workers = 16;
+  options.max_completed_jobs = max_jobs;
+  options.record_runs = false;
+  options.track_recommendations = false;
+  SimulationDriver driver(*scheduler, table, options);
+  const DriverResult result =
+      context != nullptr ? driver.Run(*context) : driver.Run();
+  jobs += result.jobs_completed;
+}
+
+void BM_StudyReusedContext(benchmark::State& state) {
+  auto table = std::make_unique<TabularBenchmark>(MakeTable(1));
+  SimContext context;
+  std::uint64_t jobs = 0;
+  const auto max_jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) RunStudy(*table, &context, max_jobs, jobs);
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs));
+}
+BENCHMARK(BM_StudyReusedContext)->Arg(256)->Arg(4096);
+
+void BM_StudyColdContext(benchmark::State& state) {
+  auto table = std::make_unique<TabularBenchmark>(MakeTable(1));
+  std::uint64_t jobs = 0;
+  const auto max_jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) RunStudy(*table, nullptr, max_jobs, jobs);
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs));
+}
+BENCHMARK(BM_StudyColdContext)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace hypertune
+
+BENCHMARK_MAIN();

@@ -28,10 +28,22 @@ std::vector<std::string> TunerNames() {
 std::unique_ptr<Scheduler> MakeTunerByName(const std::string& name,
                                            const SyntheticBenchmark& benchmark,
                                            const TunerParams& params) {
-  const double R = benchmark.R();
+  return MakeTuner(name,
+                   {.space = &benchmark.space(),
+                    .R = benchmark.R(),
+                    .resumable = benchmark.spec().resumable,
+                    .random_guess_loss = benchmark.spec().random_guess_loss},
+                   params);
+}
+
+std::unique_ptr<Scheduler> MakeTuner(const std::string& name,
+                                     const TunerEnv& env,
+                                     const TunerParams& params) {
+  HT_CHECK_MSG(env.space != nullptr, "TunerEnv needs a search space");
+  const double R = env.R;
   const double r = R / params.r_divisor;
-  const bool resume = params.resume && benchmark.spec().resumable;
-  const SearchSpace& space = benchmark.space();
+  const bool resume = params.resume && env.resumable;
+  const SearchSpace& space = *env.space;
 
   if (name == "asha" || name == "asha_tpe" || name == "asha_halton") {
     AshaOptions options;
@@ -123,7 +135,7 @@ std::unique_ptr<Scheduler> MakeTunerByName(const std::string& name,
     options.max_resource = R;
     options.sync_window = 2.0 * options.step_resource;
     options.seed = params.seed;
-    options.random_guess_loss = benchmark.spec().random_guess_loss * 0.98;
+    options.random_guess_loss = env.random_guess_loss * 0.98;
     return std::make_unique<PbtScheduler>(space, options);
   }
   if (name == "vizier" || name == "vizier_capped") {

@@ -39,6 +39,27 @@ struct TunerParams {
 /// fabolas, median_rule.
 std::vector<std::string> TunerNames();
 
+/// What tuner construction actually reads off a benchmark, supplied
+/// directly — the sweep engine sizes tuners against TabularBenchmark (or
+/// anything else with a space and an R) through this.
+struct TunerEnv {
+  /// Not owned; must outlive the tuner.
+  const SearchSpace* space = nullptr;
+  /// Maximum per-configuration resource.
+  double R = 1;
+  /// Whether the benchmark supports checkpoint resume (ANDed with
+  /// TunerParams::resume).
+  bool resumable = true;
+  /// Loss of an untrained model (PBT's sync trigger; unused elsewhere).
+  double random_guess_loss = 1.0;
+};
+
+/// Builds the named tuner sized for `env`; throws CheckError for unknown
+/// names.
+std::unique_ptr<Scheduler> MakeTuner(const std::string& name,
+                                     const TunerEnv& env,
+                                     const TunerParams& params);
+
 /// Builds the named tuner sized for `benchmark`; throws CheckError for
 /// unknown names.
 std::unique_ptr<Scheduler> MakeTunerByName(const std::string& name,

@@ -3,24 +3,11 @@
 #include <utility>
 
 #include "common/check.h"
-#include "lifecycle/lifecycle.h"
-#include "sim/event_queue.h"
 #include "telemetry/telemetry.h"
 
 namespace hypertune {
 
 namespace {
-
-// Payload slab: everything a scheduled job carries besides its (end, seq)
-// ordering key. Indexed by worker slot — the simulator runs at most one
-// job per worker — so the event queues sift only 20-byte SimEvents and the
-// Job payload (Configuration included) is written once and never moved.
-struct SlabJob {
-  LeasedJob lease;
-  double start = 0;
-  double queue_wait = 0;  // worker idle time before this job started
-  bool dropped = false;
-};
 
 // Cold twin of the dispatch-path positivity check: keeps the ostringstream
 // machinery out of the dispatch loop's instruction stream.
@@ -28,13 +15,19 @@ struct SlabJob {
   HT_CHECK_MSG(base > 0, "job duration must be positive, got " << base);
 }
 
+}  // namespace
+
 // The run loop, templated over the event-queue engine. Everything the
 // tuning algorithms observe — lease order, completion order, worker
 // assignment, clock advances — is independent of Queue: both engines pop
-// in identical (end, seq) order.
+// in identical (end, seq) order. All mutable per-run state lives in
+// `context`, already reset by the caller; reusing a context across runs
+// changes only where the storage comes from, never a byte of output.
 template <typename Queue>
-DriverResult RunWithQueue(Scheduler& scheduler, JobEnvironment& environment,
-                          const DriverOptions& options, Queue& queue) {
+DriverResult SimulationDriver::RunLoop(Queue& queue, SimContext& context) {
+  Scheduler& scheduler = scheduler_;
+  JobEnvironment& environment = environment_;
+  const DriverOptions& options = options_;
   HazardInjector hazards(options.hazards, options.seed);
   // Disabled hazards consume no randomness, so skipping Plan() entirely
   // leaves the fate sequence (there is none) unchanged.
@@ -57,14 +50,19 @@ DriverResult RunWithQueue(Scheduler& scheduler, JobEnvironment& environment,
                             .batch_telemetry = options.batch_telemetry});
 
   const auto workers = static_cast<std::size_t>(options.num_workers);
-  std::vector<SlabJob> slab(workers);
+  // Slots past the worker count keep their (stale) contents; resize only
+  // grows, so reused Configuration capacity in live slots survives.
+  std::vector<SimContext::Slot>& slab = context.slab_;
+  if (slab.size() < workers) slab.resize(workers);
   // When each worker last became free (for RunRecord::queue_wait). Nothing
   // reads queue_wait when records and telemetry are both off, so the
   // throughput path skips the per-job traffic on this array entirely.
   const bool need_timing = options.record_runs || telemetry != nullptr;
-  std::vector<double> free_since(workers, 0.0);
+  std::vector<double>& free_since = context.free_since_;
+  free_since.assign(workers, 0.0);
   // Lowest-index-first worker assignment keeps trace tracks deterministic.
-  IdleWorkerSet idle_workers(options.num_workers);
+  IdleWorkerSet& idle_workers = context.idle_workers_;
+  idle_workers.Reset(options.num_workers);
   double now = 0;
   std::uint64_t seq = 0;
 
@@ -76,7 +74,7 @@ DriverResult RunWithQueue(Scheduler& scheduler, JobEnvironment& environment,
       // a dry scheduler restores the set exactly.
       const int worker = idle_workers.PopLowest();
       const auto slot = static_cast<std::size_t>(worker);
-      SlabJob& active = slab[slot];
+      SimContext::Slot& active = slab[slot];
       if (!lifecycle.AcquireInto(active.lease)) {
         idle_workers.Insert(worker);
         break;  // no work right now; retry after the next event
@@ -107,7 +105,7 @@ DriverResult RunWithQueue(Scheduler& scheduler, JobEnvironment& environment,
     now = event.end;
     if (vclock != nullptr) vclock->Set(now);
     const int worker = static_cast<int>(event.slot);
-    SlabJob& active = slab[event.slot];
+    SimContext::Slot& active = slab[event.slot];
     idle_workers.Insert(worker);
     if (need_timing) free_since[event.slot] = now;
     result.busy_time += now - active.start;
@@ -152,8 +150,6 @@ DriverResult RunWithQueue(Scheduler& scheduler, JobEnvironment& environment,
   return result;
 }
 
-}  // namespace
-
 SimulationDriver::SimulationDriver(Scheduler& scheduler,
                                    JobEnvironment& environment,
                                    DriverOptions options)
@@ -163,15 +159,20 @@ SimulationDriver::SimulationDriver(Scheduler& scheduler,
 }
 
 DriverResult SimulationDriver::Run() {
+  SimContext context;
+  return Run(context);
+}
+
+DriverResult SimulationDriver::Run(SimContext& context) {
   if (options_.event_queue == SimEngine::kCalendar) {
-    CalendarEventQueue queue(
+    context.calendar_.Reset(
         {.expected_events = static_cast<std::size_t>(options_.num_workers),
          .skip_ahead = options_.skip_ahead});
-    return RunWithQueue(scheduler_, environment_, options_, queue);
+    return RunLoop(context.calendar_, context);
   }
-  BinaryEventHeap queue;
-  queue.Reserve(static_cast<std::size_t>(options_.num_workers));
-  return RunWithQueue(scheduler_, environment_, options_, queue);
+  context.heap_.Clear();
+  context.heap_.Reserve(static_cast<std::size_t>(options_.num_workers));
+  return RunLoop(context.heap_, context);
 }
 
 }  // namespace hypertune

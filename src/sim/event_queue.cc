@@ -15,13 +15,28 @@ std::size_t NextPow2(std::size_t n) {
 
 }  // namespace
 
-CalendarEventQueue::CalendarEventQueue(CalendarQueueOptions options)
-    : skip_ahead_(options.skip_ahead) {
+CalendarEventQueue::CalendarEventQueue(CalendarQueueOptions options) {
+  Reset(options);
+}
+
+void CalendarEventQueue::Reset(CalendarQueueOptions options) {
+  skip_ahead_ = options.skip_ahead;
   std::size_t buckets = NextPow2(2 * options.expected_events);
   if (buckets < 16) buckets = 16;
   if (buckets > (std::size_t{1} << 16)) buckets = std::size_t{1} << 16;
-  buckets_.resize(buckets);
-  mask_ = buckets - 1;
+  // Shrinking keeps the larger calendar: each bucket vector retains its
+  // capacity, which is the whole point of reuse, and extra buckets only
+  // spread events thinner.
+  if (buckets > buckets_.size()) buckets_.resize(buckets);
+  for (auto& bucket : buckets_) bucket.clear();
+  mask_ = buckets_.size() - 1;
+  width_ = 1.0;
+  cur_day_ = 0;
+  floor_ = 0;
+  size_ = 0;
+  adapt_threshold_ = 64;
+  pushes_ = 0;
+  cache_valid_ = false;
 }
 
 void CalendarEventQueue::FailBelowFloor(double end) const {
@@ -104,7 +119,9 @@ void CalendarEventQueue::Locate() const {
   DirectSearch();
 }
 
-IdleWorkerSet::IdleWorkerSet(int n) {
+IdleWorkerSet::IdleWorkerSet(int n) { Reset(n); }
+
+void IdleWorkerSet::Reset(int n) {
   HT_CHECK(n > 0);
   const std::size_t workers = static_cast<std::size_t>(n);
   words_.assign((workers + 63) / 64, ~std::uint64_t{0});

@@ -46,6 +46,10 @@ class BinaryEventHeap {
  public:
   void Reserve(std::size_t n) { events_.reserve(n); }
 
+  /// Empties the heap keeping its capacity — sweep contexts reuse one heap
+  /// across thousands of runs instead of reallocating per run.
+  void Clear() { events_.clear(); }
+
   // Push/PopTop are defined inline: they run once per simulated job and a
   // cross-TU call costs as much as the sift itself at small queue sizes.
   void Push(const SimEvent& event) {
@@ -103,6 +107,10 @@ struct CalendarQueueOptions {
 class CalendarEventQueue {
  public:
   explicit CalendarEventQueue(CalendarQueueOptions options = {});
+
+  /// Reinitializes for a fresh run (time restarts at 0), reusing the bucket
+  /// storage whenever the requested sizing keeps the same bucket count.
+  void Reset(CalendarQueueOptions options);
 
   // Push/Top/PopTop are inline for the same reason as BinaryEventHeap's;
   // the searches they lean on (Locate/DirectSearch/AdaptWidth) stay
@@ -185,6 +193,10 @@ class IdleWorkerSet {
  public:
   /// All of 0..n-1 start idle.
   explicit IdleWorkerSet(int n);
+
+  /// Re-marks all of 0..n-1 idle, reusing the bitmap storage when `n` does
+  /// not outgrow it.
+  void Reset(int n);
 
   // Inline like the event queues: one Insert/PopLowest pair per job.
   void Insert(int worker) {

@@ -8,11 +8,14 @@
 #include <algorithm>
 #include <array>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 
 #include "common/check.h"
+#include "common/rng.h"
+#include "surrogate/benchmark.h"
 
 namespace hypertune {
 
@@ -141,6 +144,70 @@ std::string PackTable(const TableData& data) {
             out.size() - kHeaderBytes);
   std::memcpy(out.data() + 20, &crc, 4);
   return out;
+}
+
+TableVerifyStats VerifyTableFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  HT_CHECK_MSG(in.good(), path << ": cannot open for verification");
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  const ParsedHeader header =
+      ParseHeader(reinterpret_cast<const unsigned char*>(bytes.data()),
+                  bytes.size(), path);
+  const std::size_t f = header.num_fidelities;
+  const double* const fidelities = header.payload;
+  const double* const losses = fidelities + f;
+  const double* const cum_times = losses + std::size_t{header.rows} * f;
+  for (std::size_t i = 0; i < f; ++i) {
+    HT_CHECK_MSG(std::isfinite(fidelities[i]) && fidelities[i] > 0,
+                 path << ": fidelity " << i << " not positive ("
+                      << fidelities[i] << ")");
+    HT_CHECK_MSG(i == 0 || fidelities[i] > fidelities[i - 1],
+                 path << ": fidelity ladder not strictly ascending at " << i);
+  }
+  for (std::uint32_t row = 0; row < header.rows; ++row) {
+    const double* const loss_row = losses + std::size_t{row} * f;
+    const double* const cum_row = cum_times + std::size_t{row} * f;
+    for (std::size_t i = 0; i < f; ++i) {
+      HT_CHECK_MSG(std::isfinite(loss_row[i]),
+                   path << ": non-finite loss at row " << row << " fidelity "
+                        << i);
+      HT_CHECK_MSG(std::isfinite(cum_row[i]) && cum_row[i] > 0,
+                   path << ": non-positive cumulative time at row " << row
+                        << " fidelity " << i);
+      HT_CHECK_MSG(i == 0 || cum_row[i] > cum_row[i - 1],
+                   path << ": cumulative times not strictly ascending at row "
+                        << row << " fidelity " << i);
+    }
+  }
+  return {header.rows, f, header.resumable, bytes.size()};
+}
+
+TableData TabulateBenchmark(SyntheticBenchmark& benchmark, std::uint32_t rows,
+                            std::size_t num_fidelities, std::uint64_t seed) {
+  HT_CHECK_MSG(num_fidelities > 0, "tabulation needs at least one fidelity");
+  TableData data;
+  data.rows = rows;
+  data.resumable = benchmark.spec().resumable;
+  // Geometric ladder ending at R, successive-halving style (factor 2).
+  const double R = benchmark.R();
+  data.fidelities.resize(num_fidelities);
+  for (std::size_t i = 0; i < num_fidelities; ++i) {
+    data.fidelities[num_fidelities - 1 - i] =
+        R / static_cast<double>(std::uint64_t{1} << i);
+  }
+  const std::size_t cells = std::size_t{rows} * num_fidelities;
+  data.losses.reserve(cells);
+  data.cum_times.reserve(cells);
+  Rng rng(seed);
+  for (std::uint32_t row = 0; row < rows; ++row) {
+    const Configuration config = benchmark.space().Sample(rng);
+    for (double fidelity : data.fidelities) {
+      data.losses.push_back(benchmark.Loss(config, fidelity));
+      data.cum_times.push_back(benchmark.Duration(config, 0, fidelity));
+    }
+  }
+  return data;
 }
 
 TableData UnpackTable(const std::string& bytes) {

@@ -59,6 +59,34 @@ std::string PackTable(const TableData& data);
 /// Parses an HTTB0001 byte buffer (header, shape, and CRC are validated).
 TableData UnpackTable(const std::string& bytes);
 
+class SyntheticBenchmark;
+
+/// Tabulates `rows` sampled configurations of a synthetic task on a
+/// geometric `num_fidelities`-point ladder ending at the task's R
+/// (successive-halving factor 2). Deterministic in (task, rows, F, seed) —
+/// table_pack and sweep_run build identical tables from the same inputs.
+TableData TabulateBenchmark(SyntheticBenchmark& benchmark, std::uint32_t rows,
+                            std::size_t num_fidelities, std::uint64_t seed);
+
+/// What VerifyTableFile walked (tools/table_pack --verify prints this).
+struct TableVerifyStats {
+  std::uint32_t rows = 0;
+  std::size_t num_fidelities = 0;
+  bool resumable = true;
+  /// Total file size in bytes (header included).
+  std::size_t file_bytes = 0;
+};
+
+/// Full-file integrity walk for CI gating: re-reads every byte of `path`
+/// (no lazy mmap paging), revalidates the header and the payload CRC, then
+/// re-walks every section and row — ladder positive and strictly
+/// ascending, every loss finite, every cumulative-time row positive and
+/// strictly ascending. Throws CheckError naming the first violation;
+/// returns the walked shape otherwise. Strictly stronger than FromFile's
+/// checks: the mmap loader stops at header + CRC and trusts the packer for
+/// row invariants, and loss finiteness is checked nowhere else.
+TableVerifyStats VerifyTableFile(const std::string& path);
+
 class TabularBenchmark final : public JobEnvironment {
  public:
   /// Takes ownership of in-memory data (tests, the packer).

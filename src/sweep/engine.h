@@ -1,0 +1,86 @@
+// The parallel sweep engine: fans a SweepSpec grid across a thread pool
+// where each cell runs a full SimulationDriver study against the shared
+// tabular benchmark. Engineered for thousands of cells per CI minute:
+//
+//   * one mmap'd table per benchmark, shared immutably by every thread —
+//     loaded once, never copied;
+//   * per-thread reusable run contexts (SimContext: event-queue storage,
+//     payload slab, idle bitmap, timing buffers) reset between cells
+//     instead of reallocated;
+//   * atomic-counter cell claiming — a fetch_add per cell, so stragglers
+//     never serialize the tail behind a static partition;
+//   * per-cell result slots merged by cell index, so the output is
+//     byte-identical at any thread count (each cell is a deterministic
+//     function of its spec alone; pinned by tests/sweep_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sweep/spec.h"
+
+namespace hypertune {
+
+/// The deterministic outcome of one cell. Everything here feeds the report
+/// and must be a pure function of the cell spec — no wall-clock, no thread
+/// identity.
+struct SweepCellResult {
+  std::uint32_t benchmark = 0;
+  std::uint32_t scheduler = 0;
+  std::uint64_t seed = 0;
+  int workers = 0;
+  /// Incumbent validation loss at end of run (Scheduler::Current); NaN when
+  /// the tuner never produced a recommendation.
+  double final_loss = 0;
+  /// See NormalizedRegret: (final_loss - table best) / (table median - best)
+  /// over the table's top-fidelity column.
+  double normalized_regret = 0;
+  /// Virtual end time and fleet utilization of the cell's study.
+  double end_time = 0;
+  double utilization = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_dropped = 0;
+  std::uint64_t trials = 0;
+};
+
+struct SweepOptions {
+  /// Worker threads claiming cells; 1 runs inline on the caller's thread.
+  int threads = 1;
+};
+
+/// Wall-clock throughput of one RunSweep call — the non-deterministic side
+/// channel for benches and logs. Never feeds the report.
+struct SweepThroughput {
+  double wall_seconds = 0;
+  std::size_t cells = 0;
+  /// Simulated job completions summed over cells.
+  std::uint64_t jobs = 0;
+};
+
+/// Table-derived normalization constants, computed once per benchmark
+/// before the fan-out (all three over the table's rows):
+struct BenchmarkNorms {
+  /// Minimum loss at the top fidelity — the best any tuner can reach.
+  double best_final = 0;
+  /// Median loss at the top fidelity — the regret reference (an average
+  /// configuration trained to completion).
+  double median_final = 0;
+  /// Maximum loss at the lowest fidelity — the untrained-model proxy
+  /// (PBT's random-guess level).
+  double random_guess = 0;
+  /// Mean cumulative time to train a row to the top fidelity — the unit of
+  /// SweepSpec::full_train_budget.
+  double mean_full_time = 0;
+};
+
+BenchmarkNorms ComputeNorms(const TabularBenchmark& table);
+
+/// Runs the whole grid; results are indexed by cell (CellAt order) and
+/// byte-identical at any thread count. Throws CheckError on an invalid
+/// spec; a failure inside any cell (unknown tuner name, table row range)
+/// stops the sweep and rethrows on the calling thread.
+std::vector<SweepCellResult> RunSweep(const SweepSpec& spec,
+                                      const SweepOptions& options,
+                                      SweepThroughput* throughput = nullptr);
+
+}  // namespace hypertune

@@ -1,0 +1,51 @@
+#include "sweep/spec.h"
+
+#include "common/check.h"
+
+namespace hypertune {
+
+void ValidateSpec(const SweepSpec& spec) {
+  HT_CHECK_MSG(!spec.benchmarks.empty(), "sweep needs at least one benchmark");
+  HT_CHECK_MSG(!spec.schedulers.empty(), "sweep needs at least one scheduler");
+  HT_CHECK_MSG(!spec.seeds.empty(), "sweep needs at least one seed");
+  HT_CHECK_MSG(!spec.fleets.empty(), "sweep needs at least one fleet size");
+  for (const auto& benchmark : spec.benchmarks) {
+    HT_CHECK_MSG(benchmark.table != nullptr,
+                 "sweep benchmark '" << benchmark.name << "' has no table");
+  }
+  for (const int fleet : spec.fleets) {
+    HT_CHECK_MSG(fleet > 0, "fleet size must be positive, got " << fleet);
+  }
+  HT_CHECK_MSG(spec.full_train_budget >= 0,
+               "full_train_budget must be non-negative, got "
+                   << spec.full_train_budget);
+  HT_CHECK_MSG(
+      spec.max_jobs > 0 || spec.time_limit < 1e18 ||
+          spec.full_train_budget > 0,
+      "sweep cells need a stop criterion (max_jobs, time_limit, or "
+      "full_train_budget) — open-ended tuners would never return");
+}
+
+std::size_t CellCount(const SweepSpec& spec) {
+  return spec.benchmarks.size() * spec.schedulers.size() *
+         spec.seeds.size() * spec.fleets.size();
+}
+
+SweepCell CellAt(const SweepSpec& spec, std::size_t index) {
+  HT_CHECK_MSG(index < CellCount(spec), "cell index " << index
+                                                      << " out of range");
+  const std::size_t fleets = spec.fleets.size();
+  const std::size_t seeds = spec.seeds.size();
+  const std::size_t schedulers = spec.schedulers.size();
+  SweepCell cell;
+  cell.index = index;
+  cell.fleet_index = index % fleets;
+  index /= fleets;
+  cell.seed_index = index % seeds;
+  index /= seeds;
+  cell.scheduler = index % schedulers;
+  cell.benchmark = index / schedulers;
+  return cell;
+}
+
+}  // namespace hypertune

@@ -1,0 +1,60 @@
+#include "sweep/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace hypertune {
+
+BootstrapCi BootstrapMeanCi(std::span<const double> xs,
+                            std::size_t resamples, double confidence,
+                            std::uint64_t seed) {
+  BootstrapCi ci;
+  ci.n = xs.size();
+  if (xs.empty()) return ci;
+  ci.mean = Mean(xs);
+  if (xs.size() == 1) {
+    ci.lo = ci.hi = xs[0];
+    return ci;
+  }
+  Rng rng(seed);
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t b = 0; b < resamples; ++b) {
+    double sum = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      sum += xs[rng.Index(xs.size())];
+    }
+    means.push_back(sum / static_cast<double>(xs.size()));
+  }
+  const double tail = (1.0 - confidence) / 2.0;
+  ci.lo = Quantile(means, tail);
+  ci.hi = Quantile(means, 1.0 - tail);
+  return ci;
+}
+
+std::vector<std::vector<double>> RankRows(
+    const std::vector<std::vector<double>>& rows) {
+  std::vector<std::vector<double>> ranks;
+  ranks.reserve(rows.size());
+  std::vector<double> cleaned;
+  for (const auto& row : rows) {
+    cleaned.assign(row.begin(), row.end());
+    for (double& x : cleaned) {
+      if (std::isnan(x)) x = std::numeric_limits<double>::infinity();
+    }
+    ranks.push_back(Ranks(cleaned));
+  }
+  return ranks;
+}
+
+double NormalizedRegret(double loss, double best, double reference) {
+  const double gap = loss - best;
+  if (!(reference > best)) return gap;
+  return gap / (reference - best);
+}
+
+}  // namespace hypertune

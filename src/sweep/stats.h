@@ -1,0 +1,45 @@
+// The sweep's statistics layer: the rank / regret / confidence-interval
+// machinery behind the paper's cross-seed scheduler comparisons (Figures
+// 3–8 at real sample sizes). Everything here is deterministic: the
+// bootstrap draws from a caller-seeded Rng, so a sweep report is a pure
+// function of the grid results.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hypertune {
+
+/// Percentile-bootstrap confidence interval for a sample mean.
+struct BootstrapCi {
+  double mean = 0;
+  double lo = 0;
+  double hi = 0;
+  std::size_t n = 0;
+};
+
+/// Mean of `xs` with a seeded percentile-bootstrap CI: `resamples` means of
+/// n-with-replacement resamples, interval at the (1±confidence)/2
+/// quantiles. Degenerate inputs collapse exactly: n == 1 (or constant data)
+/// yields lo == hi == mean; n == 0 yields all zeros with n = 0.
+BootstrapCi BootstrapMeanCi(std::span<const double> xs,
+                            std::size_t resamples, double confidence,
+                            std::uint64_t seed);
+
+/// Rank aggregation input: one row per group (e.g. per seed), one column
+/// per scheduler. Returns fractional ascending ranks per row (1 = lowest
+/// loss = best; ties share the average rank). NaN entries rank as +inf
+/// (worst), so a scheduler that produced no recommendation loses every
+/// comparison rather than poisoning the ordering.
+std::vector<std::vector<double>> RankRows(
+    const std::vector<std::vector<double>>& rows);
+
+/// Regret of `loss` above `best`, normalized by the (reference - best) gap
+/// so benchmarks with different loss scales are comparable: 0 = matched the
+/// best final loss in the table, 1 = no better than the reference (the
+/// table's median final loss). Falls back to the raw gap when the
+/// reference does not exceed best.
+double NormalizedRegret(double loss, double best, double reference);
+
+}  // namespace hypertune

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <limits>
 #include <string>
 
 #include "common/check.h"
@@ -164,6 +165,55 @@ TEST(TabularBenchmark, FromFileRejectsCorruptFile) {
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   }
   EXPECT_THROW(TabularBenchmark::FromFile(path), CheckError);
+}
+
+std::string WriteBytes(const std::string& name, const std::string& bytes) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return path;
+}
+
+TEST(TableVerify, CleanFilePassesAndReportsShape) {
+  const std::string bytes = PackTable(SmallTable());
+  const auto stats = VerifyTableFile(WriteBytes("httb_verify_ok.bin", bytes));
+  EXPECT_EQ(stats.rows, 3u);
+  EXPECT_EQ(stats.num_fidelities, 3u);
+  EXPECT_TRUE(stats.resumable);
+  EXPECT_EQ(stats.file_bytes, bytes.size());
+}
+
+TEST(TableVerify, DetectsSingleBitFlipAnywhereInPayload) {
+  const std::string clean = PackTable(SmallTable());
+  for (const std::size_t offset :
+       {std::size_t{24}, clean.size() / 2, clean.size() - 1}) {
+    std::string bytes = clean;
+    bytes[offset] ^= 0x01;
+    EXPECT_THROW(VerifyTableFile(WriteBytes("httb_verify_flip.bin", bytes)),
+                 CheckError)
+        << "flip at offset " << offset;
+  }
+}
+
+TEST(TableVerify, DetectsNonFiniteLossBehindValidCrc) {
+  // A NaN loss survives packing and the CRC (it was packed, not corrupted),
+  // and the mmap loader accepts it; only the verifier's full row walk
+  // rejects it.
+  TableData data = SmallTable();
+  data.losses[4] = std::numeric_limits<double>::quiet_NaN();
+  const std::string path =
+      WriteBytes("httb_verify_nan.bin", PackTable(data));
+  EXPECT_NO_THROW(TabularBenchmark::FromFile(path));
+  EXPECT_THROW(VerifyTableFile(path), CheckError);
+}
+
+TEST(TableVerify, RejectsMissingAndTruncatedFiles) {
+  EXPECT_THROW(VerifyTableFile(testing::TempDir() + "/httb_no_such_file.bin"),
+               CheckError);
+  const std::string bytes = PackTable(SmallTable());
+  EXPECT_THROW(VerifyTableFile(WriteBytes(
+                   "httb_verify_trunc.bin", bytes.substr(0, bytes.size() - 4))),
+               CheckError);
 }
 
 }  // namespace
