@@ -1,0 +1,192 @@
+// Microbenchmarks (google-benchmark) of the multi-tenant routing layer:
+// what does a lease message cost when the StudyManager hosts S studies
+// instead of one?
+//
+// The multiplexing claim (DESIGN.md §11) is that routing is O(1) in the
+// study count — a shard-hash lookup plus the single study's own work — so
+// per-message cost must stay flat from 1 study to thousands. These benches
+// sweep S = 1..10k at 1/4/16 shards through the full scoped
+// grant+report+tick cycle, isolate Tick's O(due studies) contract with
+// nothing due, and price the "*" fair-allocation scan (the one deliberate
+// O(shards) path). Curated before/after numbers live in BENCH_studies.json.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "study/study_manager.h"
+
+namespace hypertune {
+namespace {
+
+SearchSpace UnitSpace() {
+  SearchSpace space;
+  space.Add("x", Domain::Continuous(0.0, 1.0));
+  return space;
+}
+
+Json RandomConfig(std::uint64_t seed) {
+  Json config = JsonObject{};
+  config.Set("kind", Json("random"));
+  config.Set("seed", Json(static_cast<std::int64_t>(seed)));
+  return config;
+}
+
+std::string StudyName(std::size_t i) { return "s" + std::to_string(i); }
+
+Json ScopedRequest(std::uint64_t worker, const std::string& study) {
+  Json message = JsonObject{};
+  message.Set("type", Json("request_job"));
+  message.Set("worker", Json(static_cast<std::int64_t>(worker)));
+  message.Set("study", Json(study));
+  return message;
+}
+
+Json ScopedReport(std::uint64_t worker, std::int64_t job_id,
+                  const std::string& study) {
+  Json message = JsonObject{};
+  message.Set("type", Json("report"));
+  message.Set("worker", Json(static_cast<std::int64_t>(worker)));
+  message.Set("job_id", Json(job_id));
+  message.Set("loss", Json(0.5));
+  message.Set("study", Json(study));
+  return message;
+}
+
+StudyManagerOptions BenchOptions(std::size_t shards) {
+  StudyManagerOptions options;
+  options.shards = shards;
+  options.server = ServerOptions{.lease_timeout = 1e12};
+  options.default_config = Json();  // all traffic scoped
+  return options;
+}
+
+/// Loads `studies` tenants, each parked with one open lease so every
+/// shard's deadline heap carries real entries (none ever due:
+/// lease_timeout is effectively infinite).
+void LoadStudies(StudyManager& manager, std::size_t studies) {
+  for (std::size_t i = 0; i < studies; ++i) {
+    (void)manager.CreateStudy(StudyName(i), RandomConfig(i + 1), 0.0);
+    (void)manager.HandleMessage(ScopedRequest(/*worker=*/999, StudyName(i)),
+                                0.0);
+  }
+}
+
+// The headline sweep: a full scoped lease cycle (request_job + report +
+// manager Tick) against a hot fleet of min(S, 8) studies while S tenants
+// (each holding a live lease) are resident. This isolates what tenancy
+// itself adds to a message — the routing lookup, the shard lock, the
+// deadline-heap bookkeeping — which must be O(1) in S. Flat per-item time
+// from S=1 to S=1000 at 16 shards is the acceptance bar; S=10k bounds the
+// tail. (Cycling through ALL S tenants instead is measured separately
+// below: that shape is bound by CPU cache capacity, not by the manager.)
+void BM_StudyLeaseCycle(benchmark::State& state) {
+  const auto studies = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  StudyManager manager(MakeStudySchedulerFactory(UnitSpace()),
+                       BenchOptions(shards));
+  LoadStudies(manager, studies);
+  const std::size_t hot = std::min<std::size_t>(studies, 8);
+  std::vector<std::string> names;
+  names.reserve(hot);
+  for (std::size_t i = 0; i < hot; ++i) names.push_back(StudyName(i));
+  double now = 1;
+  std::size_t next = 0;
+  for (auto _ : state) {
+    const std::string& study = names[next];
+    next = (next + 1) % hot;
+    const Json grant = manager.HandleMessage(ScopedRequest(0, study), now);
+    (void)manager.HandleMessage(
+        ScopedReport(0, grant.at("job_id").AsInt(), study), now + 1e-7);
+    manager.Tick(now + 2e-7);
+    now += 1e-6;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StudyLeaseCycle)
+    ->Args({1, 1})
+    ->Args({10, 1})
+    ->Args({100, 1})
+    ->Args({1000, 1})
+    ->Args({1, 4})
+    ->Args({10, 4})
+    ->Args({100, 4})
+    ->Args({1000, 4})
+    ->Args({1, 16})
+    ->Args({10, 16})
+    ->Args({100, 16})
+    ->Args({1000, 16})
+    ->Args({10000, 16});
+
+// Same cycle, but every message targets a different tenant round-robin, so
+// each one drags a cold scheduler + server working set through the cache.
+// This prices the worst-case traffic shape; the delta vs the hot-fleet
+// rows above is cache capacity (any layout hosting S independent searches
+// pays it), not manager overhead.
+void BM_StudyLeaseCycleRotatingTenants(benchmark::State& state) {
+  const auto studies = static_cast<std::size_t>(state.range(0));
+  StudyManager manager(MakeStudySchedulerFactory(UnitSpace()),
+                       BenchOptions(/*shards=*/16));
+  LoadStudies(manager, studies);
+  std::vector<std::string> names;
+  names.reserve(studies);
+  for (std::size_t i = 0; i < studies; ++i) names.push_back(StudyName(i));
+  double now = 1;
+  std::size_t next = 0;
+  for (auto _ : state) {
+    const std::string& study = names[next];
+    next = (next + 1) % studies;
+    const Json grant = manager.HandleMessage(ScopedRequest(0, study), now);
+    (void)manager.HandleMessage(
+        ScopedReport(0, grant.at("job_id").AsInt(), study), now + 1e-7);
+    manager.Tick(now + 2e-7);
+    now += 1e-6;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StudyLeaseCycleRotatingTenants)->Arg(1)->Arg(100)->Arg(1000);
+
+// Tick with S studies holding live leases and none of them due: the lazy
+// per-shard deadline heaps must make this O(shards), not O(studies) — the
+// idle-expiry timer fires once a second in production and must not scale
+// with tenancy.
+void BM_StudyTickNothingDue(benchmark::State& state) {
+  const auto studies = static_cast<std::size_t>(state.range(0));
+  StudyManager manager(MakeStudySchedulerFactory(UnitSpace()),
+                       BenchOptions(/*shards=*/16));
+  LoadStudies(manager, studies);
+  double now = 1;
+  for (auto _ : state) {
+    manager.Tick(now);
+    now += 1e-6;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StudyTickNothingDue)->Arg(1)->Arg(100)->Arg(1000)->Arg(10000);
+
+// "*" fair allocation: the one path that deliberately scans — it rotates
+// across shards looking for a ready study. Prices the scan against the
+// scoped fast path above (same cycle, wildcard routing).
+void BM_StudyWildcardCycle(benchmark::State& state) {
+  const auto studies = static_cast<std::size_t>(state.range(0));
+  StudyManager manager(MakeStudySchedulerFactory(UnitSpace()),
+                       BenchOptions(/*shards=*/16));
+  LoadStudies(manager, studies);
+  double now = 1;
+  for (auto _ : state) {
+    const Json grant = manager.HandleMessage(ScopedRequest(0, "*"), now);
+    const std::string study = grant.at("study").AsString();
+    (void)manager.HandleMessage(
+        ScopedReport(0, grant.at("job_id").AsInt(), study), now + 1e-7);
+    now += 1e-6;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StudyWildcardCycle)->Arg(1)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace hypertune
+
+BENCHMARK_MAIN();

@@ -156,6 +156,18 @@ void DurableServer::JournalAuxiliary(const Json& event) {
   JournalRecord(event);
 }
 
+void DurableServer::JournalControl(const Json& event) {
+  HT_CHECK_MSG(event.Has("kind") && event.at("kind").AsString() == "shift",
+               "control journal records must carry kind \"shift\"");
+  // Journal first, then mutate: matches the write path's "in-memory first,
+  // journaled within the same message" ordering closely enough — a crash
+  // between the two replays the shift on recovery, which is the state the
+  // live server was about to reach.
+  JournalRecord(event);
+  server_.ShiftDeadlines(event.at("delta").AsDouble());
+  MaybeSnapshot();
+}
+
 void DurableServer::MaybeSnapshot() {
   if (records_since_snapshot_ >= durability_.snapshot_every) TakeSnapshot();
 }

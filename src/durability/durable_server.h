@@ -69,6 +69,13 @@ class DurableServer final : public MessageService, public LeaseEventSink {
   /// scheduler decided.
   void JournalAuxiliary(const Json& event);
 
+  /// Journals a control record that IS replayed (unlike auxiliaries) and
+  /// applies it to the live server. The only kind today is the study
+  /// manager's "shift" (a resume-time lease-deadline shift; see
+  /// TuningServer::ShiftDeadlines) — journaled so a post-crash replay
+  /// reproduces the shifted deadlines instead of expiring frozen leases.
+  void JournalControl(const Json& event);
+
   /// Forces a compacting snapshot now (also fsyncs the journal first).
   void TakeSnapshot();
 

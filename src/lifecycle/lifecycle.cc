@@ -80,7 +80,7 @@ void AppendJobSpanName(std::string& out, const Job& job) {
 
 void EmitJobSpan(Telemetry* telemetry, SpanProfile profile, const Job& job,
                  bool lost, double loss, const RunTiming& timing,
-                 std::string* scratch) {
+                 std::string* scratch, const std::string& study_label) {
   if (telemetry == nullptr) return;
   Json args = JsonObject{};
   args.Set("trial", Json(job.trial_id));
@@ -102,6 +102,7 @@ void EmitJobSpan(Telemetry* telemetry, SpanProfile profile, const Job& job,
       args.Set("loss", Json(loss));
     }
   }
+  if (!study_label.empty()) args.Set("study", Json(study_label));
   std::string local;
   std::string& name = scratch != nullptr ? *scratch : local;
   AppendJobSpanName(name, job);
@@ -208,7 +209,7 @@ void TrialLifecycle::Resolve(const LeasedJob& lease, bool lost, double loss,
     } else {
       if (options_.emit_spans) {
         EmitJobSpan(options_.telemetry, options_.span_profile, lease.job,
-                    lost, loss, timing, &span_name_);
+                    lost, loss, timing, &span_name_, options_.study_label);
       }
       const char* const counter_name =
           lost ? options_.lost_counter : options_.completed_counter;
@@ -263,6 +264,9 @@ void TrialLifecycle::MaterializeInto(std::vector<TraceEvent>& out) {
         } else {
           args.Set("loss", Json(deferred.loss));
         }
+      }
+      if (!options_.study_label.empty()) {
+        args.Set("study", Json(options_.study_label));
       }
       event.time = deferred.timing.start;
       event.duration = deferred.timing.end - deferred.timing.start;

@@ -127,6 +127,11 @@ struct LifecycleOptions {
   /// need counters (bench/micro_sim) turn this off; records() /
   /// TakeRecords() then stay empty.
   bool record_runs = true;
+  /// Multi-tenant label: when non-empty, every job span carries a `"study"`
+  /// argument so traces from studies co-hosted on one sink (src/study) can
+  /// be told apart. Empty preserves the single-tenant span shape byte for
+  /// byte.
+  std::string study_label;
   /// Defer span/instant emissions and counter bumps into a per-lifecycle
   /// buffer flushed at sync points (FlushTelemetry, destruction, or a
   /// foreign Record on the tracer — see EventTracer::BatchSource), instead
@@ -144,10 +149,12 @@ void ValidateReportedLoss(double loss);
 void AppendJobSpanName(std::string& out, const Job& job);
 
 /// Emits one job span on the executing worker's track. `scratch` (optional)
-/// is reused for the span name. Safe to call from any thread.
+/// is reused for the span name; `study_label` (optional) tags the span's
+/// args with its study. Safe to call from any thread.
 void EmitJobSpan(Telemetry* telemetry, SpanProfile profile, const Job& job,
                  bool lost, double loss, const RunTiming& timing,
-                 std::string* scratch = nullptr);
+                 std::string* scratch = nullptr,
+                 const std::string& study_label = {});
 
 class TrialLifecycle final : private EventTracer::BatchSource {
  public:

@@ -89,36 +89,110 @@ Json ReadJob(WireReader& reader) {
 
 WireType EncodeBody(const Json& message, WireWriter& writer) {
   const std::string& type = message.at("type").AsString();
+  // Lease messages carrying a study id use the appended study-scoped types;
+  // without one they encode to the original frozen payloads byte for byte.
+  const bool scoped = message.Has("study");
   if (type == "request_job") {
-    ExpectKeys(message, {"type", "worker"});
+    if (scoped) {
+      ExpectKeys(message, {"type", "worker", "study"});
+    } else {
+      ExpectKeys(message, {"type", "worker"});
+    }
     writer.I64(message.at("worker").AsInt());
-    return WireType::kRequestJob;
+    if (!scoped) return WireType::kRequestJob;
+    writer.ShortString(message.at("study").AsString());
+    return WireType::kRequestJobStudy;
   }
   if (type == "request_jobs") {
-    ExpectKeys(message, {"type", "worker", "count"});
+    if (scoped) {
+      ExpectKeys(message, {"type", "worker", "count", "study"});
+    } else {
+      ExpectKeys(message, {"type", "worker", "count"});
+    }
     writer.I64(message.at("worker").AsInt());
     writer.I64(message.at("count").AsInt());
-    return WireType::kRequestJobs;
+    if (!scoped) return WireType::kRequestJobs;
+    writer.ShortString(message.at("study").AsString());
+    return WireType::kRequestJobsStudy;
   }
   if (type == "heartbeat") {
-    ExpectKeys(message, {"type", "worker", "job_id"});
+    if (scoped) {
+      ExpectKeys(message, {"type", "worker", "job_id", "study"});
+    } else {
+      ExpectKeys(message, {"type", "worker", "job_id"});
+    }
     writer.I64(message.at("worker").AsInt());
     writer.I64(message.at("job_id").AsInt());
-    return WireType::kHeartbeat;
+    if (!scoped) return WireType::kHeartbeat;
+    writer.ShortString(message.at("study").AsString());
+    return WireType::kHeartbeatStudy;
   }
   if (type == "report") {
-    ExpectKeys(message, {"type", "worker", "job_id", "loss"});
+    if (scoped) {
+      ExpectKeys(message, {"type", "worker", "job_id", "loss", "study"});
+    } else {
+      ExpectKeys(message, {"type", "worker", "job_id", "loss"});
+    }
     writer.I64(message.at("worker").AsInt());
     writer.I64(message.at("job_id").AsInt());
     writer.F64(message.at("loss").AsDouble());
-    return WireType::kReport;
+    if (!scoped) return WireType::kReport;
+    writer.ShortString(message.at("study").AsString());
+    return WireType::kReportStudy;
+  }
+  if (type == "create_study") {
+    const bool has_quota = message.Has("max_leases");
+    if (has_quota) {
+      ExpectKeys(message, {"type", "study", "config", "max_leases"});
+    } else {
+      ExpectKeys(message, {"type", "study", "config"});
+    }
+    writer.ShortString(message.at("study").AsString());
+    WriteConfig(writer, message.at("config"));
+    writer.U8(has_quota ? 1 : 0);
+    if (has_quota) writer.I64(message.at("max_leases").AsInt());
+    return WireType::kCreateStudy;
+  }
+  if (type == "suspend_study" || type == "resume_study" ||
+      type == "delete_study") {
+    ExpectKeys(message, {"type", "study"});
+    writer.ShortString(message.at("study").AsString());
+    if (type == "suspend_study") return WireType::kSuspendStudy;
+    if (type == "resume_study") return WireType::kResumeStudy;
+    return WireType::kDeleteStudy;
+  }
+  if (type == "list_studies") {
+    ExpectKeys(message, {"type"});
+    return WireType::kListStudies;
+  }
+  if (type == "studies") {
+    ExpectKeys(message, {"type", "studies"});
+    const JsonArray& studies = message.at("studies").AsArray();
+    writer.U32(static_cast<std::uint32_t>(studies.size()));
+    for (const Json& entry : studies) {
+      ExpectKeys(entry, {"study", "state", "max_leases", "active_leases",
+                         "jobs_assigned", "jobs_completed"});
+      writer.ShortString(entry.at("study").AsString());
+      writer.U8(entry.at("state").AsString() == "suspended" ? 1 : 0);
+      writer.I64(entry.at("max_leases").AsInt());
+      writer.I64(entry.at("active_leases").AsInt());
+      writer.I64(entry.at("jobs_assigned").AsInt());
+      writer.I64(entry.at("jobs_completed").AsInt());
+    }
+    return WireType::kStudies;
   }
   if (type == "job") {
-    ExpectKeys(message, {"type", "job_id", "job", "lease_timeout"});
+    if (scoped) {
+      ExpectKeys(message, {"type", "job_id", "job", "lease_timeout", "study"});
+    } else {
+      ExpectKeys(message, {"type", "job_id", "job", "lease_timeout"});
+    }
     writer.I64(message.at("job_id").AsInt());
     WriteJob(writer, message.at("job"));
     writer.F64(message.at("lease_timeout").AsDouble());
-    return WireType::kJob;
+    if (!scoped) return WireType::kJob;
+    writer.ShortString(message.at("study").AsString());
+    return WireType::kJobStudy;
   }
   if (type == "jobs") {
     const bool has_retry = message.Has("retry_after");
@@ -128,16 +202,24 @@ WireType EncodeBody(const Json& message, WireWriter& writer) {
       ExpectKeys(message, {"type", "jobs", "lease_timeout"});
     }
     const JsonArray& jobs = message.at("jobs").AsArray();
+    // A "*" fair-allocation grant names each entry's study (kJobsStudy);
+    // a study-less batch is the original frozen kJobs payload.
+    const bool entries_scoped = !jobs.empty() && jobs.front().Has("study");
     writer.U32(static_cast<std::uint32_t>(jobs.size()));
     for (const Json& entry : jobs) {
-      ExpectKeys(entry, {"job_id", "job"});
+      if (entries_scoped) {
+        ExpectKeys(entry, {"job_id", "job", "study"});
+      } else {
+        ExpectKeys(entry, {"job_id", "job"});
+      }
       writer.I64(entry.at("job_id").AsInt());
       WriteJob(writer, entry.at("job"));
+      if (entries_scoped) writer.ShortString(entry.at("study").AsString());
     }
     writer.F64(message.at("lease_timeout").AsDouble());
     writer.U8(has_retry ? 1 : 0);
     if (has_retry) writer.F64(message.at("retry_after").AsDouble());
-    return WireType::kJobs;
+    return entries_scoped ? WireType::kJobsStudy : WireType::kJobs;
   }
   if (type == "no_job") {
     ExpectKeys(message, {"type", "retry_after"});
@@ -191,6 +273,94 @@ Json DecodeBody(WireType type, WireReader& reader) {
       message.Set("job_id", Json(reader.I64()));
       message.Set("loss", Json(reader.F64()));
       return message;
+    case WireType::kRequestJobStudy:
+      message.Set("type", Json("request_job"));
+      message.Set("worker", Json(reader.I64()));
+      message.Set("study", Json(reader.ShortString()));
+      return message;
+    case WireType::kRequestJobsStudy:
+      message.Set("type", Json("request_jobs"));
+      message.Set("worker", Json(reader.I64()));
+      message.Set("count", Json(reader.I64()));
+      message.Set("study", Json(reader.ShortString()));
+      return message;
+    case WireType::kHeartbeatStudy:
+      message.Set("type", Json("heartbeat"));
+      message.Set("worker", Json(reader.I64()));
+      message.Set("job_id", Json(reader.I64()));
+      message.Set("study", Json(reader.ShortString()));
+      return message;
+    case WireType::kReportStudy:
+      message.Set("type", Json("report"));
+      message.Set("worker", Json(reader.I64()));
+      message.Set("job_id", Json(reader.I64()));
+      message.Set("loss", Json(reader.F64()));
+      message.Set("study", Json(reader.ShortString()));
+      return message;
+    case WireType::kCreateStudy: {
+      message.Set("type", Json("create_study"));
+      message.Set("study", Json(reader.ShortString()));
+      message.Set("config", ReadConfig(reader));
+      const std::uint8_t has_quota = reader.U8();
+      if (has_quota != 0) message.Set("max_leases", Json(reader.I64()));
+      return message;
+    }
+    case WireType::kSuspendStudy:
+      message.Set("type", Json("suspend_study"));
+      message.Set("study", Json(reader.ShortString()));
+      return message;
+    case WireType::kResumeStudy:
+      message.Set("type", Json("resume_study"));
+      message.Set("study", Json(reader.ShortString()));
+      return message;
+    case WireType::kDeleteStudy:
+      message.Set("type", Json("delete_study"));
+      message.Set("study", Json(reader.ShortString()));
+      return message;
+    case WireType::kListStudies:
+      message.Set("type", Json("list_studies"));
+      return message;
+    case WireType::kStudies: {
+      message.Set("type", Json("studies"));
+      const std::uint32_t count = reader.U32();
+      Json studies = JsonArray{};
+      for (std::uint32_t i = 0; i < count; ++i) {
+        Json entry = JsonObject{};
+        entry.Set("study", Json(reader.ShortString()));
+        entry.Set("state", Json(reader.U8() != 0 ? "suspended" : "active"));
+        entry.Set("max_leases", Json(reader.I64()));
+        entry.Set("active_leases", Json(reader.I64()));
+        entry.Set("jobs_assigned", Json(reader.I64()));
+        entry.Set("jobs_completed", Json(reader.I64()));
+        studies.PushBack(std::move(entry));
+      }
+      message.Set("studies", std::move(studies));
+      return message;
+    }
+    case WireType::kJobStudy:
+      message.Set("type", Json("job"));
+      message.Set("job_id", Json(reader.I64()));
+      message.Set("job", ReadJob(reader));
+      message.Set("lease_timeout", Json(reader.F64()));
+      message.Set("study", Json(reader.ShortString()));
+      return message;
+    case WireType::kJobsStudy: {
+      message.Set("type", Json("jobs"));
+      const std::uint32_t count = reader.U32();
+      Json jobs = JsonArray{};
+      for (std::uint32_t i = 0; i < count; ++i) {
+        Json entry = JsonObject{};
+        entry.Set("job_id", Json(reader.I64()));
+        entry.Set("job", ReadJob(reader));
+        entry.Set("study", Json(reader.ShortString()));
+        jobs.PushBack(std::move(entry));
+      }
+      message.Set("jobs", std::move(jobs));
+      message.Set("lease_timeout", Json(reader.F64()));
+      const std::uint8_t has_retry = reader.U8();
+      if (has_retry != 0) message.Set("retry_after", Json(reader.F64()));
+      return message;
+    }
     case WireType::kJob:
       message.Set("type", Json("job"));
       message.Set("job_id", Json(reader.I64()));

@@ -52,6 +52,19 @@ enum class WireType : std::uint16_t {
   kRequestJobs = 2,
   kHeartbeat = 3,
   kReport = 4,
+  // Multi-tenant vocabulary (appended; see DESIGN.md §8 + §11). The
+  // study-scoped lease requests are the base payloads plus a trailing study
+  // id — separate types rather than optional fields, because the codec is
+  // strict both ways and the original payload structs are frozen.
+  kCreateStudy = 5,
+  kSuspendStudy = 6,
+  kResumeStudy = 7,
+  kDeleteStudy = 8,
+  kListStudies = 9,
+  kRequestJobStudy = 10,
+  kRequestJobsStudy = 11,
+  kHeartbeatStudy = 12,
+  kReportStudy = 13,
 
   kJob = 16,
   kJobs = 17,
@@ -59,6 +72,12 @@ enum class WireType : std::uint16_t {
   kAck = 19,
   kLeaseLost = 20,
   kError = 21,
+  // Multi-tenant replies: the list_studies table, and grant replies whose
+  // entries name the study they came from (the "*" fair-allocation path —
+  // a report must know where to route back).
+  kStudies = 22,
+  kJobStudy = 23,
+  kJobsStudy = 24,
 };
 
 /// Little-endian byte packer for payload structs. Appends to an owned

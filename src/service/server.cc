@@ -20,7 +20,8 @@ TuningServer::TuningServer(Scheduler& scheduler, ServerOptions options)
       // core's span/counter emission stays off.
       lifecycle_(scheduler,
                  LifecycleOptions{
-                     .track_recommendations = options.track_recommendations}) {
+                     .track_recommendations = options.track_recommendations,
+                     .study_label = options.study_label}) {
   HT_CHECK(options_.lease_timeout > 0);
   HT_CHECK(options_.max_batch > 0);
 }
@@ -56,17 +57,22 @@ ServerStats TuningServer::stats() const {
 
 namespace {
 
-Json LeaseArgs(std::uint64_t job_id, std::uint64_t worker, TrialId trial) {
+Json LeaseArgs(std::uint64_t job_id, std::uint64_t worker, TrialId trial,
+               const std::string& study_label) {
   Json args = JsonObject{};
   args.Set("job_id", Json(static_cast<std::int64_t>(job_id)));
   args.Set("worker", Json(static_cast<std::int64_t>(worker)));
   args.Set("trial", Json(trial));
+  // Multi-tenant deployments tag lease events with their study; the
+  // single-tenant shape (no "study" key) is pinned by the trace goldens.
+  if (!study_label.empty()) args.Set("study", Json(study_label));
   return args;
 }
 
 }  // namespace
 
 void TuningServer::Tick(double now) {
+  if (frozen_) return;  // suspended study: leases are frozen, not expiring
   // Drain due heap entries, discarding stale ones (renewed leases leave
   // their superseded deadlines behind; expired leases may leave renewal
   // entries). The lease map is authoritative: an entry only expires a
@@ -91,7 +97,8 @@ void TuningServer::Tick(double now) {
     if (options_.telemetry != nullptr) {
       options_.telemetry->EventAt(
           now, "lease_expired", "lease",
-          LeaseArgs(job_id, lease.worker, lease.leased.job.trial_id));
+          LeaseArgs(job_id, lease.worker, lease.leased.job.trial_id,
+                    options_.study_label));
       options_.telemetry->Count("server.leases_expired");
     }
     lifecycle_.Lose(lease.leased, RunTiming{lease.granted_at, now, 0,
@@ -99,6 +106,33 @@ void TuningServer::Tick(double now) {
     ++stats_.leases_expired;
     if (options_.journal != nullptr) options_.journal->OnExpire(job_id, now);
   }
+}
+
+std::optional<double> TuningServer::EarliestDeadline() {
+  // Pop stale tops (renewed or resolved leases) until the heap front agrees
+  // with the authoritative lease map; what remains is the true next expiry.
+  while (!deadlines_.empty()) {
+    const DeadlineEntry& top = deadlines_.top();
+    const auto it = leases_.find(top.job_id);
+    if (it != leases_.end() && it->second.deadline == top.deadline) {
+      return top.deadline;
+    }
+    deadlines_.pop();
+  }
+  return std::nullopt;
+}
+
+void TuningServer::ShiftDeadlines(double delta) {
+  // Rebuilding from the lease map also drops every stale heap entry, so a
+  // long suspension doesn't resurface pre-suspension ghosts afterwards.
+  std::vector<DeadlineEntry> entries;
+  entries.reserve(leases_.size());
+  for (auto& [job_id, lease] : leases_) {
+    lease.deadline += delta;
+    entries.push_back({lease.deadline, job_id});
+  }
+  deadlines_ = decltype(deadlines_)(std::greater<DeadlineEntry>{},
+                                    std::move(entries));
 }
 
 std::optional<std::pair<std::uint64_t, Job>> TuningServer::GrantLease(
@@ -114,7 +148,7 @@ std::optional<std::pair<std::uint64_t, Job>> TuningServer::GrantLease(
   deadlines_.push({deadline, job_id});
   ++stats_.jobs_assigned;
   if (options_.telemetry != nullptr) {
-    Json args = LeaseArgs(job_id, worker, job.trial_id);
+    Json args = LeaseArgs(job_id, worker, job.trial_id, options_.study_label);
     args.Set("rung", Json(job.rung));
     args.Set("deadline", Json(deadline));
     options_.telemetry->EventAt(now, "lease_granted", "lease",
@@ -200,7 +234,8 @@ Json TuningServer::HandleReport(const Json& message, double now) {
   ValidateReportedLoss(loss);
   if (options_.telemetry != nullptr) {
     Json args =
-        LeaseArgs(job_id, it->second.worker, it->second.leased.job.trial_id);
+        LeaseArgs(job_id, it->second.worker, it->second.leased.job.trial_id,
+                  options_.study_label);
     args.Set("loss", Json(loss));
     options_.telemetry->EventAt(now, "job_reported", "lease",
                                 std::move(args));
@@ -236,7 +271,8 @@ Json TuningServer::HandleHeartbeat(const Json& message, double now) {
   if (options_.telemetry != nullptr) {
     options_.telemetry->EventAt(
         now, "lease_renewed", "lease",
-        LeaseArgs(job_id, it->second.worker, it->second.leased.job.trial_id));
+        LeaseArgs(job_id, it->second.worker, it->second.leased.job.trial_id,
+                  options_.study_label));
     options_.telemetry->Count("server.leases_renewed");
   }
   if (options_.journal != nullptr) options_.journal->OnRenew(job_id, now);
@@ -400,6 +436,14 @@ void TuningServer::ReplayJournalEvent(const Json& event) {
                               static_cast<int>(it->second.worker)});
     leases_.erase(it);
     ++stats_.leases_expired;
+    return;
+  }
+  if (kind == "shift") {
+    // Study-manager control record: a resume shifted every open deadline by
+    // the suspension's duration. Without replaying it, leases granted before
+    // a pre-crash suspension would expire spuriously on the first
+    // post-recovery tick.
+    ShiftDeadlines(event.at("delta").AsDouble());
     return;
   }
   if (kind == "hazard") return;  // audit-only record; worker state survives

@@ -119,6 +119,11 @@ struct ServerOptions {
   /// granted, loss reported, lease renewed, lease expired — so a
   /// durability layer can journal them and replay after a crash.
   LeaseEventSink* journal = nullptr;
+  /// Multi-tenant label: when non-empty, every lease lifecycle event this
+  /// server emits carries a `"study"` argument so traces from co-hosted
+  /// studies (src/study) can be told apart. Empty (the default) emits the
+  /// exact single-tenant event shapes — the decision goldens depend on it.
+  std::string study_label;
 };
 
 struct ServerStats {
@@ -147,6 +152,26 @@ class TuningServer : public MessageService {
   /// NetServerOptions::tick_interval). O(E log L) for E expiries — a no-op
   /// sweep touches only the heap top.
   void Tick(double now) override;
+
+  /// The earliest authoritative lease deadline, or nullopt with no open
+  /// leases. Cleans stale heap tops as a side effect (amortized against the
+  /// renewals that created them), so a caller scheduling tick work — the
+  /// study manager's per-shard deadline index — gets the true next expiry,
+  /// not a lazily deleted ghost.
+  std::optional<double> EarliestDeadline();
+
+  /// Shifts every open lease deadline by `delta` and rebuilds the expiry
+  /// heap. The study manager calls this on resume so a suspension freezes
+  /// leases (workers were not dead, the study was paused) instead of
+  /// expiring them en masse on the first post-resume tick. O(L log L).
+  void ShiftDeadlines(double delta);
+
+  /// Freezes the expiry clock: Tick becomes a no-op until unfrozen. The
+  /// study manager freezes suspended studies — every HandleMessage ticks
+  /// internally, so without this a report arriving mid-suspension would
+  /// expire the very leases the suspension promised to keep frozen.
+  void SetFrozen(bool frozen) { frozen_ = frozen; }
+  bool frozen() const { return frozen_; }
 
   ServerStats stats() const;
 
@@ -179,7 +204,8 @@ class TuningServer : public MessageService {
   void Restore(const Json& snapshot);
 
   /// Applies one journaled event (kinds "grant" / "report" / "renew" /
-  /// "expire") during recovery. Grants are replayed by re-derivation: the
+  /// "expire", plus the study manager's "shift" control record, which
+  /// re-applies a resume-time deadline shift) during recovery. Grants are replayed by re-derivation: the
   /// restored scheduler is asked for its next job, and the result is
   /// checked against the journaled job id and trial — divergence is a
   /// CheckError, not a silent corruption. No telemetry or journal output
@@ -230,6 +256,7 @@ class TuningServer : public MessageService {
                       std::greater<DeadlineEntry>>
       deadlines_;
   ServerStats stats_;
+  bool frozen_ = false;
 };
 
 }  // namespace hypertune

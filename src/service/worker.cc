@@ -22,6 +22,14 @@ SimulatedWorker::SimulatedWorker(std::uint64_t id, JobEnvironment& environment,
   HT_CHECK(retry_.jitter >= 0 && retry_.jitter < 1);
 }
 
+Json SimulatedWorker::BaseMessage(const char* type) const {
+  Json message = JsonObject{};
+  message.Set("type", Json(type));
+  message.Set("worker", Json(static_cast<std::int64_t>(id_)));
+  if (!study_.empty()) message.Set("study", Json(study_));
+  return message;
+}
+
 double SimulatedWorker::NoteSendFailure() {
   ++retries_;
   if (retry_.telemetry != nullptr) {
@@ -57,9 +65,7 @@ void SimulatedWorker::StartJob(Job job, std::uint64_t job_id, double now) {
 void SimulatedWorker::RequestWork(ServerConnection& connection, double now) {
   if (prefetch_ <= 1) {
     // Original single-job exchange, kept byte-identical for decision parity.
-    Json request = JsonObject{};
-    request.Set("type", Json("request_job"));
-    request.Set("worker", Json(static_cast<std::int64_t>(id_)));
+    Json request = BaseMessage("request_job");
     const auto reply = connection.Send(request, now);
     if (!reply) {
       next_action_ = now + NoteSendFailure();
@@ -76,9 +82,7 @@ void SimulatedWorker::RequestWork(ServerConnection& connection, double now) {
     return;
   }
 
-  Json request = JsonObject{};
-  request.Set("type", Json("request_jobs"));
-  request.Set("worker", Json(static_cast<std::int64_t>(id_)));
+  Json request = BaseMessage("request_jobs");
   request.Set("count", Json(static_cast<std::int64_t>(prefetch_)));
   const auto reply = connection.Send(request, now);
   if (!reply) {
@@ -103,9 +107,7 @@ void SimulatedWorker::RequestWork(ServerConnection& connection, double now) {
 
 void SimulatedWorker::SendHeartbeats(ServerConnection& connection,
                                      double now) {
-  Json heartbeat = JsonObject{};
-  heartbeat.Set("type", Json("heartbeat"));
-  heartbeat.Set("worker", Json(static_cast<std::int64_t>(id_)));
+  Json heartbeat = BaseMessage("heartbeat");
   heartbeat.Set("job_id", Json(static_cast<std::int64_t>(job_id_)));
   const auto reply = connection.Send(heartbeat, now);
   if (!reply) {
@@ -126,9 +128,7 @@ void SimulatedWorker::SendHeartbeats(ServerConnection& connection,
   // Queued (leased-ahead) jobs must stay alive too: renew each, dropping
   // any the server already declared lost.
   for (auto it = queue_.begin(); it != queue_.end();) {
-    Json renew = JsonObject{};
-    renew.Set("type", Json("heartbeat"));
-    renew.Set("worker", Json(static_cast<std::int64_t>(id_)));
+    Json renew = BaseMessage("heartbeat");
     renew.Set("job_id", Json(static_cast<std::int64_t>(it->first)));
     const auto queued_reply = connection.Send(renew, now);
     if (!queued_reply) {
@@ -197,9 +197,10 @@ void SimulatedWorker::OnTick(ServerConnection& connection, double now) {
   if (now >= finish_time_) {
     // Training finished: evaluate and report.
     const double loss = environment_.Loss(job_->config, job_->to_resource);
-    Json report = JsonObject{};
-    report.Set("type", Json("report"));
-    report.Set("worker", Json(static_cast<std::int64_t>(id_)));
+    // Built via BaseMessage so the study key (when pinned) is part of the
+    // payload itself: if delivery fails and this becomes pending_report_,
+    // the retry after reconnect still carries its routing key.
+    Json report = BaseMessage("report");
     report.Set("job_id", Json(static_cast<std::int64_t>(job_id_)));
     report.Set("loss", Json(loss));
     const auto reply = connection.Send(report, now);

@@ -98,6 +98,15 @@ class SimulatedWorker {
   /// job's lease will expire on the server.
   void Crash() { crashed_ = true; }
 
+  /// Pins every message this worker sends to one study (multi-tenant
+  /// serving, DESIGN.md §11). The key is baked into each payload as it is
+  /// built — including the held completion report — so a report retried
+  /// after an outage still routes to its study on the reconnected server.
+  /// Empty (the default) omits the key: byte-identical single-tenant
+  /// traffic.
+  void SetStudy(std::string study) { study_ = std::move(study); }
+  const std::string& study() const { return study_; }
+
   bool IsTraining() const { return job_.has_value(); }
   std::size_t jobs_completed() const { return jobs_completed_; }
   /// Jobs abandoned mid-run by an injected drop (their leases expire
@@ -112,6 +121,8 @@ class SimulatedWorker {
   bool has_pending_report() const { return pending_report_.has_value(); }
 
  private:
+  /// `{type, worker}` skeleton with the study routing key when pinned.
+  Json BaseMessage(const char* type) const;
   void RequestWork(ServerConnection& connection, double now);
   void StartJob(Job job, std::uint64_t job_id, double now);
   /// Renews the lease of every held job (running first, then queued, in
@@ -123,6 +134,8 @@ class SimulatedWorker {
   double NoteSendFailure();
 
   std::uint64_t id_;
+  /// Study every message routes to; empty = unscoped (default study).
+  std::string study_;
   JobEnvironment& environment_;
   double heartbeat_interval_;
   std::size_t prefetch_;

@@ -233,6 +233,122 @@ std::vector<Json> ProtocolSamples(Rng& rng) {
     m.Set("message", Json("report missing its loss — \"quoted\" & unicode Ω"));
     samples.push_back(std::move(m));
   }
+
+  // --- Multi-tenant vocabulary (DESIGN.md §11): study-scoped lease
+  // messages, the admin verbs, and the study-bearing replies. ---
+  const std::string study_name =
+      rng.Uniform() < 0.5 ? "prod.resnet-50" : "user_7-dev";
+  {
+    Json m = JsonObject{};
+    m.Set("type", Json("request_job"));
+    m.Set("worker", Json(static_cast<std::int64_t>(rng.Uniform() * 1000)));
+    m.Set("study", Json(study_name));
+    samples.push_back(std::move(m));
+  }
+  {
+    Json m = JsonObject{};
+    m.Set("type", Json("request_jobs"));
+    m.Set("worker", Json(static_cast<std::int64_t>(rng.Uniform() * 1000)));
+    m.Set("count", Json(static_cast<std::int64_t>(1 + rng.Uniform() * 64)));
+    m.Set("study", Json(study_name));
+    samples.push_back(std::move(m));
+  }
+  {
+    Json m = JsonObject{};
+    m.Set("type", Json("heartbeat"));
+    m.Set("worker", Json(static_cast<std::int64_t>(rng.Uniform() * 1000)));
+    m.Set("job_id", Json(static_cast<std::int64_t>(rng.Uniform() * 1e6)));
+    m.Set("study", Json(study_name));
+    samples.push_back(std::move(m));
+  }
+  {
+    Json m = JsonObject{};
+    m.Set("type", Json("report"));
+    m.Set("worker", Json(static_cast<std::int64_t>(rng.Uniform() * 1000)));
+    m.Set("job_id", Json(static_cast<std::int64_t>(rng.Uniform() * 1e6)));
+    m.Set("loss", Json(rng.Normal()));
+    m.Set("study", Json(study_name));
+    samples.push_back(std::move(m));
+  }
+  {
+    // create_study with and without an explicit quota.
+    for (const bool has_quota : {false, true}) {
+      Json m = JsonObject{};
+      m.Set("type", Json("create_study"));
+      m.Set("study", Json(study_name));
+      m.Set("config", MakeConfig(rng));
+      if (has_quota) {
+        m.Set("max_leases",
+              Json(static_cast<std::int64_t>(rng.Uniform() * 64)));
+      }
+      samples.push_back(std::move(m));
+    }
+  }
+  for (const char* verb : {"suspend_study", "resume_study", "delete_study"}) {
+    Json m = JsonObject{};
+    m.Set("type", Json(verb));
+    m.Set("study", Json(study_name));
+    samples.push_back(std::move(m));
+  }
+  {
+    Json m = JsonObject{};
+    m.Set("type", Json("list_studies"));
+    samples.push_back(std::move(m));
+  }
+  {
+    // The list_studies table, including the empty-server case.
+    const int count = static_cast<int>(rng.Uniform() * 4);
+    Json m = JsonObject{};
+    m.Set("type", Json("studies"));
+    Json studies = JsonArray{};
+    for (int i = 0; i < count; ++i) {
+      Json entry = JsonObject{};
+      entry.Set("study", Json("study-" + std::to_string(i)));
+      entry.Set("state", Json(rng.Uniform() < 0.5 ? "suspended" : "active"));
+      entry.Set("max_leases",
+                Json(static_cast<std::int64_t>(rng.Uniform() * 16)));
+      entry.Set("active_leases",
+                Json(static_cast<std::int64_t>(rng.Uniform() * 8)));
+      entry.Set("jobs_assigned",
+                Json(static_cast<std::int64_t>(rng.Uniform() * 500)));
+      entry.Set("jobs_completed",
+                Json(static_cast<std::int64_t>(rng.Uniform() * 500)));
+      studies.PushBack(std::move(entry));
+    }
+    m.Set("studies", std::move(studies));
+    samples.push_back(std::move(m));
+  }
+  {
+    // Study-bearing single grant (the "*" fair-allocation reply).
+    Json m = JsonObject{};
+    m.Set("type", Json("job"));
+    m.Set("job_id", Json(static_cast<std::int64_t>(rng.Uniform() * 1e6)));
+    m.Set("job", MakeJob(rng, static_cast<std::int64_t>(rng.Uniform() * 500)));
+    m.Set("lease_timeout", Json(30.0 + rng.Uniform()));
+    m.Set("study", Json(study_name));
+    samples.push_back(std::move(m));
+  }
+  {
+    // Study-bearing batched grant, with and without the retry hint.
+    for (const bool short_fill : {false, true}) {
+      Json m = JsonObject{};
+      m.Set("type", Json("jobs"));
+      Json jobs = JsonArray{};
+      const int count = 1 + static_cast<int>(rng.Uniform() * 5);
+      for (int i = 0; i < count; ++i) {
+        Json entry = JsonObject{};
+        entry.Set("job_id",
+                  Json(static_cast<std::int64_t>(rng.Uniform() * 1e6)));
+        entry.Set("job", MakeJob(rng, i));
+        entry.Set("study", Json("study-" + std::to_string(i % 3)));
+        jobs.PushBack(std::move(entry));
+      }
+      m.Set("jobs", std::move(jobs));
+      m.Set("lease_timeout", Json(30.0));
+      if (short_fill) m.Set("retry_after", Json(7.5));
+      samples.push_back(std::move(m));
+    }
+  }
   return samples;
 }
 

@@ -14,17 +14,27 @@
 // out (leases expire during the outage), so it asserts liveness instead —
 // the run still finishes and the workers actually retried.
 //
-// Usage: chaos_recovery <scratch-dir> [--quick]
+// With --studies N the same contract extends to multi-tenancy: one
+// StudyManager hosts N studies (cycling scheduler kind x seed), each with
+// its own worker fleet, and is killed/recovered at crash points spread
+// across the run. Every study's decision text must be byte-identical to
+// its uninterrupted SINGLE-study golden — a crash of the shared server
+// perturbs no tenant's search.
+//
+// Usage: chaos_recovery <scratch-dir> [--quick] [--studies N]
 //   --quick: one seed, one crash point per kind (CI smoke).
+//   --studies N: run the multi-tenant scenario with N studies instead.
 #include <cstdint>
 #include <filesystem>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/crc32.h"
 #include "dump_scenario.h"
+#include "study_scenario.h"
 
 namespace hypertune {
 namespace {
@@ -49,6 +59,85 @@ std::string FirstDiff(const std::string& golden, const std::string& actual) {
     }
     ++line;
   }
+}
+
+int RunMultiStudyChaos(const std::string& scratch, std::size_t studies,
+                       bool quick) {
+  // One single-study golden per distinct (kind, seed) combo; every study
+  // with that combo must reproduce it byte-for-byte.
+  std::map<std::string, std::string> goldens;
+  std::size_t golden_messages = 0;
+  for (std::size_t i = 0; i < std::min<std::size_t>(studies, 9); ++i) {
+    const auto [kind, seed] = MultiStudyCombo(i);
+    const std::string key = kind + "/" + std::to_string(seed);
+    if (goldens.count(key) != 0) continue;
+    ServiceDecisionsOptions options;
+    options.kind = kind;
+    options.seed = seed;
+    options.workers = 8;
+    const auto golden = RunServiceDecisions(options);
+    golden_messages += golden.messages_handled;
+    goldens[key] = golden.text;
+    std::cout << "golden  " << kind << " seed=" << seed << " messages="
+              << golden.messages_handled << " crc32=" << std::hex
+              << Crc32(golden.text) << std::dec << "\n";
+  }
+  // Estimated total traffic, to spread crash points across the run the
+  // same way the single-study harness does.
+  const std::size_t estimated =
+      golden_messages * std::max<std::size_t>(studies / goldens.size(), 1);
+  const std::vector<double> fractions =
+      quick ? std::vector<double>{0.5} : std::vector<double>{0.1, 0.5, 0.9};
+
+  int failures = 0;
+  for (const double fraction : fractions) {
+    auto crash_at = static_cast<std::size_t>(
+        fraction * static_cast<double>(estimated));
+    if (crash_at == 0) crash_at = 1;
+    MultiStudyOptions options;
+    options.studies = studies;
+    options.workers = 8;
+    options.crash_at = crash_at;
+    options.state_dir =
+        (std::filesystem::path(scratch) /
+         ("studies-" + std::to_string(studies) + "-" +
+          std::to_string(crash_at)))
+            .string();
+    std::filesystem::remove_all(options.state_dir);
+    const auto result = RunMultiStudyDecisions(options);
+
+    std::size_t mismatched = 0;
+    for (const auto& [name, text] : result.texts) {
+      const auto& [kind, seed] = result.combos.at(name);
+      const std::string& golden = goldens.at(kind + "/" +
+                                             std::to_string(seed));
+      if (text != golden) {
+        ++mismatched;
+        std::cout << "MISMATCH study=" << name << " crash-at=" << crash_at
+                  << "\n" << FirstDiff(golden, text) << "\n";
+      }
+    }
+    std::cout << (mismatched == 0 ? "OK      " : "MISMATCH")
+              << " studies=" << studies << " crash-at=" << crash_at
+              << " crashed=" << result.crashed
+              << " recovered=" << result.recovered_studies
+              << " matched=" << (result.texts.size() - mismatched) << "/"
+              << result.texts.size() << "\n";
+    if (mismatched != 0 || !result.crashed ||
+        result.recovered_studies != studies) {
+      ++failures;
+    } else {
+      std::filesystem::remove_all(options.state_dir);
+    }
+  }
+
+  if (failures > 0) {
+    std::cout << "multi-study chaos FAILED: " << failures << " run(s)\n";
+    return 1;
+  }
+  std::cout << "multi-study chaos passed: every tenant matched its"
+               " single-study golden byte-for-byte\n";
+  return 0;
 }
 
 int RunChaos(const std::string& scratch, bool quick) {
@@ -150,14 +239,30 @@ int RunChaos(const std::string& scratch, bool quick) {
 }  // namespace hypertune
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 3) {
-    std::cerr << "usage: chaos_recovery <scratch-dir> [--quick]\n";
+  if (argc < 2) {
+    std::cerr << "usage: chaos_recovery <scratch-dir> [--quick]"
+                 " [--studies N]\n";
     return 2;
   }
-  const bool quick = argc == 3 && std::string(argv[2]) == "--quick";
-  if (argc == 3 && !quick) {
-    std::cerr << "unknown flag '" << argv[2] << "'\n";
-    return 2;
+  bool quick = false;
+  std::size_t studies = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--studies" && i + 1 < argc) {
+      studies = static_cast<std::size_t>(std::stoul(argv[++i]));
+      if (studies == 0) {
+        std::cerr << "--studies needs a positive count\n";
+        return 2;
+      }
+    } else {
+      std::cerr << "unknown flag '" << arg << "'\n";
+      return 2;
+    }
+  }
+  if (studies > 0) {
+    return hypertune::RunMultiStudyChaos(argv[1], studies, quick);
   }
   return hypertune::RunChaos(argv[1], quick);
 }

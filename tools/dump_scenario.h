@@ -180,6 +180,54 @@ class HarnessConnection final : public ServerConnection {
 
 }  // namespace dump_internal
 
+/// Renders one study's decision text — every resolved lease, the incumbent
+/// trajectory, the final trial table. Shared by the single-study harness
+/// below and the multi-study chaos harness (tools/study_scenario.h): both
+/// must produce these bytes from the same state or the byte-identity
+/// checks compare apples to oranges.
+inline std::string FormatDecisionText(const std::string& kind,
+                                      std::uint64_t seed, int workers,
+                                      const TuningServer& server,
+                                      const Scheduler& scheduler) {
+  std::ostringstream out;
+  out << "== service-decisions " << kind << " seed=" << seed
+      << " workers=" << workers << "\n";
+  const auto stats = server.stats();
+  out << "assigned=" << stats.jobs_assigned
+      << " completed=" << stats.jobs_completed
+      << " expired=" << stats.leases_expired << "\n";
+  for (const auto& record : server.run_records()) {
+    Json line = JsonObject{};
+    line.Set("t", Json(record.end_time));
+    line.Set("trial", Json(record.trial_id));
+    line.Set("rung", Json(record.rung));
+    line.Set("bracket", Json(record.bracket));
+    line.Set("loss", Json(record.loss));
+    line.Set("dropped", Json(record.lost));
+    line.Set("lease", Json(static_cast<std::int64_t>(record.lease_id)));
+    line.Set("worker", Json(record.worker));
+    out << line.Dump() << "\n";
+  }
+  out << "-- incumbent\n";
+  for (const auto& point : server.run_recommendations()) {
+    Json line = JsonObject{};
+    line.Set("t", Json(point.time));
+    line.Set("trial", Json(point.trial_id));
+    line.Set("loss", Json(point.loss));
+    line.Set("resource", Json(point.resource));
+    out << line.Dump() << "\n";
+  }
+  out << "-- trials\n";
+  for (const auto& trial : scheduler.trials()) {
+    Json line = JsonObject{};
+    line.Set("trial", Json(trial.id));
+    line.Set("resource", Json(trial.resource_trained));
+    line.Set("status", Json(static_cast<int>(trial.status)));
+    out << line.Dump() << "\n";
+  }
+  return out.str();
+}
+
 inline ServiceDecisionsResult RunServiceDecisions(
     const ServiceDecisionsOptions& opts) {
   ServiceDecisionsResult result;
@@ -337,43 +385,8 @@ inline ServiceDecisionsResult RunServiceDecisions(
   if (durable) result.generation = durable->generation();
 
   const TuningServer& server = durable ? durable->server() : *plain;
-  std::ostringstream out;
-  out << "== service-decisions " << opts.kind << " seed=" << opts.seed
-      << " workers=" << opts.workers << "\n";
-  const auto stats = server.stats();
-  out << "assigned=" << stats.jobs_assigned
-      << " completed=" << stats.jobs_completed
-      << " expired=" << stats.leases_expired << "\n";
-  for (const auto& record : server.run_records()) {
-    Json line = JsonObject{};
-    line.Set("t", Json(record.end_time));
-    line.Set("trial", Json(record.trial_id));
-    line.Set("rung", Json(record.rung));
-    line.Set("bracket", Json(record.bracket));
-    line.Set("loss", Json(record.loss));
-    line.Set("dropped", Json(record.lost));
-    line.Set("lease", Json(static_cast<std::int64_t>(record.lease_id)));
-    line.Set("worker", Json(record.worker));
-    out << line.Dump() << "\n";
-  }
-  out << "-- incumbent\n";
-  for (const auto& point : server.run_recommendations()) {
-    Json line = JsonObject{};
-    line.Set("t", Json(point.time));
-    line.Set("trial", Json(point.trial_id));
-    line.Set("loss", Json(point.loss));
-    line.Set("resource", Json(point.resource));
-    out << line.Dump() << "\n";
-  }
-  out << "-- trials\n";
-  for (const auto& trial : scheduler->trials()) {
-    Json line = JsonObject{};
-    line.Set("trial", Json(trial.id));
-    line.Set("resource", Json(trial.resource_trained));
-    line.Set("status", Json(static_cast<int>(trial.status)));
-    out << line.Dump() << "\n";
-  }
-  result.text = out.str();
+  result.text = FormatDecisionText(opts.kind, opts.seed, opts.workers, server,
+                                   *scheduler);
   return result;
 }
 

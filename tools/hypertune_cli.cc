@@ -31,6 +31,7 @@
 #include "net/net_server.h"
 #include "registry/registry.h"
 #include "service/worker.h"
+#include "study/study_manager.h"
 #include "surrogate/benchmarks.h"
 #include "telemetry/telemetry.h"
 
@@ -106,8 +107,22 @@ Network mode:
   --serve-seconds=T      (serve) stop after T wall seconds (default: run
                          until Ctrl-C)
   --lease-timeout=T      (serve) lease timeout in wall seconds (default 60)
+  --multi-study          (serve) host a StudyManager instead of one study:
+                         clients create/suspend/resume/delete/list studies
+                         over the wire; --tuner/--seed set the default
+                         study's config, --state-dir roots per-study
+                         durability under DIR/studies/<name>/
+  --shards=N             (serve --multi-study) lock shards (default 4)
+  --max-leases=N         (serve --multi-study) default per-study quota
+                         (default 0 = unlimited)
   --connect=HOST:PORT    drive --workers simulated workers against a served
                          study; the surrogate --benchmark supplies losses
+  --study=NAME           (connect) pin every message the fleet sends to
+                         study NAME (absent: the server's default study)
+  --create=KIND          (connect) create --study first with scheduler KIND
+                         (asha|sha|hyperband|random) seeded by --seed; an
+                         already-exists error just means another fleet won
+                         the race
   --transport=NAME       (connect) binary (default) or json
   --time-scale=X         (connect) virtual task-time units per wall second
                          (default 60)
@@ -119,6 +134,22 @@ Network mode:
 std::atomic<bool> g_interrupted{false};
 
 void OnInterrupt(int) { g_interrupted.store(true); }
+
+/// Blocks until Ctrl-C / SIGTERM, or `serve_seconds` elapse (0 = forever).
+void ServeUntilInterrupted(double serve_seconds) {
+  std::signal(SIGINT, OnInterrupt);
+  std::signal(SIGTERM, OnInterrupt);
+  const auto start = std::chrono::steady_clock::now();
+  while (!g_interrupted.load()) {
+    if (serve_seconds > 0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+                .count() >= serve_seconds) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
 
 /// `--serve=PORT`: the tuning service on a real socket, wall-clock leases,
 /// idle-expiry timer running — the deployment shape from the paper, scaled
@@ -166,19 +197,7 @@ int RunServe(const Flags& flags) {
   std::cout << "serving " << tuner << " on " << benchmark_name << " at "
             << net_options.bind_address << ":" << net.port() << "\n";
 
-  std::signal(SIGINT, OnInterrupt);
-  std::signal(SIGTERM, OnInterrupt);
-  const double serve_seconds = flags.GetDouble("serve-seconds", 0);
-  const auto start = std::chrono::steady_clock::now();
-  while (!g_interrupted.load()) {
-    if (serve_seconds > 0 &&
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-                .count() >= serve_seconds) {
-      break;
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  }
+  ServeUntilInterrupted(flags.GetDouble("serve-seconds", 0));
   net.Stop();  // drain replies, close sockets, join — workers see EOF
 
   const TuningServer& server = durable ? durable->server() : *plain;
@@ -194,6 +213,62 @@ int RunServe(const Flags& flags) {
   if (const auto best = server.Current()) {
     std::cout << "best: trial=" << best->trial_id << " loss="
               << FormatDouble(best->loss, 4) << "\n";
+  }
+  return 0;
+}
+
+/// `--serve=PORT --multi-study`: one server, many studies. Lease traffic
+/// routes by the "study" field on each message; the admin vocabulary
+/// (create_study/.../list_studies) manages tenants over the same socket.
+/// With --state-dir each study journals under DIR/studies/<name>/ and a
+/// restart recovers all of them.
+int RunServeMultiStudy(const Flags& flags) {
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1000));
+  const auto bench =
+      benchmarks::ByName(flags.Get("benchmark", "cifar_arch"), seed);
+
+  StudyManagerOptions options;
+  options.shards = static_cast<std::size_t>(flags.GetInt("shards", 4));
+  options.server =
+      ServerOptions{.lease_timeout = flags.GetDouble("lease-timeout", 60),
+                    .track_recommendations = true};
+  options.durability_root = flags.Get("state-dir", "");
+  options.default_max_leases =
+      static_cast<std::size_t>(flags.GetInt("max-leases", 0));
+  Json default_config = JsonObject{};
+  default_config.Set("kind", Json(flags.Get("tuner", "asha")));
+  default_config.Set("seed", Json(static_cast<std::int64_t>(seed)));
+  options.default_config = default_config;
+  StudyManager manager(MakeStudySchedulerFactory(bench->space()), options);
+  if (manager.stats().recovered > 0) {
+    std::cout << "recovered " << manager.stats().recovered << " studies from "
+              << options.durability_root << "\n";
+  }
+
+  NetServerOptions net_options;
+  net_options.port = flags.GetInt("serve", 0);
+  net_options.clock = NetClock::kWall;
+  NetServer net(manager, net_options);
+  net.Start();
+  std::cout << "serving studies (default tuner " << flags.Get("tuner", "asha")
+            << " on " << flags.Get("benchmark", "cifar_arch") << ", "
+            << options.shards << " shards) at " << net_options.bind_address
+            << ":" << net.port() << "\n";
+
+  ServeUntilInterrupted(flags.GetDouble("serve-seconds", 0));
+  net.Stop();
+
+  const auto net_stats = net.stats();
+  std::cout << "connections=" << net_stats.connections_accepted
+            << " messages=" << net_stats.messages_handled
+            << " ticks=" << net_stats.timer_ticks
+            << " rejected=" << net_stats.messages_rejected << "\n";
+  for (const auto& info : manager.ListStudies()) {
+    std::cout << "study " << info.name
+              << (info.suspended ? " suspended" : " active")
+              << " assigned=" << info.jobs_assigned
+              << " completed=" << info.jobs_completed
+              << " active_leases=" << info.active_leases << "\n";
   }
   return 0;
 }
@@ -233,10 +308,29 @@ int RunConnect(const Flags& flags) {
   std::vector<SimulatedWorker> fleet;
   clients.reserve(static_cast<std::size_t>(workers));
   fleet.reserve(static_cast<std::size_t>(workers));
+  const std::string study = flags.Get("study", "");
   for (int i = 0; i < workers; ++i) {
     clients.emplace_back(host, port, client_options);
     fleet.emplace_back(static_cast<std::uint64_t>(i), *bench,
                        /*heartbeat_interval=*/5.0);
+    if (!study.empty()) fleet.back().SetStudy(study);
+  }
+
+  if (flags.Has("create")) {
+    if (study.empty()) {
+      std::cerr << "--create wants --study=NAME to create\n";
+      return 2;
+    }
+    Json create = JsonObject{};
+    create.Set("type", Json("create_study"));
+    create.Set("study", Json(study));
+    Json config = JsonObject{};
+    config.Set("kind", Json(flags.Get("create", "random")));
+    config.Set("seed", Json(static_cast<std::int64_t>(seed)));
+    create.Set("config", config);
+    const auto reply = clients.front().Send(create, 0.0);
+    std::cout << "create_study " << study << ": "
+              << (reply ? reply->Dump() : "(no reply)") << "\n";
   }
 
   std::signal(SIGINT, OnInterrupt);
@@ -274,7 +368,10 @@ int main(int argc, char** argv) {
   try {
     const Flags flags = ParseFlags(argc, argv);
     if (flags.Has("help") || flags.Has("h")) return Usage();
-    if (flags.Has("serve")) return RunServe(flags);
+    if (flags.Has("serve")) {
+      return flags.Has("multi-study") ? RunServeMultiStudy(flags)
+                                      : RunServe(flags);
+    }
     if (flags.Has("connect")) return RunConnect(flags);
     if (flags.Has("list")) {
       std::cout << "tuners:";
