@@ -1,5 +1,9 @@
 #include "durability/durable_server.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -8,7 +12,7 @@
 #include <vector>
 
 #include "common/check.h"
-#include "common/table.h"
+#include "telemetry/telemetry.h"
 
 namespace hypertune {
 
@@ -67,9 +71,26 @@ DurableServer::DurableServer(Scheduler& scheduler,
   recovered_ = Recover();
   if (!recovered_) {
     // Fresh start: generation 0 has no snapshot, only a journal.
-    writer_.emplace(JournalWriter::Create(
-        JournalPath(0), WalWriteOptions{durability_.sync,
-                                        durability_.sync_every}));
+    writer_.emplace(JournalWriter::Create(JournalPath(0), WalOptions()));
+  }
+}
+
+WalWriteOptions DurableServer::WalOptions() const {
+  return WalWriteOptions{durability_.sync, durability_.sync_every,
+                         durability_.file_ops};
+}
+
+void DurableServer::Count(const char* name) {
+  if (durability_.telemetry != nullptr) durability_.telemetry->Count(name);
+}
+
+bool DurableServer::IsGrantRequest(const Json& message) {
+  try {
+    if (!message.Has("type")) return false;
+    const std::string& type = message.at("type").AsString();
+    return type == "request_job" || type == "request_jobs";
+  } catch (const std::exception&) {
+    return false;  // not even an object; the server will reject it
   }
 }
 
@@ -110,7 +131,7 @@ bool DurableServer::Recover() {
                                << " has a journal but no snapshot");
   }
 
-  const WalWriteOptions wal_options{durability_.sync, durability_.sync_every};
+  const WalWriteOptions wal_options = WalOptions();
   const std::string journal_path = JournalPath(generation_);
   if (!std::filesystem::exists(journal_path)) {
     // Crash window between snapshot write and journal creation: the
@@ -134,20 +155,101 @@ bool DurableServer::Recover() {
 }
 
 Json DurableServer::HandleMessage(const Json& message, double now) {
+  TryResumeJournal();
+  if (degraded_ && IsGrantRequest(message)) {
+    // Read-only: a grant the journal cannot record would be a decision the
+    // recovered server never made. Heartbeats and reports still flow —
+    // their records buffer — so in-flight work is not thrown away.
+    ++stats_.grants_denied;
+    Count("durability.grants_denied");
+    Json reply = JsonObject{};
+    reply.Set("type", Json("no_job"));
+    reply.Set("retry_after", Json(durability_.degraded_retry_after));
+    reply.Set("degraded", Json(true));
+    return reply;
+  }
   Json reply = server_.HandleMessage(message, now);
   MaybeSnapshot();
   return reply;
 }
 
 void DurableServer::Tick(double now) {
+  TryResumeJournal();
   server_.Tick(now);
   MaybeSnapshot();
 }
 
+void DurableServer::EnterDegraded() {
+  if (degraded_) return;
+  degraded_ = true;
+  ++stats_.degraded_entered;
+  Count("durability.degraded_entered");
+}
+
+void DurableServer::TryResumeJournal() {
+  if (!degraded_ || !writer_) return;
+  while (!buffered_.empty()) {
+    switch (writer_->TryAppend(buffered_.front())) {
+      case AppendResult::kOk:
+        buffered_.pop_front();
+        ++records_since_snapshot_;
+        continue;
+      case AppendResult::kSyncFailed:
+        // The frame's bytes landed (pop it — re-appending would duplicate
+        // it on replay) but durability is still pending; stay degraded.
+        buffered_.pop_front();
+        ++records_since_snapshot_;
+        ++stats_.journal_sync_failures;
+        Count("durability.journal_sync_failures");
+        return;
+      case AppendResult::kWriteFailed:
+        ++stats_.journal_write_failures;
+        Count("durability.journal_write_failures");
+        return;  // still unwritable; probe again on the next message/tick
+    }
+  }
+  if (!writer_->TrySync()) {
+    ++stats_.journal_sync_failures;
+    Count("durability.journal_sync_failures");
+    return;
+  }
+  degraded_ = false;
+  ++stats_.degraded_exited;
+  Count("durability.degraded_exited");
+}
+
 void DurableServer::JournalRecord(Json record) {
   if (!writer_) return;  // only during recovery, which never journals
-  writer_->Append(record.Dump());
-  ++records_since_snapshot_;
+  std::string payload = record.Dump();
+  if (degraded_) {
+    buffered_.push_back(std::move(payload));
+    ++stats_.records_buffered;
+    Count("durability.records_buffered");
+    return;
+  }
+  switch (writer_->TryAppend(payload)) {
+    case AppendResult::kOk:
+      ++records_since_snapshot_;
+      return;
+    case AppendResult::kWriteFailed:
+      // The frame never reached the journal: buffer it (order preserved)
+      // and degrade instead of crashing mid-message.
+      ++stats_.journal_write_failures;
+      Count("durability.journal_write_failures");
+      EnterDegraded();
+      buffered_.push_back(std::move(payload));
+      ++stats_.records_buffered;
+      Count("durability.records_buffered");
+      return;
+    case AppendResult::kSyncFailed:
+      // The frame is appended but not yet durable; degrade until an fsync
+      // succeeds. Nothing to buffer.
+      ++stats_.journal_sync_failures;
+      Count("durability.journal_sync_failures");
+      ++records_since_snapshot_;
+      EnterDegraded();
+      return;
+  }
 }
 
 void DurableServer::JournalAuxiliary(const Json& event) {
@@ -169,20 +271,71 @@ void DurableServer::JournalControl(const Json& event) {
 }
 
 void DurableServer::MaybeSnapshot() {
+  // While degraded the current snapshot+journal are the only recovery
+  // story; compaction resumes with durability.
+  if (degraded_) return;
   if (records_since_snapshot_ >= durability_.snapshot_every) TakeSnapshot();
+}
+
+bool DurableServer::WriteSnapshotFile(const std::string& path,
+                                      const std::string& content) {
+  FileOps& ops = durability_.file_ops != nullptr ? *durability_.file_ops
+                                                 : FileOps::Real();
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  // Write-then-fsync-then-rename: the destination is only ever replaced by
+  // a fully durable file, so neither a crash nor an injected ENOSPC can
+  // leave a torn snapshot where recovery would trust one.
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n = ops.Write(fd, content.data() + written,
+                                content.size() - written);
+    if (n <= 0) break;
+    written += static_cast<std::size_t>(n);
+  }
+  const bool durable = written == content.size() && ops.Fsync(fd) == 0;
+  ::close(fd);
+  if (!durable || ops.Rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 void DurableServer::TakeSnapshot() {
   HT_CHECK(writer_.has_value());
   // Make the current journal durable before superseding it: until the new
   // generation's files both exist, recovery still runs through this one.
-  writer_->Sync();
+  if (!writer_->TrySync()) {
+    ++stats_.journal_sync_failures;
+    Count("durability.journal_sync_failures");
+    EnterDegraded();
+    return;
+  }
   const std::uint64_t next = generation_ + 1;
-  HT_CHECK_MSG(WriteFile(SnapshotPath(next), server_.Snapshot().Dump()),
-               "cannot write snapshot " << SnapshotPath(next));
-  writer_.emplace(JournalWriter::Create(
-      JournalPath(next),
-      WalWriteOptions{durability_.sync, durability_.sync_every}));
+  if (!WriteSnapshotFile(SnapshotPath(next), server_.Snapshot().Dump())) {
+    // Non-fatal: the current generation still recovers everything. Counted
+    // and retried at the next snapshot boundary.
+    ++stats_.snapshot_failures;
+    Count("durability.snapshot_failures");
+    return;
+  }
+  auto writer = JournalWriter::TryCreate(JournalPath(next), WalOptions());
+  if (!writer) {
+    // The snapshot exists but its journal does not — and this server will
+    // keep appending to the OLD generation, which recovery would ignore in
+    // favor of the newer snapshot. Remove the snapshot to keep the highest
+    // generation on disk the one being written to.
+    std::error_code ec;
+    std::filesystem::remove(SnapshotPath(next), ec);
+    HT_CHECK_MSG(!ec, "cannot remove orphaned snapshot "
+                          << SnapshotPath(next));
+    ++stats_.snapshot_failures;
+    Count("durability.snapshot_failures");
+    return;
+  }
+  writer_.emplace(std::move(*writer));
   generation_ = next;
   records_since_snapshot_ = 0;
   PruneBefore(next);

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 
@@ -36,6 +37,8 @@
 
 namespace hypertune {
 
+class Telemetry;
+
 struct DurabilityOptions {
   /// Directory holding snapshots and journals. Created if absent.
   std::string dir;
@@ -44,6 +47,27 @@ struct DurabilityOptions {
   std::size_t sync_every = 64;
   /// Take a compacting snapshot after this many journaled records.
   std::size_t snapshot_every = 1024;
+  /// retry_after (seconds) in grant denials while degraded.
+  double degraded_retry_after = 5.0;
+  /// File-op seam for journal + snapshot writes (fault injection); null =
+  /// real syscalls.
+  FileOps* file_ops = nullptr;
+  /// Optional observability sink for degraded-mode counters (not owned).
+  Telemetry* telemetry = nullptr;
+};
+
+/// Counters for the degraded read-only mode (see class comment).
+struct DurabilityStats {
+  std::size_t journal_write_failures = 0;
+  std::size_t journal_sync_failures = 0;
+  std::size_t snapshot_failures = 0;
+  std::size_t degraded_entered = 0;
+  std::size_t degraded_exited = 0;
+  /// Records buffered in memory while the journal was unwritable (each is
+  /// re-appended when the journal resumes).
+  std::size_t records_buffered = 0;
+  /// request_job / request_jobs denied while degraded.
+  std::size_t grants_denied = 0;
 };
 
 /// A TuningServer that survives crashes. Construction either starts fresh
@@ -51,6 +75,20 @@ struct DurabilityOptions {
 /// journal tail, reopen the journal. The wrapped server and scheduler must
 /// be freshly constructed with the same deterministic configuration the
 /// crashed process used — the journal stores decisions, not configuration.
+///
+/// Degraded read-only mode: when a journal write or fsync fails (full
+/// disk, dying device), the server does NOT crash. It stops granting new
+/// work (request_job[s] get {"type":"no_job","degraded":true} with a
+/// retry_after), keeps absorbing heartbeats and reports — their journal
+/// records are buffered in memory, in order — and probes the journal at
+/// every subsequent message/tick. Once an append succeeds again the
+/// buffered records are flushed, the journal is fsynced, and the server
+/// exits degraded mode. The mode trades the no-loss guarantee for
+/// availability *of already-leased work only*: a crash while degraded
+/// loses the buffered records, which is why nothing new is granted until
+/// durability returns. Snapshot-write failures are softer — counted and
+/// retried at the next boundary — because the current generation's
+/// snapshot+journal remain the recovery story throughout.
 class DurableServer final : public MessageService, public LeaseEventSink {
  public:
   /// `server_options.journal` must be unset; DurableServer installs itself.
@@ -91,6 +129,12 @@ class DurableServer final : public MessageService, public LeaseEventSink {
   /// True when recovery found (and truncated) a torn/corrupt journal tail.
   bool journal_tail_truncated() const { return journal_tail_truncated_; }
 
+  /// True while the journal is unwritable and grants are being denied.
+  bool degraded() const { return degraded_; }
+  /// Journal records currently buffered in memory (degraded mode only).
+  std::size_t buffered_records() const { return buffered_.size(); }
+  DurabilityStats durability_stats() const { return stats_; }
+
   // LeaseEventSink — invoked by the wrapped server after each mutation.
   void OnGrant(std::uint64_t job_id, std::uint64_t worker, const Job& job,
                double now) override;
@@ -109,6 +153,18 @@ class DurableServer final : public MessageService, public LeaseEventSink {
   /// Deletes snapshots/journals of generations before `keep`.
   void PruneBefore(std::uint64_t keep);
 
+  /// True for request_job / request_jobs — what degraded mode denies.
+  static bool IsGrantRequest(const Json& message);
+  void Count(const char* name);
+  void EnterDegraded();
+  /// Degraded-mode probe: re-append buffered records, fsync, and exit the
+  /// mode once everything lands. Cheap no-op when not degraded.
+  void TryResumeJournal();
+  /// Atomic fault-aware snapshot write (tmp + fsync + rename through the
+  /// FileOps seam); false on failure, with the tmp file removed.
+  bool WriteSnapshotFile(const std::string& path, const std::string& content);
+  WalWriteOptions WalOptions() const;
+
   static ServerOptions WithJournal(ServerOptions options,
                                    LeaseEventSink* sink);
 
@@ -120,6 +176,11 @@ class DurableServer final : public MessageService, public LeaseEventSink {
   bool recovered_ = false;
   std::size_t replayed_events_ = 0;
   bool journal_tail_truncated_ = false;
+  bool degraded_ = false;
+  /// Journal payloads awaiting re-append, oldest first (order is the
+  /// replay order, so it must be preserved exactly).
+  std::deque<std::string> buffered_;
+  DurabilityStats stats_;
 };
 
 }  // namespace hypertune

@@ -32,16 +32,18 @@ std::uint32_t GetU32(const unsigned char* in) {
          (static_cast<std::uint32_t>(in[3]) << 24);
 }
 
-void WriteAll(int fd, const void* data, std::size_t size,
-              const char* what) {
+/// Writes all of `size` through `ops`; returns bytes written (< size on
+/// failure, with errno set by the failing op).
+std::size_t WriteSome(FileOps& ops, int fd, const void* data,
+                      std::size_t size) {
   const auto* bytes = static_cast<const unsigned char*>(data);
-  while (size > 0) {
-    const ssize_t written = ::write(fd, bytes, size);
-    HT_CHECK_MSG(written > 0, "journal write failed (" << what << "): "
-                                  << std::strerror(errno));
-    bytes += written;
-    size -= static_cast<std::size_t>(written);
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ops.Write(fd, bytes + written, size - written);
+    if (n <= 0) return written;
+    written += static_cast<std::size_t>(n);
   }
+  return written;
 }
 
 }  // namespace
@@ -49,18 +51,36 @@ void WriteAll(int fd, const void* data, std::size_t size,
 std::string_view JournalMagic() { return {kMagic, sizeof(kMagic)}; }
 
 JournalWriter::JournalWriter(int fd, WalWriteOptions options)
-    : fd_(fd), options_(options) {
+    : fd_(fd), options_(options),
+      ops_(options.file_ops != nullptr ? options.file_ops : &FileOps::Real()) {
   HT_CHECK(options_.sync != SyncPolicy::kEveryN || options_.sync_every > 0);
+}
+
+std::optional<JournalWriter> JournalWriter::TryCreate(
+    const std::string& path, WalWriteOptions options) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return std::nullopt;
+  JournalWriter writer(fd, options);
+  if (WriteSome(*writer.ops_, fd, kMagic, sizeof(kMagic)) != sizeof(kMagic)) {
+    // A truncated header is not a journal; remove the stump so recovery
+    // never mistakes it for one.
+    const int saved = errno;
+    ::close(std::exchange(writer.fd_, -1));
+    ::unlink(path.c_str());
+    errno = saved;
+    return std::nullopt;
+  }
+  writer.good_bytes_ = sizeof(kMagic);
+  return writer;
 }
 
 JournalWriter JournalWriter::Create(const std::string& path,
                                     WalWriteOptions options) {
-  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  HT_CHECK_MSG(fd >= 0, "cannot create journal '" << path
-                            << "': " << std::strerror(errno));
-  JournalWriter writer(fd, options);
-  WriteAll(fd, kMagic, sizeof(kMagic), "header");
-  return writer;
+  auto writer = TryCreate(path, options);
+  HT_CHECK_MSG(writer.has_value(), "cannot create journal '"
+                                       << path << "': "
+                                       << std::strerror(errno));
+  return std::move(*writer);
 }
 
 JournalWriter JournalWriter::Append(const std::string& path,
@@ -70,42 +90,77 @@ JournalWriter JournalWriter::Append(const std::string& path,
   const int fd = ::open(path.c_str(), O_WRONLY, 0644);
   HT_CHECK_MSG(fd >= 0, "cannot open journal '" << path
                             << "': " << std::strerror(errno));
+  JournalWriter writer(fd, options);
   // Drop any torn tail first: appending after garbage would strand every
   // subsequent frame behind an unreadable one.
-  HT_CHECK_MSG(::ftruncate(fd, static_cast<off_t>(valid_bytes)) == 0,
+  HT_CHECK_MSG(writer.ops_->Truncate(fd, static_cast<off_t>(valid_bytes)) == 0,
                "cannot truncate journal '" << path
                                            << "': " << std::strerror(errno));
   HT_CHECK_MSG(::lseek(fd, 0, SEEK_END) >= 0,
                "cannot seek journal '" << path
                                        << "': " << std::strerror(errno));
-  return JournalWriter(fd, options);
+  writer.good_bytes_ = valid_bytes;
+  return writer;
 }
 
 JournalWriter::JournalWriter(JournalWriter&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       options_(other.options_),
+      ops_(other.ops_),
       frames_written_(other.frames_written_),
-      frames_since_sync_(other.frames_since_sync_) {}
+      frames_since_sync_(other.frames_since_sync_),
+      good_bytes_(other.good_bytes_),
+      tail_dirty_(other.tail_dirty_),
+      last_errno_(other.last_errno_) {}
 
 JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
     options_ = other.options_;
+    ops_ = other.ops_;
     frames_written_ = other.frames_written_;
     frames_since_sync_ = other.frames_since_sync_;
+    good_bytes_ = other.good_bytes_;
+    tail_dirty_ = other.tail_dirty_;
+    last_errno_ = other.last_errno_;
   }
   return *this;
 }
 
 JournalWriter::~JournalWriter() {
   if (fd_ < 0) return;
-  if (options_.sync != SyncPolicy::kNone) ::fsync(fd_);
+  // Best-effort: a destructor cannot degrade or throw. Callers with a
+  // durability contract (DurableServer) sync explicitly via TrySync and
+  // route failures into degraded mode before ever reaching this.
+  if (options_.sync != SyncPolicy::kNone) (void)TrySync();
   ::close(fd_);
 }
 
 void JournalWriter::Append(std::string_view payload) {
+  HT_CHECK_MSG(TryAppend(payload) == AppendResult::kOk,
+               "journal write failed: " << std::strerror(last_errno_));
+}
+
+void JournalWriter::Sync() {
+  HT_CHECK_MSG(TrySync(),
+               "journal fsync failed: " << std::strerror(last_errno_));
+}
+
+bool JournalWriter::RepairTail() {
+  if (!tail_dirty_) return true;
+  if (ops_->Truncate(fd_, static_cast<off_t>(good_bytes_)) != 0 ||
+      ::lseek(fd_, 0, SEEK_END) < 0) {
+    last_errno_ = errno;
+    return false;
+  }
+  tail_dirty_ = false;
+  return true;
+}
+
+AppendResult JournalWriter::TryAppend(std::string_view payload) {
   HT_CHECK(fd_ >= 0);
+  if (!RepairTail()) return AppendResult::kWriteFailed;
   unsigned char header[kFrameHeader];
   PutU32(header, static_cast<std::uint32_t>(payload.size()));
   PutU32(header + 4, Crc32(payload));
@@ -115,25 +170,34 @@ void JournalWriter::Append(std::string_view payload) {
   frame.reserve(kFrameHeader + payload.size());
   frame.append(reinterpret_cast<const char*>(header), kFrameHeader);
   frame.append(payload.data(), payload.size());
-  WriteAll(fd_, frame.data(), frame.size(), "frame");
+  const std::size_t written = WriteSome(*ops_, fd_, frame.data(), frame.size());
+  if (written != frame.size()) {
+    last_errno_ = errno;
+    tail_dirty_ = written > 0;
+    return AppendResult::kWriteFailed;
+  }
+  good_bytes_ += frame.size();
   ++frames_written_;
   switch (options_.sync) {
     case SyncPolicy::kNone:
-      break;
+      return AppendResult::kOk;
     case SyncPolicy::kEveryN:
-      if (++frames_since_sync_ >= options_.sync_every) Sync();
+      if (++frames_since_sync_ < options_.sync_every) return AppendResult::kOk;
       break;
     case SyncPolicy::kAlways:
-      Sync();
       break;
   }
+  return TrySync() ? AppendResult::kOk : AppendResult::kSyncFailed;
 }
 
-void JournalWriter::Sync() {
+bool JournalWriter::TrySync() {
   HT_CHECK(fd_ >= 0);
-  HT_CHECK_MSG(::fsync(fd_) == 0,
-               "journal fsync failed: " << std::strerror(errno));
+  if (ops_->Fsync(fd_) != 0) {
+    last_errno_ = errno;
+    return false;
+  }
   frames_since_sync_ = 0;
+  return true;
 }
 
 JournalReadResult ReadJournal(const std::string& path) {

@@ -20,9 +20,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "fault/fault_fs.h"
 
 namespace hypertune {
 
@@ -41,17 +44,37 @@ struct WalWriteOptions {
   SyncPolicy sync = SyncPolicy::kEveryN;
   /// Frames between fsyncs under SyncPolicy::kEveryN.
   std::size_t sync_every = 64;
+  /// File-op seam (fault injection); null = FileOps::Real().
+  FileOps* file_ops = nullptr;
 };
 
+/// What one TryAppend did. The distinction matters to the caller: a failed
+/// *write* means the frame is not in the journal (buffer and re-append it
+/// later), a failed *fsync* means the frame's bytes are appended but not
+/// yet durable (never re-append — that would duplicate it on replay).
+enum class AppendResult { kOk, kWriteFailed, kSyncFailed };
+
 /// Append-only journal writer over a POSIX fd. Move-only; the destructor
-/// syncs (per policy) and closes. Throws CheckError on I/O failure — a
-/// journal that silently drops events is worse than a dead server.
+/// best-effort-syncs (per policy) and closes.
+///
+/// Two API levels: Append/Sync throw CheckError on I/O failure (a journal
+/// that silently drops events is worse than a dead server), while
+/// TryAppend/TrySync report failure for callers with a degradation path —
+/// DurableServer buffers records through an ENOSPC window and replays them
+/// into the journal when space returns. A partially written frame leaves a
+/// dirty tail; the next TryAppend truncates back to the last good byte
+/// before writing, so a mid-frame failure can never strand later frames
+/// behind garbage.
 class JournalWriter {
  public:
   /// Creates a fresh journal (truncating any existing file) and writes the
-  /// header.
+  /// header. Throws CheckError on failure.
   static JournalWriter Create(const std::string& path,
                               WalWriteOptions options);
+  /// Create, but reporting failure instead of throwing (the degraded-mode
+  /// snapshot path must survive a full disk).
+  static std::optional<JournalWriter> TryCreate(const std::string& path,
+                                                WalWriteOptions options);
   /// Opens an existing journal for appending at `valid_bytes` (as reported
   /// by ReadJournal), truncating any torn tail past it first.
   static JournalWriter Append(const std::string& path,
@@ -64,21 +87,42 @@ class JournalWriter {
   JournalWriter& operator=(const JournalWriter&) = delete;
   ~JournalWriter();
 
-  /// Appends one CRC-framed payload and applies the sync policy.
+  /// Appends one CRC-framed payload and applies the sync policy. Throws
+  /// CheckError on failure.
   void Append(std::string_view payload);
 
-  /// Forces an fsync now (e.g. right before taking a snapshot).
+  /// Forces an fsync now (e.g. right before taking a snapshot). Throws
+  /// CheckError on failure.
   void Sync();
 
+  /// Non-throwing Append; see AppendResult for what each outcome obliges
+  /// the caller to do.
+  AppendResult TryAppend(std::string_view payload);
+
+  /// Non-throwing Sync: true when the journal is durable up to its last
+  /// appended frame.
+  bool TrySync();
+
   std::size_t frames_written() const { return frames_written_; }
+  /// errno of the last failed file op (0 when none failed yet).
+  int last_errno() const { return last_errno_; }
 
  private:
   JournalWriter(int fd, WalWriteOptions options);
 
+  /// Truncates a partially written frame back to the last good byte.
+  bool RepairTail();
+
   int fd_ = -1;
   WalWriteOptions options_;
+  FileOps* ops_ = nullptr;
   std::size_t frames_written_ = 0;
   std::size_t frames_since_sync_ = 0;
+  /// Bytes known fully written (header + whole frames).
+  std::uint64_t good_bytes_ = 0;
+  /// True after a partial frame write; repaired before the next append.
+  bool tail_dirty_ = false;
+  int last_errno_ = 0;
 };
 
 /// What ReadJournal recovered from a journal file.

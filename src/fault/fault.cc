@@ -1,0 +1,127 @@
+#include "fault/fault.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace hypertune {
+
+namespace {
+
+class RealSocketIo final : public SocketIo {
+ public:
+  ssize_t Send(int fd, const void* data, std::size_t size) override {
+    for (;;) {
+      const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;  // a signal is not a failure
+      return n;
+    }
+  }
+  ssize_t Recv(int fd, void* data, std::size_t size) override {
+    for (;;) {
+      const ssize_t n = ::recv(fd, data, size, 0);
+      if (n < 0 && errno == EINTR) continue;
+      return n;
+    }
+  }
+};
+
+}  // namespace
+
+SocketIo& SocketIo::Real() {
+  static RealSocketIo real;
+  return real;
+}
+
+FaultyTransport::FaultyTransport(FaultPlan plan, SocketIo* inner)
+    : plan_(plan), inner_(inner != nullptr ? inner : &SocketIo::Real()),
+      rng_(plan.seed) {}
+
+ssize_t FaultyTransport::Send(int fd, const void* data, std::size_t size) {
+  return Intercept(Op::kSend, fd, data, nullptr, size);
+}
+
+ssize_t FaultyTransport::Recv(int fd, void* data, std::size_t size) {
+  return Intercept(Op::kRecv, fd, nullptr, data, size);
+}
+
+FaultStats FaultyTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+ssize_t FaultyTransport::Intercept(Op op, int fd, const void* out, void* in,
+                                   std::size_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.ops;
+  const std::size_t index = op_index_++;
+  if (index < plan_.skip_ops || size == 0) {
+    return op == Op::kSend ? inner_->Send(fd, out, size)
+                           : inner_->Recv(fd, in, size);
+  }
+
+  if (plan_.disconnect_rate > 0 &&
+      (plan_.max_disconnects == 0 ||
+       stats_.disconnects < plan_.max_disconnects) &&
+      rng_.Bernoulli(plan_.disconnect_rate)) {
+    ++stats_.disconnects;
+    // Cut the stream for real (the peer sees the reset too), then fail the
+    // op — a mid-frame disconnect as the kernel would deliver one.
+    ::shutdown(fd, SHUT_RDWR);
+    errno = ECONNRESET;
+    return -1;
+  }
+
+  if (eagain_left_ > 0 ||
+      (plan_.eagain_rate > 0 && rng_.Bernoulli(plan_.eagain_rate))) {
+    if (eagain_left_ == 0) eagain_left_ = plan_.eagain_burst;
+    if (eagain_left_ > 0) --eagain_left_;
+    ++stats_.eagains;
+    errno = EAGAIN;
+    return -1;
+  }
+
+  if (plan_.delay_rate > 0 && rng_.Bernoulli(plan_.delay_rate)) {
+    ++stats_.delays;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(plan_.delay_seconds));
+  }
+
+  std::size_t clamped = size;
+  if (plan_.short_op_rate > 0 && size > 1 &&
+      rng_.Bernoulli(plan_.short_op_rate)) {
+    ++stats_.short_ops;
+    clamped = 1 + rng_.Index(size - 1);  // in [1, size-1]
+  }
+
+  const bool corrupt =
+      plan_.corrupt_rate > 0 && rng_.Bernoulli(plan_.corrupt_rate);
+  if (op == Op::kSend) {
+    if (corrupt) {
+      // Corrupt a copy — the caller's buffer is theirs.
+      std::vector<unsigned char> copy(clamped);
+      std::memcpy(copy.data(), out, clamped);
+      copy[rng_.Index(clamped)] ^=
+          static_cast<unsigned char>(1 + rng_.Index(255));
+      ++stats_.corruptions;
+      return inner_->Send(fd, copy.data(), clamped);
+    }
+    return inner_->Send(fd, out, clamped);
+  }
+
+  const ssize_t n = inner_->Recv(fd, in, clamped);
+  if (corrupt && n > 0) {
+    auto* bytes = static_cast<unsigned char*>(in);
+    bytes[rng_.Index(static_cast<std::size_t>(n))] ^=
+        static_cast<unsigned char>(1 + rng_.Index(255));
+    ++stats_.corruptions;
+  }
+  return n;
+}
+
+}  // namespace hypertune

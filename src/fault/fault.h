@@ -1,0 +1,102 @@
+// Deterministic network fault injection: the socket shim behind the chaos
+// and fuzz harnesses.
+//
+// Production code never calls ::send/::recv directly once it takes a
+// SocketIo: the default implementation (SocketIo::Real()) is the plain
+// syscall with an EINTR retry loop, and FaultyTransport decorates any
+// SocketIo with a seeded FaultPlan that replays short reads/writes, EAGAIN
+// bursts, injected delays, byte corruption, and mid-stream disconnects at
+// deterministic points. The same seed replays the same fault schedule, so
+// a chaos failure is a unit test away from a repro.
+//
+// The shim sits below the framing layer on purpose: a short write tears a
+// CRC frame across arbitrary byte boundaries, an injected disconnect cuts
+// mid-frame — exactly the partial failures the decoder's resync contract
+// (net/wire.h) and the client's backoff/reconnect path must absorb.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "common/rng.h"
+
+namespace hypertune {
+
+/// The socket-op seam. Implementations must be usable from one thread at a
+/// time per call, return ::send/::recv semantics (bytes moved, 0 on EOF,
+/// -1 + errno on failure), and never raise SIGPIPE.
+class SocketIo {
+ public:
+  virtual ~SocketIo() = default;
+  virtual ssize_t Send(int fd, const void* data, std::size_t size) = 0;
+  virtual ssize_t Recv(int fd, void* data, std::size_t size) = 0;
+
+  /// The real syscalls, with EINTR retried (a signal is not a failure).
+  static SocketIo& Real();
+};
+
+/// What FaultyTransport injects, as independent per-op probabilities. All
+/// rates default to 0 — a default FaultPlan is a transparent passthrough.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  /// First ops pass through untouched (lets connection setup succeed).
+  std::size_t skip_ops = 0;
+  /// Truncate an op to a random prefix (short read / short write).
+  double short_op_rate = 0;
+  /// Fail an op with EAGAIN; each hit starts a burst of this many.
+  double eagain_rate = 0;
+  std::size_t eagain_burst = 3;
+  /// Sleep before the op (a stalled peer, in miniature).
+  double delay_rate = 0;
+  double delay_seconds = 0.001;
+  /// Flip one byte of the data that crosses the shim.
+  double corrupt_rate = 0;
+  /// Shut the socket down mid-stream and fail with ECONNRESET.
+  double disconnect_rate = 0;
+  /// Cap on injected disconnects (0 = unlimited).
+  std::size_t max_disconnects = 0;
+};
+
+/// Counters for what a FaultyTransport actually did.
+struct FaultStats {
+  std::size_t ops = 0;
+  std::size_t short_ops = 0;
+  std::size_t eagains = 0;
+  std::size_t delays = 0;
+  std::size_t corruptions = 0;
+  std::size_t disconnects = 0;
+};
+
+/// A SocketIo decorator that replays a seeded FaultPlan. Deterministic:
+/// fault draws depend only on (seed, op index), so a single-threaded
+/// caller sees an identical schedule every run. Thread-safe (one mutex
+/// around the draw + forward) so a shared injector never races, but
+/// cross-thread schedules are only as deterministic as the op order.
+class FaultyTransport final : public SocketIo {
+ public:
+  /// `inner` defaults to SocketIo::Real(); not owned, must outlive this.
+  explicit FaultyTransport(FaultPlan plan, SocketIo* inner = nullptr);
+
+  ssize_t Send(int fd, const void* data, std::size_t size) override;
+  ssize_t Recv(int fd, void* data, std::size_t size) override;
+
+  FaultStats stats() const;
+
+ private:
+  enum class Op { kSend, kRecv };
+  ssize_t Intercept(Op op, int fd, const void* out, void* in,
+                    std::size_t size);
+
+  FaultPlan plan_;
+  SocketIo* inner_;
+  mutable std::mutex mutex_;
+  Rng rng_;
+  std::size_t op_index_ = 0;
+  std::size_t eagain_left_ = 0;
+  FaultStats stats_;
+};
+
+}  // namespace hypertune

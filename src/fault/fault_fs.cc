@@ -1,0 +1,109 @@
+#include "fault/fault_fs.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+
+namespace hypertune {
+
+namespace {
+
+class RealFileOps final : public FileOps {
+ public:
+  ssize_t Write(int fd, const void* data, std::size_t size) override {
+    for (;;) {
+      const ssize_t n = ::write(fd, data, size);
+      if (n < 0 && errno == EINTR) continue;
+      return n;
+    }
+  }
+  int Fsync(int fd) override { return ::fsync(fd); }
+  int Rename(const char* from, const char* to) override {
+    return std::rename(from, to);
+  }
+  int Truncate(int fd, off_t length) override {
+    return ::ftruncate(fd, length);
+  }
+};
+
+}  // namespace
+
+FileOps& FileOps::Real() {
+  static RealFileOps real;
+  return real;
+}
+
+FaultFs::FaultFs(std::vector<FsFaultWindow> windows, FileOps* inner)
+    : windows_(std::move(windows)),
+      inner_(inner != nullptr ? inner : &FileOps::Real()) {}
+
+int FaultFs::NextFault(OpKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t index = op_index_++;
+  op_log_.push_back(kind);
+  for (const FsFaultWindow& window : windows_) {
+    if (index < window.begin || index >= window.begin + window.count) continue;
+    const bool applies = (kind == OpKind::kWrite && window.fail_writes) ||
+                         (kind == OpKind::kFsync && window.fail_fsyncs) ||
+                         (kind == OpKind::kRename && window.fail_renames) ||
+                         (kind == OpKind::kTruncate && window.fail_truncates);
+    if (!applies) continue;
+    ++faults_;
+    return window.error != 0 ? window.error : ENOSPC;
+  }
+  return 0;
+}
+
+ssize_t FaultFs::Write(int fd, const void* data, std::size_t size) {
+  if (const int error = NextFault(OpKind::kWrite)) {
+    errno = error;
+    return -1;
+  }
+  return inner_->Write(fd, data, size);
+}
+
+int FaultFs::Fsync(int fd) {
+  if (const int error = NextFault(OpKind::kFsync)) {
+    errno = error;
+    return -1;
+  }
+  return inner_->Fsync(fd);
+}
+
+int FaultFs::Rename(const char* from, const char* to) {
+  if (const int error = NextFault(OpKind::kRename)) {
+    errno = error;
+    return -1;
+  }
+  return inner_->Rename(from, to);
+}
+
+int FaultFs::Truncate(int fd, off_t length) {
+  if (const int error = NextFault(OpKind::kTruncate)) {
+    errno = error;
+    return -1;
+  }
+  return inner_->Truncate(fd, length);
+}
+
+std::size_t FaultFs::ops_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return op_index_;
+}
+
+std::size_t FaultFs::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return faults_;
+}
+
+std::vector<std::size_t> FaultFs::op_indices(OpKind kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < op_log_.size(); ++i) {
+    if (op_log_[i] == kind) indices.push_back(i);
+  }
+  return indices;
+}
+
+}  // namespace hypertune

@@ -1,0 +1,90 @@
+// Deterministic file-op fault injection: the disk side of the chaos layer.
+//
+// FileOps is the seam the durability layer writes through (journal frames,
+// fsyncs, snapshot files); FileOps::Real() is the plain syscalls. FaultFs
+// decorates it with planned failure windows counted in *ops*, not time:
+// "ops [120, 125) fail with ENOSPC" replays identically every run, which
+// is what lets tools/chaos_recovery.cc pin a full-disk window to an exact
+// point mid-study and still compare decision bytes against a golden.
+//
+// Windows can target a subset of op kinds (e.g. fail only fsyncs with EIO
+// — the wal.cc kEveryN regression), and a FaultFs with no windows is a
+// transparent op counter: harnesses run a probe pass first to learn the
+// total op count, then place windows as fractions of it.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace hypertune {
+
+/// The file-op seam for everything durability writes. Implementations
+/// return syscall semantics (-1 + errno on failure; Write returns bytes
+/// written).
+class FileOps {
+ public:
+  virtual ~FileOps() = default;
+  virtual ssize_t Write(int fd, const void* data, std::size_t size) = 0;
+  virtual int Fsync(int fd) = 0;
+  virtual int Rename(const char* from, const char* to) = 0;
+  virtual int Truncate(int fd, off_t length) = 0;
+
+  /// The real syscalls, with EINTR retried on write.
+  static FileOps& Real();
+};
+
+/// One planned failure window, in op-sequence coordinates.
+struct FsFaultWindow {
+  /// Ops [begin, begin + count) fail (as counted across all op kinds).
+  std::size_t begin = 0;
+  std::size_t count = 1;
+  /// errno delivered (ENOSPC and EIO are the interesting ones).
+  int error = 0;  // 0 means ENOSPC
+  /// Which op kinds the window applies to (ops of other kinds inside the
+  /// window pass through and still advance the op counter).
+  bool fail_writes = true;
+  bool fail_fsyncs = true;
+  bool fail_renames = true;
+  bool fail_truncates = true;
+};
+
+/// A FileOps decorator replaying FsFaultWindows. Thread-safe; op indices
+/// are global across kinds and fds.
+class FaultFs final : public FileOps {
+ public:
+  enum class OpKind { kWrite, kFsync, kRename, kTruncate };
+
+  /// `inner` defaults to FileOps::Real(); not owned, must outlive this.
+  explicit FaultFs(std::vector<FsFaultWindow> windows,
+                   FileOps* inner = nullptr);
+
+  ssize_t Write(int fd, const void* data, std::size_t size) override;
+  int Fsync(int fd) override;
+  int Rename(const char* from, const char* to) override;
+  int Truncate(int fd, off_t length) override;
+
+  /// Total ops that crossed the shim (probe runs read this to size
+  /// windows for the real run).
+  std::size_t ops_seen() const;
+  /// Ops actually failed by a window.
+  std::size_t faults_injected() const;
+  /// Op indices of the given kind, in order — how a probe run finds e.g.
+  /// "the fsync nearest the middle" to aim a one-op window at.
+  std::vector<std::size_t> op_indices(OpKind kind) const;
+
+ private:
+  /// Advances the op counter; returns the errno to fail with, or 0.
+  int NextFault(OpKind kind);
+
+  std::vector<FsFaultWindow> windows_;
+  FileOps* inner_;
+  mutable std::mutex mutex_;
+  std::size_t op_index_ = 0;
+  std::size_t faults_ = 0;
+  std::vector<OpKind> op_log_;
+};
+
+}  // namespace hypertune

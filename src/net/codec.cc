@@ -222,9 +222,30 @@ WireType EncodeBody(const Json& message, WireWriter& writer) {
     return entries_scoped ? WireType::kJobsStudy : WireType::kJobs;
   }
   if (type == "no_job") {
-    ExpectKeys(message, {"type", "retry_after"});
+    const bool shed = message.Has("shed");
+    const bool degraded = message.Has("degraded");
+    if (!shed && !degraded) {
+      ExpectKeys(message, {"type", "retry_after"});
+      writer.F64(message.at("retry_after").AsDouble());
+      return WireType::kNoJob;
+    }
+    // Overload / degraded denials (net_server shedding, DurableServer's
+    // read-only mode). The flags are presence-only booleans: producers set
+    // them to true or not at all, and the strict round-trip depends on it.
+    if (shed && degraded) {
+      ExpectKeys(message, {"type", "retry_after", "shed", "degraded"});
+    } else if (shed) {
+      ExpectKeys(message, {"type", "retry_after", "shed"});
+    } else {
+      ExpectKeys(message, {"type", "retry_after", "degraded"});
+    }
+    HT_CHECK_MSG(!shed || message.at("shed").AsBool(),
+                 "wire codec: no_job 'shed' must be true when present");
+    HT_CHECK_MSG(!degraded || message.at("degraded").AsBool(),
+                 "wire codec: no_job 'degraded' must be true when present");
     writer.F64(message.at("retry_after").AsDouble());
-    return WireType::kNoJob;
+    writer.U8(static_cast<std::uint8_t>((shed ? 1 : 0) | (degraded ? 2 : 0)));
+    return WireType::kNoJobFlagged;
   }
   if (type == "ack") {
     const bool has_stale = message.Has("stale");
@@ -387,6 +408,20 @@ Json DecodeBody(WireType type, WireReader& reader) {
       message.Set("type", Json("no_job"));
       message.Set("retry_after", Json(reader.F64()));
       return message;
+    case WireType::kNoJobFlagged: {
+      message.Set("type", Json("no_job"));
+      message.Set("retry_after", Json(reader.F64()));
+      const std::uint8_t flags = reader.U8();
+      if ((flags & ~3u) != 0 || flags == 0) {
+        throw CheckError("wire codec: bad no_job flags " +
+                         std::to_string(flags));
+      }
+      // Field order matches the producers (retry_after, then the flag), so
+      // the decoded Json is bit-identical to what the server built.
+      if (flags & 1) message.Set("shed", Json(true));
+      if (flags & 2) message.Set("degraded", Json(true));
+      return message;
+    }
     case WireType::kAck: {
       message.Set("type", Json("ack"));
       const std::uint8_t flags = reader.U8();

@@ -9,12 +9,22 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
+#include "fault/fault.h"
 #include "net/codec.h"
 
 namespace hypertune {
+
+namespace {
+
+SocketIo& ResolveIo(const NetClientOptions& options) {
+  return options.io != nullptr ? *options.io : SocketIo::Real();
+}
+
+}  // namespace
 
 NetWorkerClient::NetWorkerClient(std::string host, int port,
                                  NetClientOptions options)
@@ -96,6 +106,10 @@ std::optional<std::string> NetWorkerClient::ReadReplyBytes() {
   std::string buffer = std::move(residue_);
   residue_.clear();
   const bool binary = options_.transport == WireTransport::kBinary;
+  SocketIo& io = ResolveIo(options_);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(options_.reply_timeout);
   for (;;) {
     // Do we already hold a complete reply?
     if (binary) {
@@ -122,8 +136,18 @@ std::optional<std::string> NetWorkerClient::ReadReplyBytes() {
       }
     }
     char chunk[16 * 1024];
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n <= 0) return std::nullopt;  // EOF, timeout, or error
+    const ssize_t n = io.Recv(fd_, chunk, sizeof(chunk));
+    if (n == 0) return std::nullopt;  // EOF
+    if (n < 0) {
+      // EAGAIN here is either an injected fault (instant — retry costs
+      // nothing) or a real SO_RCVTIMEO expiry (which already consumed the
+      // whole reply timeout, so the deadline fails it on arrival).
+      if ((errno == EAGAIN || errno == EWOULDBLOCK) &&
+          std::chrono::steady_clock::now() < deadline) {
+        continue;
+      }
+      return std::nullopt;
+    }
     buffer.append(chunk, static_cast<std::size_t>(n));
   }
 }
@@ -140,15 +164,23 @@ std::optional<Json> NetWorkerClient::Send(const Json& message, double now) {
     // caller's contract is "nullopt means it did not get through".
     return std::nullopt;
   }
+  SocketIo& io = ResolveIo(options_);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(options_.reply_timeout);
   std::size_t sent = 0;
   while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) {
-      Disconnect();
-      return std::nullopt;
+    const ssize_t n = io.Send(fd_, bytes.data() + sent, bytes.size() - sent);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
     }
-    sent += static_cast<std::size_t>(n);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) &&
+        std::chrono::steady_clock::now() < deadline) {
+      continue;  // injected EAGAIN; a real SO_SNDTIMEO expiry ends here
+    }
+    Disconnect();
+    return std::nullopt;
   }
   const auto reply_bytes = ReadReplyBytes();
   if (!reply_bytes) {

@@ -20,6 +20,8 @@
 
 namespace hypertune {
 
+class SocketIo;
+
 /// Which encoding this client speaks. The server auto-detects per
 /// connection, so either works against any NetServer.
 enum class WireTransport { kBinary, kJson };
@@ -31,6 +33,10 @@ struct NetClientOptions {
   /// Reply-wait timeout, seconds (SO_RCVTIMEO). A stalled server reads as
   /// an unreachable one: Send fails, the worker backs off and retries.
   double reply_timeout = 30.0;
+  /// Socket-op seam (fault injection); null = real syscalls with EINTR
+  /// retried. Injected EAGAINs are retried within reply_timeout; a real
+  /// SO_RCVTIMEO/SO_SNDTIMEO expiry still fails the exchange.
+  SocketIo* io = nullptr;
 };
 
 class NetWorkerClient final : public ServerConnection {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "fault/fault.h"
 #include "net/codec.h"
 #include "telemetry/telemetry.h"
 
@@ -44,6 +45,8 @@ struct NetServer::Connection {
   std::size_t out_offset = 0;
   /// Close once outbuf drains (set after an unrecoverable decode error).
   bool close_after_flush = false;
+  /// Close now, pending data dropped (slow client over max_outbuf_bytes).
+  bool evicted = false;
 
   bool HasPendingWrite() const { return out_offset < outbuf.size(); }
 };
@@ -122,6 +125,9 @@ NetServerStats NetServer::stats() const {
   stats.frames_oversized = frames_oversized_.load();
   stats.frames_truncated = frames_truncated_.load();
   stats.messages_rejected = messages_rejected_.load();
+  stats.connections_shed = connections_shed_.load();
+  stats.slow_clients_evicted = slow_clients_evicted_.load();
+  stats.requests_shed = requests_shed_.load();
   return stats;
 }
 
@@ -129,13 +135,20 @@ NetServerStats NetServer::stats() const {
 /// the header: <poll.h> and connection bookkeeping are implementation.
 struct NetServer::Loop {
   NetServer& server;
+  SocketIo& io;
   std::map<int, Connection> connections;
   /// Protocol clock for NetClock::kMessage: the max envelope `now` seen.
   double last_message_now = 0;
+  /// True while the loop is behind schedule (tick lag over the shed
+  /// threshold); grant requests are shed until a tick lands on time.
+  bool overloaded = false;
   std::chrono::steady_clock::time_point epoch =
       std::chrono::steady_clock::now();
 
-  explicit Loop(NetServer& owner) : server(owner) {}
+  explicit Loop(NetServer& owner)
+      : server(owner),
+        io(owner.options_.io != nullptr ? *owner.options_.io
+                                        : SocketIo::Real()) {}
 
   double WallNow() const {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -178,6 +191,18 @@ struct NetServer::Loop {
       conn.outbuf.append(bytes);
     }
     FlushWrites(conn);
+    const std::size_t cap = server.options_.max_outbuf_bytes;
+    if (cap > 0 && conn.outbuf.size() - conn.out_offset > cap) {
+      // A consumer this far behind is effectively dead: buffering more
+      // replies for it would grow without bound. Drop its buffer and close.
+      conn.evicted = true;
+      conn.outbuf.clear();
+      conn.out_offset = 0;
+      ++server.slow_clients_evicted_;
+      if (Telemetry* telemetry = server.options_.telemetry) {
+        telemetry->Count("net.slow_clients_evicted");
+      }
+    }
   }
 
   /// Writes as much of outbuf as the socket takes; the poll loop retries
@@ -185,8 +210,8 @@ struct NetServer::Loop {
   void FlushWrites(Connection& conn) {
     while (conn.HasPendingWrite()) {
       const ssize_t n =
-          ::send(conn.fd, conn.outbuf.data() + conn.out_offset,
-                 conn.outbuf.size() - conn.out_offset, MSG_NOSIGNAL);
+          io.Send(conn.fd, conn.outbuf.data() + conn.out_offset,
+                  conn.outbuf.size() - conn.out_offset);
       if (n > 0) {
         conn.out_offset += static_cast<std::size_t>(n);
         continue;
@@ -210,9 +235,36 @@ struct NetServer::Loop {
                : EncodeMessage(reply, now);
   }
 
+  /// True for messages that ask for new work — what overload shedding
+  /// answers without touching the service.
+  static bool IsGrantRequest(const Json& message) {
+    try {
+      if (!message.Has("type")) return false;
+      const std::string& type = message.at("type").AsString();
+      return type == "request_job" || type == "request_jobs";
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+
   void HandleDecoded(Connection& conn, const Json& message,
                      double envelope_now) {
     const double now = ProtocolNow(envelope_now);
+    if (overloaded && IsGrantRequest(message)) {
+      // Behind schedule: granting more work only digs the hole deeper.
+      // Tell the worker to come back without spending service time on a
+      // scheduler decision.
+      ++server.requests_shed_;
+      if (Telemetry* telemetry = server.options_.telemetry) {
+        telemetry->Count("net.requests_shed");
+      }
+      Json shed = JsonObject{};
+      shed.Set("type", Json("no_job"));
+      shed.Set("retry_after", Json(server.options_.shed_retry_after));
+      shed.Set("shed", Json(true));
+      Enqueue(conn, EncodeReply(conn, shed, now));
+      return;
+    }
     // HandleMessage turns malformed *messages* into error replies itself;
     // this try is defense in depth for anything else.
     Json reply;
@@ -241,7 +293,9 @@ struct NetServer::Loop {
 
   void ProcessBinary(Connection& conn) {
     for (;;) {
+      if (conn.evicted) return;
       while (auto frame = conn.decoder.Next()) {
+        if (conn.evicted) return;
         try {
           const WireMessage decoded = DecodeMessage(*frame);
           HandleDecoded(conn, decoded.message, decoded.now);
@@ -272,6 +326,7 @@ struct NetServer::Loop {
   void ProcessJsonLines(Connection& conn) {
     std::size_t start = 0;
     for (;;) {
+      if (conn.evicted) break;
       const std::size_t newline = conn.line_buffer.find('\n', start);
       if (newline == std::string::npos) break;
       const std::string_view line =
@@ -307,7 +362,22 @@ struct NetServer::Loop {
   void Accept() {
     for (;;) {
       const int fd = ::accept(server.listen_fd_, nullptr, nullptr);
-      if (fd < 0) return;  // EAGAIN or transient error: poll again
+      if (fd < 0) {
+        if (errno == EINTR) continue;  // a signal is not "no more clients"
+        return;  // EAGAIN or transient error: poll again
+      }
+      if (const std::size_t cap = server.options_.max_connections;
+          cap > 0 && connections.size() >= cap) {
+        // At capacity: shed the connection at the door. The immediate
+        // close (ECONNRESET on the client's first exchange) feeds its
+        // backoff path, which beats stringing it along unserved.
+        ::close(fd);
+        ++server.connections_shed_;
+        if (Telemetry* telemetry = server.options_.telemetry) {
+          telemetry->Count("net.connections_shed");
+        }
+        continue;
+      }
       SetNonBlocking(fd);
       const int one = 1;
       // Request-reply traffic: Nagle would serialize every exchange on a
@@ -328,10 +398,11 @@ struct NetServer::Loop {
   bool ReadReady(Connection& conn) {
     char buffer[64 * 1024];
     for (;;) {
-      const ssize_t n = ::recv(conn.fd, buffer, sizeof(buffer), 0);
+      const ssize_t n = io.Recv(conn.fd, buffer, sizeof(buffer));
       if (n > 0) {
         ProcessInput(conn, std::string_view(buffer,
                                             static_cast<std::size_t>(n)));
+        if (conn.evicted) return false;
         if (conn.close_after_flush) {
           // Poisoned stream: stop reading, let the error reply flush (the
           // reap check below closes once outbuf drains).
@@ -414,6 +485,12 @@ void NetServer::Run() {
     // single worker message arrives (TuningServer::Tick used to run only
     // piggybacked on HandleMessage).
     if (loop.WallNow() >= next_tick) {
+      // Tick lag is the overload signal: a loop that can't run its timer
+      // on time can't keep up with its sockets either.
+      if (options_.overload_shed_lag > 0) {
+        loop.overloaded =
+            loop.WallNow() - next_tick > options_.overload_shed_lag;
+      }
       service_.Tick(loop.TickNow());
       ++timer_ticks_;
       next_tick = loop.WallNow() + options_.tick_interval;

@@ -46,6 +46,7 @@
 namespace hypertune {
 
 class Telemetry;
+class SocketIo;
 
 /// Where HandleMessage's `now` comes from (see file comment).
 enum class NetClock { kWall, kMessage };
@@ -63,6 +64,25 @@ struct NetServerOptions {
   double drain_timeout = 5.0;
   /// Listen backlog for bursts of connecting workers.
   int backlog = 128;
+  /// Cap on concurrent connections; accepts beyond it are shed (closed
+  /// immediately and counted). 0 = unlimited.
+  std::size_t max_connections = 0;
+  /// Cap on a connection's pending-reply buffer. A client that stops
+  /// reading while replies pile up past this is evicted — its buffer is
+  /// dropped and the socket closed — instead of growing the buffer without
+  /// bound. 0 = unlimited.
+  std::size_t max_outbuf_bytes = 0;
+  /// Overload shedding: when the idle tick runs this many wall seconds
+  /// late (the loop can't keep up), request_job / request_jobs are
+  /// answered with {"type":"no_job","retry_after":shed_retry_after,
+  /// "shed":true} without touching the service, until a tick lands on
+  /// time again. Cheap messages (heartbeats, reports) still flow — under
+  /// overload, finishing in-flight work beats granting more. 0 = off.
+  double overload_shed_lag = 0;
+  double shed_retry_after = 1.0;
+  /// Socket-op seam (fault injection); null = real syscalls with EINTR
+  /// retried.
+  SocketIo* io = nullptr;
   /// Optional observability sink (not owned; must outlive the server).
   Telemetry* telemetry = nullptr;
 };
@@ -83,6 +103,12 @@ struct NetServerStats {
   /// Valid frames whose payload failed to decode (unknown type, underrun),
   /// and unparseable JSON lines; each earns an error reply.
   std::size_t messages_rejected = 0;
+  /// Accepts closed immediately because max_connections was reached.
+  std::size_t connections_shed = 0;
+  /// Connections evicted for exceeding max_outbuf_bytes.
+  std::size_t slow_clients_evicted = 0;
+  /// Grant requests answered with a shed no_job during overload.
+  std::size_t requests_shed = 0;
 };
 
 class NetServer {
@@ -132,6 +158,9 @@ class NetServer {
   std::atomic<std::size_t> frames_oversized_{0};
   std::atomic<std::size_t> frames_truncated_{0};
   std::atomic<std::size_t> messages_rejected_{0};
+  std::atomic<std::size_t> connections_shed_{0};
+  std::atomic<std::size_t> slow_clients_evicted_{0};
+  std::atomic<std::size_t> requests_shed_{0};
 
   void Run();
 };

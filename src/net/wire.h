@@ -78,6 +78,10 @@ enum class WireType : std::uint16_t {
   kStudies = 22,
   kJobStudy = 23,
   kJobsStudy = 24,
+  // A no_job carrying overload/degraded flags ("shed":true when the loop
+  // is behind schedule, "degraded":true when the journal is unwritable).
+  // Appended type, not new fields on kNoJob — that payload is frozen.
+  kNoJobFlagged = 25,
 };
 
 /// Little-endian byte packer for payload structs. Appends to an owned

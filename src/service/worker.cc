@@ -71,12 +71,19 @@ void SimulatedWorker::RequestWork(ServerConnection& connection, double now) {
       next_action_ = now + NoteSendFailure();
       return;
     }
-    backoff_ = 0;
-    if (reply->at("type").AsString() == "no_job") {
+    const std::string& type = reply->at("type").AsString();
+    if (type == "no_job") {
+      backoff_ = 0;
       next_action_ = now + reply->at("retry_after").AsDouble();
       return;
     }
-    HT_CHECK(reply->at("type").AsString() == "job");
+    if (type != "job") {
+      // e.g. an error reply after wire corruption mangled the request:
+      // a failed exchange, not a reason to die. Back off and retry.
+      next_action_ = now + NoteSendFailure();
+      return;
+    }
+    backoff_ = 0;
     StartJob(JobFromJson(reply->at("job")),
              static_cast<std::uint64_t>(reply->at("job_id").AsInt()), now);
     return;
@@ -89,12 +96,17 @@ void SimulatedWorker::RequestWork(ServerConnection& connection, double now) {
     next_action_ = now + NoteSendFailure();
     return;
   }
-  backoff_ = 0;
-  if (reply->at("type").AsString() == "no_job") {
+  const std::string& type = reply->at("type").AsString();
+  if (type == "no_job") {
+    backoff_ = 0;
     next_action_ = now + reply->at("retry_after").AsDouble();
     return;
   }
-  HT_CHECK(reply->at("type").AsString() == "jobs");
+  if (type != "jobs") {
+    next_action_ = now + NoteSendFailure();
+    return;
+  }
+  backoff_ = 0;
   for (const auto& entry : reply->at("jobs").AsArray()) {
     queue_.emplace_back(static_cast<std::uint64_t>(entry.at("job_id").AsInt()),
                         JobFromJson(entry.at("job")));
@@ -114,6 +126,13 @@ void SimulatedWorker::SendHeartbeats(ServerConnection& connection,
     // Server unreachable: keep training and retry the heartbeat with
     // backoff. If the outage outlives the lease, the server (once back)
     // expires it — the same accounting as a crashed worker.
+    next_heartbeat_ = now + NoteSendFailure();
+    return;
+  }
+  if (const std::string& type = reply->at("type").AsString();
+      type != "ack" && type != "lease_lost") {
+    // Unexpected reply (corrupted request turned into an error): the renew
+    // did not land; retry with backoff like a lost exchange.
     next_heartbeat_ = now + NoteSendFailure();
     return;
   }
@@ -159,7 +178,9 @@ void SimulatedWorker::OnTick(ServerConnection& connection, double now) {
     // lease died during the outage the server acks it as stale — the
     // worker's obligation ends either way.
     const auto reply = connection.Send(*pending_report_, now);
-    if (!reply) {
+    if (!reply || reply->at("type").AsString() != "ack") {
+      // Undelivered (or bounced as an error after wire corruption): the
+      // loss is still data — hold it and retry.
       next_action_ = now + NoteSendFailure();
       return;
     }
@@ -206,7 +227,7 @@ void SimulatedWorker::OnTick(ServerConnection& connection, double now) {
     const auto reply = connection.Send(report, now);
     job_.reset();
     drop_time_.reset();
-    if (!reply) {
+    if (!reply || reply->at("type").AsString() != "ack") {
       pending_report_ = std::move(report);
       next_action_ = now + NoteSendFailure();
       return;

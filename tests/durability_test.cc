@@ -4,6 +4,7 @@
 // pre-crash server, byte-for-byte in its decisions).
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -15,6 +16,7 @@
 #include "core/asha.h"
 #include "durability/durable_server.h"
 #include "durability/wal.h"
+#include "fault/fault_fs.h"
 #include "service/server.h"
 
 namespace hypertune {
@@ -361,6 +363,270 @@ TEST(DurableServer, RefusesForeignStateDirGracefully) {
   EXPECT_THROW(DurableServer(scheduler, ServerOptions{.lease_timeout = 1e6},
                              DurabilityOptions{.dir = dir}),
                CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: the journal's failure reporting and the DurableServer's
+// degraded read-only mode.
+
+/// FileOps whose failures the test arms and disarms mid-run — the unit-test
+/// counterpart of the chaos harness's op-indexed FaultFs windows.
+class SwitchableOps final : public FileOps {
+ public:
+  bool fail_writes = false;
+  bool fail_fsyncs = false;
+  bool fail_renames = false;
+
+  ssize_t Write(int fd, const void* data, std::size_t size) override {
+    if (fail_writes) {
+      errno = ENOSPC;
+      return -1;
+    }
+    return FileOps::Real().Write(fd, data, size);
+  }
+  int Fsync(int fd) override {
+    if (fail_fsyncs) {
+      errno = EIO;
+      return -1;
+    }
+    return FileOps::Real().Fsync(fd);
+  }
+  int Rename(const char* from, const char* to) override {
+    if (fail_renames) {
+      errno = ENOSPC;
+      return -1;
+    }
+    return FileOps::Real().Rename(from, to);
+  }
+  int Truncate(int fd, off_t length) override {
+    return FileOps::Real().Truncate(fd, length);
+  }
+};
+
+TEST(WalFault, EveryNFsyncFailureIsReportedNotIgnored) {
+  // Regression: the kEveryN path used to discard ::fsync's return value, so
+  // a dying disk degraded the policy to "never sync" silently. Now the
+  // failure surfaces as kSyncFailed with the errno preserved.
+  const std::string path = TempPath("fsync_fail.log");
+  FaultFs fs({{.begin = 0,
+               .count = 100,
+               .error = EIO,
+               .fail_writes = false,
+               .fail_fsyncs = true,
+               .fail_renames = false,
+               .fail_truncates = false}});
+  auto writer =
+      JournalWriter::TryCreate(path, {SyncPolicy::kEveryN, 2, &fs});
+  ASSERT_TRUE(writer.has_value());
+  EXPECT_EQ(writer->TryAppend("first"), AppendResult::kOk);  // fsync not due
+  EXPECT_EQ(writer->TryAppend("second"), AppendResult::kSyncFailed);
+  EXPECT_EQ(writer->last_errno(), EIO);
+  EXPECT_FALSE(writer->TrySync());
+  writer.reset();  // destructor's best-effort sync also fails; no throw
+  // Both frames' bytes reached the file — it was durability, not the
+  // write, that failed — so a reader sees them (and must not get them
+  // appended twice by any retry).
+  const JournalReadResult result = ReadJournal(path);
+  EXPECT_EQ(result.payloads, (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(WalFault, PartialFrameWriteIsRepairedBeforeTheNextAppend) {
+  // A frame torn by ENOSPC mid-write leaves a dirty tail; the next append
+  // must truncate it away so later frames never sit behind garbage.
+  class PartialThenFailOps final : public FileOps {
+   public:
+    ssize_t Write(int fd, const void* data, std::size_t size) override {
+      const std::size_t index = writes_++;
+      if (index == 2) {  // first half of the doomed frame
+        return FileOps::Real().Write(fd, data, size > 1 ? size / 2 : size);
+      }
+      if (index == 3) {  // the rest never lands
+        errno = ENOSPC;
+        return -1;
+      }
+      return FileOps::Real().Write(fd, data, size);
+    }
+    int Fsync(int fd) override { return FileOps::Real().Fsync(fd); }
+    int Rename(const char* from, const char* to) override {
+      return FileOps::Real().Rename(from, to);
+    }
+    int Truncate(int fd, off_t length) override {
+      ++truncates_;
+      return FileOps::Real().Truncate(fd, length);
+    }
+    std::size_t truncates() const { return truncates_; }
+
+   private:
+    std::size_t writes_ = 0;  // op 0 is the header, op 1 the first frame
+    std::size_t truncates_ = 0;
+  };
+
+  const std::string path = TempPath("partial_frame.log");
+  PartialThenFailOps ops;
+  auto writer =
+      JournalWriter::TryCreate(path, {SyncPolicy::kNone, 0, &ops});
+  ASSERT_TRUE(writer.has_value());
+  EXPECT_EQ(writer->TryAppend("first"), AppendResult::kOk);
+  EXPECT_EQ(writer->TryAppend("second"), AppendResult::kWriteFailed);
+  EXPECT_EQ(writer->last_errno(), ENOSPC);
+  // The repair truncates the torn half-frame before appending "third".
+  EXPECT_EQ(writer->TryAppend("third"), AppendResult::kOk);
+  EXPECT_GE(ops.truncates(), 1u);
+  writer.reset();
+  const JournalReadResult result = ReadJournal(path);
+  EXPECT_EQ(result.payloads, (std::vector<std::string>{"first", "third"}));
+  EXPECT_FALSE(result.truncated_tail);  // repaired, not merely detected
+}
+
+TEST(DurableServerDegraded, EnospcBuffersRecordsAndResumesLosslessly) {
+  const std::string dir = FreshStateDir("degraded_enospc");
+  SwitchableOps ops;
+  std::vector<RunRecord> live_records;
+  double now = 0;
+  {
+    AshaScheduler scheduler(MakeRandomSampler(DurabilitySpace()),
+                            DurabilityAsha());
+    DurableServer durable(scheduler, ServerOptions{.lease_timeout = 1e6},
+                          DurabilityOptions{.dir = dir,
+                                            .sync = SyncPolicy::kAlways,
+                                            .file_ops = &ops});
+    now = DriveCycles(durable, 5, now);
+
+    // The disk fills. The message that trips the failure is still applied
+    // (apply-then-log), its record buffered, and the mode entered.
+    ops.fail_writes = true;
+    const Json tripped = durable.HandleMessage(RequestJob(0), now);
+    now += 1.0;
+    ASSERT_EQ(tripped.at("type").AsString(), "job");
+    EXPECT_TRUE(durable.degraded());
+    EXPECT_EQ(durable.buffered_records(), 1u);
+
+    // Read-only: new grants are denied with a retry hint...
+    const Json denied = durable.HandleMessage(RequestJob(0), now);
+    now += 1.0;
+    EXPECT_EQ(denied.at("type").AsString(), "no_job");
+    EXPECT_TRUE(denied.at("degraded").AsBool());
+    EXPECT_EQ(denied.at("retry_after").AsDouble(), 5.0);
+
+    // ...but the report for the in-flight job is absorbed and buffered.
+    const auto job_id =
+        static_cast<std::uint64_t>(tripped.at("job_id").AsInt());
+    const Json ack = durable.HandleMessage(Report(0, job_id, 0.42), now);
+    now += 1.0;
+    EXPECT_EQ(ack.at("type").AsString(), "ack");
+    EXPECT_EQ(durable.buffered_records(), 2u);
+
+    const DurabilityStats mid = durable.durability_stats();
+    EXPECT_EQ(mid.degraded_entered, 1u);
+    EXPECT_EQ(mid.degraded_exited, 0u);
+    EXPECT_GE(mid.journal_write_failures, 1u);
+    EXPECT_GE(mid.grants_denied, 1u);
+    EXPECT_EQ(mid.records_buffered, 2u);
+
+    // Space returns: the next message re-appends the buffer in order,
+    // fsyncs, exits the mode, and grants flow again.
+    ops.fail_writes = false;
+    const Json granted = durable.HandleMessage(RequestJob(0), now);
+    now += 1.0;
+    EXPECT_EQ(granted.at("type").AsString(), "job");
+    EXPECT_FALSE(durable.degraded());
+    EXPECT_EQ(durable.buffered_records(), 0u);
+    EXPECT_EQ(durable.durability_stats().degraded_exited, 1u);
+    durable.HandleMessage(
+        Report(0, static_cast<std::uint64_t>(granted.at("job_id").AsInt()),
+               0.43),
+        now);
+    now += 1.0;
+    now = DriveCycles(durable, 3, now);
+    live_records = durable.server().run_records();
+  }
+
+  // Recovery replays the buffered-then-flushed records: the blip cost the
+  // study nothing.
+  AshaScheduler scheduler(MakeRandomSampler(DurabilitySpace()),
+                          DurabilityAsha());
+  DurableServer recovered(scheduler, ServerOptions{.lease_timeout = 1e6},
+                          DurabilityOptions{.dir = dir});
+  EXPECT_TRUE(recovered.recovered());
+  ASSERT_EQ(recovered.server().run_records().size(), live_records.size());
+  for (std::size_t i = 0; i < live_records.size(); ++i) {
+    EXPECT_EQ(recovered.server().run_records()[i].trial_id,
+              live_records[i].trial_id)
+        << "record " << i;
+    EXPECT_EQ(recovered.server().run_records()[i].loss, live_records[i].loss)
+        << "record " << i;
+  }
+}
+
+TEST(DurableServerDegraded, FsyncFailureDegradesWithoutDuplicatingRecords) {
+  const std::string dir = FreshStateDir("degraded_fsync");
+  SwitchableOps ops;
+  std::size_t live_count = 0;
+  double now = 0;
+  {
+    AshaScheduler scheduler(MakeRandomSampler(DurabilitySpace()),
+                            DurabilityAsha());
+    DurableServer durable(scheduler, ServerOptions{.lease_timeout = 1e6},
+                          DurabilityOptions{.dir = dir,
+                                            .sync = SyncPolicy::kAlways,
+                                            .file_ops = &ops});
+    now = DriveCycles(durable, 3, now);
+
+    // The device starts failing fsync: bytes append, durability doesn't.
+    // The record must NOT be buffered — its frame is already in the file,
+    // and re-appending it would duplicate the event on replay.
+    ops.fail_fsyncs = true;
+    const Json tripped = durable.HandleMessage(RequestJob(0), now);
+    now += 1.0;
+    ASSERT_EQ(tripped.at("type").AsString(), "job");
+    EXPECT_TRUE(durable.degraded());
+    EXPECT_EQ(durable.buffered_records(), 0u);
+    EXPECT_GE(durable.durability_stats().journal_sync_failures, 1u);
+    const Json denied = durable.HandleMessage(RequestJob(0), now);
+    now += 1.0;
+    EXPECT_EQ(denied.at("type").AsString(), "no_job");
+
+    // fsync recovers; the probe syncs the appended tail and exits.
+    ops.fail_fsyncs = false;
+    const Json granted = durable.HandleMessage(RequestJob(0), now);
+    now += 1.0;
+    EXPECT_EQ(granted.at("type").AsString(), "job");
+    EXPECT_FALSE(durable.degraded());
+    now = DriveCycles(durable, 3, now);
+    live_count = durable.server().run_records().size();
+  }
+  AshaScheduler scheduler(MakeRandomSampler(DurabilitySpace()),
+                          DurabilityAsha());
+  DurableServer recovered(scheduler, ServerOptions{.lease_timeout = 1e6},
+                          DurabilityOptions{.dir = dir});
+  EXPECT_TRUE(recovered.recovered());
+  // Exactly the live record count: the sync-failed frame exists once.
+  EXPECT_EQ(recovered.server().run_records().size(), live_count);
+}
+
+TEST(DurableServerDegraded, SnapshotFailureIsSoftAndRetried) {
+  const std::string dir = FreshStateDir("degraded_snapshot");
+  SwitchableOps ops;
+  AshaScheduler scheduler(MakeRandomSampler(DurabilitySpace()),
+                          DurabilityAsha());
+  DurableServer durable(scheduler, ServerOptions{.lease_timeout = 1e6},
+                        DurabilityOptions{.dir = dir,
+                                          .sync = SyncPolicy::kAlways,
+                                          .snapshot_every = 6,
+                                          .file_ops = &ops});
+  // Every snapshot boundary fails at the atomic rename; journaling and
+  // serving continue — the current generation still recovers everything.
+  ops.fail_renames = true;
+  double now = DriveCycles(durable, 6, 0);
+  EXPECT_EQ(durable.generation(), 0u);
+  EXPECT_GE(durable.durability_stats().snapshot_failures, 1u);
+  EXPECT_FALSE(durable.degraded());
+  EXPECT_GT(durable.server().stats().jobs_completed, 0u);
+
+  // The next boundary after the disk heals compacts as usual.
+  ops.fail_renames = false;
+  DriveCycles(durable, 4, now);
+  EXPECT_GE(durable.generation(), 1u);
 }
 
 }  // namespace

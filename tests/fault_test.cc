@@ -1,0 +1,395 @@
+// The fault-injection substrate (src/fault) and the contracts it exists to
+// check: FaultyTransport replays a seeded schedule of short ops / EAGAIN
+// bursts / corruption / disconnects over real sockets, FaultFs fails exact
+// file ops with planned errnos, and — the resync satellite — FrameDecoder
+// produces the identical frame/error sequence no matter where the socket
+// splits the byte stream, including splits inside the 16-byte header and
+// the CRC field.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "fault/fault.h"
+#include "fault/fault_fs.h"
+#include "net/codec.h"
+#include "net/wire.h"
+
+namespace hypertune {
+namespace {
+
+Json RequestJob(std::int64_t worker) {
+  Json message = JsonObject{};
+  message.Set("type", Json("request_job"));
+  message.Set("worker", Json(worker));
+  return message;
+}
+
+Json Report(std::int64_t worker, std::int64_t job_id, double loss) {
+  Json message = JsonObject{};
+  message.Set("type", Json("report"));
+  message.Set("worker", Json(worker));
+  message.Set("job_id", Json(job_id));
+  message.Set("loss", Json(loss));
+  return message;
+}
+
+// ---------------------------------------------------------------------------
+// Codec resync: split-point invariance of FrameDecoder.
+
+/// Everything a decoding pass observed, in order — two passes over the
+/// same logical stream must compare equal no matter how it was chunked.
+struct DecodeOutcome {
+  std::vector<std::pair<WireType, std::string>> frames;
+  std::vector<FrameError> recoverable;  // kBadCrc hits, in order
+  bool poisoned = false;
+  FrameError final_error = FrameError::kNone;
+
+  bool operator==(const DecodeOutcome& other) const {
+    return frames == other.frames && recoverable == other.recoverable &&
+           poisoned == other.poisoned && final_error == other.final_error;
+  }
+};
+
+/// Feeds `stream` to a fresh decoder in chunks cut at `splits` (sorted byte
+/// offsets), draining frames and acknowledging recoverable errors after
+/// every chunk — exactly the NetServer read loop's shape.
+DecodeOutcome DecodeWithSplits(std::string_view stream,
+                               const std::vector<std::size_t>& splits) {
+  DecodeOutcome outcome;
+  FrameDecoder decoder;
+  const auto drain = [&] {
+    for (;;) {
+      while (auto frame = decoder.Next()) {
+        outcome.frames.emplace_back(frame->type, std::move(frame->payload));
+      }
+      if (decoder.error() == FrameError::kBadCrc) {
+        outcome.recoverable.push_back(decoder.error());
+        decoder.ClearError();
+        continue;  // resync: more frames may already be buffered
+      }
+      break;
+    }
+  };
+  std::size_t start = 0;
+  for (const std::size_t split : splits) {
+    decoder.Feed(stream.substr(start, split - start));
+    drain();
+    start = split;
+  }
+  decoder.Feed(stream.substr(start));
+  drain();
+  decoder.Finish();
+  drain();
+  outcome.poisoned = decoder.poisoned();
+  outcome.final_error = decoder.error();
+  return outcome;
+}
+
+/// A stream that exercises resync: valid frames, a bad-CRC frame in the
+/// middle (recoverable — the decoder must skip it and keep framing), and
+/// valid frames after it.
+std::string ResyncStream() {
+  std::string corrupt = EncodeMessage(Report(7, 99, 0.25), 2.0);
+  corrupt.back() ^= 0x01;  // payload bit rot: header fine, CRC mismatch
+  std::string stream;
+  stream += EncodeMessage(RequestJob(1), 1.0);
+  stream += EncodeMessage(Report(1, 3, 0.5), 1.5);
+  stream += corrupt;
+  stream += EncodeMessage(RequestJob(2), 3.0);
+  stream += EncodeMessage(Report(2, 4, 0.75), 3.5);
+  return stream;
+}
+
+TEST(CodecResync, EverysingleSplitPointDecodesIdentically) {
+  const std::string stream = ResyncStream();
+  const DecodeOutcome reference = DecodeWithSplits(stream, {});
+  ASSERT_EQ(reference.frames.size(), 4u);
+  ASSERT_EQ(reference.recoverable,
+            (std::vector<FrameError>{FrameError::kBadCrc}));
+  ASSERT_FALSE(reference.poisoned);
+  ASSERT_EQ(reference.final_error, FrameError::kNone);
+
+  // The property: a split at ANY byte offset — inside a header's magic,
+  // across the length/CRC words, mid-payload — changes nothing.
+  for (std::size_t split = 1; split < stream.size(); ++split) {
+    EXPECT_EQ(DecodeWithSplits(stream, {split}), reference)
+        << "split at byte " << split;
+  }
+}
+
+TEST(CodecResync, SeededRandomMultiSplitsDecodeIdentically) {
+  const std::string stream = ResyncStream();
+  const DecodeOutcome reference = DecodeWithSplits(stream, {});
+  Rng rng(20260809);
+  for (int round = 0; round < 300; ++round) {
+    std::vector<std::size_t> splits;
+    const std::size_t cuts = 1 + rng.Index(12);
+    for (std::size_t i = 0; i < cuts; ++i) {
+      splits.push_back(1 + rng.Index(stream.size() - 1));
+    }
+    std::sort(splits.begin(), splits.end());
+    splits.erase(std::unique(splits.begin(), splits.end()), splits.end());
+    EXPECT_EQ(DecodeWithSplits(stream, splits), reference)
+        << "round " << round;
+  }
+}
+
+TEST(CodecResync, ByteAtATimeDecodesIdentically) {
+  const std::string stream = ResyncStream();
+  const DecodeOutcome reference = DecodeWithSplits(stream, {});
+  std::vector<std::size_t> every_byte;
+  for (std::size_t i = 1; i < stream.size(); ++i) every_byte.push_back(i);
+  EXPECT_EQ(DecodeWithSplits(stream, every_byte), reference);
+}
+
+TEST(CodecResync, TruncationAtEveryOffsetIsDetectedOnEof) {
+  // A clean two-frame stream cut at every offset: EOF exactly on a frame
+  // boundary is fine; anywhere else the tail must be reported truncated
+  // and the frames before the cut still decode.
+  const std::string first = EncodeMessage(RequestJob(1), 1.0);
+  const std::string second = EncodeMessage(Report(1, 3, 0.5), 1.5);
+  const std::string stream = first + second;
+  for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+    const DecodeOutcome outcome =
+        DecodeWithSplits(stream.substr(0, cut), {});
+    const std::size_t whole_frames =
+        cut >= stream.size() ? 2 : (cut >= first.size() ? 1 : 0);
+    EXPECT_EQ(outcome.frames.size(), whole_frames) << "cut " << cut;
+    const bool on_boundary =
+        cut == 0 || cut == first.size() || cut == stream.size();
+    EXPECT_EQ(outcome.final_error,
+              on_boundary ? FrameError::kNone : FrameError::kTruncated)
+        << "cut " << cut;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FaultyTransport over a real socketpair.
+
+struct SocketPair {
+  SocketPair() {
+    HT_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0);
+  }
+  ~SocketPair() {
+    ::close(fds[0]);
+    ::close(fds[1]);
+  }
+  int fds[2];
+};
+
+TEST(FaultTransport, ShortWritesTearFramesButPreserveTheByteStream) {
+  SocketPair pair;
+  FaultyTransport transport({.seed = 9, .short_op_rate = 1.0});
+  std::string message(256, '\0');
+  for (std::size_t i = 0; i < message.size(); ++i) {
+    message[i] = static_cast<char>(i);
+  }
+  std::size_t sent = 0;
+  std::size_t torn = 0;
+  while (sent < message.size()) {
+    const std::size_t remaining = message.size() - sent;
+    const ssize_t n =
+        transport.Send(pair.fds[0], message.data() + sent, remaining);
+    ASSERT_GT(n, 0);
+    // Every multi-byte op gets torn; a 1-byte tail can't be shortened.
+    if (remaining > 1) {
+      EXPECT_LT(static_cast<std::size_t>(n), remaining);
+      ++torn;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  EXPECT_GT(torn, 1u);
+  EXPECT_EQ(transport.stats().short_ops, torn);
+
+  std::string received(message.size(), '\0');
+  std::size_t got = 0;
+  while (got < received.size()) {
+    const ssize_t n = SocketIo::Real().Recv(pair.fds[1], &received[got],
+                                            received.size() - got);
+    ASSERT_GT(n, 0);
+    got += static_cast<std::size_t>(n);
+  }
+  // Torn, not corrupted: the reassembled stream is byte-identical.
+  EXPECT_EQ(received, message);
+}
+
+TEST(FaultTransport, EagainBurstsFailTheOpWithoutMovingBytes) {
+  SocketPair pair;
+  FaultyTransport transport({.seed = 2, .eagain_rate = 1.0});
+  const char byte = 'x';
+  for (int i = 0; i < 5; ++i) {
+    errno = 0;
+    EXPECT_EQ(transport.Send(pair.fds[0], &byte, 1), -1);
+    EXPECT_EQ(errno, EAGAIN);
+  }
+  EXPECT_EQ(transport.stats().eagains, 5u);
+  // Nothing crossed the wire.
+  char scratch;
+  EXPECT_EQ(::recv(pair.fds[1], &scratch, 1, MSG_DONTWAIT), -1);
+}
+
+TEST(FaultTransport, CorruptionFlipsOneByteAndNeverTouchesTheCallersBuffer) {
+  SocketPair pair;
+  FaultyTransport transport({.seed = 4, .corrupt_rate = 1.0});
+  const std::string original(64, 'a');
+  std::string buffer = original;
+  ASSERT_EQ(transport.Send(pair.fds[0], buffer.data(), buffer.size()),
+            static_cast<ssize_t>(buffer.size()));
+  EXPECT_EQ(buffer, original);  // copy-on-send: caller's bytes are theirs
+
+  std::string received(original.size(), '\0');
+  ASSERT_EQ(
+      SocketIo::Real().Recv(pair.fds[1], received.data(), received.size()),
+      static_cast<ssize_t>(received.size()));
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (received[i] != original[i]) ++diffs;
+  }
+  EXPECT_EQ(diffs, 1u);  // exactly one byte per corrupted op
+  EXPECT_EQ(transport.stats().corruptions, 1u);
+}
+
+TEST(FaultTransport, DisconnectCutsTheStreamForBothEnds) {
+  SocketPair pair;
+  FaultyTransport transport(
+      {.seed = 3, .disconnect_rate = 1.0, .max_disconnects = 1});
+  const char byte = 'x';
+  errno = 0;
+  EXPECT_EQ(transport.Send(pair.fds[0], &byte, 1), -1);
+  EXPECT_EQ(errno, ECONNRESET);
+  EXPECT_EQ(transport.stats().disconnects, 1u);
+  // The peer sees a real EOF, not a hang: the shim shut the socket down.
+  char scratch;
+  EXPECT_EQ(::recv(pair.fds[1], &scratch, 1, 0), 0);
+}
+
+TEST(FaultTransport, SkipOpsLetsConnectionSetupThrough) {
+  SocketPair pair;
+  FaultyTransport transport(
+      {.seed = 5, .skip_ops = 2, .eagain_rate = 1.0, .disconnect_rate = 1.0});
+  const char byte = 'x';
+  // First two ops are untouched despite every rate being 1.0 ...
+  EXPECT_EQ(transport.Send(pair.fds[0], &byte, 1), 1);
+  EXPECT_EQ(transport.Send(pair.fds[0], &byte, 1), 1);
+  // ... and the third hits the plan.
+  EXPECT_EQ(transport.Send(pair.fds[0], &byte, 1), -1);
+  EXPECT_EQ(transport.stats().ops, 3u);
+}
+
+TEST(FaultTransport, SameSeedReplaysTheSameSchedule) {
+  const FaultPlan plan{.seed = 77,
+                       .short_op_rate = 0.5,
+                       .eagain_rate = 0.2,
+                       .eagain_burst = 2,
+                       .corrupt_rate = 0.1};
+  const auto run = [&] {
+    SocketPair pair;
+    FaultyTransport transport(plan);
+    const std::string chunk(32, 'z');
+    std::vector<ssize_t> returns;
+    for (int i = 0; i < 64; ++i) {
+      returns.push_back(
+          transport.Send(pair.fds[0], chunk.data(), chunk.size()));
+      char scratch[64];
+      while (::recv(pair.fds[1], scratch, sizeof(scratch), MSG_DONTWAIT) > 0) {
+      }
+    }
+    const FaultStats stats = transport.stats();
+    returns.push_back(static_cast<ssize_t>(stats.short_ops));
+    returns.push_back(static_cast<ssize_t>(stats.eagains));
+    returns.push_back(static_cast<ssize_t>(stats.corruptions));
+    return returns;
+  };
+  EXPECT_EQ(run(), run());  // determinism is the whole point of the layer
+}
+
+// ---------------------------------------------------------------------------
+// FaultFs: planned file-op failures.
+
+std::string FaultFsTempPath(const std::string& name) {
+  const auto dir = std::filesystem::path(testing::TempDir()) / "ht_fault_fs";
+  std::filesystem::create_directories(dir);
+  return (dir / name).string();
+}
+
+struct TempFd {
+  explicit TempFd(const std::string& path)
+      : fd(::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644)) {
+    HT_CHECK(fd >= 0);
+  }
+  ~TempFd() { ::close(fd); }
+  int fd;
+};
+
+TEST(FaultFsOps, WindowFailsExactlyThePlannedOps) {
+  TempFd file(FaultFsTempPath("window.bin"));
+  FaultFs fs({{.begin = 2, .count = 2}});
+  for (std::size_t i = 0; i < 6; ++i) {
+    errno = 0;
+    const ssize_t n = fs.Write(file.fd, "ab", 2);
+    if (i == 2 || i == 3) {
+      EXPECT_EQ(n, -1) << "op " << i;
+      EXPECT_EQ(errno, ENOSPC) << "op " << i;  // the default errno
+    } else {
+      EXPECT_EQ(n, 2) << "op " << i;
+    }
+  }
+  EXPECT_EQ(fs.ops_seen(), 6u);
+  EXPECT_EQ(fs.faults_injected(), 2u);
+  // Failed ops wrote nothing: only the 4 successful writes landed.
+  EXPECT_EQ(std::filesystem::file_size(FaultFsTempPath("window.bin")), 8u);
+}
+
+TEST(FaultFsOps, KindFilterTargetsOnlyTheChosenOps) {
+  TempFd file(FaultFsTempPath("kinds.bin"));
+  FaultFs fs({{.begin = 0,
+               .count = 100,
+               .error = EIO,
+               .fail_writes = false,
+               .fail_fsyncs = true,
+               .fail_renames = false,
+               .fail_truncates = false}});
+  EXPECT_EQ(fs.Write(file.fd, "ab", 2), 2);  // write passes through
+  errno = 0;
+  EXPECT_EQ(fs.Fsync(file.fd), -1);  // fsync inside the window fails
+  EXPECT_EQ(errno, EIO);
+  EXPECT_EQ(fs.Truncate(file.fd, 0), 0);
+  EXPECT_EQ(fs.faults_injected(), 1u);
+}
+
+TEST(FaultFsOps, OpLogLocatesOpsByKind) {
+  // The probe-run contract: an empty-window FaultFs counts and classifies
+  // every op so a harness can aim a window at, say, "the middle fsync".
+  const std::string from = FaultFsTempPath("log_from.bin");
+  const std::string to = FaultFsTempPath("log_to.bin");
+  TempFd file(from);
+  FaultFs fs({});
+  ASSERT_EQ(fs.Write(file.fd, "ab", 2), 2);
+  ASSERT_EQ(fs.Fsync(file.fd), 0);
+  ASSERT_EQ(fs.Write(file.fd, "cd", 2), 2);
+  ASSERT_EQ(fs.Rename(from.c_str(), to.c_str()), 0);
+  EXPECT_EQ(fs.ops_seen(), 4u);
+  EXPECT_EQ(fs.faults_injected(), 0u);
+  EXPECT_EQ(fs.op_indices(FaultFs::OpKind::kWrite),
+            (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(fs.op_indices(FaultFs::OpKind::kFsync),
+            (std::vector<std::size_t>{1}));
+  EXPECT_EQ(fs.op_indices(FaultFs::OpKind::kRename),
+            (std::vector<std::size_t>{3}));
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
@@ -21,6 +22,7 @@
 
 #include "common/check.h"
 #include "core/asha.h"
+#include "fault/fault.h"
 #include "core/random_search.h"
 #include "core/trial_json.h"
 #include "durability/durable_server.h"
@@ -564,6 +566,137 @@ TEST(NetShutdown, StopIsIdempotentAndDestructorSafe) {
 }
 
 // --- Concurrency: many client threads, one loop, one service ---
+
+// --- Hardening: accept shedding, slow-client eviction, overload shed ---
+
+TEST(NetHardening, AcceptsAreShedAtMaxConnections) {
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), {.R = 10});
+  TuningServer server(scheduler, {.lease_timeout = 30});
+  NetServerOptions options;
+  options.max_connections = 1;
+  NetServer net(server, options);
+  net.Start();
+
+  RawClient first(net.port());
+  first.SendAll(EncodeMessage(RequestJob(1), 0));
+  ASSERT_TRUE(first.RecvFrame().has_value());  // registered as the one slot
+
+  // Second connection is over the cap: closed immediately, never served.
+  RawClient second(net.port());
+  EXPECT_TRUE(second.ReadToEof());
+  EXPECT_TRUE(WaitFor([&] { return net.stats().connections_shed >= 1; }));
+  EXPECT_EQ(net.stats().connections_accepted, 1u);
+
+  // The surviving connection still works.
+  first.SendAll(EncodeMessage(RequestJob(1), 1));
+  const auto frame = first.RecvFrame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_NE(frame->type, WireType::kError);
+
+  net.Stop();
+}
+
+/// SocketIo whose sends always fail with EAGAIN — from the server's side
+/// the client never drains its socket, so replies pile up in the outbuf.
+class SendBlockedIo final : public SocketIo {
+ public:
+  ssize_t Send(int, const void*, std::size_t) override {
+    errno = EAGAIN;
+    return -1;
+  }
+  ssize_t Recv(int fd, void* data, std::size_t size) override {
+    return SocketIo::Real().Recv(fd, data, size);
+  }
+};
+
+TEST(NetHardening, SlowClientsAreEvictedAtTheOutbufCap) {
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), {.R = 10});
+  TuningServer server(scheduler, {.lease_timeout = 30});
+  SendBlockedIo blocked;
+  NetServerOptions options;
+  options.max_outbuf_bytes = 16;  // any job reply busts this
+  options.io = &blocked;
+  NetServer net(server, options);
+  net.Start();
+
+  RawClient client(net.port());
+  client.SendAll(EncodeMessage(RequestJob(1), 0));
+  // The reply can't flush, exceeds the cap, and the connection is evicted
+  // (closed) rather than buffering without bound.
+  EXPECT_TRUE(client.ReadToEof());
+  EXPECT_TRUE(WaitFor([&] { return net.stats().slow_clients_evicted >= 1; }));
+  EXPECT_TRUE(WaitFor([&] { return net.stats().connections_closed >= 1; }));
+
+  net.Stop();
+}
+
+/// Wraps a service and stalls HandleMessage on demand — the loop thread
+/// falls behind its tick schedule, which is what trips overload shedding.
+class StallService final : public MessageService {
+ public:
+  explicit StallService(MessageService& inner) : inner_(inner) {}
+
+  Json HandleMessage(const Json& message, double now) override {
+    const int ms = stall_ms.load();
+    if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    return inner_.HandleMessage(message, now);
+  }
+  void Tick(double now) override { inner_.Tick(now); }
+
+  std::atomic<int> stall_ms{0};
+
+ private:
+  MessageService& inner_;
+};
+
+TEST(NetHardening, OverloadShedsGrantsUntilTheLoopCatchesUp) {
+  RandomSearchScheduler scheduler(MakeRandomSampler(UnitSpace()), {.R = 10});
+  TuningServer server(scheduler, {.lease_timeout = 30});
+  StallService stalled(server);
+  NetServerOptions options;
+  options.tick_interval = 0.02;
+  options.overload_shed_lag = 0.01;
+  options.shed_retry_after = 9.5;
+  NetServer net(stalled, options);
+  net.Start();
+
+  RawClient client(net.port());
+
+  // Each stalled message delays poll past the tick deadline, opening a
+  // shed window roughly one tick_interval long — loop until a grant
+  // request lands inside one.
+  stalled.stall_ms = 30;
+  bool shed = false;
+  for (int i = 0; i < 100 && !shed; ++i) {
+    client.SendAll(EncodeMessage(RequestJob(1), i));
+    const auto frame = client.RecvFrame();
+    ASSERT_TRUE(frame.has_value());
+    const Json reply = DecodeMessage(*frame).message;
+    if (!reply.Has("shed")) continue;
+    shed = true;
+    EXPECT_EQ(frame->type, WireType::kNoJobFlagged);
+    EXPECT_EQ(reply.at("type").AsString(), "no_job");
+    EXPECT_TRUE(reply.at("shed").AsBool());
+    EXPECT_DOUBLE_EQ(reply.at("retry_after").AsDouble(), 9.5);
+  }
+  ASSERT_TRUE(shed);
+  EXPECT_GE(net.stats().requests_shed, 1u);
+
+  // Once the stall clears and a tick lands on time, grants flow again.
+  stalled.stall_ms = 0;
+  bool recovered = false;
+  for (int i = 0; i < 200 && !recovered; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    client.SendAll(EncodeMessage(RequestJob(1), 1000 + i));
+    const auto frame = client.RecvFrame();
+    ASSERT_TRUE(frame.has_value());
+    recovered = frame->type == WireType::kJob ||
+                frame->type == WireType::kNoJob;
+  }
+  EXPECT_TRUE(recovered);
+
+  net.Stop();
+}
 
 TEST(NetConcurrency, ParallelClientsSerializeOntoOneService) {
   RandomSearchOptions options;

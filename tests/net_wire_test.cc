@@ -212,6 +212,22 @@ std::vector<Json> ProtocolSamples(Rng& rng) {
     samples.push_back(std::move(m));
   }
   {
+    // Overload shedding denial: the appended kNoJobFlagged payload.
+    Json m = JsonObject{};
+    m.Set("type", Json("no_job"));
+    m.Set("retry_after", Json(1.0));
+    m.Set("shed", Json(true));
+    samples.push_back(std::move(m));
+  }
+  {
+    // Degraded read-only denial (DurableServer with an unwritable journal).
+    Json m = JsonObject{};
+    m.Set("type", Json("no_job"));
+    m.Set("retry_after", Json(5.0));
+    m.Set("degraded", Json(true));
+    samples.push_back(std::move(m));
+  }
+  {
     Json m = JsonObject{};
     m.Set("type", Json("ack"));
     samples.push_back(std::move(m));
@@ -416,6 +432,14 @@ TEST(WireCodec, RejectsMessagesOutsideTheSchema) {
   missing.Set("job_id", Json(std::int64_t{2}));
   missing.Set("extra", Json(1));  // right arity, wrong field
   EXPECT_THROW(EncodeMessage(missing, 0), CheckError);
+
+  // The no_job flags are presence-only: a false value would not survive
+  // the round trip, so the encoder refuses it outright.
+  Json false_flag = JsonObject{};
+  false_flag.Set("type", Json("no_job"));
+  false_flag.Set("retry_after", Json(1.0));
+  false_flag.Set("shed", Json(false));
+  EXPECT_THROW(EncodeMessage(false_flag, 0), CheckError);
 }
 
 TEST(WireCodec, RejectsTrailingPayloadBytes) {

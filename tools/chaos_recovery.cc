@@ -21,7 +21,27 @@
 // its uninterrupted SINGLE-study golden — a crash of the shared server
 // perturbs no tenant's search.
 //
+// Two fault-injection suites extend the contract beyond clean kills:
+//
+//   --net-faults  routes the run over real TCP with a FaultyTransport on
+//   the client side. Benign faults (short reads/writes, EAGAIN bursts,
+//   tiny delays) must leave the decision text byte-identical to the
+//   in-process golden — the framing layer absorbs them completely. Lossy
+//   faults (corruption, mid-frame disconnects) give up identity but must
+//   keep liveness: the run finishes, workers retried, the server never
+//   crashed.
+//
+//   --enospc  routes the run through a DurableServer whose file ops pass
+//   through a FaultFs. A one-op ENOSPC blip and a one-fsync EIO blip must
+//   be invisible (degraded mode entered and exited, decision text still
+//   byte-identical); a 40-op ENOSPC burst must keep the server alive and
+//   read-only (grants denied, records buffered) and, once space returns,
+//   the journal must hold *everything* — proven by recovering a fresh
+//   server from the state dir and requiring its decision text to equal
+//   the live run's.
+//
 // Usage: chaos_recovery <scratch-dir> [--quick] [--studies N]
+//                       [--net-faults] [--enospc]
 //   --quick: one seed, one crash point per kind (CI smoke).
 //   --studies N: run the multi-tenant scenario with N studies instead.
 #include <cstdint>
@@ -34,6 +54,8 @@
 
 #include "common/crc32.h"
 #include "dump_scenario.h"
+#include "fault/fault.h"
+#include "fault/fault_fs.h"
 #include "study_scenario.h"
 
 namespace hypertune {
@@ -140,6 +162,259 @@ int RunMultiStudyChaos(const std::string& scratch, std::size_t studies,
   return 0;
 }
 
+int RunNetFaultChaos(bool quick) {
+  ServiceDecisionsOptions base;
+  base.kind = "asha";
+  base.seed = 42;
+  base.workers = 8;
+  const auto golden = RunServiceDecisions(base);
+  std::cout << "golden  " << base.kind << " seed=" << base.seed
+            << " messages=" << golden.messages_handled << " crc32="
+            << std::hex << Crc32(golden.text) << std::dec << "\n";
+
+  int failures = 0;
+
+  // Benign faults: everything the framing layer can absorb losslessly.
+  // Short ops tear frames across arbitrary byte boundaries, EAGAIN bursts
+  // force retry loops, small delays shake up timing — none of it may move
+  // a single decision byte.
+  std::vector<DumpTransport> transports = {DumpTransport::kBinaryTcp};
+  if (!quick) transports.push_back(DumpTransport::kJsonTcp);
+  for (const DumpTransport transport : transports) {
+    FaultPlan plan;
+    plan.seed = 7;
+    plan.short_op_rate = 0.5;
+    plan.eagain_rate = 0.1;
+    plan.eagain_burst = 3;
+    plan.delay_rate = 0.002;
+    plan.delay_seconds = 0.0005;
+    FaultyTransport faulty(plan);
+    ServiceDecisionsOptions options = base;
+    options.transport = transport;
+    options.client_io = &faulty;
+    const auto result = RunServiceDecisions(options);
+    const FaultStats stats = faulty.stats();
+    const bool identical = result.text == golden.text;
+    const bool exercised = stats.short_ops > 0 && stats.eagains > 0;
+    std::cout << (identical && exercised ? "OK      " : "MISMATCH")
+              << " net-benign transport=" << DumpTransportName(transport)
+              << " ops=" << stats.ops << " short=" << stats.short_ops
+              << " eagain=" << stats.eagains << " delays=" << stats.delays
+              << "\n";
+    if (!identical) {
+      ++failures;
+      std::cout << FirstDiff(golden.text, result.text) << "\n";
+    } else if (!exercised) {
+      ++failures;
+      std::cout << "  fault plan injected nothing — scenario is vacuous\n";
+    }
+  }
+
+  // Lossy faults: corruption and mid-frame disconnects lose exchanges for
+  // real, so identity is out; the contract is liveness. The study still
+  // finishes, workers visibly retried, and the server survived every
+  // mangled frame (its CRC layer turns corruption into error replies).
+  {
+    FaultPlan plan;
+    plan.seed = 11;
+    plan.short_op_rate = 0.3;
+    plan.corrupt_rate = 0.01;
+    plan.disconnect_rate = 0.002;
+    FaultyTransport faulty(plan);
+    ServiceDecisionsOptions options = base;
+    options.transport = DumpTransport::kBinaryTcp;
+    options.client_io = &faulty;
+    const auto result = RunServiceDecisions(options);
+    const FaultStats stats = faulty.stats();
+    const bool exercised = stats.corruptions > 0 && stats.disconnects > 0;
+    const bool ok = result.finished && result.worker_retries > 0 && exercised;
+    std::cout << (ok ? "OK      " : "FAIL    ")
+              << " net-lossy finished=" << result.finished
+              << " retries=" << result.worker_retries
+              << " corrupted=" << stats.corruptions
+              << " disconnects=" << stats.disconnects << "\n";
+    if (!ok) ++failures;
+  }
+
+  if (failures > 0) {
+    std::cout << "network-fault chaos FAILED: " << failures
+              << " scenario(s)\n";
+    return 1;
+  }
+  std::cout << "network-fault chaos passed: benign faults were byte-"
+               "invisible, lossy faults cost only retries\n";
+  return 0;
+}
+
+int RunEnospcChaos(const std::string& scratch, bool quick) {
+  (void)quick;  // every scenario here is one seeded run; nothing to trim
+  ServiceDecisionsOptions base;
+  base.kind = "asha";
+  base.seed = 42;
+  base.workers = 8;
+  const auto golden = RunServiceDecisions(base);
+  std::cout << "golden  " << base.kind << " seed=" << base.seed
+            << " messages=" << golden.messages_handled << " crc32="
+            << std::hex << Crc32(golden.text) << std::dec << "\n";
+
+  // Durable runs route every journal write/fsync through the FaultFs; a
+  // huge snapshot_every keeps snapshots out of the op stream so windows
+  // land on journal ops only.
+  const auto durable_options = [&](const std::string& dir, FileOps* ops) {
+    ServiceDecisionsOptions options = base;
+    CrashPlan plan;
+    plan.crash_at = 0;  // durable, never killed — the fault is the chaos
+    plan.state_dir = dir;
+    plan.snapshot_every = 1u << 30;
+    options.crash = plan;
+    options.file_ops = ops;
+    return options;
+  };
+
+  int failures = 0;
+
+  // Probe: an uninterrupted durable run counts file ops (and locates the
+  // kEveryN fsyncs) so the fault windows below can be placed as fractions
+  // of the real op stream, not hand-tuned constants.
+  const std::string probe_dir =
+      (std::filesystem::path(scratch) / "enospc-probe").string();
+  std::filesystem::remove_all(probe_dir);
+  FaultFs probe({});
+  const auto probe_run = RunServiceDecisions(durable_options(probe_dir, &probe));
+  const std::size_t total_ops = probe.ops_seen();
+  const auto fsyncs = probe.op_indices(FaultFs::OpKind::kFsync);
+  if (probe_run.text != golden.text || total_ops == 0 || fsyncs.empty()) {
+    std::cout << "FAIL     enospc-probe: durable run diverged from golden"
+              << " (ops=" << total_ops << " fsyncs=" << fsyncs.size()
+              << ")\n";
+    return 1;
+  }
+  std::filesystem::remove_all(probe_dir);
+  std::cout << "probe    file-ops=" << total_ops
+            << " fsyncs=" << fsyncs.size() << "\n";
+
+  // Scenario 1 — ENOSPC blip: exactly one failing op mid-run. The server
+  // enters degraded mode, the very next message's probe flushes the
+  // buffered record and exits it; no grant is ever denied, so the decision
+  // stream must stay byte-identical to the golden.
+  {
+    const std::string dir =
+        (std::filesystem::path(scratch) / "enospc-blip").string();
+    std::filesystem::remove_all(dir);
+    FaultFs faults({FsFaultWindow{.begin = total_ops / 2, .count = 1}});
+    const auto result = RunServiceDecisions(durable_options(dir, &faults));
+    const auto& d = result.durability;
+    const bool identical = result.text == golden.text;
+    const bool degraded_cycle =
+        d.degraded_entered >= 1 && d.degraded_exited >= 1 &&
+        !result.degraded_final;
+    const bool ok = identical && degraded_cycle &&
+                    faults.faults_injected() == 1 && result.finished;
+    std::cout << (ok ? "OK      " : "FAIL    ")
+              << " enospc-blip at-op=" << total_ops / 2
+              << " write-failures=" << d.journal_write_failures
+              << " sync-failures=" << d.journal_sync_failures
+              << " degraded=" << d.degraded_entered << "/" << d.degraded_exited
+              << " denied=" << d.grants_denied << "\n";
+    if (!identical) std::cout << FirstDiff(golden.text, result.text) << "\n";
+    if (!ok) ++failures;
+    else std::filesystem::remove_all(dir);
+  }
+
+  // Scenario 2 — EIO on exactly one kEveryN fsync (the wal.cc regression:
+  // this return value used to be unchecked). The frame's bytes are on
+  // disk, only durability lags; the next probe fsyncs and recovers.
+  // Nothing is denied or buffered, so identity must hold here too.
+  {
+    const std::string dir =
+        (std::filesystem::path(scratch) / "eio-fsync").string();
+    std::filesystem::remove_all(dir);
+    const std::size_t target = fsyncs[fsyncs.size() / 2];
+    FaultFs faults({FsFaultWindow{.begin = target,
+                                  .count = 1,
+                                  .error = EIO,
+                                  .fail_writes = false,
+                                  .fail_renames = false,
+                                  .fail_truncates = false}});
+    const auto result = RunServiceDecisions(durable_options(dir, &faults));
+    const auto& d = result.durability;
+    const bool identical = result.text == golden.text;
+    const bool ok = identical && d.journal_sync_failures >= 1 &&
+                    d.degraded_entered >= 1 && d.degraded_exited >= 1 &&
+                    !result.degraded_final && d.records_buffered == 0 &&
+                    d.grants_denied == 0 && faults.faults_injected() == 1 &&
+                    result.finished;
+    std::cout << (ok ? "OK      " : "FAIL    ")
+              << " eio-fsync at-op=" << target
+              << " sync-failures=" << d.journal_sync_failures
+              << " degraded=" << d.degraded_entered << "/" << d.degraded_exited
+              << " buffered=" << d.records_buffered << "\n";
+    if (!identical) std::cout << FirstDiff(golden.text, result.text) << "\n";
+    if (!ok) ++failures;
+    else std::filesystem::remove_all(dir);
+  }
+
+  // Scenario 3 — ENOSPC burst: the disk stays full across ~40 ops. The
+  // server must go read-only (grants denied, reports/heartbeats buffered),
+  // resume journaling when the window clears, and finish the study. The
+  // live run's decisions legitimately differ from the golden (denials
+  // shift grants), so the check is recovery equivalence instead: a fresh
+  // server recovered from the state dir must reproduce the live run's
+  // decision text exactly — i.e. every buffered record landed in the
+  // journal, in order.
+  {
+    const std::string dir =
+        (std::filesystem::path(scratch) / "enospc-burst").string();
+    std::filesystem::remove_all(dir);
+    FaultFs faults({FsFaultWindow{.begin = total_ops / 2, .count = 40}});
+    const auto result = RunServiceDecisions(durable_options(dir, &faults));
+    const auto& d = result.durability;
+    const bool degraded_cycle =
+        d.degraded_entered >= 1 && d.degraded_exited >= 1 &&
+        !result.degraded_final;
+    const bool read_only_held =
+        d.grants_denied > 0 && d.records_buffered > 0;
+    bool recovery_identical = false;
+    {
+      auto scheduler = MakeDumpScheduler(base.kind, base.seed);
+      DurableServer recovered(*scheduler, DumpServerOptions(),
+                              DurabilityOptions{.dir = dir});
+      recovery_identical =
+          recovered.recovered() &&
+          FormatDecisionText(base.kind, base.seed, base.workers,
+                             recovered.server(), *scheduler) == result.text;
+      if (!recovery_identical) {
+        std::cout << FirstDiff(
+                         result.text,
+                         FormatDecisionText(base.kind, base.seed,
+                                            base.workers, recovered.server(),
+                                            *scheduler))
+                  << "\n";
+      }
+    }
+    const bool ok = result.finished && degraded_cycle && read_only_held &&
+                    recovery_identical;
+    std::cout << (ok ? "OK      " : "FAIL    ")
+              << " enospc-burst ops=[" << total_ops / 2 << ","
+              << total_ops / 2 + 40 << ")"
+              << " denied=" << d.grants_denied
+              << " buffered=" << d.records_buffered
+              << " degraded=" << d.degraded_entered << "/"
+              << d.degraded_exited
+              << " recovery-identical=" << recovery_identical << "\n";
+    if (!ok) ++failures;
+    else std::filesystem::remove_all(dir);
+  }
+
+  if (failures > 0) {
+    std::cout << "enospc chaos FAILED: " << failures << " scenario(s)\n";
+    return 1;
+  }
+  std::cout << "enospc chaos passed: blips were byte-invisible, the burst"
+               " went read-only and lost nothing\n";
+  return 0;
+}
+
 int RunChaos(const std::string& scratch, bool quick) {
   const std::vector<std::string> kinds = {"asha", "sha", "hyperband"};
   const std::vector<std::uint64_t> seeds =
@@ -241,15 +516,21 @@ int RunChaos(const std::string& scratch, bool quick) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: chaos_recovery <scratch-dir> [--quick]"
-                 " [--studies N]\n";
+                 " [--studies N] [--net-faults] [--enospc]\n";
     return 2;
   }
   bool quick = false;
+  bool net_faults = false;
+  bool enospc = false;
   std::size_t studies = 0;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--net-faults") {
+      net_faults = true;
+    } else if (arg == "--enospc") {
+      enospc = true;
     } else if (arg == "--studies" && i + 1 < argc) {
       studies = static_cast<std::size_t>(std::stoul(argv[++i]));
       if (studies == 0) {
@@ -261,6 +542,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (net_faults) return hypertune::RunNetFaultChaos(quick);
+  if (enospc) return hypertune::RunEnospcChaos(argv[1], quick);
   if (studies > 0) {
     return hypertune::RunMultiStudyChaos(argv[1], studies, quick);
   }

@@ -28,6 +28,8 @@
 #include "core/async_hyperband.h"
 #include "core/sha.h"
 #include "durability/durable_server.h"
+#include "fault/fault.h"
+#include "fault/fault_fs.h"
 #include "lifecycle/hazards.h"
 #include "net/net_client.h"
 #include "net/net_server.h"
@@ -98,7 +100,10 @@ inline std::unique_ptr<Scheduler> MakeDumpScheduler(const std::string& kind,
 
 /// Crash/restart plan for RunServiceDecisions.
 struct CrashPlan {
-  /// Kill the server right after it handles this many messages.
+  /// Kill the server right after it handles this many messages. 0 never
+  /// crashes: the run still goes through a DurableServer (journal +
+  /// snapshots live), which is how the disk-fault scenarios inject ENOSPC
+  /// without also exercising a restart.
   std::size_t crash_at = 0;
   /// Durable state directory (snapshots + journal live here).
   std::string state_dir;
@@ -143,6 +148,13 @@ struct ServiceDecisionsOptions {
   HazardOptions hazards;
   std::optional<CrashPlan> crash;
   DumpTransport transport = DumpTransport::kInProc;
+  /// Client-side socket fault seam for the TCP transports (not owned);
+  /// faults are injected between the worker fleet and the NetServer.
+  SocketIo* client_io = nullptr;
+  /// File-op fault seam for the durable path (not owned). Requires a
+  /// CrashPlan (that's what routes the run through a DurableServer); use
+  /// crash_at = 0 for a durable run that never crashes.
+  FileOps* file_ops = nullptr;
 };
 
 struct ServiceDecisionsResult {
@@ -159,6 +171,10 @@ struct ServiceDecisionsResult {
   std::uint64_t generation = 0;
   bool recovered = false;
   bool finished = false;
+  /// Degraded-mode counters, summed across server incarnations.
+  DurabilityStats durability;
+  /// True when the final incarnation ended still degraded.
+  bool degraded_final = false;
 };
 
 namespace dump_internal {
@@ -228,6 +244,13 @@ inline std::string FormatDecisionText(const std::string& kind,
   return out.str();
 }
 
+/// The server configuration every decision-identity run uses. Exposed so
+/// post-run recovery checks (chaos_recovery's ENOSPC scenarios) can build
+/// an equivalent server over the same state dir.
+inline ServerOptions DumpServerOptions() {
+  return ServerOptions{.lease_timeout = 30, .track_recommendations = true};
+}
+
 inline ServiceDecisionsResult RunServiceDecisions(
     const ServiceDecisionsOptions& opts) {
   ServiceDecisionsResult result;
@@ -240,10 +263,25 @@ inline ServiceDecisionsResult RunServiceDecisions(
   std::unique_ptr<Scheduler> scheduler;
   std::unique_ptr<TuningServer> plain;
   std::optional<DurableServer> durable;
-  const ServerOptions server_options{.lease_timeout = 30,
-                                     .track_recommendations = true};
+  const ServerOptions server_options = DumpServerOptions();
+
+  // Degraded-mode counters survive incarnation teardown by accumulating
+  // here before each reset.
+  const auto harvest = [&]() {
+    if (!durable) return;
+    const DurabilityStats d = durable->durability_stats();
+    result.durability.journal_write_failures += d.journal_write_failures;
+    result.durability.journal_sync_failures += d.journal_sync_failures;
+    result.durability.snapshot_failures += d.snapshot_failures;
+    result.durability.degraded_entered += d.degraded_entered;
+    result.durability.degraded_exited += d.degraded_exited;
+    result.durability.records_buffered += d.records_buffered;
+    result.durability.grants_denied += d.grants_denied;
+    result.degraded_final = durable->degraded();
+  };
 
   const auto boot = [&]() {
+    harvest();
     durable.reset();
     plain.reset();
     scheduler = MakeDumpScheduler(opts.kind, opts.seed);
@@ -254,7 +292,8 @@ inline ServiceDecisionsResult RunServiceDecisions(
                       DurabilityOptions{.dir = opts.crash->state_dir,
                                         .sync = opts.crash->sync,
                                         .snapshot_every =
-                                            opts.crash->snapshot_every});
+                                            opts.crash->snapshot_every,
+                                        .file_ops = opts.file_ops});
       if (durable->recovered()) {
         result.recovered = true;
         result.replayed_events += durable->replayed_events();
@@ -289,6 +328,7 @@ inline ServiceDecisionsResult RunServiceDecisions(
     client_options.transport = opts.transport == DumpTransport::kBinaryTcp
                                    ? WireTransport::kBinary
                                    : WireTransport::kJson;
+    client_options.io = opts.client_io;
     // Connection pool, workers mapped round-robin: 500-worker dumps should
     // exercise many concurrent connections without hoarding 500 fds.
     const int pool_size = std::min(opts.workers, 64);
@@ -343,6 +383,7 @@ inline ServiceDecisionsResult RunServiceDecisions(
           // only the state dir survives. The worker keeps this reply — a
           // crash tears *between* messages, mirroring a process killed
           // between event-loop iterations.
+          harvest();
           durable.reset();
           scheduler.reset();
           if (opts.crash->downtime > 0) {
@@ -383,6 +424,7 @@ inline ServiceDecisionsResult RunServiceDecisions(
   for (const auto& worker : pool) result.worker_retries += worker.retries();
   result.finished = scheduler->Finished();
   if (durable) result.generation = durable->generation();
+  harvest();
 
   const TuningServer& server = durable ? durable->server() : *plain;
   result.text = FormatDecisionText(opts.kind, opts.seed, opts.workers, server,
